@@ -1,0 +1,27 @@
+//! Ablation: how the warped-axis harmonic count `M` affects envelope cost
+//! (accuracy saturates quickly for the near-sinusoidal VCO; cost grows as
+//! the bordered Jacobian is O((n·(2M+1))³) per Newton iteration).
+
+use circuitdae::circuits::MemsVcoConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wampde_bench::{run_envelope, unforced_orbit};
+
+fn bench(c: &mut Criterion) {
+    let orbit = unforced_orbit();
+    let mut g = c.benchmark_group("ablation_harmonics");
+    g.sample_size(10);
+
+    for m in [4usize, 6, 8, 10, 12] {
+        g.bench_function(format!("vacuum_envelope_20us_M{m}"), |b| {
+            b.iter(|| {
+                let run = run_envelope(MemsVcoConfig::paper_vacuum(), &orbit, black_box(20e-6), m);
+                black_box(run.env.stats.steps)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

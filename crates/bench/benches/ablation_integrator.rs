@@ -1,0 +1,44 @@
+//! Ablation: Backward Euler vs Trapezoidal along the slow axis.
+//!
+//! BE is the default: the envelope system is a semi-explicit DAE whose
+//! algebraic frequency unknown rings under the trapezoidal rule at coarse
+//! steps (see `wampde::T2Integrator` docs). This bench quantifies the
+//! cost side; the repro binary's figure 10 run shows the accuracy side.
+
+use circuitdae::circuits::{self, MemsVcoConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wampde::{solve_envelope, T2Integrator, T2StepControl, WampdeInit, WampdeOptions};
+use wampde_bench::unforced_orbit;
+
+fn bench(c: &mut Criterion) {
+    let orbit = unforced_orbit();
+    let dae = circuits::mems_vco(MemsVcoConfig::paper_air());
+
+    let mut g = c.benchmark_group("ablation_integrator");
+    g.sample_size(10);
+
+    for (name, integ) in [
+        ("backward_euler", T2Integrator::BackwardEuler),
+        ("trapezoidal", T2Integrator::Trapezoidal),
+    ] {
+        g.bench_function(format!("air_envelope_500us_fixed_{name}"), |b| {
+            let opts = WampdeOptions {
+                harmonics: 8,
+                integrator: integ,
+                step: T2StepControl::Fixed(2e-6),
+                ..Default::default()
+            };
+            let init = WampdeInit::from_orbit(&orbit, &opts);
+            b.iter(|| {
+                let env = solve_envelope(&dae, &init, black_box(5e-4), &opts)
+                    .expect("fixed-step envelope");
+                black_box(env.stats.newton_iterations)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

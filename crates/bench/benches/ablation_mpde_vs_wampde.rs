@@ -1,0 +1,55 @@
+//! Ablation: the warped formulation vs the unwarped one on the same FM
+//! problem. `OmegaMode::Frozen` degenerates the WaMPDE to an unwarped
+//! MPDE applied to the autonomous VCO — the formulation the paper shows
+//! cannot track FM. At identical discretisation the frozen run either
+//! needs far more Newton work or fails; the free run cruises.
+
+use circuitdae::circuits::{self, MemsVcoConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wampde::{solve_envelope, OmegaMode, T2StepControl, WampdeInit, WampdeOptions};
+use wampde_bench::unforced_orbit;
+
+fn bench(c: &mut Criterion) {
+    let orbit = unforced_orbit();
+    let dae = circuits::mems_vco(MemsVcoConfig::paper_vacuum());
+    let f0 = orbit.frequency();
+
+    let mut g = c.benchmark_group("ablation_mpde_vs_wampde");
+    g.sample_size(10);
+
+    let base = WampdeOptions {
+        harmonics: 8,
+        step: T2StepControl::Fixed(0.25e-6),
+        ..Default::default()
+    };
+
+    g.bench_function("warped_free_omega_5us", |b| {
+        let init = WampdeInit::from_orbit(&orbit, &base);
+        b.iter(|| {
+            let env = solve_envelope(&dae, &init, black_box(5e-6), &base).expect("free run");
+            black_box(env.stats.newton_iterations)
+        })
+    });
+
+    g.bench_function("unwarped_frozen_omega_5us", |b| {
+        let opts = WampdeOptions {
+            omega_mode: OmegaMode::Frozen(f0),
+            ..base
+        };
+        let init = WampdeInit::from_orbit(&orbit, &opts);
+        b.iter(|| {
+            // The frozen run may fail outright — count that as the cost of
+            // the attempt (the point of the ablation).
+            match solve_envelope(&dae, &init, black_box(5e-6), &opts) {
+                Ok(env) => black_box(env.stats.newton_iterations),
+                Err(_) => black_box(usize::MAX),
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

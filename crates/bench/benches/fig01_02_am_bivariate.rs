@@ -1,0 +1,30 @@
+//! Figures 1–2: cost of representing the two-tone AM signal — univariate
+//! sampling + linear reconstruction vs the 15×15 bivariate grid + path
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_02_am");
+    g.sample_size(20);
+
+    g.bench_function("fig01_univariate_sample_and_reconstruct", |b| {
+        b.iter(|| {
+            let err = multitime::am::univariate_error(black_box(15), 500);
+            black_box(err)
+        })
+    });
+
+    g.bench_function("fig02_bivariate_sample_and_reconstruct", |b| {
+        b.iter(|| {
+            let err = multitime::am::bivariate_error(black_box(15), 500);
+            black_box(err)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

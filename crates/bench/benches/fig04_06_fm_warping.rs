@@ -1,0 +1,24 @@
+//! Figures 4–6: representation cost of the FM signal — the unwarped
+//! bivariate form needs a 9×129 grid for the accuracy a 9+9-sample warped
+//! representation reaches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_06_fm");
+    g.sample_size(20);
+
+    g.bench_function("fig05_unwarped_9x129", |b| {
+        b.iter(|| black_box(multitime::fm::unwarped_grid_error(9, 129, 400)))
+    });
+
+    g.bench_function("fig06_warped_9_plus_9", |b| {
+        b.iter(|| black_box(multitime::fm::warped_grid_error(9, 9, 400)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

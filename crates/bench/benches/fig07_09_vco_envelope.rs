@@ -1,0 +1,37 @@
+//! Figures 7–9: the vacuum-damped MEMS VCO — WaMPDE envelope vs adaptive
+//! transient over one control period (40 µs ≈ 30 carrier cycles).
+
+use circuitdae::circuits::MemsVcoConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wampde_bench::{run_envelope, run_transient_reference, unforced_orbit, univariate_x0};
+
+fn bench(c: &mut Criterion) {
+    let orbit = unforced_orbit();
+    // Seed state shared by both methods.
+    let seed_run = run_envelope(MemsVcoConfig::paper_vacuum(), &orbit, 2e-6, 9);
+    let x0 = univariate_x0(&seed_run);
+
+    let mut g = c.benchmark_group("fig07_09_vacuum_vco");
+    g.sample_size(10);
+
+    g.bench_function("wampde_envelope_40us", |b| {
+        b.iter(|| {
+            let run = run_envelope(MemsVcoConfig::paper_vacuum(), &orbit, black_box(40e-6), 9);
+            black_box(run.env.stats.steps)
+        })
+    });
+
+    g.bench_function("transient_adaptive_40us", |b| {
+        b.iter(|| {
+            let (tr, _) =
+                run_transient_reference(MemsVcoConfig::paper_vacuum(), &x0, black_box(40e-6), 1e-6);
+            black_box(tr.stats.steps)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figures 10–12: the air-damped (modified) VCO — WaMPDE envelope vs
+//! fixed-step transient at the paper's 50/100 points per cycle, over one
+//! control period (1 ms ≈ 750 carrier cycles).
+
+use circuitdae::circuits::MemsVcoConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wampde_bench::{run_envelope, run_transient_fixed, unforced_orbit, univariate_x0};
+
+fn bench(c: &mut Criterion) {
+    let orbit = unforced_orbit();
+    let seed_run = run_envelope(MemsVcoConfig::paper_air(), &orbit, 2e-6, 9);
+    let x0 = univariate_x0(&seed_run);
+
+    let mut g = c.benchmark_group("fig10_12_air_vco");
+    g.sample_size(10);
+
+    g.bench_function("wampde_envelope_1ms", |b| {
+        b.iter(|| {
+            let run = run_envelope(MemsVcoConfig::paper_air(), &orbit, black_box(1e-3), 9);
+            black_box(run.env.stats.steps)
+        })
+    });
+
+    for pts in [50usize, 100] {
+        g.bench_function(format!("transient_{pts}pts_per_cycle_1ms"), |b| {
+            b.iter(|| {
+                let (tr, _) =
+                    run_transient_fixed(MemsVcoConfig::paper_air(), &x0, black_box(1e-3), pts);
+                black_box(tr.stats.steps)
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! The headline claim: "WaMPDE-based simulation results in speedups of
+//! two orders of magnitude over transient simulation" — measured as
+//! WaMPDE envelope vs the comparable-accuracy transient (1000 points per
+//! nominal cycle) on the air-damped VCO over one control period.
+
+use circuitdae::circuits::MemsVcoConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wampde_bench::{run_envelope, run_transient_fixed, unforced_orbit, univariate_x0};
+
+fn bench(c: &mut Criterion) {
+    let orbit = unforced_orbit();
+    let seed_run = run_envelope(MemsVcoConfig::paper_air(), &orbit, 2e-6, 9);
+    let x0 = univariate_x0(&seed_run);
+
+    let mut g = c.benchmark_group("speedup");
+    g.sample_size(10);
+
+    g.bench_function("wampde_air_1ms", |b| {
+        b.iter(|| {
+            let run = run_envelope(MemsVcoConfig::paper_air(), &orbit, black_box(1e-3), 9);
+            black_box(run.env.stats.steps)
+        })
+    });
+
+    g.bench_function("transient_1000pts_air_1ms", |b| {
+        b.iter(|| {
+            let (tr, _) =
+                run_transient_fixed(MemsVcoConfig::paper_air(), &x0, black_box(1e-3), 1000);
+            black_box(tr.stats.steps)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

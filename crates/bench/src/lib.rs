@@ -1,0 +1,148 @@
+//! Experiment drivers shared by the Criterion benches and the `repro`
+//! binary that regenerates every figure of the paper.
+//!
+//! Each paper artifact maps to one driver here (see `DESIGN.md §3` for
+//! the full index); the benches time the underlying computations, while
+//! `cargo run --release -p wampde-bench --bin repro` writes the figure
+//! data as CSV into `target/repro/` and prints the headline numbers for
+//! `EXPERIMENTS.md`.
+
+use circuitdae::circuits::{self, MemsVcoConfig};
+use circuitdae::{CircuitDae, Dae};
+use shooting::{oscillator_steady_state, PeriodicOrbit, ShootingOptions};
+use std::time::{Duration, Instant};
+use transim::{
+    run_fixed_per_cycle, run_transient, Integrator, StepControl, TransientOptions,
+    TransientResult,
+};
+use wampde::{solve_envelope, EnvelopeResult, WampdeInit, WampdeOptions};
+
+pub mod out;
+
+/// Unforced steady state of the VCO (the common initial condition).
+///
+/// # Panics
+///
+/// Panics when shooting fails (it never does for the calibrated presets).
+pub fn unforced_orbit() -> PeriodicOrbit {
+    let dae = circuits::mems_vco(MemsVcoConfig::constant(1.5));
+    oscillator_steady_state(&dae, &ShootingOptions::default())
+        .expect("unforced VCO oscillates")
+}
+
+/// A WaMPDE envelope run of one of the paper's MEMS VCO experiments.
+pub struct EnvelopeRun {
+    /// The configured circuit.
+    pub dae: CircuitDae,
+    /// The result.
+    pub env: EnvelopeResult,
+    /// Wall-clock time of the envelope solve alone.
+    pub wall: Duration,
+    /// Options used.
+    pub opts: WampdeOptions,
+}
+
+/// Runs the WaMPDE envelope for a MEMS VCO configuration.
+///
+/// # Panics
+///
+/// Panics when the solve fails (calibrated presets converge).
+pub fn run_envelope(cfg: MemsVcoConfig, orbit: &PeriodicOrbit, t_end: f64, harmonics: usize) -> EnvelopeRun {
+    let dae = circuits::mems_vco(cfg);
+    let opts = WampdeOptions {
+        harmonics,
+        ..Default::default()
+    };
+    let init = WampdeInit::from_orbit(orbit, &opts);
+    let t0 = Instant::now();
+    let env = solve_envelope(&dae, &init, t_end, &opts).expect("envelope converges");
+    EnvelopeRun {
+        dae,
+        env,
+        wall: t0.elapsed(),
+        opts,
+    }
+}
+
+/// Adaptive-step transient reference for a MEMS VCO configuration,
+/// started from the WaMPDE's own `t = 0` state.
+///
+/// # Panics
+///
+/// Panics when the transient fails.
+pub fn run_transient_reference(
+    cfg: MemsVcoConfig,
+    x0: &[f64],
+    t_end: f64,
+    rtol: f64,
+) -> (TransientResult, Duration) {
+    let dae = circuits::mems_vco(cfg);
+    let t0 = Instant::now();
+    let res = run_transient(
+        &dae,
+        x0,
+        0.0,
+        t_end,
+        &TransientOptions {
+            integrator: Integrator::Trapezoidal,
+            step: StepControl::Adaptive {
+                rtol,
+                atol: 1e-12,
+                dt_init: 1e-9,
+                dt_min: 0.0,
+                dt_max: 5e-8,
+            },
+            ..Default::default()
+        },
+    )
+    .expect("transient reference");
+    (res, t0.elapsed())
+}
+
+/// Fixed points-per-cycle transient (the paper's Figure 12 baselines).
+///
+/// # Panics
+///
+/// Panics when the transient fails.
+pub fn run_transient_fixed(
+    cfg: MemsVcoConfig,
+    x0: &[f64],
+    t_end: f64,
+    pts_per_cycle: usize,
+) -> (TransientResult, Duration) {
+    let dae = circuits::mems_vco(cfg);
+    let nominal = circuits::nominal_period();
+    let t0 = Instant::now();
+    let res = run_fixed_per_cycle(
+        &dae,
+        x0,
+        nominal,
+        t_end / nominal,
+        pts_per_cycle,
+        Integrator::Trapezoidal,
+    )
+    .expect("fixed-step transient");
+    (res, t0.elapsed())
+}
+
+/// First collocation sample of an envelope's initial slice — the
+/// univariate state `x(0) = x̂(0, 0)` used to seed matching transients.
+pub fn univariate_x0(run: &EnvelopeRun) -> Vec<f64> {
+    run.env.states[0][0..run.dae.dim()].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drivers_run_a_short_experiment() {
+        let orbit = unforced_orbit();
+        let run = run_envelope(MemsVcoConfig::paper_vacuum(), &orbit, 4e-6, 5);
+        assert!(run.env.stats.steps > 0);
+        let x0 = univariate_x0(&run);
+        assert_eq!(x0.len(), 4);
+        let (tr, _) = run_transient_fixed(MemsVcoConfig::paper_vacuum(), &x0, 2e-6, 30);
+        assert!(tr.stats.steps > 40); // 1.5 cycles x 30 pts
+    }
+}

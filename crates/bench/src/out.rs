@@ -1,0 +1,88 @@
+//! CSV output and ASCII plotting for the `repro` binary.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory figure data is written to (`target/repro`).
+///
+/// # Panics
+///
+/// Panics when the directory cannot be created.
+pub fn repro_dir() -> PathBuf {
+    let dir = PathBuf::from("target/repro");
+    fs::create_dir_all(&dir).expect("create target/repro");
+    dir
+}
+
+/// Writes a CSV file with a header row and one row per record.
+///
+/// # Panics
+///
+/// Panics on I/O failure (the repro binary treats that as fatal).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) -> PathBuf {
+    let path = repro_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.9e}")).collect();
+        writeln!(f, "{}", line.join(",")).expect("write row");
+    }
+    path
+}
+
+/// Renders a quick ASCII line plot (rows × cols characters) of `ys(xs)`.
+pub fn ascii_plot(title: &str, xs: &[f64], ys: &[f64], cols: usize, rows: usize) -> String {
+    if xs.len() < 2 || ys.len() != xs.len() {
+        return format!("{title}: (insufficient data)\n");
+    }
+    let xmin = xs.first().copied().unwrap_or(0.0);
+    let xmax = xs.last().copied().unwrap_or(1.0);
+    let ymin = ys.iter().fold(f64::INFINITY, |m, v| m.min(*v));
+    let ymax = ys.iter().fold(f64::NEG_INFINITY, |m, v| m.max(*v));
+    let yspan = (ymax - ymin).max(1e-300);
+    let mut grid = vec![vec![b' '; cols]; rows];
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        let c = (((x - xmin) / (xmax - xmin)) * (cols - 1) as f64).round() as usize;
+        let r = (((ymax - y) / yspan) * (rows - 1) as f64).round() as usize;
+        grid[r.min(rows - 1)][c.min(cols - 1)] = b'*';
+    }
+    let mut s = format!("{title}  [y: {ymin:.4e} .. {ymax:.4e}]\n");
+    for row in grid {
+        s.push('|');
+        s.push_str(std::str::from_utf8(&row).expect("ascii"));
+        s.push('\n');
+    }
+    s.push('+');
+    s.push_str(&"-".repeat(cols));
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = write_csv("unit_test.csv", &["a", "b"], &[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let text = fs::read_to_string(p).unwrap();
+        assert!(text.starts_with("a,b\n"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn ascii_plot_contains_points() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.sin()).collect();
+        let plot = ascii_plot("sine", &xs, &ys, 60, 10);
+        assert!(plot.contains('*'));
+        assert!(plot.contains("sine"));
+    }
+
+    #[test]
+    fn ascii_plot_degenerate_input() {
+        let plot = ascii_plot("empty", &[], &[], 10, 5);
+        assert!(plot.contains("insufficient"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Hand-written analytic DAEs used for validation and examples.
+
+use crate::dae::Dae;
+use crate::waveform::Waveform;
+use numkit::DMat;
+
+/// The van der Pol oscillator in first-order DAE form:
+///
+/// ```text
+/// x1' = x2
+/// x2' = μ(1 − x1²)x2 − x1 + forcing(t)
+/// ```
+///
+/// Mapped onto `d/dt q + f = b` with `q = x` (identity mass),
+/// `f = (−x2, −μ(1−x1²)x2 + x1)`, `b = (0, forcing(t))`.
+///
+/// For small `μ` the period is `≈ 2π·(1 + μ²/16)` and the amplitude `≈ 2`,
+/// which the shooting/HB tests check against.
+///
+/// # Example
+///
+/// ```
+/// use circuitdae::analytic::VanDerPol;
+/// use circuitdae::Dae;
+///
+/// let vdp = VanDerPol::unforced(0.5);
+/// assert_eq!(vdp.dim(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VanDerPol {
+    /// Nonlinearity parameter `μ > 0`.
+    pub mu: f64,
+    /// Additive forcing applied to the velocity equation.
+    pub forcing: Waveform,
+}
+
+impl VanDerPol {
+    /// Unforced oscillator.
+    pub fn unforced(mu: f64) -> Self {
+        VanDerPol {
+            mu,
+            forcing: Waveform::Dc(0.0),
+        }
+    }
+
+    /// Sinusoidally forced oscillator (`amplitude·sin(2π·freq_hz·t)`).
+    pub fn forced(mu: f64, amplitude: f64, freq_hz: f64) -> Self {
+        VanDerPol {
+            mu,
+            forcing: Waveform::sine(0.0, amplitude, freq_hz),
+        }
+    }
+
+    /// Small-`μ` asymptotic period `2π(1 + μ²/16)`.
+    pub fn approx_period(&self) -> f64 {
+        2.0 * std::f64::consts::PI * (1.0 + self.mu * self.mu / 16.0)
+    }
+}
+
+impl Dae for VanDerPol {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn eval_q(&self, x: &[f64], out: &mut [f64]) {
+        out[0] = x[0];
+        out[1] = x[1];
+    }
+
+    fn eval_f(&self, x: &[f64], out: &mut [f64]) {
+        out[0] = -x[1];
+        out[1] = -self.mu * (1.0 - x[0] * x[0]) * x[1] + x[0];
+    }
+
+    fn eval_b(&self, t: f64, out: &mut [f64]) {
+        out[0] = 0.0;
+        out[1] = self.forcing.eval(t);
+    }
+
+    fn jac_q(&self, _x: &[f64], out: &mut DMat) {
+        out.fill_zero();
+        out[(0, 0)] = 1.0;
+        out[(1, 1)] = 1.0;
+    }
+
+    fn jac_f(&self, x: &[f64], out: &mut DMat) {
+        out.fill_zero();
+        out[(0, 1)] = -1.0;
+        out[(1, 0)] = 2.0 * self.mu * x[0] * x[1] + 1.0;
+        out[(1, 1)] = -self.mu * (1.0 - x[0] * x[0]);
+    }
+
+    fn var_names(&self) -> Vec<String> {
+        vec!["x".into(), "xdot".into()]
+    }
+}
+
+/// A linear damped oscillator `x'' + 2ζω x' + ω² x = A·sin(2π f t)` with a
+/// closed-form solution — the convergence-order reference for the
+/// transient integrators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearOscillator {
+    /// Natural angular frequency ω (rad/s).
+    pub omega: f64,
+    /// Damping ratio ζ.
+    pub zeta: f64,
+    /// Forcing amplitude.
+    pub amplitude: f64,
+    /// Forcing frequency (Hz).
+    pub freq_hz: f64,
+}
+
+impl LinearOscillator {
+    /// Undamped, unforced oscillator at angular frequency `omega`.
+    pub fn undamped(omega: f64) -> Self {
+        LinearOscillator {
+            omega,
+            zeta: 0.0,
+            amplitude: 0.0,
+            freq_hz: 0.0,
+        }
+    }
+
+    /// Exact unforced solution from `x(0) = x0, x'(0) = 0` (underdamped).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `zeta >= 1` (not underdamped).
+    pub fn exact_unforced(&self, x0: f64, t: f64) -> f64 {
+        assert!(self.zeta < 1.0, "exact solution implemented for underdamped case");
+        let wd = self.omega * (1.0 - self.zeta * self.zeta).sqrt();
+        let decay = (-self.zeta * self.omega * t).exp();
+        decay * x0 * ((wd * t).cos() + self.zeta * self.omega / wd * (wd * t).sin())
+    }
+}
+
+impl Dae for LinearOscillator {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn eval_q(&self, x: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(&x[..2]);
+    }
+
+    fn eval_f(&self, x: &[f64], out: &mut [f64]) {
+        out[0] = -x[1];
+        out[1] = 2.0 * self.zeta * self.omega * x[1] + self.omega * self.omega * x[0];
+    }
+
+    fn eval_b(&self, t: f64, out: &mut [f64]) {
+        out[0] = 0.0;
+        out[1] = self.amplitude * (2.0 * std::f64::consts::PI * self.freq_hz * t).sin();
+    }
+
+    fn jac_q(&self, _x: &[f64], out: &mut DMat) {
+        out.fill_zero();
+        out[(0, 0)] = 1.0;
+        out[(1, 1)] = 1.0;
+    }
+
+    fn jac_f(&self, _x: &[f64], out: &mut DMat) {
+        out.fill_zero();
+        out[(0, 1)] = -1.0;
+        out[(1, 0)] = self.omega * self.omega;
+        out[(1, 1)] = 2.0 * self.zeta * self.omega;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dae::{check_jacobians, dae_residual};
+
+    #[test]
+    fn vdp_jacobians_consistent() {
+        let vdp = VanDerPol::unforced(1.3);
+        assert!(check_jacobians(&vdp, &[0.8, -1.1]) < 1e-7);
+        let forced = VanDerPol::forced(0.5, 0.3, 1.0);
+        assert!(check_jacobians(&forced, &[2.0, 0.1]) < 1e-7);
+    }
+
+    #[test]
+    fn vdp_equilibrium_residual_zero() {
+        let vdp = VanDerPol::unforced(1.0);
+        let r = dae_residual(&vdp, 0.0, &[0.0, 0.0], &[0.0, 0.0]);
+        assert!(r.iter().all(|v| v.abs() < 1e-15));
+    }
+
+    #[test]
+    fn vdp_approx_period_small_mu() {
+        let vdp = VanDerPol::unforced(0.1);
+        assert!((vdp.approx_period() - 2.0 * std::f64::consts::PI).abs() < 0.01);
+    }
+
+    #[test]
+    fn linear_oscillator_jacobians() {
+        let lo = LinearOscillator {
+            omega: 2.0,
+            zeta: 0.1,
+            amplitude: 1.0,
+            freq_hz: 0.5,
+        };
+        assert!(check_jacobians(&lo, &[0.3, -0.2]) < 1e-7);
+    }
+
+    #[test]
+    fn linear_oscillator_exact_solution_satisfies_dae() {
+        let lo = LinearOscillator {
+            omega: 3.0,
+            zeta: 0.2,
+            amplitude: 0.0,
+            freq_hz: 0.0,
+        };
+        // Finite-difference the exact solution and plug into the residual.
+        let t = 0.37;
+        let h = 1e-6;
+        let x0 = 1.5;
+        let x = lo.exact_unforced(x0, t);
+        let xdot = (lo.exact_unforced(x0, t + h) - lo.exact_unforced(x0, t - h)) / (2.0 * h);
+        let xddot = (lo.exact_unforced(x0, t + h) - 2.0 * x + lo.exact_unforced(x0, t - h)) / (h * h);
+        let r = dae_residual(&lo, t, &[x, xdot], &[xdot, xddot]);
+        assert!(r[0].abs() < 1e-6);
+        assert!(r[1].abs() < 1e-3); // second difference is noisier
+    }
+}

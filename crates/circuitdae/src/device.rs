@@ -1,0 +1,679 @@
+//! Circuit devices and their MNA stamps.
+
+use crate::circuit::Node;
+use crate::waveform::Waveform;
+use numkit::DMat;
+
+/// Parameters of the electrostatically actuated MEMS varactor
+/// (the paper's "novel MEMS varactor with a separate control voltage").
+///
+/// Mechanical model: a plate of mass `mass` on a spring `spring_k` with
+/// viscous damping `damping`, driven by an electrostatic force
+/// `force_gain·V_ctl(t)²` from a separate control electrode. The plate
+/// displacement `y` (normalised by the reference travel `y0`) sets the
+/// tank capacitance through the smooth inverse law
+///
+/// ```text
+/// C(y) = c0 / (1 + y/y0),
+/// ```
+///
+/// which is positive for all `y > −y0` — no clipping logic is needed, and
+/// `∂C/∂y` stays smooth for Newton. The *vacuum* configuration uses small
+/// `damping` (underdamped plate, fast tracking); the *air-filled*
+/// configuration is heavily overdamped, giving the slow settling the
+/// paper's Figure 10 highlights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemsParams {
+    /// Rest capacitance at `y = 0` (farads).
+    pub c0: f64,
+    /// Reference travel normalisation (same unit as `y`).
+    pub y0: f64,
+    /// Plate mass (kg).
+    pub mass: f64,
+    /// Viscous damping coefficient (N·s/m).
+    pub damping: f64,
+    /// Spring constant (N/m).
+    pub spring_k: f64,
+    /// Electrostatic force gain (N/V²) from the control voltage.
+    pub force_gain: f64,
+    /// Control-voltage waveform applied to the actuation electrode.
+    pub control: Waveform,
+    /// Optional coupling of the *tank* voltage onto the plate
+    /// (`F_tank = ½·tank_coupling·v²·∂C/∂y`); `0.0` disables it, matching
+    /// the paper's separate-electrode description.
+    pub tank_coupling: f64,
+}
+
+impl MemsParams {
+    /// Capacitance at plate displacement `y`.
+    #[inline]
+    pub fn capacitance(&self, y: f64) -> f64 {
+        self.c0 / (1.0 + y / self.y0)
+    }
+
+    /// `∂C/∂y`.
+    #[inline]
+    pub fn dc_dy(&self, y: f64) -> f64 {
+        let s = 1.0 + y / self.y0;
+        -self.c0 / (self.y0 * s * s)
+    }
+
+    /// `∂²C/∂y²`.
+    #[inline]
+    pub fn d2c_dy2(&self, y: f64) -> f64 {
+        let s = 1.0 + y / self.y0;
+        2.0 * self.c0 / (self.y0 * self.y0 * s * s * s)
+    }
+
+    /// Static (quasi-stationary) displacement for a control voltage `v`.
+    #[inline]
+    pub fn static_displacement(&self, v: f64) -> f64 {
+        self.force_gain * v * v / self.spring_k
+    }
+}
+
+/// A circuit element with MNA stamps.
+///
+/// Constructors are provided instead of public struct-literal syntax so
+/// parameter validation stays in one place.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Device {
+    /// Linear resistor `i = (v1 − v2)/r`.
+    Resistor {
+        /// Positive terminal.
+        n1: Node,
+        /// Negative terminal.
+        n2: Node,
+        /// Resistance in ohms (nonzero).
+        r: f64,
+    },
+    /// Linear capacitor `q = c·(v1 − v2)`.
+    Capacitor {
+        /// Positive terminal.
+        n1: Node,
+        /// Negative terminal.
+        n2: Node,
+        /// Capacitance in farads.
+        c: f64,
+    },
+    /// Linear inductor; adds one branch-current unknown.
+    Inductor {
+        /// Positive terminal.
+        n1: Node,
+        /// Negative terminal.
+        n2: Node,
+        /// Inductance in henries.
+        l: f64,
+    },
+    /// Cubic nonlinear conductor `i(v) = −g1·v + g3·v³` — negative
+    /// (energy-supplying) around `v = 0`, positive beyond: the classic
+    /// negative-resistance element that gives the paper's LC tank its
+    /// stable limit cycle.
+    CubicConductor {
+        /// Positive terminal.
+        n1: Node,
+        /// Negative terminal.
+        n2: Node,
+        /// Small-signal negative conductance magnitude (S).
+        g1: f64,
+        /// Cubic limiting coefficient (S/V²).
+        g3: f64,
+    },
+    /// Saturating nonlinear conductor `i(v) = −isat·tanh(v/vt) + v·gmin`:
+    /// an alternative negative-resistance element with bounded drive.
+    TanhConductor {
+        /// Positive terminal.
+        n1: Node,
+        /// Negative terminal.
+        n2: Node,
+        /// Saturation current (A).
+        isat: f64,
+        /// Transition voltage (V).
+        vt: f64,
+        /// Parallel loss conductance (S).
+        gmin: f64,
+    },
+    /// Independent current source pushing `w(t)` from `n_from` into `n_to`.
+    CurrentSource {
+        /// Terminal the current is drawn from.
+        n_from: Node,
+        /// Terminal the current is injected into.
+        n_to: Node,
+        /// Source waveform.
+        wave: Waveform,
+    },
+    /// Independent voltage source `v(n1) − v(n2) = w(t)`; adds one
+    /// branch-current unknown.
+    VoltageSource {
+        /// Positive terminal.
+        n1: Node,
+        /// Negative terminal.
+        n2: Node,
+        /// Source waveform.
+        wave: Waveform,
+    },
+    /// Electrostatically actuated MEMS varactor between `n1` and `n2`;
+    /// adds two unknowns (plate displacement `y`, velocity `u`).
+    MemsVaractor {
+        /// Positive terminal.
+        n1: Node,
+        /// Negative terminal.
+        n2: Node,
+        /// Electromechanical parameters.
+        params: MemsParams,
+    },
+    /// Junction diode `i = Is·(e^{v/vt} − 1)` (anode `n1` → cathode `n2`),
+    /// linearly extended beyond `v > 40·vt` for Newton robustness (the
+    /// standard SPICE junction limiting).
+    Diode {
+        /// Anode.
+        n1: Node,
+        /// Cathode.
+        n2: Node,
+        /// Saturation current (A).
+        isat: f64,
+        /// Thermal voltage (V), typically 25.85 mV.
+        vt: f64,
+    },
+    /// Voltage-controlled current source: pushes
+    /// `gm·(v(cp) − v(cn))` from `n_from` into `n_to`.
+    Vccs {
+        /// Terminal current is drawn from.
+        n_from: Node,
+        /// Terminal current is injected into.
+        n_to: Node,
+        /// Positive control terminal.
+        cp: Node,
+        /// Negative control terminal.
+        cn: Node,
+        /// Transconductance (S).
+        gm: f64,
+    },
+}
+
+/// Junction current and conductance with linear extension above `40·vt`.
+fn diode_iv(v: f64, isat: f64, vt: f64) -> (f64, f64) {
+    let vcrit = 40.0 * vt;
+    if v <= vcrit {
+        let e = (v / vt).exp();
+        (isat * (e - 1.0), isat * e / vt)
+    } else {
+        let e = (vcrit / vt).exp();
+        let g = isat * e / vt;
+        (isat * (e - 1.0) + g * (v - vcrit), g)
+    }
+}
+
+impl Device {
+    /// Linear resistor between `n1` and `n2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r == 0`.
+    pub fn resistor(n1: Node, n2: Node, r: f64) -> Self {
+        assert!(r != 0.0, "resistance must be nonzero");
+        Device::Resistor { n1, n2, r }
+    }
+
+    /// Linear capacitor between `n1` and `n2`.
+    pub fn capacitor(n1: Node, n2: Node, c: f64) -> Self {
+        Device::Capacitor { n1, n2, c }
+    }
+
+    /// Linear inductor between `n1` and `n2`.
+    pub fn inductor(n1: Node, n2: Node, l: f64) -> Self {
+        Device::Inductor { n1, n2, l }
+    }
+
+    /// Cubic negative-resistance conductor (see [`Device::CubicConductor`]).
+    pub fn cubic_conductor(n1: Node, n2: Node, g1: f64, g3: f64) -> Self {
+        Device::CubicConductor { n1, n2, g1, g3 }
+    }
+
+    /// Saturating negative-resistance conductor.
+    pub fn tanh_conductor(n1: Node, n2: Node, isat: f64, vt: f64, gmin: f64) -> Self {
+        Device::TanhConductor {
+            n1,
+            n2,
+            isat,
+            vt,
+            gmin,
+        }
+    }
+
+    /// Current source pushing `wave` from `n_from` into `n_to`.
+    pub fn current_source(n_from: Node, n_to: Node, wave: Waveform) -> Self {
+        Device::CurrentSource { n_from, n_to, wave }
+    }
+
+    /// Voltage source imposing `v(n1) − v(n2) = wave(t)`.
+    pub fn voltage_source(n1: Node, n2: Node, wave: Waveform) -> Self {
+        Device::VoltageSource { n1, n2, wave }
+    }
+
+    /// MEMS varactor between `n1` and `n2`.
+    pub fn mems_varactor(n1: Node, n2: Node, params: MemsParams) -> Self {
+        Device::MemsVaractor { n1, n2, params }
+    }
+
+    /// Junction diode (anode `n1`, cathode `n2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vt <= 0` or `isat <= 0`.
+    pub fn diode(n1: Node, n2: Node, isat: f64, vt: f64) -> Self {
+        assert!(isat > 0.0, "saturation current must be positive");
+        assert!(vt > 0.0, "thermal voltage must be positive");
+        Device::Diode { n1, n2, isat, vt }
+    }
+
+    /// Voltage-controlled current source `i = gm·(v(cp) − v(cn))`
+    /// from `n_from` into `n_to`.
+    pub fn vccs(n_from: Node, n_to: Node, cp: Node, cn: Node, gm: f64) -> Self {
+        Device::Vccs {
+            n_from,
+            n_to,
+            cp,
+            cn,
+            gm,
+        }
+    }
+
+    /// Number of extra (non-node) unknowns this device introduces.
+    pub fn n_extras(&self) -> usize {
+        match self {
+            Device::Inductor { .. } | Device::VoltageSource { .. } => 1,
+            Device::MemsVaractor { .. } => 2,
+            _ => 0,
+        }
+    }
+
+    /// Nodes this device touches (for connectivity validation).
+    pub fn nodes(&self) -> Vec<Node> {
+        match *self {
+            Device::Resistor { n1, n2, .. }
+            | Device::Capacitor { n1, n2, .. }
+            | Device::Inductor { n1, n2, .. }
+            | Device::CubicConductor { n1, n2, .. }
+            | Device::TanhConductor { n1, n2, .. }
+            | Device::VoltageSource { n1, n2, .. }
+            | Device::Diode { n1, n2, .. }
+            | Device::MemsVaractor { n1, n2, .. } => vec![n1, n2],
+            Device::CurrentSource { n_from, n_to, .. } => vec![n_from, n_to],
+            Device::Vccs {
+                n_from,
+                n_to,
+                cp,
+                cn,
+                ..
+            } => vec![n_from, n_to, cp, cn],
+        }
+    }
+}
+
+/// Stamp context: resolves node voltages and accumulates into vectors.
+pub(crate) struct Stamper<'a> {
+    pub x: &'a [f64],
+}
+
+impl Stamper<'_> {
+    #[inline]
+    pub fn v(&self, n: Node) -> f64 {
+        match n.unknown_index() {
+            Some(i) => self.x[i],
+            None => 0.0,
+        }
+    }
+
+    #[inline]
+    pub fn acc(out: &mut [f64], n: Node, val: f64) {
+        if let Some(i) = n.unknown_index() {
+            out[i] += val;
+        }
+    }
+
+    #[inline]
+    pub fn acc_jac(out: &mut DMat, row: Node, col: Node, val: f64) {
+        if let (Some(i), Some(j)) = (row.unknown_index(), col.unknown_index()) {
+            out[(i, j)] += val;
+        }
+    }
+
+    #[inline]
+    pub fn acc_jac_ri(out: &mut DMat, row: Node, col: usize, val: f64) {
+        if let Some(i) = row.unknown_index() {
+            out[(i, col)] += val;
+        }
+    }
+
+    #[inline]
+    pub fn acc_jac_ir(out: &mut DMat, row: usize, col: Node, val: f64) {
+        if let Some(j) = col.unknown_index() {
+            out[(row, j)] += val;
+        }
+    }
+}
+
+impl Device {
+    /// Accumulates the device's contribution to `q(x)`.
+    pub(crate) fn stamp_q(&self, st: &Stamper<'_>, extra: usize, out: &mut [f64]) {
+        match *self {
+            Device::Capacitor { n1, n2, c } => {
+                let v12 = st.v(n1) - st.v(n2);
+                Stamper::acc(out, n1, c * v12);
+                Stamper::acc(out, n2, -c * v12);
+            }
+            Device::Inductor { l, .. } => {
+                out[extra] += l * st.x[extra];
+            }
+            Device::MemsVaractor { n1, n2, ref params } => {
+                let v12 = st.v(n1) - st.v(n2);
+                let y = st.x[extra];
+                let u = st.x[extra + 1];
+                let c = params.capacitance(y);
+                Stamper::acc(out, n1, c * v12);
+                Stamper::acc(out, n2, -c * v12);
+                out[extra] += y;
+                out[extra + 1] += params.mass * u;
+            }
+            _ => {}
+        }
+    }
+
+    /// Accumulates the device's contribution to `f(x)`.
+    pub(crate) fn stamp_f(&self, st: &Stamper<'_>, extra: usize, out: &mut [f64]) {
+        match *self {
+            Device::Resistor { n1, n2, r } => {
+                let i = (st.v(n1) - st.v(n2)) / r;
+                Stamper::acc(out, n1, i);
+                Stamper::acc(out, n2, -i);
+            }
+            Device::CubicConductor { n1, n2, g1, g3 } => {
+                let v = st.v(n1) - st.v(n2);
+                let i = -g1 * v + g3 * v * v * v;
+                Stamper::acc(out, n1, i);
+                Stamper::acc(out, n2, -i);
+            }
+            Device::TanhConductor {
+                n1,
+                n2,
+                isat,
+                vt,
+                gmin,
+            } => {
+                let v = st.v(n1) - st.v(n2);
+                let i = -isat * (v / vt).tanh() + gmin * v;
+                Stamper::acc(out, n1, i);
+                Stamper::acc(out, n2, -i);
+            }
+            Device::Inductor { n1, n2, .. } => {
+                let il = st.x[extra];
+                Stamper::acc(out, n1, il);
+                Stamper::acc(out, n2, -il);
+                out[extra] += -(st.v(n1) - st.v(n2));
+            }
+            Device::VoltageSource { n1, n2, .. } => {
+                let i = st.x[extra];
+                Stamper::acc(out, n1, i);
+                Stamper::acc(out, n2, -i);
+                out[extra] += st.v(n1) - st.v(n2);
+            }
+            Device::MemsVaractor { n1, n2, ref params } => {
+                let y = st.x[extra];
+                let u = st.x[extra + 1];
+                out[extra] += -u;
+                let mut fu = params.damping * u + params.spring_k * y;
+                if params.tank_coupling != 0.0 {
+                    let v12 = st.v(n1) - st.v(n2);
+                    fu -= 0.5 * params.tank_coupling * v12 * v12 * params.dc_dy(y);
+                }
+                out[extra + 1] += fu;
+            }
+            Device::Diode { n1, n2, isat, vt } => {
+                let v = st.v(n1) - st.v(n2);
+                let (i, _) = diode_iv(v, isat, vt);
+                Stamper::acc(out, n1, i);
+                Stamper::acc(out, n2, -i);
+            }
+            Device::Vccs {
+                n_from,
+                n_to,
+                cp,
+                cn,
+                gm,
+            } => {
+                // f holds currents *leaving* each node: an injection into
+                // n_to appears with negative sign there.
+                let i = gm * (st.v(cp) - st.v(cn));
+                Stamper::acc(out, n_to, -i);
+                Stamper::acc(out, n_from, i);
+            }
+            Device::CurrentSource { .. } | Device::Capacitor { .. } => {}
+        }
+    }
+
+    /// Accumulates the device's contribution to `b(t)`.
+    pub(crate) fn stamp_b(&self, t: f64, extra: usize, out: &mut [f64]) {
+        match *self {
+            Device::CurrentSource { n_from, n_to, wave } => {
+                let i = wave.eval(t);
+                Stamper::acc(out, n_to, i);
+                Stamper::acc(out, n_from, -i);
+            }
+            Device::VoltageSource { wave, .. } => {
+                out[extra] += wave.eval(t);
+            }
+            Device::MemsVaractor { ref params, .. } => {
+                let v = params.control.eval(t);
+                out[extra + 1] += params.force_gain * v * v;
+            }
+            _ => {}
+        }
+    }
+
+    /// Accumulates the device's contribution to `C(x) = ∂q/∂x`.
+    pub(crate) fn stamp_jac_q(&self, st: &Stamper<'_>, extra: usize, out: &mut DMat) {
+        match *self {
+            Device::Capacitor { n1, n2, c } => {
+                Stamper::acc_jac(out, n1, n1, c);
+                Stamper::acc_jac(out, n1, n2, -c);
+                Stamper::acc_jac(out, n2, n1, -c);
+                Stamper::acc_jac(out, n2, n2, c);
+            }
+            Device::Inductor { l, .. } => {
+                out[(extra, extra)] += l;
+            }
+            Device::MemsVaractor { n1, n2, ref params } => {
+                let v12 = st.v(n1) - st.v(n2);
+                let y = st.x[extra];
+                let c = params.capacitance(y);
+                let dcdy = params.dc_dy(y);
+                Stamper::acc_jac(out, n1, n1, c);
+                Stamper::acc_jac(out, n1, n2, -c);
+                Stamper::acc_jac(out, n2, n1, -c);
+                Stamper::acc_jac(out, n2, n2, c);
+                Stamper::acc_jac_ri(out, n1, extra, dcdy * v12);
+                Stamper::acc_jac_ri(out, n2, extra, -dcdy * v12);
+                out[(extra, extra)] += 1.0;
+                out[(extra + 1, extra + 1)] += params.mass;
+            }
+            _ => {}
+        }
+    }
+
+    /// Accumulates the device's contribution to `G(x) = ∂f/∂x`.
+    pub(crate) fn stamp_jac_f(&self, st: &Stamper<'_>, extra: usize, out: &mut DMat) {
+        match *self {
+            Device::Resistor { n1, n2, r } => {
+                let g = 1.0 / r;
+                Stamper::acc_jac(out, n1, n1, g);
+                Stamper::acc_jac(out, n1, n2, -g);
+                Stamper::acc_jac(out, n2, n1, -g);
+                Stamper::acc_jac(out, n2, n2, g);
+            }
+            Device::CubicConductor { n1, n2, g1, g3 } => {
+                let v = st.v(n1) - st.v(n2);
+                let g = -g1 + 3.0 * g3 * v * v;
+                Stamper::acc_jac(out, n1, n1, g);
+                Stamper::acc_jac(out, n1, n2, -g);
+                Stamper::acc_jac(out, n2, n1, -g);
+                Stamper::acc_jac(out, n2, n2, g);
+            }
+            Device::TanhConductor {
+                n1,
+                n2,
+                isat,
+                vt,
+                gmin,
+            } => {
+                let v = st.v(n1) - st.v(n2);
+                let sech2 = {
+                    let t = (v / vt).tanh();
+                    1.0 - t * t
+                };
+                let g = -isat / vt * sech2 + gmin;
+                Stamper::acc_jac(out, n1, n1, g);
+                Stamper::acc_jac(out, n1, n2, -g);
+                Stamper::acc_jac(out, n2, n1, -g);
+                Stamper::acc_jac(out, n2, n2, g);
+            }
+            Device::Inductor { n1, n2, .. } => {
+                Stamper::acc_jac_ri(out, n1, extra, 1.0);
+                Stamper::acc_jac_ri(out, n2, extra, -1.0);
+                Stamper::acc_jac_ir(out, extra, n1, -1.0);
+                Stamper::acc_jac_ir(out, extra, n2, 1.0);
+            }
+            Device::VoltageSource { n1, n2, .. } => {
+                Stamper::acc_jac_ri(out, n1, extra, 1.0);
+                Stamper::acc_jac_ri(out, n2, extra, -1.0);
+                Stamper::acc_jac_ir(out, extra, n1, 1.0);
+                Stamper::acc_jac_ir(out, extra, n2, -1.0);
+            }
+            Device::MemsVaractor { n1, n2, ref params } => {
+                out[(extra, extra + 1)] += -1.0;
+                out[(extra + 1, extra)] += params.spring_k;
+                out[(extra + 1, extra + 1)] += params.damping;
+                if params.tank_coupling != 0.0 {
+                    let v12 = st.v(n1) - st.v(n2);
+                    let y = st.x[extra];
+                    let dcdy = params.dc_dy(y);
+                    let d2c = params.d2c_dy2(y);
+                    let tc = params.tank_coupling;
+                    Stamper::acc_jac_ir(out, extra + 1, n1, -tc * v12 * dcdy);
+                    Stamper::acc_jac_ir(out, extra + 1, n2, tc * v12 * dcdy);
+                    out[(extra + 1, extra)] += -0.5 * tc * v12 * v12 * d2c;
+                }
+            }
+            Device::Diode { n1, n2, isat, vt } => {
+                let v = st.v(n1) - st.v(n2);
+                let (_, g) = diode_iv(v, isat, vt);
+                Stamper::acc_jac(out, n1, n1, g);
+                Stamper::acc_jac(out, n1, n2, -g);
+                Stamper::acc_jac(out, n2, n1, -g);
+                Stamper::acc_jac(out, n2, n2, g);
+            }
+            Device::Vccs {
+                n_from,
+                n_to,
+                cp,
+                cn,
+                gm,
+            } => {
+                Stamper::acc_jac(out, n_to, cp, -gm);
+                Stamper::acc_jac(out, n_to, cn, gm);
+                Stamper::acc_jac(out, n_from, cp, gm);
+                Stamper::acc_jac(out, n_from, cn, -gm);
+            }
+            Device::CurrentSource { .. } | Device::Capacitor { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn extras_counted() {
+        let n1 = Node::from_raw(1);
+        assert_eq!(Device::resistor(n1, Circuit::GND, 1.0).n_extras(), 0);
+        assert_eq!(Device::inductor(n1, Circuit::GND, 1.0).n_extras(), 1);
+        assert_eq!(
+            Device::voltage_source(n1, Circuit::GND, Waveform::Dc(1.0)).n_extras(),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_resistance_rejected() {
+        let _ = Device::resistor(Node::from_raw(1), Circuit::GND, 0.0);
+    }
+
+    #[test]
+    fn mems_capacitance_law() {
+        let p = MemsParams {
+            c0: 5e-9,
+            y0: 1.0,
+            mass: 1e-12,
+            damping: 1e-7,
+            spring_k: 2.5,
+            force_gain: 0.12,
+            control: Waveform::Dc(1.5),
+            tank_coupling: 0.0,
+        };
+        assert!((p.capacitance(0.0) - 5e-9).abs() < 1e-20);
+        assert!((p.capacitance(1.0) - 2.5e-9).abs() < 1e-20);
+        // Finite-difference check of dC/dy.
+        let h = 1e-7;
+        let fd = (p.capacitance(0.5 + h) - p.capacitance(0.5 - h)) / (2.0 * h);
+        assert!((fd - p.dc_dy(0.5)).abs() < 1e-12);
+        let fd2 = (p.dc_dy(0.5 + h) - p.dc_dy(0.5 - h)) / (2.0 * h);
+        assert!((fd2 - p.d2c_dy2(0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diode_iv_continuity_at_vcrit() {
+        // Value and slope are continuous across the linearisation knee.
+        let (isat, vt) = (1e-14, 0.02585);
+        let vc = 40.0 * vt;
+        let eps = 1e-9;
+        let (i_lo, g_lo) = diode_iv(vc - eps, isat, vt);
+        let (i_hi, g_hi) = diode_iv(vc + eps, isat, vt);
+        assert!((i_lo - i_hi).abs() < 1e-6 * i_lo.abs());
+        assert!((g_lo - g_hi).abs() < 1e-6 * g_lo.abs());
+        // Far beyond the knee, no overflow.
+        let (i_big, g_big) = diode_iv(100.0, isat, vt);
+        assert!(i_big.is_finite() && g_big.is_finite());
+    }
+
+    #[test]
+    fn diode_reverse_blocks() {
+        let (i, g) = diode_iv(-1.0, 1e-14, 0.02585);
+        assert!((i + 1e-14).abs() < 1e-20); // −Is
+        assert!(g > 0.0 && g < 1e-20 * 1e6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn diode_rejects_bad_vt() {
+        let _ = Device::diode(Node::from_raw(1), Circuit::GND, 1e-14, 0.0);
+    }
+
+    #[test]
+    fn static_displacement_balances_spring() {
+        let p = MemsParams {
+            c0: 5e-9,
+            y0: 1.0,
+            mass: 1e-12,
+            damping: 1e-7,
+            spring_k: 2.0,
+            force_gain: 0.5,
+            control: Waveform::Dc(2.0),
+            tank_coupling: 0.0,
+        };
+        let y = p.static_displacement(2.0);
+        assert!((p.spring_k * y - p.force_gain * 4.0).abs() < 1e-12);
+    }
+}

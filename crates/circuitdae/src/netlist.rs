@@ -1,0 +1,409 @@
+//! SPICE-style netlist parsing.
+//!
+//! A small, line-oriented netlist dialect so circuits can be described as
+//! text (and experiment configurations versioned) instead of Rust code:
+//!
+//! ```text
+//! * comment lines start with '*' or '#'
+//! R1   n1  0    1k          ; resistor, ohms
+//! C1   n1  0    4.503n      ; capacitor, farads
+//! L1   n1  0    10u         ; inductor, henries
+//! GN1  n1  0    5m  1.667m  ; cubic conductor: i = -g1*v + g3*v^3
+//! GT1  n1  0    1m  0.5 10u ; tanh conductor: isat, vt, gmin
+//! I1   0   n1   SIN(0 1m 1k)        ; current source (offset ampl freq [phase])
+//! V1   n2  0    DC(5)               ; voltage source
+//! M1   n1  0    5n 1 1e-12 3e-7 2.47 0.12 DC(1.5)
+//! *    ^ MEMS varactor: c0 y0 mass damping k force_gain control
+//! ```
+//!
+//! Node `0` (or `gnd`) is ground; all other node names are created on
+//! first use. Values accept the usual suffixes
+//! `f p n u m k meg g t` (case-insensitive).
+
+use crate::circuit::{Circuit, CircuitDae, Node};
+use crate::device::{Device, MemsParams};
+use crate::waveform::Waveform;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from netlist parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// Line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The assembled circuit failed validation.
+    Circuit(crate::circuit::CircuitError),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Parse { line, message } => {
+                write!(f, "netlist line {line}: {message}")
+            }
+            NetlistError::Circuit(e) => write!(f, "netlist circuit error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+impl From<crate::circuit::CircuitError> for NetlistError {
+    fn from(e: crate::circuit::CircuitError) -> Self {
+        NetlistError::Circuit(e)
+    }
+}
+
+/// Parses an engineering-notation value: `4.7k`, `10u`, `1meg`, `2.2e-6`.
+///
+/// # Errors
+///
+/// Returns a message naming the offending token.
+pub fn parse_value(token: &str) -> Result<f64, String> {
+    let t = token.trim().to_ascii_lowercase();
+    if t.is_empty() {
+        return Err("empty value".into());
+    }
+    // Longest-suffix first ("meg" before "m").
+    const SUFFIXES: &[(&str, f64)] = &[
+        ("meg", 1e6),
+        ("f", 1e-15),
+        ("p", 1e-12),
+        ("n", 1e-9),
+        ("u", 1e-6),
+        ("m", 1e-3),
+        ("k", 1e3),
+        ("g", 1e9),
+        ("t", 1e12),
+    ];
+    for (suffix, mult) in SUFFIXES {
+        if let Some(stem) = t.strip_suffix(suffix) {
+            // Guard against "1e-" style accidental strips: the stem must
+            // parse cleanly on its own.
+            if let Ok(v) = stem.parse::<f64>() {
+                return Ok(v * mult);
+            }
+        }
+    }
+    t.parse::<f64>().map_err(|_| format!("cannot parse value '{token}'"))
+}
+
+/// Parses a source waveform: `DC(v)`, `SIN(offset ampl freq [phase])`,
+/// `PULSE(low high rise width fall period)`, or a bare number (DC).
+fn parse_waveform(tokens: &[&str]) -> Result<Waveform, String> {
+    let joined = tokens.join(" ");
+    let t = joined.trim();
+    let upper = t.to_ascii_uppercase();
+    let args_of = |s: &str| -> Result<Vec<f64>, String> {
+        let open = s.find('(').ok_or("expected '('")?;
+        let close = s.rfind(')').ok_or("expected ')'")?;
+        s[open + 1..close]
+            .split_whitespace()
+            .map(parse_value)
+            .collect()
+    };
+    if upper.starts_with("DC") {
+        let a = args_of(t)?;
+        if a.len() != 1 {
+            return Err("DC takes one argument".into());
+        }
+        Ok(Waveform::Dc(a[0]))
+    } else if upper.starts_with("SIN") {
+        let a = args_of(t)?;
+        match a.len() {
+            3 => Ok(Waveform::sine(a[0], a[1], a[2])),
+            4 => Ok(Waveform::Sine {
+                offset: a[0],
+                amplitude: a[1],
+                freq_hz: a[2],
+                phase_rad: a[3],
+            }),
+            _ => Err("SIN takes (offset ampl freq [phase])".into()),
+        }
+    } else if upper.starts_with("PULSE") {
+        let a = args_of(t)?;
+        if a.len() != 6 {
+            return Err("PULSE takes (low high rise width fall period)".into());
+        }
+        Ok(Waveform::Pulse {
+            low: a[0],
+            high: a[1],
+            rise: a[2],
+            width: a[3],
+            fall: a[4],
+            period: a[5],
+        })
+    } else if tokens.len() == 1 {
+        Ok(Waveform::Dc(parse_value(tokens[0])?))
+    } else {
+        Err(format!("unrecognised waveform '{t}'"))
+    }
+}
+
+/// Parses a netlist into a [`CircuitDae`].
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] with the offending line, or
+/// [`NetlistError::Circuit`] if the assembled circuit is invalid.
+pub fn parse_netlist(text: &str) -> Result<CircuitDae, NetlistError> {
+    let mut ckt = Circuit::new();
+    let mut nodes: HashMap<String, Node> = HashMap::new();
+
+    let mut node_of = |ckt: &mut Circuit, name: &str| -> Node {
+        let key = name.to_ascii_lowercase();
+        if key == "0" || key == "gnd" {
+            return Circuit::GND;
+        }
+        *nodes.entry(key.clone()).or_insert_with(|| ckt.node(key))
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        // Strip comments.
+        let stripped = raw.split(';').next().unwrap_or("");
+        let stripped = stripped.trim();
+        if stripped.is_empty() || stripped.starts_with('*') || stripped.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = stripped.split_whitespace().collect();
+        if tokens.len() < 3 {
+            return Err(NetlistError::Parse {
+                line,
+                message: "expected: NAME node node args...".into(),
+            });
+        }
+        let name = tokens[0].to_ascii_uppercase();
+        let n1 = node_of(&mut ckt, tokens[1]);
+        let n2 = node_of(&mut ckt, tokens[2]);
+        let args = &tokens[3..];
+        let perr = |message: String| NetlistError::Parse { line, message };
+
+        let first = name.chars().next().expect("nonempty token");
+        match first {
+            'R' => {
+                let v = one_value(args).map_err(perr)?;
+                if v == 0.0 {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: "resistance must be nonzero".into(),
+                    });
+                }
+                ckt.add(Device::resistor(n1, n2, v));
+            }
+            'C' => {
+                let v = one_value(args).map_err(perr)?;
+                ckt.add(Device::capacitor(n1, n2, v));
+            }
+            'L' => {
+                let v = one_value(args).map_err(perr)?;
+                ckt.add(Device::inductor(n1, n2, v));
+            }
+            'G' => {
+                // GN = cubic, GT = tanh.
+                match name.chars().nth(1) {
+                    Some('N') => {
+                        let vals = n_values(args, 2).map_err(perr)?;
+                        ckt.add(Device::cubic_conductor(n1, n2, vals[0], vals[1]));
+                    }
+                    Some('T') => {
+                        let vals = n_values(args, 3).map_err(perr)?;
+                        ckt.add(Device::tanh_conductor(n1, n2, vals[0], vals[1], vals[2]));
+                    }
+                    _ => {
+                        return Err(NetlistError::Parse {
+                            line,
+                            message: format!("unknown conductor card '{name}' (use GN.../GT...)"),
+                        })
+                    }
+                }
+            }
+            'I' => {
+                let w = parse_waveform(args).map_err(perr)?;
+                ckt.add(Device::current_source(n1, n2, w));
+            }
+            'V' => {
+                let w = parse_waveform(args).map_err(perr)?;
+                ckt.add(Device::voltage_source(n1, n2, w));
+            }
+            'M' => {
+                if args.len() < 7 {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: "MEMS card: M n1 n2 c0 y0 mass damping k force_gain WAVEFORM"
+                            .into(),
+                    });
+                }
+                let nums: Vec<f64> = args[..6]
+                    .iter()
+                    .map(|t| parse_value(t))
+                    .collect::<Result<_, _>>()
+                    .map_err(perr)?;
+                let control = parse_waveform(&args[6..]).map_err(perr)?;
+                ckt.add(Device::mems_varactor(
+                    n1,
+                    n2,
+                    MemsParams {
+                        c0: nums[0],
+                        y0: nums[1],
+                        mass: nums[2],
+                        damping: nums[3],
+                        spring_k: nums[4],
+                        force_gain: nums[5],
+                        control,
+                        tank_coupling: 0.0,
+                    },
+                ));
+            }
+            other => {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: format!("unknown device prefix '{other}'"),
+                })
+            }
+        }
+    }
+
+    Ok(ckt.build()?)
+}
+
+fn one_value(args: &[&str]) -> Result<f64, String> {
+    if args.len() != 1 {
+        return Err(format!("expected one value, got {}", args.len()));
+    }
+    parse_value(args[0])
+}
+
+fn n_values(args: &[&str], n: usize) -> Result<Vec<f64>, String> {
+    if args.len() != n {
+        return Err(format!("expected {n} values, got {}", args.len()));
+    }
+    args.iter().map(|t| parse_value(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dae::{check_jacobians, Dae};
+
+    #[test]
+    fn value_suffixes() {
+        assert_eq!(parse_value("1k").unwrap(), 1e3);
+        assert_eq!(parse_value("4.7u").unwrap(), 4.7e-6);
+        assert_eq!(parse_value("1meg").unwrap(), 1e6);
+        assert_eq!(parse_value("10p").unwrap(), 1e-11);
+        assert_eq!(parse_value("2.2e-6").unwrap(), 2.2e-6);
+        assert_eq!(parse_value("5").unwrap(), 5.0);
+        assert_eq!(parse_value("-3m").unwrap(), -3e-3);
+        assert!(parse_value("abc").is_err());
+        assert!(parse_value("").is_err());
+    }
+
+    #[test]
+    fn parses_rc_divider() {
+        let dae = parse_netlist(
+            "* divider\n\
+             V1 in 0 DC(10)\n\
+             R1 in out 1k\n\
+             R2 out 0 1k ; load\n\
+             C1 out 0 1u\n",
+        )
+        .unwrap();
+        assert_eq!(dae.dim(), 3); // in, out, i(V1)
+        let names = dae.var_names();
+        assert!(names.iter().any(|n| n == "v(in)"));
+        assert!(names.iter().any(|n| n == "v(out)"));
+    }
+
+    #[test]
+    fn parses_paper_vco() {
+        // The lc_vco preset expressed as text.
+        let dae = parse_netlist(
+            "C1 tank 0 4.503n\n\
+             L1 tank 0 10u\n\
+             GN1 tank 0 5m 1.667m\n",
+        )
+        .unwrap();
+        assert_eq!(dae.dim(), 2);
+        assert!(check_jacobians(&dae, &[1.0, -0.1]) < 1e-6);
+    }
+
+    #[test]
+    fn parses_mems_card() {
+        let dae = parse_netlist(
+            "L1 tank 0 10u\n\
+             GN1 tank 0 5m 1.667m\n\
+             M1 tank 0 5n 1 1e-12 3e-7 2.47 0.121 DC(1.5)\n",
+        )
+        .unwrap();
+        assert_eq!(dae.dim(), 4); // v, iL, y, u
+        assert!(check_jacobians(&dae, &[0.5, 0.01, 0.1, 0.0]) < 1e-6);
+    }
+
+    #[test]
+    fn parses_sin_and_pulse_sources() {
+        let dae = parse_netlist(
+            "I1 0 a SIN(0 1m 1k)\n\
+             R1 a 0 50\n\
+             V1 b 0 PULSE(0 5 1u 10u 1u 100u)\n\
+             R2 b a 1k\n",
+        )
+        .unwrap();
+        let mut b = vec![0.0; dae.dim()];
+        dae.eval_b(0.25e-3, &mut b); // sin peak at quarter period
+        assert!(b.iter().any(|v| (v.abs() - 1e-3).abs() < 1e-12));
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = parse_netlist("R1 a 0 1k\nQ1 a 0 bogus\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn short_line_rejected() {
+        assert!(matches!(
+            parse_netlist("R1 a\n"),
+            Err(NetlistError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_resistance_rejected() {
+        assert!(parse_netlist("R1 a 0 0\n").is_err());
+    }
+
+    #[test]
+    fn floating_node_propagates_circuit_error() {
+        // "b" referenced nowhere else, circuit validation must fire...
+        // actually a single device connects it; build a truly floating one
+        // via an unknown-only node list is impossible through the parser,
+        // so check the empty-netlist case instead.
+        assert!(matches!(
+            parse_netlist("* nothing\n"),
+            Err(NetlistError::Circuit(_))
+        ));
+    }
+
+    #[test]
+    fn gnd_alias() {
+        let dae = parse_netlist("R1 a gnd 1k\nC1 a 0 1n\n").unwrap();
+        assert_eq!(dae.dim(), 1);
+    }
+
+    #[test]
+    fn waveform_bare_number_is_dc() {
+        let dae = parse_netlist("I1 0 a 2m\nR1 a 0 1k\n").unwrap();
+        let mut b = vec![0.0; 1];
+        dae.eval_b(0.0, &mut b);
+        assert!((b[0] - 2e-3).abs() < 1e-15);
+    }
+}

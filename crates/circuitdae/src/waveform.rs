@@ -1,0 +1,160 @@
+//! Time-dependent source waveforms.
+
+/// An independent-source waveform `w(t)`.
+///
+/// Kept as a closed enum (no closures) so circuits stay `Clone + Debug`
+/// and simulation runs are reproducible from a printed netlist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// `offset + amplitude·sin(2π·freq_hz·t + phase_rad)`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        freq_hz: f64,
+        /// Phase in radians at `t = 0`.
+        phase_rad: f64,
+    },
+    /// Periodic trapezoidal pulse train starting at `t = 0`:
+    /// rises from `low` over `rise`, holds `high` for `width`,
+    /// falls over `fall`, then stays `low` until `period`.
+    Pulse {
+        /// Base level.
+        low: f64,
+        /// Pulse level.
+        high: f64,
+        /// Rise time (s).
+        rise: f64,
+        /// High hold time (s).
+        width: f64,
+        /// Fall time (s).
+        fall: f64,
+        /// Repetition period (s).
+        period: f64,
+    },
+}
+
+impl Waveform {
+    /// A sine specified by offset, amplitude and frequency with zero phase.
+    pub fn sine(offset: f64, amplitude: f64, freq_hz: f64) -> Self {
+        Waveform::Sine {
+            offset,
+            amplitude,
+            freq_hz,
+            phase_rad: 0.0,
+        }
+    }
+
+    /// Evaluates the waveform at time `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        match *self {
+            Waveform::Dc(v) => v,
+            Waveform::Sine {
+                offset,
+                amplitude,
+                freq_hz,
+                phase_rad,
+            } => offset + amplitude * (2.0 * std::f64::consts::PI * freq_hz * t + phase_rad).sin(),
+            Waveform::Pulse {
+                low,
+                high,
+                rise,
+                width,
+                fall,
+                period,
+            } => {
+                let tau = t.rem_euclid(period);
+                if tau < rise {
+                    low + (high - low) * tau / rise.max(f64::MIN_POSITIVE)
+                } else if tau < rise + width {
+                    high
+                } else if tau < rise + width + fall {
+                    high - (high - low) * (tau - rise - width) / fall.max(f64::MIN_POSITIVE)
+                } else {
+                    low
+                }
+            }
+        }
+    }
+
+    /// Natural period of the waveform, if it has one (`None` for DC).
+    pub fn period(&self) -> Option<f64> {
+        match *self {
+            Waveform::Dc(_) => None,
+            Waveform::Sine { freq_hz, .. } => {
+                if freq_hz > 0.0 {
+                    Some(1.0 / freq_hz)
+                } else {
+                    None
+                }
+            }
+            Waveform::Pulse { period, .. } => Some(period),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::Dc(3.3);
+        assert_eq!(w.eval(0.0), 3.3);
+        assert_eq!(w.eval(1e9), 3.3);
+        assert_eq!(w.period(), None);
+    }
+
+    #[test]
+    fn sine_hits_peaks() {
+        let w = Waveform::sine(1.0, 2.0, 1.0);
+        assert!((w.eval(0.25) - 3.0).abs() < 1e-12);
+        assert!((w.eval(0.75) + 1.0).abs() < 1e-12);
+        assert_eq!(w.period(), Some(1.0));
+    }
+
+    #[test]
+    fn sine_phase_shifts() {
+        let w = Waveform::Sine {
+            offset: 0.0,
+            amplitude: 1.0,
+            freq_hz: 1.0,
+            phase_rad: std::f64::consts::FRAC_PI_2,
+        };
+        assert!((w.eval(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pulse_levels() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 5.0,
+            rise: 0.1,
+            width: 0.3,
+            fall: 0.1,
+            period: 1.0,
+        };
+        assert!((w.eval(0.05) - 2.5).abs() < 1e-9); // mid-rise
+        assert!((w.eval(0.2) - 5.0).abs() < 1e-12); // high
+        assert!((w.eval(0.45) - 2.5).abs() < 1e-9); // mid-fall
+        assert!((w.eval(0.9)).abs() < 1e-12); // low
+        assert!((w.eval(1.2) - 5.0).abs() < 1e-12); // periodic repeat
+    }
+
+    #[test]
+    fn pulse_period_reported() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            rise: 0.0,
+            width: 0.5,
+            fall: 0.0,
+            period: 2.0,
+        };
+        assert_eq!(w.period(), Some(2.0));
+    }
+}

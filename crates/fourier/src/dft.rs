@@ -1,0 +1,152 @@
+//! Direct (matrix) DFT for small sample counts.
+//!
+//! Harmonic balance works with `N0 = 2M+1` samples — small and odd — where
+//! the O(N²) direct transform is both fast and free of padding artifacts.
+
+use numkit::Complex64;
+
+/// Forward DFT: `X[k] = Σ_n x[n]·e^{-j2πkn/N}`.
+pub fn dft(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (t, &xt) in x.iter().enumerate() {
+            let phase = -2.0 * std::f64::consts::PI * ((k * t) % n) as f64 / n as f64;
+            acc += xt * Complex64::cis(phase);
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Inverse DFT with `1/N` normalisation.
+pub fn idft(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    let mut out = vec![Complex64::ZERO; n];
+    for (t, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (k, &xk) in x.iter().enumerate() {
+            let phase = 2.0 * std::f64::consts::PI * ((k * t) % n) as f64 / n as f64;
+            acc += xk * Complex64::cis(phase);
+        }
+        *o = acc / n as f64;
+    }
+    out
+}
+
+/// Forward DFT of real samples on the uniform grid `t_s = s/N`, returning
+/// the **two-sided, normalised** harmonic coefficients `c_i` for
+/// `i = -M..=M` with `N = 2M+1`, such that
+/// `x(t) ≈ Σ_i c_i e^{j2πi t}` interpolates the samples.
+///
+/// # Panics
+///
+/// Panics when `x.len()` is even (odd counts keep the harmonic set
+/// symmetric, which the WaMPDE discretisation relies on).
+pub fn harmonics_from_samples(x: &[f64]) -> Vec<Complex64> {
+    let n = x.len();
+    assert!(n % 2 == 1, "harmonics_from_samples requires an odd sample count");
+    let m = n / 2;
+    let buf: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+    let spec = dft(&buf);
+    // Bin k of the DFT corresponds to harmonic k for k<=M and k-N for k>M.
+    let mut c = vec![Complex64::ZERO; n];
+    for (k, s) in spec.iter().enumerate() {
+        let i = if k <= m { k as isize } else { k as isize - n as isize };
+        c[(i + m as isize) as usize] = *s / n as f64;
+    }
+    c
+}
+
+/// Inverse of [`harmonics_from_samples`]: evaluates the trigonometric
+/// polynomial with two-sided coefficients `c_(-M..=M)` on the uniform grid.
+///
+/// # Panics
+///
+/// Panics when `c.len()` is even.
+pub fn samples_from_harmonics(c: &[Complex64]) -> Vec<f64> {
+    let n = c.len();
+    assert!(n % 2 == 1, "samples_from_harmonics requires an odd coefficient count");
+    let m = (n / 2) as isize;
+    (0..n)
+        .map(|s| {
+            let t = s as f64 / n as f64;
+            let mut acc = Complex64::ZERO;
+            for (idx, &ci) in c.iter().enumerate() {
+                let i = idx as isize - m;
+                acc += ci * Complex64::cis(2.0 * std::f64::consts::PI * i as f64 * t);
+            }
+            acc.re
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft_of_any_len;
+
+    #[test]
+    fn dft_matches_fft() {
+        let x: Vec<Complex64> = (0..11)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let d = dft(&x);
+        let f = fft_of_any_len(&x);
+        for (a, b) in d.iter().zip(f.iter()) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn idft_roundtrip() {
+        let x: Vec<Complex64> = (0..9).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let back = idft(&dft(&x));
+        for (a, b) in back.iter().zip(x.iter()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn harmonics_of_pure_cosine() {
+        let n = 9;
+        let x: Vec<f64> = (0..n)
+            .map(|s| (2.0 * std::f64::consts::PI * s as f64 / n as f64).cos())
+            .collect();
+        let c = harmonics_from_samples(&x);
+        let m = n / 2;
+        // cos(2πt) = ½(e^{j2πt} + e^{-j2πt})
+        assert!((c[m + 1].re - 0.5).abs() < 1e-12);
+        assert!((c[m - 1].re - 0.5).abs() < 1e-12);
+        assert!(c[m].abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_roundtrip() {
+        let x: Vec<f64> = (0..15).map(|s| ((s * s) as f64 * 0.21).sin()).collect();
+        let c = harmonics_from_samples(&x);
+        let back = samples_from_harmonics(&c);
+        for (a, b) in back.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn real_signal_has_hermitian_harmonics() {
+        let x: Vec<f64> = (0..7).map(|s| (s as f64 * 1.3).cos() + 0.3).collect();
+        let c = harmonics_from_samples(&x);
+        let m = 3;
+        for i in 0..=m {
+            let plus = c[m + i];
+            let minus = c[m - i];
+            assert!((plus - minus.conj()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_count_rejected() {
+        let _ = harmonics_from_samples(&[0.0; 8]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Spectral differentiation on the uniform periodic grid.
+
+use numkit::{Complex64, DMat};
+
+/// Dense spectral differentiation matrix `D` for 1-periodic functions
+/// sampled at `n` uniform points `t_s = s/n` (**`n` must be odd**).
+///
+/// For band-limited `x`, `(D·x)_s = x'(t_s)` exactly. `D` realises the
+/// frequency-domain operator `F⁻¹·diag(j2πi)·F` in real arithmetic; it is
+/// the `ω(t2)·∂/∂t1` building block of the WaMPDE collocation Jacobian.
+///
+/// # Panics
+///
+/// Panics when `n` is even or zero. (Even grids make the Nyquist harmonic's
+/// derivative ill-defined; the WaMPDE discretisation always uses
+/// `n = 2M+1`.)
+pub fn spectral_diff_matrix(n: usize) -> DMat {
+    assert!(n > 0 && n % 2 == 1, "spectral differentiation grid must be odd");
+    let m = (n / 2) as isize;
+    let two_pi = 2.0 * std::f64::consts::PI;
+    // D = Re( F^{-1} diag(j2πi) F ), computed directly:
+    // D[s][p] = (1/n) Σ_{i=-M..M} j2πi e^{j2πi (s-p)/n}
+    DMat::from_fn(n, n, |s, p| {
+        let mut acc = Complex64::ZERO;
+        for i in -m..=m {
+            let phase = two_pi * i as f64 * (s as f64 - p as f64) / n as f64;
+            acc += Complex64::new(0.0, two_pi * i as f64) * Complex64::cis(phase);
+        }
+        acc.re / n as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<f64> {
+        (0..n).map(|s| s as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn differentiates_single_harmonic_exactly() {
+        let n = 15;
+        let d = spectral_diff_matrix(n);
+        let two_pi = 2.0 * std::f64::consts::PI;
+        for k in 1..=3 {
+            let x: Vec<f64> = grid(n).iter().map(|&t| (two_pi * k as f64 * t).sin()).collect();
+            let want: Vec<f64> = grid(n)
+                .iter()
+                .map(|&t| two_pi * k as f64 * (two_pi * k as f64 * t).cos())
+                .collect();
+            let got = d.matvec(&x);
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert!((g - w).abs() < 1e-9, "harmonic {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_maps_to_zero() {
+        let d = spectral_diff_matrix(9);
+        let got = d.matvec(&vec![3.5; 9]);
+        for g in got {
+            assert!(g.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn antisymmetric_structure() {
+        // D is a circulant antisymmetric matrix: D[s][p] = -D[p][s].
+        let d = spectral_diff_matrix(11);
+        for s in 0..11 {
+            for p in 0..11 {
+                assert!((d[(s, p)] + d[(p, s)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_diagonal() {
+        let d = spectral_diff_matrix(7);
+        for s in 0..7 {
+            assert!(d[(s, s)].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_grid_rejected() {
+        let _ = spectral_diff_matrix(8);
+    }
+
+    #[test]
+    fn derivative_of_band_limited_product() {
+        // sin(2πt)·cos(2πt) = ½ sin(4πt): band-limited within M=2, so the
+        // matrix differentiates it exactly on an n>=5 grid.
+        let n = 9;
+        let d = spectral_diff_matrix(n);
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let x: Vec<f64> = grid(n)
+            .iter()
+            .map(|&t| (two_pi * t).sin() * (two_pi * t).cos())
+            .collect();
+        let want: Vec<f64> = grid(n).iter().map(|&t| two_pi * (2.0 * two_pi * t).cos()).collect();
+        let got = d.matvec(&x);
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Fast Fourier transforms.
+//!
+//! Two engines cover every length:
+//!
+//! * radix-2 iterative Cooley–Tukey for powers of two;
+//! * Bluestein's chirp-z algorithm for everything else (it reduces an
+//!   arbitrary-length DFT to a power-of-two convolution).
+//!
+//! Convention: `X[k] = Σ_n x[n]·e^{-j2πkn/N}` (unnormalised forward),
+//! inverse divides by `N`.
+
+use numkit::Complex64;
+
+/// In-place radix-2 FFT.
+///
+/// # Panics
+///
+/// Panics when `x.len()` is not a power of two (use [`fft_of_any_len`] for
+/// general lengths).
+pub fn fft_in_place(x: &mut [Complex64]) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "fft_in_place requires power-of-two length");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = x[i + k];
+                let v = x[i + k + len / 2] * w;
+                x[i + k] = u + v;
+                x[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place radix-2 inverse FFT (normalised by `1/N`).
+///
+/// # Panics
+///
+/// Panics when `x.len()` is not a power of two.
+pub fn ifft_in_place(x: &mut [Complex64]) {
+    let n = x.len();
+    for v in x.iter_mut() {
+        *v = v.conj();
+    }
+    fft_in_place(x);
+    let inv = 1.0 / n as f64;
+    for v in x.iter_mut() {
+        *v = v.conj() * inv;
+    }
+}
+
+/// Forward DFT of arbitrary length, choosing radix-2 or Bluestein.
+pub fn fft_of_any_len(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut buf = x.to_vec();
+        fft_in_place(&mut buf);
+        return buf;
+    }
+    bluestein(x)
+}
+
+/// Inverse DFT of arbitrary length (normalised by `1/N`).
+pub fn ifft_of_any_len(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let conj: Vec<Complex64> = x.iter().map(|v| v.conj()).collect();
+    let f = fft_of_any_len(&conj);
+    let inv = 1.0 / n as f64;
+    f.into_iter().map(|v| v.conj() * inv).collect()
+}
+
+/// Bluestein chirp-z transform: DFT of arbitrary length `n` via a
+/// power-of-two cyclic convolution of length `>= 2n-1`.
+fn bluestein(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    let m = (2 * n - 1).next_power_of_two();
+    let pi = std::f64::consts::PI;
+
+    // Chirp w[k] = e^{-jπk²/n}. Reduce k² mod 2n to keep the phase
+    // argument bounded and accurate for large k.
+    let chirp: Vec<Complex64> = (0..n)
+        .map(|k| {
+            let k2 = (k as u128 * k as u128) % (2 * n as u128);
+            Complex64::cis(-pi * k2 as f64 / n as f64)
+        })
+        .collect();
+
+    let mut a = vec![Complex64::ZERO; m];
+    for k in 0..n {
+        a[k] = x[k] * chirp[k];
+    }
+    let mut b = vec![Complex64::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    fft_in_place(&mut a);
+    fft_in_place(&mut b);
+    for (ai, bi) in a.iter_mut().zip(b.iter()) {
+        *ai = *ai * *bi;
+    }
+    ifft_in_place(&mut a);
+
+    (0..n).map(|k| a[k] * chirp[k]).collect()
+}
+
+/// Forward DFT of a real signal; returns the full complex spectrum.
+pub fn rfft(x: &[f64]) -> Vec<Complex64> {
+    let buf: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+    fft_of_any_len(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex64]) -> Vec<Complex64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|t| {
+                        x[t] * Complex64::cis(-2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64)
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(p, q)| (*p - *q).abs())
+            .fold(0.0_f64, f64::max)
+    }
+
+    fn ramp(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn radix2_matches_naive() {
+        for &n in &[1usize, 2, 4, 8, 32, 128] {
+            let x = ramp(n);
+            let mut fast = x.clone();
+            fft_in_place(&mut fast);
+            assert!(max_err(&fast, &naive_dft(&x)) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive() {
+        for &n in &[3usize, 5, 7, 15, 31, 100] {
+            let x = ramp(n);
+            let fast = fft_of_any_len(&x);
+            assert!(max_err(&fast, &naive_dft(&x)) < 1e-8, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_power_of_two() {
+        let x = ramp(64);
+        let mut buf = x.clone();
+        fft_in_place(&mut buf);
+        ifft_in_place(&mut buf);
+        assert!(max_err(&buf, &x) < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_any_len() {
+        for &n in &[3usize, 9, 21, 50] {
+            let x = ramp(n);
+            let back = ifft_of_any_len(&fft_of_any_len(&x));
+            assert!(max_err(&back, &x) < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let x = ramp(33);
+        let f = fft_of_any_len(&x);
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let freq_energy: f64 = f.iter().map(|v| v.norm_sqr()).sum::<f64>() / 33.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_tone_lands_on_bin() {
+        let n = 16;
+        let x: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::cis(2.0 * std::f64::consts::PI * 3.0 * t as f64 / n as f64))
+            .collect();
+        let f = fft_of_any_len(&x);
+        assert!((f[3].abs() - n as f64).abs() < 1e-9);
+        for (k, v) in f.iter().enumerate() {
+            if k != 3 {
+                assert!(v.abs() < 1e-9, "leak at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn rfft_of_cosine_is_symmetric() {
+        let n = 8;
+        let x: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / n as f64).cos())
+            .collect();
+        let f = rfft(&x);
+        assert!((f[1].re - n as f64 / 2.0).abs() < 1e-9);
+        assert!((f[n - 1].re - n as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(fft_of_any_len(&[]).is_empty());
+        let one = fft_of_any_len(&[Complex64::new(5.0, 0.0)]);
+        assert_eq!(one.len(), 1);
+        assert!((one[0].re - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn linearity() {
+        let a = ramp(24);
+        let b: Vec<Complex64> = ramp(24).iter().map(|v| *v * Complex64::new(0.0, 1.5)).collect();
+        let sum: Vec<Complex64> = a.iter().zip(b.iter()).map(|(p, q)| *p + *q).collect();
+        let fa = fft_of_any_len(&a);
+        let fb = fft_of_any_len(&b);
+        let fsum = fft_of_any_len(&sum);
+        let lin: Vec<Complex64> = fa.iter().zip(fb.iter()).map(|(p, q)| *p + *q).collect();
+        assert!(max_err(&fsum, &lin) < 1e-9);
+    }
+}

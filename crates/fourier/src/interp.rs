@@ -1,0 +1,125 @@
+//! Band-limited (trigonometric) interpolation of periodic samples.
+
+use crate::series::FourierSeries;
+
+/// Interpolates an odd count of uniform samples of a 1-periodic signal at
+/// an arbitrary point `t` using the interpolating trigonometric polynomial.
+///
+/// This is the reconstruction primitive the WaMPDE uses along the warped
+/// axis: `x(t) = x̂(φ(t) mod 1, t2)` (paper eq. (17)) with `x̂(·, t2)` known
+/// at `N0` collocation points.
+///
+/// # Panics
+///
+/// Panics when `samples.len()` is even or zero.
+///
+/// # Example
+///
+/// ```
+/// use fourier::trig_interp;
+///
+/// let n = 9;
+/// let samples: Vec<f64> = (0..n)
+///     .map(|s| (2.0 * std::f64::consts::PI * s as f64 / n as f64).sin())
+///     .collect();
+/// let v = trig_interp(&samples, 0.125);
+/// assert!((v - (2.0 * std::f64::consts::PI * 0.125).sin()).abs() < 1e-10);
+/// ```
+pub fn trig_interp(samples: &[f64], t: f64) -> f64 {
+    FourierSeries::from_samples(samples).eval(t)
+}
+
+/// Barycentric form of the trigonometric interpolant — O(N) per point with
+/// no transform, preferable when each sample set is evaluated only once.
+///
+/// Uses the classical odd-`N` identity
+/// `x(t) = Σ_s x_s · sinc-like kernel sin(Nπ(t−t_s)) / (N·sin(π(t−t_s)))`.
+///
+/// # Panics
+///
+/// Panics when `samples.len()` is even or zero.
+pub fn trig_interp_barycentric(samples: &[f64], t: f64) -> f64 {
+    let n = samples.len();
+    assert!(n % 2 == 1 && n > 0, "trig interpolation requires odd sample count");
+    let nf = n as f64;
+    let pi = std::f64::consts::PI;
+    let mut acc = 0.0;
+    for (s, &xs) in samples.iter().enumerate() {
+        let d = t - s as f64 / nf;
+        let denom = (pi * d).sin();
+        let kernel = if denom.abs() < 1e-13 {
+            // t coincides with a grid point (use the limit value 1 there).
+            let wrapped = (d - d.round()).abs();
+            if wrapped < 1e-13 {
+                1.0
+            } else {
+                (nf * pi * d).sin() / (nf * denom)
+            }
+        } else {
+            (nf * pi * d).sin() / (nf * denom)
+        };
+        acc += xs * kernel;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<f64> {
+        (0..n).map(|s| s as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn exact_on_grid_points() {
+        let samples: Vec<f64> = (0..7).map(|s| (s as f64).sin()).collect();
+        for (s, &v) in samples.iter().enumerate() {
+            let t = s as f64 / 7.0;
+            assert!((trig_interp(&samples, t) - v).abs() < 1e-10);
+            assert!((trig_interp_barycentric(&samples, t) - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn band_limited_exactness() {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let f = |t: f64| 0.3 + (two_pi * t).cos() - 0.5 * (3.0 * two_pi * t).sin();
+        let samples: Vec<f64> = grid(9).iter().map(|&t| f(t)).collect();
+        for &t in &[0.05, 0.21, 0.333, 0.6, 0.95] {
+            assert!((trig_interp(&samples, t) - f(t)).abs() < 1e-9, "t={t}");
+            assert!(
+                (trig_interp_barycentric(&samples, t) - f(t)).abs() < 1e-9,
+                "bary t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_forms_agree() {
+        let samples: Vec<f64> = (0..11).map(|s| ((s * s) as f64 * 0.37).cos()).collect();
+        for i in 0..50 {
+            let t = i as f64 / 50.0;
+            let a = trig_interp(&samples, t);
+            let b = trig_interp_barycentric(&samples, t);
+            assert!((a - b).abs() < 1e-8, "t={t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn periodic_wraparound() {
+        let samples: Vec<f64> = grid(9)
+            .iter()
+            .map(|&t| (2.0 * std::f64::consts::PI * t).sin())
+            .collect();
+        let a = trig_interp_barycentric(&samples, 0.25);
+        let b = trig_interp_barycentric(&samples, 1.25);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_count_rejected() {
+        let _ = trig_interp_barycentric(&[0.0; 6], 0.1);
+    }
+}

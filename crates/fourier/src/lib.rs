@@ -1,0 +1,28 @@
+//! Spectral machinery for the multi-time methods.
+//!
+//! Everything in this crate operates on functions that are **1-periodic**
+//! in their argument (the WaMPDE's warped time scale is normalised to unit
+//! period, eq. (18) of the paper). Provided here:
+//!
+//! * [`fft`] — radix-2 Cooley–Tukey and Bluestein (arbitrary length)
+//!   transforms over [`numkit::Complex64`];
+//! * [`dft()`] — direct DFT/IDFT for the small, usually odd sample counts
+//!   harmonic balance prefers (`N0 = 2M+1`);
+//! * [`series`] — [`series::FourierSeries`]: truncated complex Fourier
+//!   series with evaluation, differentiation and resampling;
+//! * [`diffmat`] — the dense spectral differentiation matrix `D` with
+//!   `(D·q)(t1_s) ≈ ∂q/∂t1` on the uniform collocation grid;
+//! * [`interp`] — band-limited (trigonometric) interpolation between
+//!   arbitrary points and uniform grids.
+
+pub mod dft;
+pub mod diffmat;
+pub mod fft;
+pub mod interp;
+pub mod series;
+
+pub use dft::{dft, idft};
+pub use diffmat::spectral_diff_matrix;
+pub use fft::{fft_in_place, fft_of_any_len, ifft_in_place};
+pub use interp::trig_interp;
+pub use series::FourierSeries;

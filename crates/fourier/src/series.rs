@@ -1,0 +1,216 @@
+//! Truncated complex Fourier series of real 1-periodic signals.
+
+use crate::dft::{harmonics_from_samples, samples_from_harmonics};
+use numkit::Complex64;
+
+/// A truncated, two-sided Fourier series
+/// `x(t) = Σ_{i=-M..M} c_i·e^{j2πi t}` of a **real**, 1-periodic signal.
+///
+/// Coefficients are stored for `i = -M..=M` (length `2M+1`) and kept
+/// Hermitian (`c_{-i} = conj(c_i)`), so evaluation returns a real value.
+///
+/// # Example
+///
+/// ```
+/// use fourier::FourierSeries;
+///
+/// // Samples of cos(2πt) on a 9-point grid.
+/// let n = 9;
+/// let samples: Vec<f64> = (0..n)
+///     .map(|s| (2.0 * std::f64::consts::PI * s as f64 / n as f64).cos())
+///     .collect();
+/// let series = FourierSeries::from_samples(&samples);
+/// assert!((series.eval(0.25)).abs() < 1e-12); // cos(π/2) = 0
+/// ```
+#[derive(Debug, Clone)]
+pub struct FourierSeries {
+    /// Two-sided coefficients, index `m + i` holds harmonic `i`.
+    coeffs: Vec<Complex64>,
+}
+
+impl FourierSeries {
+    /// Builds the interpolating series from an odd number of uniform
+    /// samples on `t_s = s/N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sample count is even or zero.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        FourierSeries {
+            coeffs: harmonics_from_samples(samples),
+        }
+    }
+
+    /// Builds from explicit two-sided coefficients (length must be odd).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coeffs.len()` is even or zero.
+    pub fn from_coeffs(coeffs: Vec<Complex64>) -> Self {
+        assert!(
+            coeffs.len() % 2 == 1,
+            "two-sided coefficient count must be odd"
+        );
+        FourierSeries { coeffs }
+    }
+
+    /// Highest retained harmonic `M`.
+    #[inline]
+    pub fn max_harmonic(&self) -> usize {
+        self.coeffs.len() / 2
+    }
+
+    /// Two-sided coefficient slice (index `max_harmonic() + i` ↦ harmonic `i`).
+    #[inline]
+    pub fn coeffs(&self) -> &[Complex64] {
+        &self.coeffs
+    }
+
+    /// Coefficient of harmonic `i` (may be negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `|i| > max_harmonic()`.
+    pub fn coeff(&self, i: isize) -> Complex64 {
+        let m = self.max_harmonic() as isize;
+        assert!(i.abs() <= m, "harmonic index out of range");
+        self.coeffs[(m + i) as usize]
+    }
+
+    /// Evaluates the series at `t` (any real argument; the series is
+    /// 1-periodic).
+    pub fn eval(&self, t: f64) -> f64 {
+        let m = self.max_harmonic() as isize;
+        // Real-signal form: c_0 + 2·Re Σ_{i>0} c_i e^{j2πit}, accumulated
+        // with a phasor recurrence instead of per-term trig calls.
+        let mut acc = self.coeff(0).re;
+        let w = Complex64::cis(2.0 * std::f64::consts::PI * t.fract());
+        let mut ph = w;
+        for i in 1..=m {
+            acc += 2.0 * (self.coeff(i) * ph).re;
+            ph = ph * w;
+        }
+        acc
+    }
+
+    /// Evaluates the time derivative `x'(t)`.
+    pub fn eval_deriv(&self, t: f64) -> f64 {
+        let m = self.max_harmonic() as isize;
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let mut acc = 0.0;
+        let w = Complex64::cis(two_pi * t.fract());
+        let mut ph = w;
+        for i in 1..=m {
+            let jw = Complex64::new(0.0, two_pi * i as f64);
+            acc += 2.0 * (self.coeff(i) * jw * ph).re;
+            ph = ph * w;
+        }
+        acc
+    }
+
+    /// Resamples onto the uniform `n`-point grid (`n` odd).
+    ///
+    /// When `n` exceeds the native grid the result is the band-limited
+    /// (zero-padded) interpolation; when smaller, harmonics are truncated.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is even or zero.
+    pub fn resample(&self, n: usize) -> Vec<f64> {
+        assert!(n % 2 == 1, "resample target must be odd");
+        let m_new = n / 2;
+        let m_old = self.max_harmonic();
+        let mut c = vec![Complex64::ZERO; n];
+        for i in -(m_new.min(m_old) as isize)..=(m_new.min(m_old) as isize) {
+            c[(m_new as isize + i) as usize] = self.coeff(i);
+        }
+        samples_from_harmonics(&c)
+    }
+
+    /// RMS magnitude of the top `k` harmonics — a truncation-error
+    /// indicator used to pick the WaMPDE harmonic count.
+    pub fn tail_energy(&self, k: usize) -> f64 {
+        let m = self.max_harmonic();
+        if k == 0 || m == 0 {
+            return 0.0;
+        }
+        let k = k.min(m);
+        let mut acc = 0.0;
+        for i in (m - k + 1)..=m {
+            acc += self.coeff(i as isize).norm_sqr();
+        }
+        (2.0 * acc).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<f64> {
+        (0..n).map(|s| s as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn interpolates_samples() {
+        let n = 11;
+        let samples: Vec<f64> = grid(n).iter().map(|&t| (2.0 * std::f64::consts::PI * t).sin() + 0.5).collect();
+        let s = FourierSeries::from_samples(&samples);
+        for (i, &t) in grid(n).iter().enumerate() {
+            assert!((s.eval(t) - samples[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn eval_is_periodic() {
+        let samples: Vec<f64> = grid(9).iter().map(|&t| (2.0 * std::f64::consts::PI * t).cos()).collect();
+        let s = FourierSeries::from_samples(&samples);
+        assert!((s.eval(0.3) - s.eval(1.3)).abs() < 1e-10);
+        assert!((s.eval(0.3) - s.eval(-0.7)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn derivative_of_sine() {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let samples: Vec<f64> = grid(15).iter().map(|&t| (two_pi * t).sin()).collect();
+        let s = FourierSeries::from_samples(&samples);
+        for &t in &[0.0, 0.13, 0.42, 0.77] {
+            let want = two_pi * (two_pi * t).cos();
+            assert!((s.eval_deriv(t) - want).abs() < 1e-8, "t={t}");
+        }
+    }
+
+    #[test]
+    fn resample_upsamples_band_limited_exactly() {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let f = |t: f64| (two_pi * t).cos() + 0.25 * (2.0 * two_pi * t).sin();
+        let coarse: Vec<f64> = grid(7).iter().map(|&t| f(t)).collect();
+        let s = FourierSeries::from_samples(&coarse);
+        let fine = s.resample(21);
+        for (i, v) in fine.iter().enumerate() {
+            let t = i as f64 / 21.0;
+            assert!((v - f(t)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn coeff_accessor_is_hermitian() {
+        let samples: Vec<f64> = grid(9).iter().map(|&t| (2.0 * std::f64::consts::PI * t).cos()).collect();
+        let s = FourierSeries::from_samples(&samples);
+        assert!((s.coeff(1) - s.coeff(-1).conj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_energy_small_for_smooth_signal() {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let samples: Vec<f64> = grid(31).iter().map(|&t| (two_pi * t).cos()).collect();
+        let s = FourierSeries::from_samples(&samples);
+        assert!(s.tail_energy(5) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_coeffs_even_rejected() {
+        let _ = FourierSeries::from_coeffs(vec![Complex64::ZERO; 4]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the spectral kernels.
+
+use fourier::fft::{fft_of_any_len, ifft_of_any_len};
+use fourier::{spectral_diff_matrix, FourierSeries};
+use numkit::Complex64;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// DFT shift theorem: rotating the input multiplies bin k by a phasor.
+    #[test]
+    fn fft_shift_theorem(re in prop::collection::vec(-10.0f64..10.0, 4..64)) {
+        let n = re.len();
+        let x: Vec<Complex64> = re.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        let mut shifted = x.clone();
+        shifted.rotate_left(1);
+        let fx = fft_of_any_len(&x);
+        let fs = fft_of_any_len(&shifted);
+        for k in 0..n {
+            let phase = Complex64::cis(2.0 * std::f64::consts::PI * k as f64 / n as f64);
+            let want = fx[k] * phase;
+            prop_assert!((fs[k] - want).abs() < 1e-7 * (1.0 + want.abs()), "bin {k}");
+        }
+    }
+
+    /// Forward-inverse round trip at arbitrary (non power-of-two) length.
+    #[test]
+    fn roundtrip_any_length(
+        re in prop::collection::vec(-100.0f64..100.0, 1..97),
+        im in prop::collection::vec(-100.0f64..100.0, 1..97),
+    ) {
+        let n = re.len().min(im.len());
+        let x: Vec<Complex64> = (0..n).map(|i| Complex64::new(re[i], im[i])).collect();
+        let back = ifft_of_any_len(&fft_of_any_len(&x));
+        for (a, b) in back.iter().zip(x.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-8 * (1.0 + b.abs()));
+        }
+    }
+
+    /// A Fourier series built from samples interpolates those samples and
+    /// is 1-periodic.
+    #[test]
+    fn series_interpolates_and_is_periodic(
+        samples in prop::collection::vec(-5.0f64..5.0, 1..12),
+        probe in -2.0f64..2.0,
+    ) {
+        let n = 2 * samples.len() + 1; // odd
+        let data: Vec<f64> = (0..n).map(|i| samples[i % samples.len()]).collect();
+        let s = FourierSeries::from_samples(&data);
+        for (i, &v) in data.iter().enumerate() {
+            let t = i as f64 / n as f64;
+            prop_assert!((s.eval(t) - v).abs() < 1e-8);
+        }
+        prop_assert!((s.eval(probe) - s.eval(probe + 1.0)).abs() < 1e-8);
+    }
+
+    /// Differentiating a constant series gives zero; differentiating any
+    /// series and integrating the values over a period gives zero mean.
+    #[test]
+    fn derivative_has_zero_mean(samples in prop::collection::vec(-5.0f64..5.0, 2..10)) {
+        let n = 2 * samples.len() + 1;
+        let data: Vec<f64> = (0..n).map(|i| samples[i % samples.len()]).collect();
+        let s = FourierSeries::from_samples(&data);
+        let mean: f64 = (0..n).map(|i| s.eval_deriv(i as f64 / n as f64)).sum::<f64>() / n as f64;
+        prop_assert!(mean.abs() < 1e-7);
+    }
+
+    /// The spectral differentiation matrix annihilates constants and is
+    /// consistent with FourierSeries::eval_deriv at the grid points.
+    #[test]
+    fn diffmat_consistent_with_series(samples in prop::collection::vec(-3.0f64..3.0, 1..6)) {
+        let n = 2 * samples.len() + 1;
+        let data: Vec<f64> = (0..n).map(|i| samples[i % samples.len()]).collect();
+        let d = spectral_diff_matrix(n);
+        let via_mat = d.matvec(&data);
+        let s = FourierSeries::from_samples(&data);
+        for i in 0..n {
+            let want = s.eval_deriv(i as f64 / n as f64);
+            prop_assert!((via_mat[i] - want).abs() < 1e-6 * (1.0 + want.abs()));
+        }
+    }
+
+    /// Resampling up then evaluating at original points is the identity.
+    #[test]
+    fn resample_preserves_values(samples in prop::collection::vec(-5.0f64..5.0, 1..8)) {
+        let n = 2 * samples.len() + 1;
+        let data: Vec<f64> = (0..n).map(|i| samples[i % samples.len()]).collect();
+        let s = FourierSeries::from_samples(&data);
+        let fine = s.resample(3 * n); // 3n is odd
+        let s2 = FourierSeries::from_samples(&fine);
+        for i in 0..n {
+            let t = i as f64 / n as f64;
+            prop_assert!((s2.eval(t) - data[i]).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Spectral collocation core shared by harmonic balance and the WaMPDE.
+//!
+//! State layout: the `n·N0` collocation unknowns are **sample-major** —
+//! `x[s*n + i]` holds variable `i` at warped-time sample `t1 = s/N0`. This
+//! keeps the per-sample device Jacobians contiguous, so the big Jacobian
+//! assembles from `n×n` blocks:
+//!
+//! ```text
+//! ∂r[s]/∂x[s'] = δ_{ss'}·(extra_s + G_s)  +  ω·D[s][s']·C_{s'}
+//! ```
+
+use circuitdae::Dae;
+use numkit::DMat;
+
+/// Collocation workspace for one (warped) periodic axis.
+#[derive(Debug, Clone)]
+pub struct Colloc {
+    /// DAE dimension `n`.
+    pub n: usize,
+    /// Odd sample count `N0 = 2M+1`.
+    pub n0: usize,
+    /// Spectral differentiation matrix (`N0 × N0`) for unit period.
+    pub dmat: DMat,
+}
+
+impl Colloc {
+    /// Creates a collocation grid with `2·harmonics + 1` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `harmonics == 0` or `dae_dim == 0`.
+    pub fn new(dae_dim: usize, harmonics: usize) -> Self {
+        assert!(dae_dim > 0, "dae dimension must be positive");
+        assert!(harmonics > 0, "need at least one harmonic");
+        let n0 = 2 * harmonics + 1;
+        Colloc {
+            n: dae_dim,
+            n0,
+            dmat: fourier::spectral_diff_matrix(n0),
+        }
+    }
+
+    /// Total collocation unknowns `n·N0`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n * self.n0
+    }
+
+    /// True when the grid is empty (never — kept for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of variable `i` at sample `s`.
+    #[inline]
+    pub fn idx(&self, s: usize, i: usize) -> usize {
+        s * self.n + i
+    }
+
+    /// Warped-time coordinate of sample `s`.
+    #[inline]
+    pub fn t1(&self, s: usize) -> f64 {
+        s as f64 / self.n0 as f64
+    }
+
+    /// Evaluates `q` at every sample of the stacked state `x` into `out`
+    /// (both `n·N0`, sample-major).
+    pub fn eval_q_all<D: Dae + ?Sized>(&self, dae: &D, x: &[f64], out: &mut [f64]) {
+        for s in 0..self.n0 {
+            let lo = s * self.n;
+            dae.eval_q(&x[lo..lo + self.n], &mut out[lo..lo + self.n]);
+        }
+    }
+
+    /// Evaluates `f` at every sample.
+    pub fn eval_f_all<D: Dae + ?Sized>(&self, dae: &D, x: &[f64], out: &mut [f64]) {
+        for s in 0..self.n0 {
+            let lo = s * self.n;
+            dae.eval_f(&x[lo..lo + self.n], &mut out[lo..lo + self.n]);
+        }
+    }
+
+    /// Applies the spectral derivative along the sample axis:
+    /// `out[s][i] = Σ_{s'} D[s][s']·vals[s'][i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn apply_diff(&self, vals: &[f64], out: &mut [f64]) {
+        assert_eq!(vals.len(), self.len(), "apply_diff: vals length");
+        assert_eq!(out.len(), self.len(), "apply_diff: out length");
+        for s in 0..self.n0 {
+            let orow = &mut out[s * self.n..(s + 1) * self.n];
+            orow.iter_mut().for_each(|v| *v = 0.0);
+            for sp in 0..self.n0 {
+                let d = self.dmat[(s, sp)];
+                if d == 0.0 {
+                    continue;
+                }
+                let vrow = &vals[sp * self.n..(sp + 1) * self.n];
+                for (o, v) in orow.iter_mut().zip(vrow.iter()) {
+                    *o += d * v;
+                }
+            }
+        }
+    }
+
+    /// Coefficient vector of the phase-condition row
+    /// `Im{X̂ᵏ_l} = −(1/N0)·Σ_s sin(2πls/N0)·x[s][k] = 0`
+    /// (paper eq. (20)): the imaginary part of the `l`-th Fourier
+    /// coefficient of variable `k`, which pins the free translation along
+    /// the warped axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k >= n` or `l` is zero or above the harmonic count.
+    pub fn phase_row(&self, k: usize, l: usize) -> Vec<f64> {
+        assert!(k < self.n, "phase variable out of range");
+        assert!(l >= 1 && l <= self.n0 / 2, "phase harmonic out of range");
+        let mut row = vec![0.0; self.len()];
+        for s in 0..self.n0 {
+            let arg = 2.0 * std::f64::consts::PI * (l * s) as f64 / self.n0 as f64;
+            row[self.idx(s, k)] = -arg.sin() / self.n0 as f64;
+        }
+        row
+    }
+
+    /// Evaluates the imaginary part of the `l`-th Fourier coefficient of
+    /// variable `k` for a stacked state — the quantity [`Colloc::phase_row`]
+    /// sets to zero.
+    pub fn phase_value(&self, x: &[f64], k: usize, l: usize) -> f64 {
+        let row = self.phase_row(k, l);
+        row.iter().zip(x.iter()).map(|(a, b)| a * b).sum()
+    }
+
+    /// Extracts the samples of variable `i` as a contiguous vector
+    /// (length `N0`), e.g. for trigonometric interpolation.
+    pub fn extract_var(&self, x: &[f64], i: usize) -> Vec<f64> {
+        (0..self.n0).map(|s| x[self.idx(s, i)]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuitdae::analytic::VanDerPol;
+
+    #[test]
+    fn indexing_layout() {
+        let c = Colloc::new(3, 2);
+        assert_eq!(c.n0, 5);
+        assert_eq!(c.len(), 15);
+        assert_eq!(c.idx(0, 0), 0);
+        assert_eq!(c.idx(1, 0), 3);
+        assert_eq!(c.idx(2, 1), 7);
+        assert!((c.t1(1) - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn apply_diff_on_harmonic() {
+        let c = Colloc::new(1, 3); // n0 = 7
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let x: Vec<f64> = (0..7).map(|s| (two_pi * s as f64 / 7.0).sin()).collect();
+        let mut out = vec![0.0; 7];
+        c.apply_diff(&x, &mut out);
+        for (s, o) in out.iter().enumerate() {
+            let want = two_pi * (two_pi * s as f64 / 7.0).cos();
+            assert!((o - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn apply_diff_multivar() {
+        // Two variables carrying different harmonics must not mix.
+        let c = Colloc::new(2, 2); // n0 = 5
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let mut x = vec![0.0; c.len()];
+        for s in 0..5 {
+            let t = s as f64 / 5.0;
+            x[c.idx(s, 0)] = (two_pi * t).cos();
+            x[c.idx(s, 1)] = (2.0 * two_pi * t).sin();
+        }
+        let mut out = vec![0.0; c.len()];
+        c.apply_diff(&x, &mut out);
+        for s in 0..5 {
+            let t = s as f64 / 5.0;
+            let want0 = -two_pi * (two_pi * t).sin();
+            let want1 = 2.0 * two_pi * (2.0 * two_pi * t).cos();
+            assert!((out[c.idx(s, 0)] - want0).abs() < 1e-9);
+            assert!((out[c.idx(s, 1)] - want1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn phase_row_kills_cosine_keeps_sine() {
+        let c = Colloc::new(1, 3);
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let cos_wave: Vec<f64> = (0..7).map(|s| (two_pi * s as f64 / 7.0).cos()).collect();
+        let sin_wave: Vec<f64> = (0..7).map(|s| (two_pi * s as f64 / 7.0).sin()).collect();
+        // cos has a real first coefficient: phase value 0.
+        assert!(c.phase_value(&cos_wave, 0, 1).abs() < 1e-12);
+        // sin = (e^{jθ} − e^{-jθ})/2j has Im{X_1} = −1/2: phase value ±1/2.
+        assert!((c.phase_value(&sin_wave, 0, 1).abs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_all_matches_pointwise() {
+        let vdp = VanDerPol::unforced(0.7);
+        let c = Colloc::new(2, 2);
+        let x: Vec<f64> = (0..c.len()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut q = vec![0.0; c.len()];
+        let mut f = vec![0.0; c.len()];
+        c.eval_q_all(&vdp, &x, &mut q);
+        c.eval_f_all(&vdp, &x, &mut f);
+        for s in 0..c.n0 {
+            let xs = &x[s * 2..s * 2 + 2];
+            let mut qs = [0.0; 2];
+            let mut fs = [0.0; 2];
+            circuitdae::Dae::eval_q(&vdp, xs, &mut qs);
+            circuitdae::Dae::eval_f(&vdp, xs, &mut fs);
+            assert_eq!(&q[s * 2..s * 2 + 2], &qs);
+            assert_eq!(&f[s * 2..s * 2 + 2], &fs);
+        }
+    }
+
+    #[test]
+    fn extract_var_pulls_column() {
+        let c = Colloc::new(2, 1);
+        let x = [1.0, 10.0, 2.0, 20.0, 3.0, 30.0];
+        assert_eq!(c.extract_var(&x, 0), vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.extract_var(&x, 1), vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn phase_row_rejects_dc() {
+        let c = Colloc::new(1, 2);
+        let _ = c.phase_row(0, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type for harmonic-balance solves.
+
+use std::fmt;
+
+/// Errors from harmonic-balance analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HbError {
+    /// The Newton iteration on the collocated system failed.
+    Newton(transim::TransimError),
+    /// Invalid configuration.
+    BadInput(String),
+}
+
+impl fmt::Display for HbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HbError::Newton(e) => write!(f, "harmonic balance newton: {e}"),
+            HbError::BadInput(msg) => write!(f, "bad input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HbError {}
+
+impl From<transim::TransimError> for HbError {
+    fn from(e: transim::TransimError) -> Self {
+        HbError::Newton(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(HbError::BadInput("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Uniformly sampled doubly periodic bivariate surfaces.
+
+/// A doubly periodic surface `x̂(t1, t2)` sampled on a uniform
+/// `n1 × n2` grid over `[0, T1) × [0, T2)` (both odd so band-limited
+/// interpolation applies along each axis).
+///
+/// # Example
+///
+/// ```
+/// use multitime::BivariateGrid;
+///
+/// let g = BivariateGrid::from_fn(9, 9, 1.0, 1.0, |t1, t2| {
+///     (2.0 * std::f64::consts::PI * t1).sin() * (2.0 * std::f64::consts::PI * t2).cos()
+/// });
+/// let v = g.eval(0.25, 0.0);
+/// assert!((v - 1.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BivariateGrid {
+    n1: usize,
+    n2: usize,
+    t1_period: f64,
+    t2_period: f64,
+    /// Row-major: `values[j][i]` = sample at `(i·T1/n1, j·T2/n2)`.
+    values: Vec<Vec<f64>>,
+}
+
+impl BivariateGrid {
+    /// Samples `f(t1, t2)` on the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n1`/`n2` are even or zero, or periods non-positive.
+    pub fn from_fn(
+        n1: usize,
+        n2: usize,
+        t1_period: f64,
+        t2_period: f64,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> Self {
+        assert!(n1 % 2 == 1 && n1 > 0, "n1 must be odd");
+        assert!(n2 % 2 == 1 && n2 > 0, "n2 must be odd");
+        assert!(t1_period > 0.0 && t2_period > 0.0, "periods must be positive");
+        let values = (0..n2)
+            .map(|j| {
+                let t2 = j as f64 / n2 as f64 * t2_period;
+                (0..n1)
+                    .map(|i| f(i as f64 / n1 as f64 * t1_period, t2))
+                    .collect()
+            })
+            .collect();
+        BivariateGrid {
+            n1,
+            n2,
+            t1_period,
+            t2_period,
+            values,
+        }
+    }
+
+    /// Grid dimensions `(n1, n2)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n1, self.n2)
+    }
+
+    /// Total stored samples — the representation-cost metric of Figures
+    /// 1–2 (225 for the paper's 15×15 AM grid).
+    pub fn sample_count(&self) -> usize {
+        self.n1 * self.n2
+    }
+
+    /// Raw row access (`j`-th row holds the `t1` sweep at `t2_j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j` is out of range.
+    pub fn row(&self, j: usize) -> &[f64] {
+        &self.values[j]
+    }
+
+    /// Band-limited (trig × trig) evaluation at an arbitrary point.
+    pub fn eval(&self, t1: f64, t2: f64) -> f64 {
+        // Interpolate along t1 within each row, then along t2.
+        let u1 = (t1 / self.t1_period).rem_euclid(1.0);
+        let u2 = (t2 / self.t2_period).rem_euclid(1.0);
+        let col: Vec<f64> = self
+            .values
+            .iter()
+            .map(|row| fourier::interp::trig_interp_barycentric(row, u1))
+            .collect();
+        fourier::interp::trig_interp_barycentric(&col, u2)
+    }
+
+    /// Evaluation along the sawtooth path `t_i = t mod T_i` (Figure 3) —
+    /// reconstructing the univariate signal `x(t) = x̂(t, t)`.
+    pub fn eval_path(&self, t: f64) -> f64 {
+        self.eval(t, t)
+    }
+
+    /// Maximum absolute reconstruction error of the path evaluation
+    /// against a reference univariate signal, probed at `m` uniform times
+    /// over `[0, horizon)`.
+    pub fn path_error(&self, reference: impl Fn(f64) -> f64, horizon: f64, m: usize) -> f64 {
+        (0..m)
+            .map(|k| {
+                let t = k as f64 / m as f64 * horizon;
+                (self.eval_path(t) - reference(t)).abs()
+            })
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TWO_PI: f64 = 2.0 * std::f64::consts::PI;
+
+    #[test]
+    fn reproduces_grid_samples() {
+        let g = BivariateGrid::from_fn(7, 9, 2.0, 3.0, |a, b| a + 10.0 * b);
+        assert_eq!(g.shape(), (7, 9));
+        assert_eq!(g.sample_count(), 63);
+        // Row 0 is the t1 sweep at t2 = 0.
+        assert!((g.row(0)[1] - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_limited_surface_exact() {
+        let f = |t1: f64, t2: f64| (TWO_PI * t1).sin() * (2.0 * TWO_PI * t2).cos() + 0.3;
+        let g = BivariateGrid::from_fn(9, 11, 1.0, 1.0, f);
+        for &(a, b) in &[(0.11, 0.77), (0.5, 0.25), (0.9, 0.05)] {
+            assert!((g.eval(a, b) - f(a, b)).abs() < 1e-9, "({a},{b})");
+        }
+    }
+
+    #[test]
+    fn eval_is_doubly_periodic() {
+        let f = |t1: f64, t2: f64| (TWO_PI * t1).cos() + (TWO_PI * t2).sin();
+        let g = BivariateGrid::from_fn(9, 9, 0.5, 2.0, |a, b| f(a / 0.5, b / 2.0));
+        let v = g.eval(0.1, 0.3);
+        assert!((g.eval(0.1 + 0.5, 0.3) - v).abs() < 1e-9);
+        assert!((g.eval(0.1, 0.3 + 2.0) - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_reconstruction_of_product_signal() {
+        // x(t) = sin(2πt/T1)·sin(2πt/T2) with T1=0.1, T2=1: the bivariate
+        // form is band-limited, so path evaluation is near-exact.
+        let (t1p, t2p) = (0.1, 1.0);
+        let g = BivariateGrid::from_fn(9, 9, t1p, t2p, |a, b| {
+            (TWO_PI * a / t1p).sin() * (TWO_PI * b / t2p).sin()
+        });
+        let reference = |t: f64| (TWO_PI * t / t1p).sin() * (TWO_PI * t / t2p).sin();
+        let err = g.path_error(reference, 1.0, 500);
+        assert!(err < 1e-9, "path error {err}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_grid_rejected() {
+        let _ = BivariateGrid::from_fn(8, 9, 1.0, 1.0, |_, _| 0.0);
+    }
+}

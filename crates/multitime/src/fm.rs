@@ -1,0 +1,219 @@
+//! The paper's FM example (eqs. (3)–(11), Figures 4–6).
+//!
+//! `x(t) = cos(2πf0·t + k·cos(2πf2·t))` with `f0 = 1 MHz`, `f2 = 20 kHz`
+//! and modulation index `k = 8π`. Its *unwarped* bivariate form (eq. (5))
+//! undulates `≈ k/π` times along `t2`, defeating compact sampling
+//! (Figure 5). The *warped* form (eqs. (6)–(7)),
+//!
+//! ```text
+//! x̂2(t1, t2) = cos(2πt1),   φ(t) = f0·t + (k/2π)·cos(2πf2·t),
+//! ```
+//!
+//! is constant along `t2` and recovers `x(t) = x̂2(φ(t), t)` exactly
+//! (Figure 6). The alternative pair (eq. (11)) differs in `φ'` by exactly
+//! `f2` — the intrinsic O(f2) ambiguity of local frequency the paper
+//! discusses.
+
+use crate::bivariate::BivariateGrid;
+
+/// Carrier frequency `f0` (Hz).
+pub const F0: f64 = 1.0e6;
+/// Modulation frequency `f2` (Hz).
+pub const F2: f64 = 2.0e4;
+/// Modulation index `k = 8π`.
+pub const K: f64 = 8.0 * std::f64::consts::PI;
+
+const TWO_PI: f64 = 2.0 * std::f64::consts::PI;
+
+/// The FM signal of eq. (3).
+pub fn signal(t: f64) -> f64 {
+    (TWO_PI * F0 * t + K * (TWO_PI * F2 * t).cos()).cos()
+}
+
+/// Instantaneous frequency of eq. (4): `f0 − k·f2·sin(2πf2·t)`.
+pub fn instantaneous_frequency(t: f64) -> f64 {
+    F0 - K * F2 * (TWO_PI * F2 * t).sin()
+}
+
+/// The *unwarped* bivariate form `x̂1` of eq. (5) (`t1` in seconds over
+/// `[0, 1/f0)`, `t2` in seconds over `[0, 1/f2)`).
+pub fn unwarped(t1: f64, t2: f64) -> f64 {
+    (TWO_PI * F0 * t1 + K * (TWO_PI * F2 * t2).cos()).cos()
+}
+
+/// The *warped* bivariate form `x̂2` of eq. (6) (`t1` is the dimensionless
+/// warped phase with unit period; constant along `t2`).
+pub fn warped_x2(t1: f64) -> f64 {
+    (TWO_PI * t1).cos()
+}
+
+/// The warping function `φ(t)` of eq. (7), in cycles.
+pub fn warping_phi(t: f64) -> f64 {
+    F0 * t + K / TWO_PI * (TWO_PI * F2 * t).cos()
+}
+
+/// The alternative bivariate form `x̂3` of eq. (11).
+pub fn alt_x3(t1: f64, t2: f64) -> f64 {
+    (TWO_PI * t1 + TWO_PI * F2 * t2).cos()
+}
+
+/// The alternative warping function `φ3` of eq. (11), in cycles.
+pub fn alt_phi3(t: f64) -> f64 {
+    F0 * t + K / TWO_PI * (TWO_PI * F2 * t).cos() - F2 * t
+}
+
+/// Reconstruction through the warped representation:
+/// `x(t) = x̂2(φ(t) mod 1)`.
+pub fn reconstruct_warped(t: f64) -> f64 {
+    warped_x2(warping_phi(t).rem_euclid(1.0))
+}
+
+/// Reconstruction through the alternative representation (eq. (10)):
+/// `x(t) = x̂3(φ3(t) mod 1, t)`.
+pub fn reconstruct_alt(t: f64) -> f64 {
+    alt_x3(alt_phi3(t).rem_euclid(1.0), t)
+}
+
+/// Samples the *unwarped* form on an `n1 × n2` grid and reports the
+/// maximum band-limited-reconstruction error of `x(t)` along the path —
+/// the quantitative version of Figure 5's "cannot be sampled efficiently".
+pub fn unwarped_grid_error(n1: usize, n2: usize, probes: usize) -> f64 {
+    let grid = BivariateGrid::from_fn(n1, n2, 1.0 / F0, 1.0 / F2, unwarped);
+    grid.path_error(signal, 1.0 / F2, probes)
+}
+
+/// Number of samples the warped representation needs for the same job:
+/// `n1` samples of `x̂2` plus `n_phi` samples of the T2-periodic part of
+/// `φ` — both tiny. Returns the max reconstruction error when `φ` is
+/// stored as `f0·t` plus a trigonometric interpolant of its periodic part
+/// on `n_phi` points.
+pub fn warped_grid_error(n1: usize, n_phi: usize, probes: usize) -> f64 {
+    assert!(n1 % 2 == 1 && n_phi % 2 == 1, "grids must be odd");
+    // Store x̂2 on n1 samples.
+    let x2_samples: Vec<f64> = (0..n1).map(|s| warped_x2(s as f64 / n1 as f64)).collect();
+    // Store the periodic part p(t) = φ(t) − f0·t on n_phi samples over T2.
+    let t2p = 1.0 / F2;
+    let p_samples: Vec<f64> = (0..n_phi)
+        .map(|s| {
+            let t = s as f64 / n_phi as f64 * t2p;
+            warping_phi(t) - F0 * t
+        })
+        .collect();
+    (0..probes)
+        .map(|k| {
+            let t = k as f64 / probes as f64 * t2p;
+            let p = fourier::interp::trig_interp_barycentric(&p_samples, t / t2p);
+            let phi = F0 * t + p;
+            let x = fourier::interp::trig_interp_barycentric(&x2_samples, phi.rem_euclid(1.0));
+            (x - signal(t)).abs()
+        })
+        .fold(0.0_f64, f64::max)
+}
+
+/// Counts undulations (sign changes of the finite-difference derivative)
+/// along the `t2` axis of the unwarped form at fixed `t1 = 0` — the
+/// paper's "about m oscillations as a function of t2" (`k ≈ 2πm`).
+pub fn undulation_count_t2(samples: usize) -> usize {
+    let t2p = 1.0 / F2;
+    let vals: Vec<f64> = (0..samples)
+        .map(|s| unwarped(0.0, s as f64 / samples as f64 * t2p))
+        .collect();
+    let mut count = 0;
+    let mut prev_slope = 0.0_f64;
+    for w in vals.windows(2) {
+        let slope = w[1] - w[0];
+        if slope * prev_slope < 0.0 {
+            count += 1;
+        }
+        if slope != 0.0 {
+            prev_slope = slope;
+        }
+    }
+    count / 2 // two extrema per oscillation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warped_reconstruction_is_exact() {
+        for k in 0..200 {
+            let t = k as f64 * 2.7e-7;
+            assert!(
+                (reconstruct_warped(t) - signal(t)).abs() < 1e-9,
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn alt_reconstruction_is_exact() {
+        // Eq. (11) is a different (x̂, φ) pair for the *same* signal.
+        for k in 0..200 {
+            let t = k as f64 * 3.1e-7;
+            assert!((reconstruct_alt(t) - signal(t)).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn phi_derivatives_differ_by_exactly_f2() {
+        // The paper: all compact warpings have φ' differing by O(f2); for
+        // these two closed forms the difference is exactly f2.
+        let h = 1e-9;
+        for k in 1..20 {
+            let t = k as f64 * 2.3e-6;
+            let d1 = (warping_phi(t + h) - warping_phi(t - h)) / (2.0 * h);
+            let d3 = (alt_phi3(t + h) - alt_phi3(t - h)) / (2.0 * h);
+            assert!(((d1 - d3) - F2).abs() < 1.0, "t={t}: {d1} vs {d3}");
+        }
+    }
+
+    #[test]
+    fn phi_derivative_is_instantaneous_frequency() {
+        let h = 1e-9;
+        for k in 1..20 {
+            let t = k as f64 * 1.7e-6;
+            let d = (warping_phi(t + h) - warping_phi(t - h)) / (2.0 * h);
+            let f = instantaneous_frequency(t);
+            assert!((d - f).abs() / f < 1e-4, "t={t}: {d} vs {f}");
+        }
+    }
+
+    #[test]
+    fn unwarped_needs_far_more_t2_samples_than_warped() {
+        // Warped: tiny grids suffice.
+        let warped_err = warped_grid_error(9, 9, 400);
+        assert!(warped_err < 1e-6, "warped error {warped_err}");
+        // Unwarped with the same t2 budget is useless…
+        let coarse = unwarped_grid_error(9, 9, 400);
+        assert!(coarse > 0.5, "coarse unwarped error {coarse}");
+        // …and needs ~10× the t2 samples to become accurate.
+        let fine = unwarped_grid_error(9, 129, 400);
+        assert!(fine < 1e-3, "fine unwarped error {fine}");
+    }
+
+    #[test]
+    fn undulation_count_matches_modulation_index() {
+        // Along one t2 period the outer phase k·cos(2πf2·t2) travels from
+        // +k down to −k and back: total travel 4k = 32π, i.e. 2k/π = 16
+        // oscillations of the cosine (the counter loses ~1 at the turning
+        // points).
+        let m = undulation_count_t2(4000);
+        assert!((14..=17).contains(&m), "undulations {m}");
+    }
+
+    #[test]
+    fn instantaneous_frequency_range() {
+        // f0 ± k·f2 = 1 MHz ± 0.5027 MHz.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for k in 0..1000 {
+            let f = instantaneous_frequency(k as f64 * 5e-8);
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        assert!((lo - (F0 - K * F2)).abs() / F0 < 0.01, "lo {lo}");
+        assert!((hi - (F0 + K * F2)).abs() / F0 < 0.01, "hi {hi}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Multi-time signal representations (paper Section 3, Figures 1–6).
+//!
+//! Before the WaMPDE operates on circuits, the paper develops the key
+//! representational ideas on closed-form signals:
+//!
+//! * [`am`] — the two-tone AM signal of eq. (1) and its compact bivariate
+//!   form (2): Figures 1–3, including the 750-vs-225 sample count;
+//! * [`fm`] — the FM signal of eq. (3): its *unwarped* bivariate form (5)
+//!   that needs huge grids (Figure 5), and the *warped* form (6)–(7) plus
+//!   warping function that restores compactness (Figure 6); also the
+//!   alternative representation (11) demonstrating the non-uniqueness and
+//!   the O(f2) ambiguity of local frequency;
+//! * [`BivariateGrid`] — a uniformly sampled doubly periodic surface with
+//!   band-limited evaluation and reconstruction along the sawtooth path
+//!   `t_i = t mod T_i` (Figure 3).
+
+pub mod am;
+pub mod bivariate;
+pub mod fm;
+
+pub use bivariate::BivariateGrid;

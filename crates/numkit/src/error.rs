@@ -1,0 +1,64 @@
+//! Error type shared by the dense numerical kernels.
+
+use std::fmt;
+
+/// Errors produced by the dense linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumError {
+    /// A matrix was numerically singular at the given elimination step.
+    Singular {
+        /// Pivot (column) index at which elimination broke down.
+        pivot: usize,
+    },
+    /// Operand shapes are incompatible, e.g. mat-vec with wrong length.
+    DimensionMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it got.
+        found: String,
+    },
+    /// An argument was out of its legal domain (e.g. empty knot set).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::Singular { pivot } => {
+                write!(f, "matrix is numerically singular at pivot {pivot}")
+            }
+            NumError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            NumError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_singular() {
+        let e = NumError::Singular { pivot: 3 };
+        assert_eq!(e.to_string(), "matrix is numerically singular at pivot 3");
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = NumError::DimensionMismatch {
+            expected: "3x3".into(),
+            found: "2x3".into(),
+        };
+        assert!(e.to_string().contains("expected 3x3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumError>();
+    }
+}

@@ -1,0 +1,236 @@
+//! Interpolation on non-uniform 1-D grids.
+//!
+//! Two schemes are provided:
+//!
+//! * [`interp_linear`] — piecewise linear, used for quick lookups;
+//! * [`Pchip`] — monotone piecewise-cubic Hermite (Fritsch–Carlson), used to
+//!   interpolate slow-time-scale envelopes (`ω(t2)`, Fourier coefficients)
+//!   without the overshoot a plain cubic spline would introduce.
+
+use crate::error::NumError;
+
+/// Locates the interval `[xs[i], xs[i+1])` containing `x` by binary search.
+///
+/// Clamps to the first/last interval when `x` is outside the knot range.
+fn bracket(xs: &[f64], x: f64) -> usize {
+    let n = xs.len();
+    if x <= xs[0] {
+        return 0;
+    }
+    if x >= xs[n - 1] {
+        return n - 2;
+    }
+    // partition_point returns the first index with xs[i] > x.
+    let hi = xs.partition_point(|&v| v <= x);
+    hi.saturating_sub(1).min(n - 2)
+}
+
+/// Piecewise-linear interpolation of `(xs, ys)` at `x`.
+///
+/// Values outside the knot range are extrapolated from the end segments.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidArgument`] when fewer than two knots are given
+/// or the lengths differ.
+pub fn interp_linear(xs: &[f64], ys: &[f64], x: f64) -> Result<f64, NumError> {
+    if xs.len() < 2 || xs.len() != ys.len() {
+        return Err(NumError::InvalidArgument(
+            "interp_linear needs >=2 knots with matching values".into(),
+        ));
+    }
+    let i = bracket(xs, x);
+    let t = (x - xs[i]) / (xs[i + 1] - xs[i]);
+    Ok(ys[i] + t * (ys[i + 1] - ys[i]))
+}
+
+/// Monotone piecewise-cubic Hermite interpolant (PCHIP, Fritsch–Carlson).
+///
+/// Preserves monotonicity of the data — no spurious oscillation between
+/// knots — which matters when interpolating local-frequency envelopes that
+/// must stay positive.
+///
+/// # Example
+///
+/// ```
+/// use numkit::interp::Pchip;
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let p = Pchip::new(&[0.0, 1.0, 2.0], &[0.0, 1.0, 4.0])?;
+/// let y = p.eval(1.5);
+/// assert!(y > 1.0 && y < 4.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pchip {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Knot derivatives.
+    d: Vec<f64>,
+}
+
+impl Pchip {
+    /// Builds the interpolant from strictly increasing knots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidArgument`] for fewer than two knots,
+    /// mismatched lengths, or non-increasing knots.
+    pub fn new(xs: &[f64], ys: &[f64]) -> Result<Self, NumError> {
+        if xs.len() < 2 || xs.len() != ys.len() {
+            return Err(NumError::InvalidArgument(
+                "pchip needs >=2 knots with matching values".into(),
+            ));
+        }
+        for w in xs.windows(2) {
+            if w[1] <= w[0] {
+                return Err(NumError::InvalidArgument(
+                    "pchip knots must be strictly increasing".into(),
+                ));
+            }
+        }
+        let n = xs.len();
+        let mut h = vec![0.0; n - 1];
+        let mut delta = vec![0.0; n - 1];
+        for i in 0..n - 1 {
+            h[i] = xs[i + 1] - xs[i];
+            delta[i] = (ys[i + 1] - ys[i]) / h[i];
+        }
+        let mut d = vec![0.0; n];
+        if n == 2 {
+            d[0] = delta[0];
+            d[1] = delta[0];
+        } else {
+            // Interior: weighted harmonic mean when slopes agree in sign.
+            for i in 1..n - 1 {
+                if delta[i - 1] * delta[i] > 0.0 {
+                    let w1 = 2.0 * h[i] + h[i - 1];
+                    let w2 = h[i] + 2.0 * h[i - 1];
+                    d[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+                } else {
+                    d[i] = 0.0;
+                }
+            }
+            d[0] = edge_derivative(h[0], h[1], delta[0], delta[1]);
+            d[n - 1] = edge_derivative(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+        }
+        Ok(Pchip {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            d,
+        })
+    }
+
+    /// Evaluates the interpolant at `x` (clamped extrapolation at the ends).
+    pub fn eval(&self, x: f64) -> f64 {
+        let i = bracket(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = (x - self.xs[i]) / h;
+        let (t2, t3) = (t * t, t * t * t);
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.ys[i] + h10 * h * self.d[i] + h01 * self.ys[i + 1] + h11 * h * self.d[i + 1]
+    }
+
+    /// Evaluates at many points.
+    pub fn eval_many(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.eval(x)).collect()
+    }
+
+    /// The knot abscissae.
+    pub fn knots(&self) -> &[f64] {
+        &self.xs
+    }
+}
+
+/// One-sided three-point derivative estimate for PCHIP end conditions,
+/// limited per Fritsch–Carlson to keep the interpolant monotone.
+fn edge_derivative(h0: f64, h1: f64, d0: f64, d1: f64) -> f64 {
+    let d = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if d * d0 <= 0.0 {
+        0.0
+    } else if d0 * d1 < 0.0 && d.abs() > 3.0 * d0.abs() {
+        3.0 * d0
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_midpoint() {
+        let y = interp_linear(&[0.0, 1.0], &[0.0, 2.0], 0.5).unwrap();
+        assert!((y - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn linear_extrapolates() {
+        let y = interp_linear(&[0.0, 1.0], &[0.0, 2.0], 2.0).unwrap();
+        assert!((y - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn linear_rejects_short_input() {
+        assert!(interp_linear(&[0.0], &[0.0], 0.5).is_err());
+    }
+
+    #[test]
+    fn pchip_reproduces_knots() {
+        let xs = [0.0, 0.5, 1.3, 2.0];
+        let ys = [1.0, -1.0, 0.5, 3.0];
+        let p = Pchip::new(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert!((p.eval(*x) - y).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn pchip_is_monotone_on_monotone_data() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.powi(2)).collect();
+        let p = Pchip::new(&xs, &ys).unwrap();
+        let fine: Vec<f64> = (0..900).map(|i| i as f64 / 100.0).collect();
+        let vals = p.eval_many(&fine);
+        for w in vals.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "pchip overshoot: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn pchip_two_points_is_linear() {
+        let p = Pchip::new(&[0.0, 2.0], &[0.0, 4.0]).unwrap();
+        assert!((p.eval(1.0) - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pchip_rejects_unsorted() {
+        assert!(Pchip::new(&[0.0, 0.0, 1.0], &[1.0, 2.0, 3.0]).is_err());
+        assert!(Pchip::new(&[1.0, 0.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn pchip_exact_on_linear_data() {
+        let xs = [0.0, 1.0, 2.5, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        let p = Pchip::new(&xs, &ys).unwrap();
+        for i in 0..40 {
+            let x = i as f64 * 0.1;
+            assert!((p.eval(x) - (3.0 * x - 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bracket_clamps() {
+        let xs = [0.0, 1.0, 2.0];
+        assert_eq!(bracket(&xs, -5.0), 0);
+        assert_eq!(bracket(&xs, 5.0), 1);
+        assert_eq!(bracket(&xs, 0.5), 0);
+        assert_eq!(bracket(&xs, 1.5), 1);
+    }
+}

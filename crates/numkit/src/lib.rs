@@ -1,0 +1,41 @@
+//! Dense numerical kernels for the WaMPDE suite.
+//!
+//! This crate provides the foundation every other crate in the workspace
+//! builds on:
+//!
+//! * [`DMat`] — a dense, row-major, `f64` matrix with the usual algebra;
+//! * [`DenseLu`] — LU factorisation with partial pivoting, the reference
+//!   linear solver for small circuit Jacobians;
+//! * [`Complex64`] — complex arithmetic (the standard library has none),
+//!   used by the FFT and harmonic-balance machinery;
+//! * [`interp`] — linear and monotone-cubic (PCHIP) interpolation used to
+//!   post-process slow-time-scale solution envelopes;
+//! * [`vecops`] — small vector kernels (dot products, norms, AXPY) with a
+//!   compensated-summation option for long accumulations.
+//!
+//! # Example
+//!
+//! ```
+//! use numkit::{DMat, DenseLu};
+//!
+//! # fn main() -> Result<(), numkit::NumError> {
+//! let a = DMat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+//! let lu = DenseLu::factor(&a)?;
+//! let x = lu.solve(&[3.0, 5.0])?;
+//! assert!((x[0] - 0.8).abs() < 1e-12);
+//! assert!((x[1] - 1.4).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod complex;
+pub mod error;
+pub mod interp;
+pub mod lu;
+pub mod matrix;
+pub mod vecops;
+
+pub use complex::Complex64;
+pub use error::NumError;
+pub use lu::DenseLu;
+pub use matrix::DMat;

@@ -1,0 +1,190 @@
+//! Small dense-vector kernels: dot products, norms, AXPY, compensated sums.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Maximum-magnitude norm `‖x‖∞`.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// In-place `y += alpha·x`.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place scaling `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    x.iter_mut().for_each(|v| *v *= alpha);
+}
+
+/// Weighted RMS norm used for integrator/Newton convergence control:
+/// `sqrt(mean((x_i / (atol + rtol·|ref_i|))²))`.
+///
+/// A value `<= 1` means "within tolerance". This is the standard error
+/// norm of ODE/DAE codes (SUNDIALS, DASSL).
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn wrms_norm(x: &[f64], reference: &[f64], atol: f64, rtol: f64) -> f64 {
+    assert_eq!(x.len(), reference.len(), "wrms_norm: length mismatch");
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for (xi, ri) in x.iter().zip(reference.iter()) {
+        let w = atol + rtol * ri.abs();
+        let e = xi / w;
+        acc += e * e;
+    }
+    (acc / x.len() as f64).sqrt()
+}
+
+/// Neumaier (improved Kahan) compensated summation.
+///
+/// Accurate for the long, cancellation-prone accumulations that arise when
+/// integrating the warping function `φ(t) = ∫ω dτ` over thousands of steps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompensatedSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl CompensatedSum {
+    /// Creates a fresh accumulator at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        if self.sum.abs() >= v.abs() {
+            self.comp += (self.sum - t) + v;
+        } else {
+            self.comp += (v - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Current compensated value.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+/// Sums a slice with compensation.
+pub fn compensated_sum(xs: &[f64]) -> f64 {
+    let mut acc = CompensatedSum::new();
+    for &x in xs {
+        acc.add(x);
+    }
+    acc.value()
+}
+
+/// Linearly spaced grid of `n` points covering `[a, b]` inclusive.
+///
+/// # Panics
+///
+/// Panics when `n < 2`.
+pub fn linspace(a: f64, b: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    let h = (b - a) / (n - 1) as f64;
+    (0..n).map(|i| a + h * i as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_orthogonal() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, [3.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = [2.0, -4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, [1.0, -2.0]);
+    }
+
+    #[test]
+    fn wrms_within_tolerance_is_leq_one() {
+        let x = [1e-9, -1e-9];
+        let r = [1.0, 1.0];
+        assert!(wrms_norm(&x, &r, 1e-9, 1e-6) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn wrms_empty_is_zero() {
+        assert_eq!(wrms_norm(&[], &[], 1e-9, 1e-6), 0.0);
+    }
+
+    #[test]
+    fn compensated_sum_beats_naive() {
+        // 1 + 1e-16 repeated: naive summation loses the small terms.
+        let mut xs = vec![1.0];
+        xs.extend(std::iter::repeat(1e-16).take(10_000));
+        let naive: f64 = xs.iter().sum();
+        let comp = compensated_sum(&xs);
+        let exact = 1.0 + 1e-12;
+        assert!((comp - exact).abs() < (naive - exact).abs() || naive == exact);
+        assert!((comp - exact).abs() < 1e-15);
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let g = linspace(0.0, 1.0, 5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(g[4], 1.0);
+        assert!((g[1] - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn linspace_rejects_single_point() {
+        let _ = linspace(0.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the dense kernels.
+
+use numkit::interp::{interp_linear, Pchip};
+use numkit::vecops::{compensated_sum, linspace, norm2, wrms_norm};
+use numkit::{Complex64, DMat, DenseLu};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// LU solve then multiply returns the rhs for well-conditioned systems.
+    #[test]
+    fn lu_solve_residual(
+        n in 1usize..20,
+        seed in prop::collection::vec(-1.0f64..1.0, 400),
+        rhs in prop::collection::vec(-10.0f64..10.0, 20),
+    ) {
+        let mut a = DMat::zeros(n, n);
+        let mut k = 0;
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = seed[k % seed.len()];
+                k += 1;
+            }
+            a[(i, i)] += n as f64 + 2.0; // diagonal dominance
+        }
+        let b: Vec<f64> = (0..n).map(|i| rhs[i % rhs.len()]).collect();
+        let x = DenseLu::factor(&a).unwrap().solve(&b).unwrap();
+        let back = a.matvec(&x);
+        for (p, q) in back.iter().zip(b.iter()) {
+            prop_assert!((p - q).abs() < 1e-8);
+        }
+    }
+
+    /// det(P·A) = ±det(A): the determinant of a permuted identity is ±1.
+    #[test]
+    fn determinant_of_scaled_identity(scale in 0.1f64..10.0, n in 1usize..8) {
+        let mut a = DMat::identity(n);
+        a.scale(scale);
+        let lu = DenseLu::factor(&a).unwrap();
+        prop_assert!((lu.det() - scale.powi(n as i32)).abs() < 1e-9 * scale.powi(n as i32));
+    }
+
+    /// Complex multiplication is associative and distributive (within fp
+    /// tolerance).
+    #[test]
+    fn complex_field_axioms(
+        a in (-1e3f64..1e3, -1e3f64..1e3),
+        b in (-1e3f64..1e3, -1e3f64..1e3),
+        c in (-1e3f64..1e3, -1e3f64..1e3),
+    ) {
+        let (a, b, c) = (
+            Complex64::new(a.0, a.1),
+            Complex64::new(b.0, b.1),
+            Complex64::new(c.0, c.1),
+        );
+        let lhs = (a * b) * c;
+        let rhs = a * (b * c);
+        let scale = a.abs() * b.abs() * c.abs() + 1.0;
+        prop_assert!((lhs - rhs).abs() < 1e-10 * scale);
+        let dist = a * (b + c);
+        let dist2 = a * b + a * c;
+        prop_assert!((dist - dist2).abs() < 1e-10 * scale);
+    }
+
+    /// |z·w| = |z|·|w|.
+    #[test]
+    fn complex_abs_multiplicative(
+        z in (-1e3f64..1e3, -1e3f64..1e3),
+        w in (-1e3f64..1e3, -1e3f64..1e3),
+    ) {
+        let (z, w) = (Complex64::new(z.0, z.1), Complex64::new(w.0, w.1));
+        prop_assert!(((z * w).abs() - z.abs() * w.abs()).abs() < 1e-7 * (1.0 + z.abs() * w.abs()));
+    }
+
+    /// Compensated summation is at least as accurate as naive summation
+    /// against a shuffled-order reference.
+    #[test]
+    fn compensated_sum_is_stable(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        // Reference: sum in descending-magnitude order with f64 is close
+        // enough for these magnitudes; the property checked is agreement.
+        let comp = compensated_sum(&xs);
+        let naive: f64 = xs.iter().sum();
+        prop_assert!((comp - naive).abs() <= 1e-6 * xs.iter().map(|v| v.abs()).sum::<f64>().max(1.0));
+    }
+
+    /// Linear interpolation is exact on affine data.
+    #[test]
+    fn linear_interp_affine(a in -5.0f64..5.0, b in -5.0f64..5.0, x in 0.0f64..3.0) {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|&t| a * t + b).collect();
+        let got = interp_linear(&xs, &ys, x).unwrap();
+        prop_assert!((got - (a * x + b)).abs() < 1e-10);
+    }
+
+    /// PCHIP stays within the data range on monotone data (no overshoot).
+    #[test]
+    fn pchip_bounded(increments in prop::collection::vec(0.001f64..1.0, 3..15)) {
+        let mut ys = vec![0.0];
+        for d in &increments {
+            ys.push(ys.last().unwrap() + d);
+        }
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let p = Pchip::new(&xs, &ys).unwrap();
+        let top = *ys.last().unwrap();
+        for k in 0..100 {
+            let x = (ys.len() - 1) as f64 * k as f64 / 99.0;
+            let v = p.eval(x);
+            prop_assert!(v >= -1e-9 && v <= top + 1e-9, "out of range at {x}: {v}");
+        }
+    }
+
+    /// wrms norm scales linearly with its argument.
+    #[test]
+    fn wrms_homogeneous(xs in prop::collection::vec(-1.0f64..1.0, 1..20), s in 0.1f64..10.0) {
+        let reference = vec![1.0; xs.len()];
+        let base = wrms_norm(&xs, &reference, 1e-9, 1e-3);
+        let scaled: Vec<f64> = xs.iter().map(|v| v * s).collect();
+        let got = wrms_norm(&scaled, &reference, 1e-9, 1e-3);
+        prop_assert!((got - s * base).abs() < 1e-9 * (1.0 + got));
+    }
+
+    /// linspace endpoints and spacing.
+    #[test]
+    fn linspace_uniform(a in -10.0f64..10.0, span in 0.1f64..10.0, n in 2usize..50) {
+        let g = linspace(a, a + span, n);
+        prop_assert!((g[0] - a).abs() < 1e-12);
+        prop_assert!((g[n - 1] - (a + span)).abs() < 1e-12);
+        let h = span / (n - 1) as f64;
+        for w in g.windows(2) {
+            prop_assert!((w[1] - w[0] - h).abs() < 1e-9);
+        }
+        prop_assert!(norm2(&g).is_finite());
+    }
+}

@@ -1,0 +1,94 @@
+//! Amplitude-envelope extraction and settling analysis.
+
+/// Peak-to-peak amplitude envelope from local extrema: returns
+/// `(times, amplitudes)` where each entry is half the spread between one
+/// local maximum and the nearest following local minimum.
+pub fn amplitude_envelope(ts: &[f64], xs: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(ts.len(), xs.len(), "amplitude_envelope: length mismatch");
+    let mut maxima = Vec::new();
+    let mut minima = Vec::new();
+    for i in 1..xs.len().saturating_sub(1) {
+        if xs[i] >= xs[i - 1] && xs[i] > xs[i + 1] {
+            maxima.push((ts[i], xs[i]));
+        }
+        if xs[i] <= xs[i - 1] && xs[i] < xs[i + 1] {
+            minima.push((ts[i], xs[i]));
+        }
+    }
+    let mut times = Vec::new();
+    let mut amps = Vec::new();
+    let mut j = 0;
+    for &(tmax, vmax) in &maxima {
+        while j < minima.len() && minima[j].0 < tmax {
+            j += 1;
+        }
+        if j < minima.len() {
+            times.push(0.5 * (tmax + minima[j].0));
+            amps.push(0.5 * (vmax - minima[j].1));
+        }
+    }
+    (times, amps)
+}
+
+/// Time after which a trace stays within `band` (relative) of its final
+/// value — the settling-time readout for the paper's Figure 10
+/// discussion. Returns `None` when the trace never settles.
+pub fn settling_time(ts: &[f64], xs: &[f64], band: f64) -> Option<f64> {
+    assert_eq!(ts.len(), xs.len(), "settling_time: length mismatch");
+    let last = *xs.last()?;
+    let tol = band * last.abs().max(f64::MIN_POSITIVE);
+    // Walk backwards to the last point that violates the band.
+    for i in (0..xs.len()).rev() {
+        if (xs[i] - last).abs() > tol {
+            return ts.get(i + 1).copied();
+        }
+    }
+    ts.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_of_decaying_sine() {
+        let n = 20000;
+        let dt = 1e-3;
+        let ts: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
+        let xs: Vec<f64> = ts
+            .iter()
+            .map(|&t| (-0.2 * t).exp() * (2.0 * std::f64::consts::PI * 5.0 * t).sin())
+            .collect();
+        let (times, amps) = amplitude_envelope(&ts, &xs);
+        assert!(times.len() > 50);
+        for (t, a) in times.iter().zip(amps.iter()) {
+            let want = (-0.2 * t).exp();
+            assert!((a - want).abs() < 0.05 * want + 0.01, "t={t}: {a} vs {want}");
+        }
+    }
+
+    #[test]
+    fn settling_of_exponential() {
+        let n = 10000;
+        let dt = 1e-3;
+        let ts: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
+        // x(t) = 1 − e^{−t}: settles to within 1% of ~1 at t ≈ ln(100) ≈ 4.6.
+        let xs: Vec<f64> = ts.iter().map(|&t| 1.0 - (-t).exp()).collect();
+        let t_settle = settling_time(&ts, &xs, 0.01).unwrap();
+        assert!((t_settle - 4.6).abs() < 0.3, "settling at {t_settle}");
+    }
+
+    #[test]
+    fn settled_from_start() {
+        let ts: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let xs = vec![2.0; 10];
+        assert_eq!(settling_time(&ts, &xs, 0.01), Some(0.0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (t, a) = amplitude_envelope(&[], &[]);
+        assert!(t.is_empty() && a.is_empty());
+        assert_eq!(settling_time(&[], &[], 0.1), None);
+    }
+}

@@ -1,0 +1,26 @@
+//! Waveform post-processing for oscillator experiments.
+//!
+//! The paper's evaluation compares methods through *observables*: the
+//! local-frequency trace (Figures 7/10), waveform overlays (Figures 9/12)
+//! and accumulated phase error (the core failing of transient simulation
+//! that the WaMPDE eliminates). This crate computes those observables
+//! from sampled waveforms:
+//!
+//! * [`zero_crossings`] / [`instantaneous_frequency`] — cycle-accurate
+//!   frequency estimation by interpolated rising-edge detection;
+//! * [`cumulative_phase`] / [`phase_error_trace`] — unwrapped oscillation
+//!   phase and its deviation between a reference and a test waveform;
+//! * [`metrics`] — RMS/∞ error norms between waveforms on a common grid;
+//! * [`spectrum`] — windowed DFT magnitudes for spot checks.
+
+pub mod envelope;
+pub mod metrics;
+pub mod phase;
+pub mod spectrum;
+
+pub use envelope::{amplitude_envelope, settling_time};
+pub use metrics::{max_abs_error, rms, rms_error};
+pub use phase::{
+    cumulative_phase, instantaneous_frequency, phase_error_trace, zero_crossings, FrequencyTrace,
+};
+pub use spectrum::magnitude_spectrum;

@@ -1,0 +1,70 @@
+//! Waveform comparison metrics.
+
+/// Root-mean-square of a sequence.
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|v| v * v).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// RMS difference between two equal-length waveforms.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn rms_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rms_error: length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let acc: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+    (acc / a.len() as f64).sqrt()
+}
+
+/// Maximum absolute difference between two equal-length waveforms.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn max_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_error: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0_f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rms_of_constant() {
+        assert!((rms(&[2.0; 10]) - 2.0).abs() < 1e-15);
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn rms_of_sine_is_inv_sqrt2() {
+        let xs: Vec<f64> = (0..10000)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 100.0).sin())
+            .collect();
+        assert!((rms(&xs) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn errors_between_shifted_constants() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.5, 0.5, 1.0];
+        assert!((rms_error(&a, &b) - (0.5f64.powi(2) * 2.0 / 3.0).sqrt()).abs() < 1e-15);
+        assert_eq!(max_abs_error(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn zero_for_identical() {
+        let a = [0.3, -0.7, 2.0];
+        assert_eq!(rms_error(&a, &a), 0.0);
+        assert_eq!(max_abs_error(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Zero-crossing based phase and frequency estimation.
+
+/// Times of rising zero crossings of `(ts, xs)` after mean removal,
+/// located by linear interpolation between samples.
+///
+/// # Panics
+///
+/// Panics when `ts.len() != xs.len()`.
+pub fn zero_crossings(ts: &[f64], xs: &[f64]) -> Vec<f64> {
+    assert_eq!(ts.len(), xs.len(), "zero_crossings: length mismatch");
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let mut out = Vec::new();
+    for i in 1..xs.len() {
+        let a = xs[i - 1] - mean;
+        let b = xs[i] - mean;
+        if a <= 0.0 && b > 0.0 {
+            let w = -a / (b - a);
+            out.push(ts[i - 1] + w * (ts[i] - ts[i - 1]));
+        }
+    }
+    out
+}
+
+/// A per-cycle instantaneous-frequency estimate.
+#[derive(Debug, Clone)]
+pub struct FrequencyTrace {
+    /// Cycle mid-times.
+    pub times: Vec<f64>,
+    /// Frequency of each cycle (Hz).
+    pub freq_hz: Vec<f64>,
+}
+
+impl FrequencyTrace {
+    /// Minimum and maximum of the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace is empty.
+    pub fn range(&self) -> (f64, f64) {
+        assert!(!self.freq_hz.is_empty(), "empty frequency trace");
+        let lo = self.freq_hz.iter().fold(f64::INFINITY, |m, v| m.min(*v));
+        let hi = self.freq_hz.iter().fold(f64::NEG_INFINITY, |m, v| m.max(*v));
+        (lo, hi)
+    }
+}
+
+/// Per-cycle instantaneous frequency from rising zero crossings — the
+/// estimator used to extract Figure 7/10-style traces from transient
+/// waveforms.
+pub fn instantaneous_frequency(ts: &[f64], xs: &[f64]) -> FrequencyTrace {
+    let crossings = zero_crossings(ts, xs);
+    let mut times = Vec::new();
+    let mut freq = Vec::new();
+    for w in crossings.windows(2) {
+        let period = w[1] - w[0];
+        if period > 0.0 {
+            times.push(0.5 * (w[0] + w[1]));
+            freq.push(1.0 / period);
+        }
+    }
+    FrequencyTrace {
+        times,
+        freq_hz: freq,
+    }
+}
+
+/// Unwrapped oscillation phase (in cycles) at the crossing times: the
+/// `k`-th rising crossing carries phase `k`.
+///
+/// Returns `(crossing_times, phase_cycles)`.
+pub fn cumulative_phase(ts: &[f64], xs: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let crossings = zero_crossings(ts, xs);
+    let phases = (0..crossings.len()).map(|k| k as f64).collect();
+    (crossings, phases)
+}
+
+/// Phase error (in cycles) of a test waveform against a reference, as a
+/// function of time.
+///
+/// Both waveforms' unwrapped phases are computed from rising crossings;
+/// the reference phase is linearly interpolated at the test's crossing
+/// times and subtracted. A transient run that accumulates phase error
+/// (paper Figure 12) shows a growing trace; the WaMPDE's stays bounded.
+///
+/// Returns `(times, phase_error_cycles)` over the overlapping time span.
+pub fn phase_error_trace(
+    ts_ref: &[f64],
+    xs_ref: &[f64],
+    ts_test: &[f64],
+    xs_test: &[f64],
+) -> (Vec<f64>, Vec<f64>) {
+    let (ct_ref, ph_ref) = cumulative_phase(ts_ref, xs_ref);
+    let (ct_test, ph_test) = cumulative_phase(ts_test, xs_test);
+    if ct_ref.len() < 2 || ct_test.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let mut times = Vec::new();
+    let mut errs = Vec::new();
+    for (t, p) in ct_test.iter().zip(ph_test.iter()) {
+        if *t < ct_ref[0] || *t > *ct_ref.last().expect("nonempty") {
+            continue;
+        }
+        // Interpolate the reference phase at t.
+        let hi = ct_ref.partition_point(|&v| v <= *t).min(ct_ref.len() - 1);
+        let lo = hi.saturating_sub(1);
+        let w = if hi == lo {
+            0.0
+        } else {
+            (*t - ct_ref[lo]) / (ct_ref[hi] - ct_ref[lo])
+        };
+        let ref_phase = ph_ref[lo] * (1.0 - w) + ph_ref[hi] * w;
+        times.push(*t);
+        errs.push(p - ref_phase);
+    }
+    // Remove the constant offset (the two waveforms' first crossings need
+    // not coincide): report drift relative to the initial alignment.
+    if let Some(&first) = errs.first() {
+        for e in errs.iter_mut() {
+            *e -= first;
+        }
+    }
+    (times, errs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(freq: f64, n: usize, dt: f64) -> (Vec<f64>, Vec<f64>) {
+        let ts: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
+        let xs = ts
+            .iter()
+            .map(|&t| (2.0 * std::f64::consts::PI * freq * t).sin())
+            .collect();
+        (ts, xs)
+    }
+
+    #[test]
+    fn crossings_of_pure_sine() {
+        let (ts, xs) = sine(10.0, 1000, 1e-3);
+        let c = zero_crossings(&ts, &xs);
+        // Rising crossings at t = 0, 0.1, 0.2, ... (the one at 0 may be
+        // missed depending on the first sample's sign).
+        assert!(c.len() >= 9);
+        for w in c.windows(2) {
+            assert!((w[1] - w[0] - 0.1).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn frequency_of_pure_sine() {
+        let (ts, xs) = sine(50.0, 5000, 1e-4);
+        let tr = instantaneous_frequency(&ts, &xs);
+        let (lo, hi) = tr.range();
+        assert!((lo - 50.0).abs() < 0.5, "lo {lo}");
+        assert!((hi - 50.0).abs() < 0.5, "hi {hi}");
+    }
+
+    #[test]
+    fn frequency_tracks_chirp() {
+        // Linear chirp 10 → 20 Hz over 1 s.
+        let n = 20000;
+        let dt = 5e-5;
+        let ts: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
+        let xs: Vec<f64> = ts
+            .iter()
+            .map(|&t| (2.0 * std::f64::consts::PI * (10.0 * t + 5.0 * t * t)).sin())
+            .collect();
+        let tr = instantaneous_frequency(&ts, &xs);
+        // Instantaneous frequency is 10 + 10 t.
+        for (t, f) in tr.times.iter().zip(tr.freq_hz.iter()) {
+            let want = 10.0 + 10.0 * t;
+            assert!((f - want).abs() < 0.5, "t={t}: {f} vs {want}");
+        }
+    }
+
+    #[test]
+    fn identical_signals_zero_phase_error() {
+        let (ts, xs) = sine(25.0, 4000, 1e-4);
+        let (times, errs) = phase_error_trace(&ts, &xs, &ts, &xs);
+        assert!(!times.is_empty());
+        for e in errs {
+            assert!(e.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn detuned_signal_accumulates_phase_error() {
+        let (ts_a, xs_a) = sine(25.0, 8000, 1e-4);
+        let (ts_b, xs_b) = sine(25.5, 8000, 1e-4);
+        let (times, errs) = phase_error_trace(&ts_a, &xs_a, &ts_b, &xs_b);
+        // 0.5 Hz detune → phase error grows 0.5 cycles per second.
+        let last_t = *times.last().unwrap();
+        let last_e = *errs.last().unwrap();
+        assert!(
+            (last_e - 0.5 * last_t).abs() < 0.05,
+            "t={last_t}: phase error {last_e}"
+        );
+    }
+
+    #[test]
+    fn offset_constant_removed() {
+        // Same frequency, different initial phase: error stays ~0.
+        let n = 4000;
+        let dt = 1e-4;
+        let ts: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
+        let a: Vec<f64> = ts.iter().map(|&t| (2.0 * std::f64::consts::PI * 25.0 * t).sin()).collect();
+        let b: Vec<f64> = ts
+            .iter()
+            .map(|&t| (2.0 * std::f64::consts::PI * 25.0 * t + 1.0).sin())
+            .collect();
+        let (_, errs) = phase_error_trace(&ts, &a, &ts, &b);
+        for e in errs {
+            assert!(e.abs() < 1e-3, "residual phase error {e}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(zero_crossings(&[], &[]).is_empty());
+        let (t, e) = phase_error_trace(&[], &[], &[], &[]);
+        assert!(t.is_empty() && e.is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Simple magnitude spectra for spot checks.
+
+use numkit::Complex64;
+
+/// Magnitude spectrum of a uniformly sampled waveform with a Hann window.
+///
+/// Returns `(frequencies_hz, magnitudes)` for the positive half-spectrum,
+/// normalised so a unit-amplitude sinusoid at a bin centre reads ≈ 1.
+///
+/// # Panics
+///
+/// Panics when fewer than two samples are given or `dt <= 0`.
+pub fn magnitude_spectrum(xs: &[f64], dt: f64) -> (Vec<f64>, Vec<f64>) {
+    assert!(xs.len() >= 2, "need at least two samples");
+    assert!(dt > 0.0, "dt must be positive");
+    let n = xs.len();
+    let windowed: Vec<Complex64> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let w = 0.5 * (1.0 - (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos());
+            Complex64::new(v * w, 0.0)
+        })
+        .collect();
+    let spec = fourier::fft::fft_of_any_len(&windowed);
+    let half = n / 2 + 1;
+    // Hann coherent gain is 0.5; single-sided amplitude needs ×2 (except DC).
+    let freqs: Vec<f64> = (0..half).map(|k| k as f64 / (n as f64 * dt)).collect();
+    let mags: Vec<f64> = (0..half)
+        .map(|k| {
+            let scale = if k == 0 { 1.0 } else { 2.0 };
+            scale * spec[k].abs() / (0.5 * n as f64)
+        })
+        .collect();
+    (freqs, mags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tone_at_bin_centre() {
+        let n = 1024;
+        let dt = 1e-3;
+        let f_tone = 50.0 / (n as f64 * dt); // exactly bin 50
+        let xs: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f_tone * i as f64 * dt).sin())
+            .collect();
+        let (freqs, mags) = magnitude_spectrum(&xs, dt);
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(peak.0, 50);
+        assert!((mags[50] - 1.0).abs() < 0.02, "peak magnitude {}", mags[50]);
+        assert!((freqs[50] - f_tone).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dc_level() {
+        let xs = vec![2.0; 256];
+        let (_, mags) = magnitude_spectrum(&xs, 1.0);
+        assert!((mags[0] - 2.0).abs() < 0.05, "dc {}", mags[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_dt() {
+        let _ = magnitude_spectrum(&[1.0, 2.0], 0.0);
+    }
+}

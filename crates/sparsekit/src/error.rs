@@ -1,0 +1,74 @@
+//! Error type for the sparse kernels.
+
+use std::fmt;
+
+/// Errors produced by sparse factorisations and iterative solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// The matrix was structurally or numerically singular.
+    Singular {
+        /// Column at which elimination broke down.
+        column: usize,
+    },
+    /// Operand shapes are incompatible.
+    DimensionMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it got.
+        found: String,
+    },
+    /// An iterative solver failed to reach its tolerance.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Relative residual at exit.
+        residual: f64,
+    },
+    /// An argument was out of its legal domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::Singular { column } => {
+                write!(f, "sparse matrix is singular at column {column}")
+            }
+            SparseError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            SparseError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            SparseError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SparseError::Singular { column: 2 }.to_string().contains("column 2"));
+        assert!(SparseError::NoConvergence {
+            iterations: 10,
+            residual: 0.5
+        }
+        .to_string()
+        .contains("10 iterations"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

@@ -1,0 +1,52 @@
+//! Sparse linear algebra tuned for circuit-style Jacobians.
+//!
+//! Circuit and WaMPDE Jacobians are sparse, unsymmetric, and frequently
+//! refactored with an unchanged pattern. This crate provides, from scratch
+//! (no external sparse dependencies — see `DESIGN.md §5`):
+//!
+//! * [`Triplets`] — coordinate-format assembly buffer with duplicate
+//!   summation, the natural target of MNA device stamps;
+//! * [`Csr`] / [`Csc`] — compressed row/column storage with matvec and
+//!   format conversion;
+//! * [`SparseLu`] — left-looking Gilbert–Peierls LU with partial pivoting
+//!   and an optional fill-reducing column preorder;
+//! * [`gmres()`] — restarted GMRES with pluggable preconditioning
+//!   ([`Ilu0`], [`JacobiPrecond`], or none) over a matrix-free
+//!   [`LinOp`] abstraction, per the paper's note that "iterative linear
+//!   techniques \[Saa96\] enable large systems to be handled efficiently".
+//!
+//! # Example
+//!
+//! ```
+//! use sparsekit::{Triplets, SparseLu};
+//!
+//! # fn main() -> Result<(), sparsekit::SparseError> {
+//! let mut t = Triplets::new(2, 2);
+//! t.push(0, 0, 4.0);
+//! t.push(0, 1, 1.0);
+//! t.push(1, 0, 1.0);
+//! t.push(1, 1, 3.0);
+//! let lu = SparseLu::factor(&t.to_csc())?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod csc;
+pub mod csr;
+pub mod error;
+pub mod gmres;
+pub mod ilu0;
+pub mod lu;
+pub mod op;
+pub mod triplets;
+
+pub use csc::Csc;
+pub use csr::Csr;
+pub use error::SparseError;
+pub use gmres::{gmres, GmresOptions, GmresResult};
+pub use ilu0::Ilu0;
+pub use lu::{ColumnOrdering, SparseLu};
+pub use op::{CsrOp, IdentityPrecond, JacobiPrecond, LinOp, Precond};
+pub use triplets::Triplets;

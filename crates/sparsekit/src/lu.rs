@@ -1,0 +1,442 @@
+//! Left-looking sparse LU factorisation (Gilbert–Peierls) with partial
+//! pivoting and optional fill-reducing column preordering.
+//!
+//! This is the direct solver used for circuit Jacobians: unsymmetric,
+//! structurally stable under threshold pivoting, and fast for the
+//! moderately sized, very sparse matrices MNA produces.
+
+use crate::csc::Csc;
+use crate::error::SparseError;
+
+/// Column preordering strategies for [`SparseLu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColumnOrdering {
+    /// Factor columns in their natural order.
+    Natural,
+    /// Order columns by ascending entry count — a lightweight Markowitz-style
+    /// heuristic that curbs fill on circuit matrices without the complexity
+    /// of full AMD/COLAMD.
+    #[default]
+    AscendingDegree,
+}
+
+const UNPIVOTED: usize = usize::MAX;
+
+/// Sparse LU factors `P·A·Q = L·U` from Gilbert–Peierls elimination.
+///
+/// * `P` — row permutation chosen by threshold partial pivoting with a mild
+///   preference for the diagonal (keeps MNA structure when possible);
+/// * `Q` — column preorder chosen up front by [`ColumnOrdering`].
+///
+/// # Example
+///
+/// ```
+/// use sparsekit::{Triplets, SparseLu};
+///
+/// # fn main() -> Result<(), sparsekit::SparseError> {
+/// let mut t = Triplets::new(3, 3);
+/// for i in 0..3 { t.push(i, i, 2.0); }
+/// t.push(0, 1, 1.0);
+/// t.push(2, 0, 1.0);
+/// let lu = SparseLu::factor(&t.to_csc())?;
+/// let x = lu.solve(&[1.0, 1.0, 1.0])?;
+/// assert!(x.iter().all(|v| v.is_finite()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// L columns: (original row, multiplier), unit diagonal implicit.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// U columns: (pivot position, value), diagonal stored separately.
+    u_cols: Vec<Vec<(usize, f64)>>,
+    u_diag: Vec<f64>,
+    /// perm_r[k] = original row pivoted at position k.
+    perm_r: Vec<usize>,
+    /// perm_c[j] = original column factored at position j.
+    perm_c: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Factors with the default ordering and pivot threshold.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::DimensionMismatch`] for non-square input.
+    /// * [`SparseError::Singular`] when no acceptable pivot exists.
+    pub fn factor(a: &Csc) -> Result<Self, SparseError> {
+        Self::factor_with(a, ColumnOrdering::default(), 0.1)
+    }
+
+    /// Factors with explicit column ordering and pivot threshold.
+    ///
+    /// `pivot_threshold` in `(0, 1]` controls the diagonal preference: the
+    /// natural (diagonal) candidate is kept whenever its magnitude is at
+    /// least `pivot_threshold` times the column maximum. `1.0` recovers
+    /// classic partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// See [`SparseLu::factor`]; additionally [`SparseError::InvalidArgument`]
+    /// for a threshold outside `(0, 1]`.
+    pub fn factor_with(
+        a: &Csc,
+        ordering: ColumnOrdering,
+        pivot_threshold: f64,
+    ) -> Result<Self, SparseError> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.nrows(), a.ncols()),
+            });
+        }
+        if !(pivot_threshold > 0.0 && pivot_threshold <= 1.0) {
+            return Err(SparseError::InvalidArgument(
+                "pivot threshold must lie in (0, 1]".into(),
+            ));
+        }
+        let n = a.nrows();
+        let perm_c: Vec<usize> = match ordering {
+            ColumnOrdering::Natural => (0..n).collect(),
+            ColumnOrdering::AscendingDegree => {
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by_key(|&j| a.col(j).0.len());
+                order
+            }
+        };
+
+        let mut l_cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut u_cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut u_diag = vec![0.0; n];
+        let mut perm_r = vec![UNPIVOTED; n];
+        let mut pinv = vec![UNPIVOTED; n]; // original row -> pivot position
+
+        // Dense work arrays reused across columns.
+        let mut x = vec![0.0_f64; n];
+        let mut mark = vec![false; n];
+        let mut topo: Vec<usize> = Vec::with_capacity(n);
+        let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
+
+        for j in 0..n {
+            let col = perm_c[j];
+            let (rows, vals) = a.col(col);
+
+            // --- Symbolic: reachability DFS through the L graph. ---
+            topo.clear();
+            for &r in rows {
+                if mark[r] {
+                    continue;
+                }
+                dfs_stack.push((r, 0));
+                mark[r] = true;
+                while let Some(&mut (node, ref mut child)) = dfs_stack.last_mut() {
+                    let pk = pinv[node];
+                    let children: &[(usize, f64)] = if pk == UNPIVOTED {
+                        &[]
+                    } else {
+                        &l_cols[pk]
+                    };
+                    if *child < children.len() {
+                        let next = children[*child].0;
+                        *child += 1;
+                        if !mark[next] {
+                            mark[next] = true;
+                            dfs_stack.push((next, 0));
+                        }
+                    } else {
+                        topo.push(node);
+                        dfs_stack.pop();
+                    }
+                }
+            }
+
+            // --- Numeric: scatter A(:,col), then eliminate in topo order. ---
+            for (r, v) in rows.iter().zip(vals.iter()) {
+                x[*r] = *v;
+            }
+            for &node in topo.iter().rev() {
+                let pk = pinv[node];
+                if pk == UNPIVOTED {
+                    continue;
+                }
+                let xk = x[node];
+                if xk != 0.0 {
+                    for &(r, l) in &l_cols[pk] {
+                        x[r] -= l * xk;
+                    }
+                }
+            }
+
+            // --- Pivot selection among not-yet-pivoted rows. ---
+            let mut max_abs = 0.0_f64;
+            let mut max_row = UNPIVOTED;
+            let mut diag_abs = 0.0_f64;
+            for &node in &topo {
+                if pinv[node] == UNPIVOTED {
+                    let v = x[node].abs();
+                    if v > max_abs {
+                        max_abs = v;
+                        max_row = node;
+                    }
+                    if node == col {
+                        diag_abs = v;
+                    }
+                }
+            }
+            if max_row == UNPIVOTED || max_abs == 0.0 {
+                // Restore work arrays before bailing out.
+                for &node in &topo {
+                    x[node] = 0.0;
+                    mark[node] = false;
+                }
+                return Err(SparseError::Singular { column: col });
+            }
+            let pivot_row = if diag_abs >= pivot_threshold * max_abs {
+                col
+            } else {
+                max_row
+            };
+            let pivot_val = x[pivot_row];
+
+            pinv[pivot_row] = j;
+            perm_r[j] = pivot_row;
+            u_diag[j] = pivot_val;
+
+            // --- Emit factors and reset work arrays. ---
+            for &node in &topo {
+                let p = pinv[node];
+                if node == pivot_row {
+                    // diagonal handled above
+                } else if p != UNPIVOTED && p < j {
+                    if x[node] != 0.0 {
+                        u_cols[j].push((p, x[node]));
+                    }
+                } else if p == UNPIVOTED {
+                    let l = x[node] / pivot_val;
+                    if l != 0.0 {
+                        l_cols[j].push((node, l));
+                    }
+                }
+                x[node] = 0.0;
+                mark[node] = false;
+            }
+        }
+
+        Ok(SparseLu {
+            n,
+            l_cols,
+            u_cols,
+            u_diag,
+            perm_r,
+            perm_c,
+        })
+    }
+
+    /// Dimension of the factored system.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Total stored entries in `L` and `U` (a fill-in diagnostic).
+    pub fn factor_nnz(&self) -> usize {
+        self.l_cols.iter().map(Vec::len).sum::<usize>()
+            + self.u_cols.iter().map(Vec::len).sum::<usize>()
+            + self.n
+    }
+
+    /// Solves `A·x = b` into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] for a wrong-length rhs.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SparseError> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b`, overwriting `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] for a wrong-length rhs.
+    pub fn solve_in_place(&self, b: &mut [f64]) -> Result<(), SparseError> {
+        if b.len() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                expected: format!("rhs of length {}", self.n),
+                found: format!("{}", b.len()),
+            });
+        }
+        // Forward: L z = P b, with y kept in original row indexing.
+        let mut y = b.to_vec();
+        let mut z = vec![0.0; self.n];
+        for k in 0..self.n {
+            let zk = y[self.perm_r[k]];
+            z[k] = zk;
+            if zk != 0.0 {
+                for &(r, l) in &self.l_cols[k] {
+                    y[r] -= l * zk;
+                }
+            }
+        }
+        // Backward: U x̃ = z, column-oriented.
+        for j in (0..self.n).rev() {
+            let xj = z[j] / self.u_diag[j];
+            z[j] = xj;
+            if xj != 0.0 {
+                for &(p, u) in &self.u_cols[j] {
+                    z[p] -= u * xj;
+                }
+            }
+        }
+        // Undo column permutation.
+        for (j, &c) in self.perm_c.iter().enumerate() {
+            b[c] = z[j];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplets::Triplets;
+    use numkit::DMat;
+
+    fn residual_inf(a: &Csc, x: &[f64], b: &[f64]) -> f64 {
+        a.matvec(x)
+            .iter()
+            .zip(b.iter())
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0_f64, f64::max)
+    }
+
+    #[test]
+    fn solves_identity() {
+        let mut t = Triplets::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 1.0);
+        }
+        let lu = SparseLu::factor(&t.to_csc()).unwrap();
+        let x = lu.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_permutation_matrix() {
+        // Requires off-diagonal pivoting.
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 1, 1.0);
+        t.push(1, 2, 1.0);
+        t.push(2, 0, 1.0);
+        let a = t.to_csc();
+        let lu = SparseLu::factor(&a).unwrap();
+        let x = lu.solve(&[10.0, 20.0, 30.0]).unwrap();
+        assert!(residual_inf(&a, &x, &[10.0, 20.0, 30.0]) < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0); // second column empty
+        assert!(matches!(
+            SparseLu::factor(&t.to_csc()),
+            Err(SparseError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let t = Triplets::new(2, 3);
+        assert!(matches!(
+            SparseLu::factor(&t.to_csc()),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_threshold() {
+        let mut t = Triplets::new(1, 1);
+        t.push(0, 0, 1.0);
+        assert!(SparseLu::factor_with(&t.to_csc(), ColumnOrdering::Natural, 0.0).is_err());
+        assert!(SparseLu::factor_with(&t.to_csc(), ColumnOrdering::Natural, 1.5).is_err());
+    }
+
+    /// Deterministic pseudo-random generator (avoids dev-dependency churn in
+    /// the hot unit-test path; proptest covers the randomized contract).
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+
+    fn random_sparse(n: usize, per_row: usize, seed: u64) -> Csc {
+        let mut s = seed;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0 + lcg(&mut s));
+            for _ in 0..per_row {
+                let j = ((lcg(&mut s) + 0.5) * n as f64) as usize % n;
+                t.push(i, j, lcg(&mut s));
+            }
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn random_systems_both_orderings() {
+        for seed in 1..5u64 {
+            let a = random_sparse(60, 4, seed);
+            let b: Vec<f64> = (0..60).map(|i| (i as f64 * 0.37).sin()).collect();
+            for ord in [ColumnOrdering::Natural, ColumnOrdering::AscendingDegree] {
+                let lu = SparseLu::factor_with(&a, ord, 0.1).unwrap();
+                let x = lu.solve(&b).unwrap();
+                assert!(
+                    residual_inf(&a, &x, &b) < 1e-9,
+                    "residual too large for seed {seed} ordering {ord:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dense_lu() {
+        let a = random_sparse(25, 3, 42);
+        let b: Vec<f64> = (0..25).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let xs = SparseLu::factor(&a).unwrap().solve(&b).unwrap();
+        let dense: DMat = a.to_dense();
+        let xd = numkit::lu::solve_dense(&dense, &b).unwrap();
+        for (s, d) in xs.iter().zip(xd.iter()) {
+            assert!((s - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn strict_partial_pivoting_threshold_one() {
+        let a = random_sparse(30, 3, 7);
+        let b = vec![1.0; 30];
+        let lu = SparseLu::factor_with(&a, ColumnOrdering::Natural, 1.0).unwrap();
+        let x = lu.solve(&b).unwrap();
+        assert!(residual_inf(&a, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn factor_nnz_reported() {
+        let a = random_sparse(20, 2, 3);
+        let lu = SparseLu::factor(&a).unwrap();
+        assert!(lu.factor_nnz() >= 20); // at least the diagonal
+    }
+
+    #[test]
+    fn wrong_rhs_length() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let lu = SparseLu::factor(&t.to_csc()).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the sparse kernels.
+
+use proptest::prelude::*;
+use sparsekit::{
+    gmres, ColumnOrdering, CsrOp, GmresOptions, IdentityPrecond, Ilu0, SparseLu, Triplets,
+};
+
+/// Builds a random diagonally dominant matrix from a seed vector.
+fn random_dd(n: usize, per_row: usize, seed: &[f64]) -> Triplets {
+    let mut t = Triplets::new(n, n);
+    let mut k = 0;
+    for i in 0..n {
+        t.push(i, i, 4.0 + per_row as f64 + seed[k % seed.len()].abs());
+        k += 1;
+        for _ in 0..per_row {
+            let j = ((seed[k % seed.len()].abs() * 977.0) as usize) % n;
+            t.push(i, j, seed[(k + 3) % seed.len()]);
+            k += 2;
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// COO→CSR→CSC→CSR round-trips preserve every entry.
+    #[test]
+    fn format_roundtrip(
+        n in 1usize..30,
+        entries in prop::collection::vec((0usize..30, 0usize..30, -10.0f64..10.0), 0..80),
+    ) {
+        let mut t = Triplets::new(n, n);
+        for (r, c, v) in entries {
+            t.push(r % n, c % n, v);
+        }
+        let csr = t.to_csr();
+        let back = csr.to_csc().to_csr();
+        prop_assert_eq!(&csr, &back);
+        // Dense agreement.
+        let d1 = t.to_dense();
+        let d2 = csr.to_dense();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((d1[(i, j)] - d2[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Sparse matvec agrees with dense matvec.
+    #[test]
+    fn matvec_agrees_with_dense(
+        n in 1usize..25,
+        entries in prop::collection::vec((0usize..25, 0usize..25, -5.0f64..5.0), 0..60),
+        x in prop::collection::vec(-2.0f64..2.0, 25),
+    ) {
+        let mut t = Triplets::new(n, n);
+        for (r, c, v) in entries {
+            t.push(r % n, c % n, v);
+        }
+        let xv = &x[..n];
+        let sparse = t.to_csr().matvec(xv);
+        let dense = t.to_dense().matvec(xv);
+        for (a, b) in sparse.iter().zip(dense.iter()) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    /// Sparse LU under both orderings solves to small residual.
+    #[test]
+    fn lu_small_residual(
+        n in 2usize..40,
+        seed in prop::collection::vec(-1.0f64..1.0, 150),
+        rhs in prop::collection::vec(-3.0f64..3.0, 40),
+    ) {
+        let t = random_dd(n, 3, &seed);
+        let a = t.to_csc();
+        let b: Vec<f64> = (0..n).map(|i| rhs[i % rhs.len()]).collect();
+        for ordering in [ColumnOrdering::Natural, ColumnOrdering::AscendingDegree] {
+            let lu = SparseLu::factor_with(&a, ordering, 0.1).unwrap();
+            let x = lu.solve(&b).unwrap();
+            let back = a.matvec(&x);
+            for (p, q) in back.iter().zip(b.iter()) {
+                prop_assert!((p - q).abs() < 1e-7, "ordering {ordering:?}");
+            }
+        }
+    }
+
+    /// GMRES+ILU0 matches the direct sparse solve.
+    #[test]
+    fn gmres_matches_direct(
+        n in 2usize..30,
+        seed in prop::collection::vec(-1.0f64..1.0, 120),
+        rhs in prop::collection::vec(-3.0f64..3.0, 30),
+    ) {
+        let t = random_dd(n, 2, &seed);
+        let a_csr = t.to_csr();
+        let b: Vec<f64> = (0..n).map(|i| rhs[i % rhs.len()]).collect();
+        let direct = SparseLu::factor(&t.to_csc()).unwrap().solve(&b).unwrap();
+        let pre = Ilu0::factor(&a_csr).unwrap();
+        let it = gmres(
+            &CsrOp::new(&a_csr),
+            &pre,
+            &b,
+            None,
+            &GmresOptions { rtol: 1e-12, ..Default::default() },
+        )
+        .unwrap();
+        for (p, q) in it.x.iter().zip(direct.iter()) {
+            prop_assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    /// GMRES without preconditioning still reaches its residual target.
+    #[test]
+    fn gmres_residual_contract(
+        n in 2usize..25,
+        seed in prop::collection::vec(-1.0f64..1.0, 100),
+    ) {
+        let t = random_dd(n, 2, &seed);
+        let a = t.to_csr();
+        let b = vec![1.0; n];
+        let r = gmres(&CsrOp::new(&a), &IdentityPrecond, &b, None, &GmresOptions::default()).unwrap();
+        let back = a.matvec(&r.x);
+        let res: f64 = back.iter().zip(b.iter()).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let bnorm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(res <= 1e-8 * bnorm.max(1.0));
+    }
+}

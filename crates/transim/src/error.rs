@@ -1,0 +1,76 @@
+//! Error type for the nonlinear/transient engines.
+
+use std::fmt;
+
+/// Errors produced by Newton solves, DC analysis and transient integration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransimError {
+    /// Newton iteration failed to converge.
+    NewtonFailed {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+        /// Simulation time at which the failure occurred (NaN for DC).
+        at_time: f64,
+    },
+    /// The linearised system was singular.
+    SingularJacobian {
+        /// Simulation time at which the failure occurred (NaN for DC).
+        at_time: f64,
+    },
+    /// Adaptive step control shrank the step below its minimum.
+    StepTooSmall {
+        /// Simulation time at which the failure occurred.
+        at_time: f64,
+        /// The rejected step size.
+        step: f64,
+    },
+    /// Invalid configuration or input.
+    BadInput(String),
+}
+
+impl fmt::Display for TransimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransimError::NewtonFailed {
+                iterations,
+                residual,
+                at_time,
+            } => write!(
+                f,
+                "newton failed after {iterations} iterations (residual {residual:.3e}) at t={at_time:.6e}"
+            ),
+            TransimError::SingularJacobian { at_time } => {
+                write!(f, "singular jacobian at t={at_time:.6e}")
+            }
+            TransimError::StepTooSmall { at_time, step } => {
+                write!(f, "time step {step:.3e} below minimum at t={at_time:.6e}")
+            }
+            TransimError::BadInput(msg) => write!(f, "bad input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_newton() {
+        let e = TransimError::NewtonFailed {
+            iterations: 7,
+            residual: 1e-3,
+            at_time: 0.5,
+        };
+        assert!(e.to_string().contains("7 iterations"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TransimError>();
+    }
+}

@@ -1,0 +1,696 @@
+//! Transient integration of circuit DAEs.
+//!
+//! Implements the implicit one/two-step methods circuit simulators rely
+//! on — Backward Euler, Trapezoidal, BDF2 — behind one step-residual
+//! abstraction, with fixed or LTE-adaptive step control. This engine is
+//! both the paper's "transient simulation" baseline and the inner
+//! integrator of the shooting and envelope methods.
+
+use crate::error::TransimError;
+use crate::newton::{newton_solve, NewtonOptions, NonlinearSystem};
+use circuitdae::Dae;
+use numkit::vecops::wrms_norm;
+use numkit::DMat;
+
+/// Implicit integration scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// First order, L-stable, strongly damping. The safe choice for stiff
+    /// MEMS dynamics.
+    BackwardEuler,
+    /// Second order, A-stable, no numerical damping — the standard choice
+    /// for oscillators (SPICE default).
+    #[default]
+    Trapezoidal,
+    /// Second order, L-stable two-step BDF (variable-step coefficients);
+    /// starts itself with one Backward Euler step.
+    Bdf2,
+}
+
+impl Integrator {
+    /// Classical order of accuracy.
+    pub fn order(&self) -> usize {
+        match self {
+            Integrator::BackwardEuler => 1,
+            Integrator::Trapezoidal | Integrator::Bdf2 => 2,
+        }
+    }
+}
+
+/// Step-size policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepControl {
+    /// Constant step (the paper's "N points per cycle" baseline mode).
+    Fixed(f64),
+    /// LTE-based adaptive control.
+    Adaptive {
+        /// Relative local-error tolerance.
+        rtol: f64,
+        /// Absolute local-error tolerance.
+        atol: f64,
+        /// Initial step (`0.0` = auto: span/1000).
+        dt_init: f64,
+        /// Smallest allowed step (`0.0` = auto: span·1e-12).
+        dt_min: f64,
+        /// Largest allowed step (`0.0` = auto: span/10).
+        dt_max: f64,
+    },
+}
+
+impl Default for StepControl {
+    fn default() -> Self {
+        StepControl::Adaptive {
+            rtol: 1e-6,
+            atol: 1e-12,
+            dt_init: 0.0,
+            dt_min: 0.0,
+            dt_max: 0.0,
+        }
+    }
+}
+
+/// Options for [`run_transient`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransientOptions {
+    /// Integration scheme.
+    pub integrator: Integrator,
+    /// Step policy.
+    pub step: StepControl,
+    /// Inner Newton options.
+    pub newton: NewtonOptions,
+}
+
+/// Counters reported alongside a transient run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransientStats {
+    /// Accepted steps.
+    pub steps: usize,
+    /// Steps rejected by error control or Newton failure.
+    pub rejected: usize,
+    /// Total Newton iterations.
+    pub newton_iterations: usize,
+}
+
+/// A transient waveform: accepted time points and states.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    /// Accepted time points (strictly increasing, starts at `t0`).
+    pub times: Vec<f64>,
+    /// State vectors at each time point.
+    pub states: Vec<Vec<f64>>,
+    /// Run statistics.
+    pub stats: TransientStats,
+}
+
+impl TransientResult {
+    /// Extracts the waveform of unknown `i` across all time points.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn signal(&self, i: usize) -> Vec<f64> {
+        self.states.iter().map(|x| x[i]).collect()
+    }
+
+    /// Linear interpolation of unknown `i` at time `t` (clamped to the
+    /// simulated span).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the result is empty or `i` out of range.
+    pub fn sample(&self, i: usize, t: f64) -> f64 {
+        let ts = &self.times;
+        let n = ts.len();
+        assert!(n > 0, "empty transient result");
+        if t <= ts[0] {
+            return self.states[0][i];
+        }
+        if t >= ts[n - 1] {
+            return self.states[n - 1][i];
+        }
+        let hi = ts.partition_point(|&v| v <= t).min(n - 1);
+        let lo = hi - 1;
+        let w = (t - ts[lo]) / (ts[hi] - ts[lo]);
+        self.states[lo][i] * (1.0 - w) + self.states[hi][i] * w
+    }
+
+    /// The final state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the result is empty.
+    pub fn last(&self) -> &[f64] {
+        self.states.last().expect("empty transient result")
+    }
+}
+
+/// One implicit step as a Newton system:
+/// `r(x) = a0h·q(x) + θ·f(x) + rconst`, Jacobian `a0h·C + θ·G`.
+struct StepSystem<'a, D: Dae + ?Sized> {
+    dae: &'a D,
+    a0h: f64,
+    theta: f64,
+    rconst: Vec<f64>,
+    qbuf: std::cell::RefCell<Vec<f64>>,
+    fbuf: std::cell::RefCell<Vec<f64>>,
+    cmat: std::cell::RefCell<DMat>,
+}
+
+impl<D: Dae + ?Sized> StepSystem<'_, D> {
+    fn new(dae: &D, a0h: f64, theta: f64, rconst: Vec<f64>) -> StepSystem<'_, D> {
+        let n = dae.dim();
+        StepSystem {
+            dae,
+            a0h,
+            theta,
+            rconst,
+            qbuf: std::cell::RefCell::new(vec![0.0; n]),
+            fbuf: std::cell::RefCell::new(vec![0.0; n]),
+            cmat: std::cell::RefCell::new(DMat::zeros(n, n)),
+        }
+    }
+}
+
+impl<D: Dae + ?Sized> NonlinearSystem for StepSystem<'_, D> {
+    fn dim(&self) -> usize {
+        self.dae.dim()
+    }
+
+    fn residual(&self, x: &[f64], out: &mut [f64]) {
+        let mut q = self.qbuf.borrow_mut();
+        let mut f = self.fbuf.borrow_mut();
+        self.dae.eval_q(x, &mut q);
+        self.dae.eval_f(x, &mut f);
+        for i in 0..out.len() {
+            out[i] = self.a0h * q[i] + self.theta * f[i] + self.rconst[i];
+        }
+    }
+
+    fn jacobian(&self, x: &[f64], out: &mut DMat) {
+        let mut c = self.cmat.borrow_mut();
+        self.dae.jac_q(x, &mut c);
+        self.dae.jac_f(x, out);
+        out.scale(self.theta);
+        out.axpy(self.a0h, &c);
+    }
+}
+
+/// History ring used to build step residuals and LTE predictors.
+struct History {
+    /// (t, x, q(x)) of up to the last three accepted points, newest first.
+    entries: Vec<(f64, Vec<f64>, Vec<f64>)>,
+}
+
+impl History {
+    fn push(&mut self, t: f64, x: Vec<f64>, q: Vec<f64>) {
+        self.entries.insert(0, (t, x, q));
+        self.entries.truncate(3);
+    }
+
+    /// Polynomial extrapolation of the state to time `t` (order = #points-1,
+    /// capped at quadratic). Used as the LTE predictor.
+    fn predict(&self, t: f64) -> Option<Vec<f64>> {
+        match self.entries.len() {
+            0 | 1 => None,
+            2 => {
+                let (t1, x1, _) = &self.entries[0];
+                let (t0, x0, _) = &self.entries[1];
+                let w = (t - t0) / (t1 - t0);
+                Some(
+                    x0.iter()
+                        .zip(x1.iter())
+                        .map(|(a, b)| a * (1.0 - w) + b * w)
+                        .collect(),
+                )
+            }
+            _ => {
+                let (t2, x2, _) = &self.entries[0];
+                let (t1, x1, _) = &self.entries[1];
+                let (t0, x0, _) = &self.entries[2];
+                let l0 = (t - t1) * (t - t2) / ((t0 - t1) * (t0 - t2));
+                let l1 = (t - t0) * (t - t2) / ((t1 - t0) * (t1 - t2));
+                let l2 = (t - t0) * (t - t1) / ((t2 - t0) * (t2 - t1));
+                Some(
+                    (0..x0.len())
+                        .map(|i| x0[i] * l0 + x1[i] * l1 + x2[i] * l2)
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+/// Integrates `d/dt q(x) + f(x) = b(t)` from `x0` over `[t0, t_end]`.
+///
+/// `x0` must be a consistent initial state (e.g. from
+/// [`crate::dc_operating_point`], possibly perturbed to kick an
+/// oscillator).
+///
+/// # Errors
+///
+/// * [`TransimError::BadInput`] for an empty/invalid time span or step;
+/// * [`TransimError::NewtonFailed`] / [`TransimError::SingularJacobian`]
+///   when a step's Newton solve fails at the minimum step;
+/// * [`TransimError::StepTooSmall`] when adaptive control underflows.
+pub fn run_transient<D: Dae + ?Sized>(
+    dae: &D,
+    x0: &[f64],
+    t0: f64,
+    t_end: f64,
+    opts: &TransientOptions,
+) -> Result<TransientResult, TransimError> {
+    let n = dae.dim();
+    if x0.len() != n {
+        return Err(TransimError::BadInput(format!(
+            "x0 has length {}, expected {}",
+            x0.len(),
+            n
+        )));
+    }
+    if !(t_end > t0) {
+        return Err(TransimError::BadInput("t_end must exceed t0".into()));
+    }
+    let span = t_end - t0;
+    let (adaptive, rtol, atol, mut h, h_min, h_max) = match opts.step {
+        StepControl::Fixed(dt) => {
+            if !(dt > 0.0) {
+                return Err(TransimError::BadInput("fixed step must be positive".into()));
+            }
+            (false, 0.0, 0.0, dt, dt, dt)
+        }
+        StepControl::Adaptive {
+            rtol,
+            atol,
+            dt_init,
+            dt_min,
+            dt_max,
+        } => {
+            let h0 = if dt_init > 0.0 { dt_init } else { span / 1000.0 };
+            let hmin = if dt_min > 0.0 { dt_min } else { span * 1e-12 };
+            let hmax = if dt_max > 0.0 { dt_max } else { span / 10.0 };
+            (true, rtol, atol, h0, hmin, hmax)
+        }
+    };
+
+    let mut times = Vec::with_capacity(1024);
+    let mut states: Vec<Vec<f64>> = Vec::with_capacity(1024);
+    let mut stats = TransientStats::default();
+
+    let mut t = t0;
+    let mut x = x0.to_vec();
+    let mut q = vec![0.0; n];
+    dae.eval_q(&x, &mut q);
+    times.push(t);
+    states.push(x.clone());
+
+    let mut hist = History {
+        entries: vec![(t, x.clone(), q.clone())],
+    };
+
+    let mut bbuf = vec![0.0; n];
+    let mut fbuf = vec![0.0; n];
+    let order = opts.integrator.order();
+    // Hard cap prevents runaway loops if a caller passes absurd tolerances.
+    let max_steps = 200_000_000usize.min(((span / h_min).ceil() as usize).saturating_mul(2).max(1024));
+
+    while t < t_end - 1e-15 * span {
+        if stats.steps + stats.rejected > max_steps {
+            return Err(TransimError::StepTooSmall { at_time: t, step: h });
+        }
+        let h_try = h.min(t_end - t);
+        let t_new = t + h_try;
+
+        // Build the step residual constants.
+        let (a0h, theta, mut rconst) = match opts.integrator {
+            Integrator::BackwardEuler => {
+                let mut rc = vec![0.0; n];
+                for i in 0..n {
+                    rc[i] = -hist.entries[0].2[i] / h_try;
+                }
+                (1.0 / h_try, 1.0, rc)
+            }
+            Integrator::Trapezoidal => {
+                let mut rc = vec![0.0; n];
+                let (tp, xp, qp) = &hist.entries[0];
+                dae.eval_f(xp, &mut fbuf);
+                dae.eval_b(*tp, &mut bbuf);
+                for i in 0..n {
+                    rc[i] = -qp[i] / h_try + 0.5 * (fbuf[i] - bbuf[i]);
+                }
+                (1.0 / h_try, 0.5, rc)
+            }
+            Integrator::Bdf2 => {
+                if hist.entries.len() < 2 {
+                    // Self-start with one BE step.
+                    let mut rc = vec![0.0; n];
+                    for i in 0..n {
+                        rc[i] = -hist.entries[0].2[i] / h_try;
+                    }
+                    (1.0 / h_try, 1.0, rc)
+                } else {
+                    let (t1, _, q1) = &hist.entries[0];
+                    let (t2, _, q2) = &hist.entries[1];
+                    let h_prev = t1 - t2;
+                    let rho = h_try / h_prev;
+                    let a0 = (1.0 + 2.0 * rho) / (1.0 + rho);
+                    let a1 = -(1.0 + rho);
+                    let a2 = rho * rho / (1.0 + rho);
+                    let mut rc = vec![0.0; n];
+                    for i in 0..n {
+                        rc[i] = (a1 * q1[i] + a2 * q2[i]) / h_try;
+                    }
+                    (a0 / h_try, 1.0, rc)
+                }
+            }
+        };
+        dae.eval_b(t_new, &mut bbuf);
+        for i in 0..n {
+            rconst[i] -= theta * bbuf[i];
+        }
+
+        let sys = StepSystem::new(dae, a0h, theta, rconst);
+        let mut x_new = hist.predict(t_new).unwrap_or_else(|| x.clone());
+        let newton_result = newton_solve(&sys, &mut x_new, &opts.newton);
+
+        let accept = match &newton_result {
+            Ok(rep) => {
+                stats.newton_iterations += rep.iterations;
+                if adaptive {
+                    match hist.predict(t_new) {
+                        Some(pred) => {
+                            let diff: Vec<f64> = x_new
+                                .iter()
+                                .zip(pred.iter())
+                                .map(|(a, b)| a - b)
+                                .collect();
+                            // Predictor-corrector difference over-estimates the
+                            // LTE; the 1/5 factor is the usual calibration.
+                            let err = wrms_norm(&diff, &x_new, atol, rtol) / 5.0;
+                            if err <= 1.0 {
+                                let grow = 0.9 * err.max(1e-10).powf(-1.0 / (order as f64 + 1.0));
+                                h = (h_try * grow.clamp(0.25, 2.5)).clamp(h_min, h_max);
+                                true
+                            } else {
+                                let shrink = 0.9 * err.powf(-1.0 / (order as f64 + 1.0));
+                                h = (h_try * shrink.clamp(0.1, 0.9)).max(h_min);
+                                false
+                            }
+                        }
+                        None => true, // no history yet: accept the first step
+                    }
+                } else {
+                    true
+                }
+            }
+            Err(_) => {
+                if h_try <= h_min * 1.0000001 {
+                    return newton_result.map(|_| unreachable!()).map_err(|e| match e {
+                        TransimError::NewtonFailed {
+                            iterations,
+                            residual,
+                            ..
+                        } => TransimError::NewtonFailed {
+                            iterations,
+                            residual,
+                            at_time: t_new,
+                        },
+                        TransimError::SingularJacobian { .. } => {
+                            TransimError::SingularJacobian { at_time: t_new }
+                        }
+                        other => other,
+                    });
+                }
+                h = (h_try * 0.25).max(h_min);
+                false
+            }
+        };
+
+        if accept {
+            t = t_new;
+            x = x_new;
+            dae.eval_q(&x, &mut q);
+            hist.push(t, x.clone(), q.clone());
+            times.push(t);
+            states.push(x.clone());
+            stats.steps += 1;
+        } else {
+            stats.rejected += 1;
+            if adaptive && h <= h_min * 1.0000001 && matches!(newton_result, Ok(_)) {
+                // Error control cannot be satisfied even at the minimum step.
+                return Err(TransimError::StepTooSmall { at_time: t, step: h });
+            }
+        }
+    }
+
+    Ok(TransientResult {
+        times,
+        states,
+        stats,
+    })
+}
+
+/// Fixed-step convenience used by the paper's Figure 12 baseline:
+/// integrates `n_cycles` of a signal with nominal period `period`, taking
+/// `pts_per_cycle` steps per cycle.
+///
+/// # Errors
+///
+/// See [`run_transient`].
+pub fn run_fixed_per_cycle<D: Dae + ?Sized>(
+    dae: &D,
+    x0: &[f64],
+    period: f64,
+    n_cycles: f64,
+    pts_per_cycle: usize,
+    integrator: Integrator,
+) -> Result<TransientResult, TransimError> {
+    let dt = period / pts_per_cycle as f64;
+    let opts = TransientOptions {
+        integrator,
+        step: StepControl::Fixed(dt),
+        ..Default::default()
+    };
+    run_transient(dae, x0, 0.0, period * n_cycles, &opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuitdae::analytic::{LinearOscillator, VanDerPol};
+    use circuitdae::{Circuit, Device, Waveform};
+
+    fn rc_charging() -> circuitdae::CircuitDae {
+        // 1V step into series R=1k, C=1µ: v(t) = 1 − e^{−t/RC}, τ = 1 ms.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("out");
+        ckt.add(Device::voltage_source(a, Circuit::GND, Waveform::Dc(1.0)));
+        ckt.add(Device::resistor(a, b, 1e3));
+        ckt.add(Device::capacitor(b, Circuit::GND, 1e-6));
+        ckt.build().unwrap()
+    }
+
+    #[test]
+    fn rc_step_response_be() {
+        let dae = rc_charging();
+        let opts = TransientOptions {
+            integrator: Integrator::BackwardEuler,
+            step: StepControl::Fixed(1e-5),
+            ..Default::default()
+        };
+        let res = run_transient(&dae, &[1.0, 0.0, -1e-3], 0.0, 5e-3, &opts).unwrap();
+        let v_out = res.last()[1];
+        let want = 1.0 - (-5.0_f64).exp();
+        assert!((v_out - want).abs() < 1e-3, "v_out={v_out}");
+    }
+
+    #[test]
+    fn trapezoidal_is_second_order() {
+        // Halving the step should cut the error by ~4 for trapezoidal.
+        let osc = LinearOscillator::undamped(1.0);
+        let t_end = 2.0;
+        let exact = f64::cos(t_end);
+        let mut errs = Vec::new();
+        for &dt in &[0.02, 0.01] {
+            let opts = TransientOptions {
+                integrator: Integrator::Trapezoidal,
+                step: StepControl::Fixed(dt),
+                ..Default::default()
+            };
+            let res = run_transient(&osc, &[1.0, 0.0], 0.0, t_end, &opts).unwrap();
+            errs.push((res.last()[0] - exact).abs());
+        }
+        let ratio = errs[0] / errs[1];
+        assert!(ratio > 3.0 && ratio < 5.0, "convergence ratio {ratio}");
+    }
+
+    #[test]
+    fn backward_euler_is_first_order() {
+        let osc = LinearOscillator::undamped(1.0);
+        let t_end = 1.0;
+        let exact = f64::cos(t_end);
+        let mut errs = Vec::new();
+        for &dt in &[0.002, 0.001] {
+            let opts = TransientOptions {
+                integrator: Integrator::BackwardEuler,
+                step: StepControl::Fixed(dt),
+                ..Default::default()
+            };
+            let res = run_transient(&osc, &[1.0, 0.0], 0.0, t_end, &opts).unwrap();
+            errs.push((res.last()[0] - exact).abs());
+        }
+        let ratio = errs[0] / errs[1];
+        assert!(ratio > 1.7 && ratio < 2.3, "convergence ratio {ratio}");
+    }
+
+    #[test]
+    fn bdf2_is_second_order() {
+        let osc = LinearOscillator::undamped(1.0);
+        let t_end = 2.0;
+        let exact = f64::cos(t_end);
+        let mut errs = Vec::new();
+        for &dt in &[0.02, 0.01] {
+            let opts = TransientOptions {
+                integrator: Integrator::Bdf2,
+                step: StepControl::Fixed(dt),
+                ..Default::default()
+            };
+            let res = run_transient(&osc, &[1.0, 0.0], 0.0, t_end, &opts).unwrap();
+            errs.push((res.last()[0] - exact).abs());
+        }
+        let ratio = errs[0] / errs[1];
+        assert!(ratio > 3.0 && ratio < 5.0, "convergence ratio {ratio}");
+    }
+
+    #[test]
+    fn adaptive_matches_exact_solution() {
+        let osc = LinearOscillator {
+            omega: 2.0,
+            zeta: 0.1,
+            amplitude: 0.0,
+            freq_hz: 0.0,
+        };
+        let opts = TransientOptions {
+            integrator: Integrator::Trapezoidal,
+            step: StepControl::Adaptive {
+                rtol: 1e-8,
+                atol: 1e-12,
+                dt_init: 1e-3,
+                dt_min: 0.0,
+                dt_max: 0.0,
+            },
+            ..Default::default()
+        };
+        let res = run_transient(&osc, &[1.0, 0.0], 0.0, 3.0, &opts).unwrap();
+        for (i, &t) in res.times.iter().enumerate().step_by(50) {
+            let want = osc.exact_unforced(1.0, t);
+            assert!(
+                (res.states[i][0] - want).abs() < 1e-5,
+                "t={t}: {} vs {want}",
+                res.states[i][0]
+            );
+        }
+        assert!(res.stats.steps > 10);
+    }
+
+    #[test]
+    fn van_der_pol_reaches_limit_cycle_amplitude() {
+        let vdp = VanDerPol::unforced(0.5);
+        let opts = TransientOptions {
+            integrator: Integrator::Trapezoidal,
+            step: StepControl::Fixed(0.01),
+            ..Default::default()
+        };
+        let res = run_transient(&vdp, &[0.1, 0.0], 0.0, 60.0, &opts).unwrap();
+        // After many periods the amplitude should be ≈ 2.
+        let tail_max = res
+            .states
+            .iter()
+            .skip(res.states.len() * 3 / 4)
+            .map(|x| x[0].abs())
+            .fold(0.0_f64, f64::max);
+        assert!((tail_max - 2.0).abs() < 0.1, "amplitude {tail_max}");
+    }
+
+    #[test]
+    fn sample_interpolates() {
+        let osc = LinearOscillator::undamped(1.0);
+        let opts = TransientOptions {
+            integrator: Integrator::Trapezoidal,
+            step: StepControl::Fixed(0.01),
+            ..Default::default()
+        };
+        let res = run_transient(&osc, &[1.0, 0.0], 0.0, 1.0, &opts).unwrap();
+        let v = res.sample(0, 0.5);
+        assert!((v - 0.5_f64.cos()).abs() < 1e-3);
+        // Clamping beyond the ends.
+        assert_eq!(res.sample(0, -1.0), res.states[0][0]);
+        assert_eq!(res.sample(0, 99.0), res.last()[0]);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let osc = LinearOscillator::undamped(1.0);
+        let opts = TransientOptions::default();
+        assert!(run_transient(&osc, &[1.0], 0.0, 1.0, &opts).is_err());
+        assert!(run_transient(&osc, &[1.0, 0.0], 1.0, 1.0, &opts).is_err());
+        let bad = TransientOptions {
+            step: StepControl::Fixed(0.0),
+            ..Default::default()
+        };
+        assert!(run_transient(&osc, &[1.0, 0.0], 0.0, 1.0, &bad).is_err());
+    }
+
+    #[test]
+    fn fixed_per_cycle_helper() {
+        let osc = LinearOscillator::undamped(2.0 * std::f64::consts::PI);
+        let res =
+            run_fixed_per_cycle(&osc, &[1.0, 0.0], 1.0, 2.0, 100, Integrator::Trapezoidal)
+                .unwrap();
+        assert_eq!(res.stats.steps, 200);
+        assert!((res.last()[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn stiff_mems_like_system_with_be() {
+        // Very stiff linear system: fast pole 1e8, slow pole 1e3.
+        struct Stiff;
+        impl circuitdae::Dae for Stiff {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn eval_q(&self, x: &[f64], out: &mut [f64]) {
+                out.copy_from_slice(x);
+            }
+            fn eval_f(&self, x: &[f64], out: &mut [f64]) {
+                out[0] = 1e3 * x[0];
+                out[1] = 1e8 * (x[1] - x[0]);
+            }
+            fn eval_b(&self, _t: f64, out: &mut [f64]) {
+                out[0] = 0.0;
+                out[1] = 0.0;
+            }
+            fn jac_q(&self, _x: &[f64], out: &mut numkit::DMat) {
+                out.fill_zero();
+                out[(0, 0)] = 1.0;
+                out[(1, 1)] = 1.0;
+            }
+            fn jac_f(&self, _x: &[f64], out: &mut numkit::DMat) {
+                out.fill_zero();
+                out[(0, 0)] = 1e3;
+                out[(1, 0)] = -1e8;
+                out[(1, 1)] = 1e8;
+            }
+        }
+        let opts = TransientOptions {
+            integrator: Integrator::BackwardEuler,
+            step: StepControl::Fixed(1e-5), // far larger than 1/1e8
+            ..Default::default()
+        };
+        let res = run_transient(&Stiff, &[1.0, 0.0], 0.0, 1e-3, &opts).unwrap();
+        // x0 decays like e^{-1e3 t}; x1 slaves to x0. No blow-up allowed.
+        let last = res.last();
+        assert!(last[0] > 0.0 && last[0] < 1.0);
+        assert!((last[1] - last[0]).abs() < 1e-3);
+    }
+}

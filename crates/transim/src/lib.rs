@@ -1,0 +1,44 @@
+//! Nonlinear solving and transient simulation of circuit DAEs.
+//!
+//! This crate is the "conventional methods" substrate of the reproduction:
+//!
+//! * [`newton`] — damped Newton–Raphson over dense Jacobians, the inner
+//!   solver of every engine in the workspace;
+//! * [`dcop`] — DC operating point with gmin continuation;
+//! * [`integrate`] — transient integration of
+//!   `d/dt q(x) + f(x) = b(t)` with Backward Euler, Trapezoidal and BDF2
+//!   methods, fixed or LTE-adaptive steps. This is the baseline the paper
+//!   compares the WaMPDE against ("ODE: 50 pts/cycle" etc. in Figure 12).
+//!
+//! # Example
+//!
+//! ```
+//! use circuitdae::analytic::LinearOscillator;
+//! use transim::integrate::{run_transient, Integrator, StepControl, TransientOptions};
+//!
+//! # fn main() -> Result<(), transim::TransimError> {
+//! let osc = LinearOscillator::undamped(1.0);
+//! let opts = TransientOptions {
+//!     integrator: Integrator::Trapezoidal,
+//!     step: StepControl::Fixed(1e-3),
+//!     ..Default::default()
+//! };
+//! let res = run_transient(&osc, &[1.0, 0.0], 0.0, 1.0, &opts)?;
+//! let last = res.states.last().unwrap();
+//! assert!((last[0] - 1.0_f64.cos()).abs() < 1e-4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dcop;
+pub mod error;
+pub mod integrate;
+pub mod newton;
+
+pub use dcop::dc_operating_point;
+pub use error::TransimError;
+pub use integrate::{
+    run_fixed_per_cycle, run_transient, Integrator, StepControl, TransientOptions,
+    TransientResult,
+};
+pub use newton::{newton_solve, NewtonOptions, NewtonReport, NonlinearSystem};

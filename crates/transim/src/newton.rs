@@ -1,0 +1,257 @@
+//! Damped Newton–Raphson for dense nonlinear systems.
+
+use crate::error::TransimError;
+use numkit::vecops::{norm2, wrms_norm};
+use numkit::{DMat, DenseLu};
+
+/// A square nonlinear system `r(x) = 0` with a dense Jacobian.
+pub trait NonlinearSystem {
+    /// Number of unknowns.
+    fn dim(&self) -> usize;
+    /// Residual `r(x)` into `out`.
+    fn residual(&self, x: &[f64], out: &mut [f64]);
+    /// Jacobian `∂r/∂x` into `out` (`dim × dim`).
+    fn jacobian(&self, x: &[f64], out: &mut DMat);
+}
+
+/// Options for [`newton_solve`].
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonOptions {
+    /// Maximum Newton iterations.
+    pub max_iter: usize,
+    /// Absolute tolerance on the update (per component).
+    pub abstol: f64,
+    /// Relative tolerance on the update (per component).
+    pub reltol: f64,
+    /// Smallest damping factor tried before declaring failure.
+    pub min_damping: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iter: 50,
+            abstol: 1e-12,
+            reltol: 1e-9,
+            min_damping: 1.0 / 64.0,
+        }
+    }
+}
+
+/// Convergence report from [`newton_solve`].
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonReport {
+    /// Newton iterations used.
+    pub iterations: usize,
+    /// Final residual 2-norm.
+    pub residual_norm: f64,
+}
+
+/// Solves `r(x) = 0` by damped Newton, updating `x` in place.
+///
+/// Damping: when a full step does not reduce `‖r‖₂`, the step is halved
+/// (down to [`NewtonOptions::min_damping`]) before being accepted anyway —
+/// the standard SPICE-style heuristic that tolerates mild residual growth
+/// far from the solution while preventing divergence.
+///
+/// Convergence is declared when the weighted update norm
+/// `wrms(Δx; atol, rtol)` drops below 1.
+///
+/// # Errors
+///
+/// * [`TransimError::SingularJacobian`] when factorisation fails;
+/// * [`TransimError::NewtonFailed`] when the iteration budget is spent.
+pub fn newton_solve<S: NonlinearSystem + ?Sized>(
+    sys: &S,
+    x: &mut [f64],
+    opts: &NewtonOptions,
+) -> Result<NewtonReport, TransimError> {
+    let n = sys.dim();
+    assert_eq!(x.len(), n, "newton: x length mismatch");
+    let mut r = vec![0.0; n];
+    let mut jac = DMat::zeros(n, n);
+    let mut trial = vec![0.0; n];
+    let mut r_trial = vec![0.0; n];
+
+    sys.residual(x, &mut r);
+    let mut rnorm = norm2(&r);
+
+    for iter in 1..=opts.max_iter {
+        sys.jacobian(x, &mut jac);
+        let lu = DenseLu::factor(&jac).map_err(|_| TransimError::SingularJacobian {
+            at_time: f64::NAN,
+        })?;
+        // dx = -J⁻¹ r
+        let mut dx = r.clone();
+        lu.solve_in_place(&mut dx)
+            .map_err(|_| TransimError::SingularJacobian { at_time: f64::NAN })?;
+        for v in dx.iter_mut() {
+            *v = -*v;
+        }
+
+        // Damped line search on ‖r‖₂.
+        let mut lambda = 1.0;
+        loop {
+            for i in 0..n {
+                trial[i] = x[i] + lambda * dx[i];
+            }
+            sys.residual(&trial, &mut r_trial);
+            let rt = norm2(&r_trial);
+            if rt.is_finite() && (rt <= rnorm || lambda <= opts.min_damping) {
+                x.copy_from_slice(&trial);
+                r.copy_from_slice(&r_trial);
+                rnorm = rt;
+                break;
+            }
+            lambda *= 0.5;
+        }
+
+        let update_norm = wrms_norm(
+            &dx.iter().map(|v| v * lambda).collect::<Vec<_>>(),
+            x,
+            opts.abstol,
+            opts.reltol,
+        );
+        if update_norm <= 1.0 && rnorm.is_finite() {
+            return Ok(NewtonReport {
+                iterations: iter,
+                residual_norm: rnorm,
+            });
+        }
+    }
+
+    Err(TransimError::NewtonFailed {
+        iterations: opts.max_iter,
+        residual: rnorm,
+        at_time: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// r(x) = x² − 4 (root at ±2).
+    struct Quadratic;
+
+    impl NonlinearSystem for Quadratic {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn residual(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0] * x[0] - 4.0;
+        }
+        fn jacobian(&self, x: &[f64], out: &mut DMat) {
+            out[(0, 0)] = 2.0 * x[0];
+        }
+    }
+
+    /// 2-d Rosenbrock-style system with root (1, 1).
+    struct TwoDim;
+
+    impl NonlinearSystem for TwoDim {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn residual(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0] * x[0] + x[1] * x[1] - 2.0;
+            out[1] = x[0] - x[1];
+        }
+        fn jacobian(&self, x: &[f64], out: &mut DMat) {
+            out[(0, 0)] = 2.0 * x[0];
+            out[(0, 1)] = 2.0 * x[1];
+            out[(1, 0)] = 1.0;
+            out[(1, 1)] = -1.0;
+        }
+    }
+
+    #[test]
+    fn scalar_quadratic_converges() {
+        let mut x = vec![3.0];
+        let rep = newton_solve(&Quadratic, &mut x, &NewtonOptions::default()).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!(rep.iterations < 10);
+    }
+
+    #[test]
+    fn negative_start_finds_negative_root() {
+        let mut x = vec![-5.0];
+        newton_solve(&Quadratic, &mut x, &NewtonOptions::default()).unwrap();
+        assert!((x[0] + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_dim_system() {
+        let mut x = vec![2.0, 0.5];
+        newton_solve(&TwoDim, &mut x, &NewtonOptions::default()).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_jacobian_detected() {
+        struct Flat;
+        impl NonlinearSystem for Flat {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn residual(&self, _x: &[f64], out: &mut [f64]) {
+                out[0] = 1.0;
+            }
+            fn jacobian(&self, _x: &[f64], out: &mut DMat) {
+                out[(0, 0)] = 0.0;
+            }
+        }
+        let mut x = vec![0.0];
+        assert!(matches!(
+            newton_solve(&Flat, &mut x, &NewtonOptions::default()),
+            Err(TransimError::SingularJacobian { .. })
+        ));
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        // A system whose Newton steps cycle: r = atan-like flat tail.
+        struct Hard;
+        impl NonlinearSystem for Hard {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn residual(&self, x: &[f64], out: &mut [f64]) {
+                out[0] = x[0].atan() + 2.0; // no root: atan ∈ (-π/2, π/2)
+            }
+            fn jacobian(&self, x: &[f64], out: &mut DMat) {
+                out[(0, 0)] = 1.0 / (1.0 + x[0] * x[0]);
+            }
+        }
+        let mut x = vec![0.0];
+        let opts = NewtonOptions {
+            max_iter: 8,
+            ..Default::default()
+        };
+        assert!(matches!(
+            newton_solve(&Hard, &mut x, &opts),
+            Err(TransimError::NewtonFailed { iterations: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn damping_rescues_overshoot() {
+        // Start far away where full Newton overshoots on x³-1.
+        struct Cubic;
+        impl NonlinearSystem for Cubic {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn residual(&self, x: &[f64], out: &mut [f64]) {
+                out[0] = x[0].powi(3) - 1.0;
+            }
+            fn jacobian(&self, x: &[f64], out: &mut DMat) {
+                out[(0, 0)] = 3.0 * x[0] * x[0];
+            }
+        }
+        let mut x = vec![0.01];
+        newton_solve(&Cubic, &mut x, &NewtonOptions::default()).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+    }
+}

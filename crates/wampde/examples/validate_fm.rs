@@ -1,0 +1,53 @@
+//! Quick validation: vacuum MEMS VCO, WaMPDE envelope vs direct transient.
+use circuitdae::circuits::{self, MemsVcoConfig};
+use circuitdae::Dae;
+use shooting::{oscillator_steady_state, ShootingOptions};
+use transim::*;
+use wampde::*;
+
+fn main() {
+    let cfg = MemsVcoConfig::paper_vacuum();
+    let dae = circuits::mems_vco(cfg);
+    let unforced = circuits::mems_vco(MemsVcoConfig::constant(1.5));
+    let orbit = oscillator_steady_state(&unforced, &ShootingOptions::default()).unwrap();
+    println!("f0 = {:.1} kHz", orbit.frequency() / 1e3);
+
+    let opts = WampdeOptions { harmonics: 9, ..Default::default() };
+    let init = WampdeInit::from_orbit(&orbit, &opts);
+    let t_end = 80e-6; // two control periods
+    let t0 = std::time::Instant::now();
+    let env = solve_envelope(&dae, &init, t_end, &opts).unwrap();
+    let wampde_time = t0.elapsed();
+    let (lo, hi) = env.frequency_range();
+    println!("WaMPDE: steps={} rejected={} newton={} time={:?}", env.stats.steps, env.stats.rejected, env.stats.newton_iterations, wampde_time);
+    println!("frequency range: {:.3} - {:.3} MHz (ratio {:.2})", lo/1e6, hi/1e6, hi/lo);
+
+    // Transient reference from the same initial state.
+    // Initial condition: state at t1 = phi(0) = 0 of the initial samples -> first sample row.
+    let x0: Vec<f64> = env.states[0][0..dae.dim()].to_vec();
+    let t0 = std::time::Instant::now();
+    let tr = run_transient(&dae, &x0, 0.0, t_end, &TransientOptions {
+        integrator: Integrator::Trapezoidal,
+        step: StepControl::Adaptive { rtol: 1e-8, atol: 1e-12, dt_init: 1e-9, dt_min: 0.0, dt_max: 5e-8 },
+        ..Default::default()
+    }).unwrap();
+    let tr_time = t0.elapsed();
+    println!("transient: steps={} time={:?}", tr.stats.steps, tr_time);
+
+    // Compare waveforms over [0, 20us] and around 60us.
+    let mut max_err_early = 0.0f64;
+    for i in 0..2000 {
+        let t = i as f64 * 1e-8; // up to 20us
+        let w = env.reconstruct(0, &[t])[0];
+        let r = tr.sample(0, t);
+        max_err_early = max_err_early.max((w - r).abs());
+    }
+    let mut max_err_late = 0.0f64;
+    for i in 0..1000 {
+        let t = 60e-6 + i as f64 * 1e-8;
+        let w = env.reconstruct(0, &[t])[0];
+        let r = tr.sample(0, t);
+        max_err_late = max_err_late.max((w - r).abs());
+    }
+    println!("max |wampde - transient| early = {max_err_early:.4} V, late = {max_err_late:.4} V (amplitude ~2V)");
+}

@@ -1,0 +1,159 @@
+//! Initial conditions for WaMPDE runs, with phase alignment.
+
+use crate::error::WampdeError;
+use crate::options::WampdeOptions;
+use fourier::FourierSeries;
+use shooting::PeriodicOrbit;
+
+/// Initial bivariate data for a WaMPDE run: one warped-time period of
+/// samples plus the starting local frequency.
+///
+/// The natural initial condition (paper §4.1) is the solution of the
+/// *unforced* system — the oscillator's periodic steady state with the
+/// control input held at its `t = 0` value. [`WampdeInit::from_orbit`]
+/// builds exactly that from a shooting result.
+#[derive(Debug, Clone)]
+pub struct WampdeInit {
+    /// `N0` rows of `n` variables: sample `s` is the state at warped time
+    /// `t1 = s/N0`.
+    pub samples: Vec<Vec<f64>>,
+    /// Initial local frequency (Hz).
+    pub freq_hz: f64,
+}
+
+impl WampdeInit {
+    /// Builds an initial condition from a periodic orbit, resampling onto
+    /// the collocation grid and rotating the warped-time origin so the
+    /// phase condition `Im{X̂ᵏ_l} = 0` holds exactly at `t2 = 0`.
+    pub fn from_orbit(orbit: &PeriodicOrbit, opts: &WampdeOptions) -> Self {
+        let samples = orbit.resample_uniform(opts.n0());
+        let mut init = WampdeInit {
+            samples,
+            freq_hz: orbit.frequency(),
+        };
+        // Alignment failure just means the raw phase is kept; the solvers
+        // re-validate and report degeneracy with context.
+        let _ = init.align_phase(opts.phase_var, opts.phase_harmonic);
+        init
+    }
+
+    /// Builds from explicit samples (`N0 × n`) and a starting frequency.
+    pub fn from_samples(samples: Vec<Vec<f64>>, freq_hz: f64) -> Self {
+        WampdeInit { samples, freq_hz }
+    }
+
+    /// Number of collocation samples.
+    pub fn n0(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Rotates the warped-time origin (`t1 → t1 + Δ`) so that the `l`-th
+    /// Fourier coefficient of variable `k` becomes purely real, i.e. the
+    /// phase condition of eq. (20) is satisfied by the initial data.
+    ///
+    /// # Errors
+    ///
+    /// [`WampdeError::DegeneratePhase`] when variable `k` carries
+    /// (numerically) no harmonic-`l` content, so no rotation can pin it.
+    pub fn align_phase(&mut self, k: usize, l: usize) -> Result<(), WampdeError> {
+        let n0 = self.samples.len();
+        let n = self.samples.first().map_or(0, Vec::len);
+        if k >= n {
+            return Err(WampdeError::BadInput(format!(
+                "phase variable {k} out of range (n = {n})"
+            )));
+        }
+        let var_k: Vec<f64> = self.samples.iter().map(|row| row[k]).collect();
+        let series = FourierSeries::from_samples(&var_k);
+        let c = series.coeff(l as isize);
+        let scale = var_k.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
+        if c.abs() < 1e-9 * scale {
+            return Err(WampdeError::DegeneratePhase { var: k, harmonic: l });
+        }
+        // Shifting samples to x̂(t1 + Δ) multiplies coefficient c_l by
+        // e^{j2πlΔ}; choose Δ so the result is real: 2πlΔ = −arg(c).
+        let delta = -c.arg() / (2.0 * std::f64::consts::PI * l as f64);
+        let per_var: Vec<FourierSeries> = (0..n)
+            .map(|i| {
+                let v: Vec<f64> = self.samples.iter().map(|row| row[i]).collect();
+                FourierSeries::from_samples(&v)
+            })
+            .collect();
+        for (s, row) in self.samples.iter_mut().enumerate() {
+            let t1 = s as f64 / n0 as f64 + delta;
+            for (i, series_i) in per_var.iter().enumerate() {
+                row[i] = series_i.eval(t1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flattens into the sample-major stacked layout of [`hb::Colloc`].
+    pub fn stacked(&self) -> Vec<f64> {
+        self.samples.iter().flatten().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb::Colloc;
+
+    fn sine_samples(n0: usize, phase: f64) -> Vec<Vec<f64>> {
+        (0..n0)
+            .map(|s| {
+                let t = s as f64 / n0 as f64;
+                vec![
+                    (2.0 * std::f64::consts::PI * t + phase).sin(),
+                    (2.0 * std::f64::consts::PI * t + phase).cos(),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn align_phase_zeroes_imaginary_part() {
+        let mut init = WampdeInit::from_samples(sine_samples(9, 0.7), 1.0);
+        init.align_phase(0, 1).unwrap();
+        let colloc = Colloc::new(2, 4);
+        let stacked = init.stacked();
+        assert!(colloc.phase_value(&stacked, 0, 1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn align_phase_preserves_waveform_shape() {
+        let mut init = WampdeInit::from_samples(sine_samples(9, 1.1), 1.0);
+        init.align_phase(0, 1).unwrap();
+        // The two variables must stay in quadrature (rigid rotation).
+        for row in &init.samples {
+            let r = row[0] * row[0] + row[1] * row[1];
+            assert!((r - 1.0).abs() < 1e-9, "norm broken: {r}");
+        }
+    }
+
+    #[test]
+    fn degenerate_phase_detected() {
+        // Constant variable has no first harmonic.
+        let samples: Vec<Vec<f64>> = (0..9).map(|_| vec![1.0]).collect();
+        let mut init = WampdeInit::from_samples(samples, 1.0);
+        assert!(matches!(
+            init.align_phase(0, 1),
+            Err(WampdeError::DegeneratePhase { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_var_rejected() {
+        let mut init = WampdeInit::from_samples(sine_samples(9, 0.0), 1.0);
+        assert!(matches!(
+            init.align_phase(5, 1),
+            Err(WampdeError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn stacked_layout_is_sample_major() {
+        let init = WampdeInit::from_samples(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]], 1.0);
+        assert_eq!(init.stacked(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Configuration of the WaMPDE solvers.
+
+use transim::NewtonOptions;
+
+/// Implicit scheme used along the slow (unwarped) time axis `t2`.
+///
+/// The envelope system is a semi-explicit DAE in which the local
+/// frequency `ω(t2)` acts as a Lagrange multiplier enforcing the phase
+/// constraint — an index-2-like structure. Methods that *average* the
+/// instantaneous terms (trapezoidal) are known to ring on such
+/// multipliers; fully implicit methods (BE, BDF2) are clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum T2Integrator {
+    /// First order, L-stable, fully implicit — the robust fallback.
+    BackwardEuler,
+    /// Second order, A-stable, but averages the instantaneous terms:
+    /// exhibits period-2 ringing (and at tight tolerances, step-control
+    /// collapse) of `ω(t2)`. Kept for the integrator ablation.
+    Trapezoidal,
+    /// Second order, fully implicit two-step BDF (variable-step
+    /// coefficients, Backward-Euler start) — the default: second-order
+    /// envelope accuracy without multiplier ringing.
+    #[default]
+    Bdf2,
+}
+
+impl T2Integrator {
+    /// Classical order of accuracy (used by the step controller).
+    pub fn order(&self) -> usize {
+        match self {
+            T2Integrator::BackwardEuler => 1,
+            T2Integrator::Trapezoidal | T2Integrator::Bdf2 => 2,
+        }
+    }
+}
+
+/// Slow-time step policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum T2StepControl {
+    /// Constant `t2` step.
+    Fixed(f64),
+    /// Predictor–corrector LTE control on the envelope unknowns.
+    Adaptive {
+        /// Relative tolerance.
+        rtol: f64,
+        /// Absolute tolerance.
+        atol: f64,
+        /// Initial step (`0.0` = auto: span/200).
+        dt_init: f64,
+        /// Minimum step (`0.0` = auto: span·1e-9).
+        dt_min: f64,
+        /// Maximum step (`0.0` = auto: span/20).
+        dt_max: f64,
+    },
+}
+
+impl Default for T2StepControl {
+    fn default() -> Self {
+        T2StepControl::Adaptive {
+            rtol: 1e-4,
+            atol: 1e-9,
+            dt_init: 0.0,
+            dt_min: 0.0,
+            dt_max: 0.0,
+        }
+    }
+}
+
+/// How the local frequency unknown is treated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OmegaMode {
+    /// `ω(t2)` is a solver unknown pinned by the phase condition — the
+    /// WaMPDE proper.
+    Free,
+    /// `ω` is frozen at a constant and the phase condition is dropped —
+    /// this degenerates to the *unwarped* MPDE applied to an autonomous
+    /// system, the formulation the paper shows cannot represent FM
+    /// compactly. Kept for the ablation benches.
+    Frozen(f64),
+}
+
+impl Default for OmegaMode {
+    fn default() -> Self {
+        OmegaMode::Free
+    }
+}
+
+/// Which linear solver factors the per-step bordered Jacobian.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinearSolverKind {
+    /// Dense LU — simplest, right for small circuits.
+    Dense,
+    /// Sparse LU (Gilbert–Peierls) on the block-sparse Jacobian.
+    SparseLu,
+    /// Restarted GMRES with ILU(0), per the paper's note on iterative
+    /// methods for large systems.
+    GmresIlu0 {
+        /// Restart length.
+        restart: usize,
+        /// Iteration cap.
+        max_iters: usize,
+        /// Relative residual target.
+        rtol: f64,
+    },
+}
+
+impl Default for LinearSolverKind {
+    fn default() -> Self {
+        LinearSolverKind::Dense
+    }
+}
+
+/// Options for [`crate::solve_envelope`] / [`crate::solve_quasiperiodic`].
+#[derive(Debug, Clone, Copy)]
+pub struct WampdeOptions {
+    /// Harmonic count `M` along the warped axis (`N0 = 2M+1` samples).
+    pub harmonics: usize,
+    /// Scheme along `t2`.
+    pub integrator: T2Integrator,
+    /// Slow-time step policy.
+    pub step: T2StepControl,
+    /// Inner Newton options.
+    pub newton: NewtonOptions,
+    /// Phase-condition variable `k` (an unknown that actually oscillates —
+    /// typically the tank voltage).
+    pub phase_var: usize,
+    /// Phase-condition harmonic `l ≥ 1`.
+    pub phase_harmonic: usize,
+    /// Local-frequency treatment.
+    pub omega_mode: OmegaMode,
+    /// Linear solver for the bordered collocation Jacobian.
+    pub linear_solver: LinearSolverKind,
+}
+
+impl Default for WampdeOptions {
+    fn default() -> Self {
+        WampdeOptions {
+            harmonics: 8,
+            integrator: T2Integrator::default(),
+            step: T2StepControl::default(),
+            newton: NewtonOptions::default(),
+            phase_var: 0,
+            phase_harmonic: 1,
+            omega_mode: OmegaMode::default(),
+            linear_solver: LinearSolverKind::default(),
+        }
+    }
+}
+
+impl WampdeOptions {
+    /// Collocation sample count `N0 = 2M+1`.
+    pub fn n0(&self) -> usize {
+        2 * self.harmonics + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = WampdeOptions::default();
+        assert_eq!(o.n0(), 17);
+        assert_eq!(o.phase_harmonic, 1);
+        assert!(matches!(o.omega_mode, OmegaMode::Free));
+        assert!(matches!(o.linear_solver, LinearSolverKind::Dense));
+    }
+}

@@ -1,0 +1,601 @@
+//! Quasiperiodic (periodic-boundary) WaMPDE solver.
+//!
+//! With `b(t2)` periodic of period `T2`, seeking `x̂` `(1, T2)`-periodic
+//! and `ω(t2)` `T2`-periodic turns eqs. (19)–(20) into a boundary-value
+//! problem (paper §4.1): `N1` collocation slices along `t2`, each carrying
+//! `n·N0` warped-axis samples plus its own local frequency and phase
+//! condition, closed cyclically by the `t2` difference stencil. One global
+//! Newton solve yields FM-quasiperiodic steady states directly; mode
+//! locking (`ω0 = ω2`) and period multiplication (`ω0 = ω2/k`) emerge as
+//! special cases of the converged `ω(t2)`.
+//!
+//! The Jacobian is block-cyclic-bidiagonal and is always solved with the
+//! in-house sparse LU (a dense solve would be O((N1·n·N0)³)).
+
+use crate::error::WampdeError;
+use crate::options::{T2Integrator, WampdeOptions};
+use crate::result::EnvelopeResult;
+use circuitdae::Dae;
+use hb::Colloc;
+use numkit::vecops::norm2;
+use numkit::DMat;
+use sparsekit::{SparseLu, Triplets};
+
+/// Initial guess for the quasiperiodic solve: `N1` slices of stacked
+/// samples plus per-slice frequencies.
+#[derive(Debug, Clone)]
+pub struct QpInit {
+    /// Per-slice stacked collocation states (`n·N0` each).
+    pub slices: Vec<Vec<f64>>,
+    /// Per-slice local frequencies (Hz).
+    pub omegas: Vec<f64>,
+}
+
+impl QpInit {
+    /// Builds an initial guess by sampling a settled envelope run over its
+    /// final `t2_period`: slice `m` is taken at
+    /// `t_end − T2 + m·T2/N1` (linear interpolation between envelope
+    /// points).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the envelope is shorter than one period or has fewer
+    /// than two points.
+    pub fn from_envelope(env: &EnvelopeResult, t2_period: f64, n1: usize) -> Self {
+        assert!(env.len() >= 2, "envelope too short");
+        let t_end = *env.t2.last().expect("nonempty");
+        assert!(
+            t_end >= t2_period,
+            "envelope must cover at least one t2 period"
+        );
+        let t_start = t_end - t2_period;
+        let len = env.states[0].len();
+        let mut slices = Vec::with_capacity(n1);
+        let mut omegas = Vec::with_capacity(n1);
+        for m in 0..n1 {
+            let t = t_start + t2_period * m as f64 / n1 as f64;
+            // Linear interpolation of the stacked state.
+            let i = env
+                .t2
+                .partition_point(|&v| v <= t)
+                .saturating_sub(1)
+                .min(env.len() - 2);
+            let w = ((t - env.t2[i]) / (env.t2[i + 1] - env.t2[i])).clamp(0.0, 1.0);
+            let mut x = vec![0.0; len];
+            for k in 0..len {
+                x[k] = env.states[i][k] * (1.0 - w) + env.states[i + 1][k] * w;
+            }
+            slices.push(x);
+            omegas.push(env.omega_at(t));
+        }
+        QpInit { slices, omegas }
+    }
+
+    /// Replicates a single orbit (samples + frequency) across `n1` slices —
+    /// the natural guess when the forcing modulation is weak.
+    pub fn from_constant(stacked: Vec<f64>, freq_hz: f64, n1: usize) -> Self {
+        QpInit {
+            slices: vec![stacked; n1],
+            omegas: vec![freq_hz; n1],
+        }
+    }
+}
+
+/// A converged quasiperiodic WaMPDE solution.
+#[derive(Debug, Clone)]
+pub struct QuasiPeriodicSolution {
+    /// DAE dimension.
+    pub n: usize,
+    /// Warped-axis sample count.
+    pub n0: usize,
+    /// Slice count along `t2`.
+    pub n1: usize,
+    /// The slow period `T2`.
+    pub t2_period: f64,
+    /// Per-slice stacked samples.
+    pub slices: Vec<Vec<f64>>,
+    /// Per-slice local frequencies `ω(t2_m)` (Hz).
+    pub omegas: Vec<f64>,
+    /// Newton iterations used.
+    pub iterations: usize,
+}
+
+impl QuasiPeriodicSolution {
+    /// Mean local frequency `ω0` (the paper's eq. (21) decomposition
+    /// `ω(t2) = ω0 + p'(t2)`).
+    pub fn omega0(&self) -> f64 {
+        self.omegas.iter().sum::<f64>() / self.omegas.len() as f64
+    }
+
+    /// Extremes of the periodic local frequency.
+    pub fn frequency_range(&self) -> (f64, f64) {
+        let lo = self.omegas.iter().fold(f64::INFINITY, |m, v| m.min(*v));
+        let hi = self.omegas.iter().fold(f64::NEG_INFINITY, |m, v| m.max(*v));
+        (lo, hi)
+    }
+
+    /// Samples of one variable at one slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when indices are out of range.
+    pub fn var_samples(&self, slice: usize, var: usize) -> Vec<f64> {
+        assert!(var < self.n);
+        let x = &self.slices[slice];
+        (0..self.n0).map(|s| x[s * self.n + var]).collect()
+    }
+
+    /// Local frequency at an arbitrary time (`ω` is `T2`-periodic;
+    /// piecewise-linear through the slice values).
+    pub fn omega_at(&self, t: f64) -> f64 {
+        let h = self.t2_period / self.n1 as f64;
+        let u = t.rem_euclid(self.t2_period) / h;
+        let m = (u.floor() as usize).min(self.n1 - 1);
+        let w = u - u.floor();
+        let a = self.omegas[m];
+        let b = self.omegas[(m + 1) % self.n1];
+        a * (1.0 - w) + b * w
+    }
+
+    /// Warping function `φ(t) = ∫₀ᵗ ω` in cycles, using the paper's
+    /// eq. (22) decomposition: a linear ramp `ω0·t` plus a `T2`-periodic
+    /// part integrated piecewise (quadratic within slices).
+    pub fn phi_at(&self, t: f64) -> f64 {
+        let h = self.t2_period / self.n1 as f64;
+        // Cumulative trapezoid over one period.
+        let mut cum = Vec::with_capacity(self.n1 + 1);
+        cum.push(0.0);
+        for m in 0..self.n1 {
+            let a = self.omegas[m];
+            let b = self.omegas[(m + 1) % self.n1];
+            cum.push(cum[m] + 0.5 * h * (a + b));
+        }
+        let full = cum[self.n1];
+        let periods = (t / self.t2_period).floor();
+        let tau = t - periods * self.t2_period;
+        let u = tau / h;
+        let m = (u.floor() as usize).min(self.n1 - 1);
+        let frac = tau - m as f64 * h;
+        let a = self.omegas[m];
+        let b = self.omegas[(m + 1) % self.n1];
+        let slope = (b - a) / h;
+        periods * full + cum[m] + a * frac + 0.5 * slope * frac * frac
+    }
+
+    /// Reconstructs the univariate quasiperiodic solution
+    /// `x(t) = x̂(φ(t), t)` of one variable at the given times (trig
+    /// interpolation along the warped axis, linear along the periodic
+    /// slow axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `var >= n`.
+    pub fn reconstruct(&self, var: usize, ts: &[f64]) -> Vec<f64> {
+        assert!(var < self.n, "variable index out of range");
+        let h = self.t2_period / self.n1 as f64;
+        let mut samples = vec![0.0; self.n0];
+        ts.iter()
+            .map(|&t| {
+                let u = t.rem_euclid(self.t2_period) / h;
+                let m = (u.floor() as usize).min(self.n1 - 1);
+                let w = u - u.floor();
+                let xa = &self.slices[m];
+                let xb = &self.slices[(m + 1) % self.n1];
+                for (s, slot) in samples.iter_mut().enumerate() {
+                    let k = s * self.n + var;
+                    *slot = xa[k] * (1.0 - w) + xb[k] * w;
+                }
+                let phase = self.phi_at(t).rem_euclid(1.0);
+                fourier::interp::trig_interp_barycentric(&samples, phase)
+            })
+            .collect()
+    }
+}
+
+/// Solves the quasiperiodic WaMPDE with `n1` periodic slices over one
+/// period `t2_period` of the forcing.
+///
+/// # Errors
+///
+/// See [`WampdeError`]. The initial guess must be near the quasiperiodic
+/// attractor — in practice, hand over a settled envelope run via
+/// [`QpInit::from_envelope`].
+pub fn solve_quasiperiodic<D: Dae + ?Sized>(
+    dae: &D,
+    init: &QpInit,
+    t2_period: f64,
+    opts: &WampdeOptions,
+) -> Result<QuasiPeriodicSolution, WampdeError> {
+    let n = dae.dim();
+    let colloc = Colloc::new(n, opts.harmonics);
+    let len = colloc.len();
+    let n1 = init.slices.len();
+    if n1 < 3 {
+        return Err(WampdeError::BadInput("need at least 3 t2 slices".into()));
+    }
+    if init.omegas.len() != n1 {
+        return Err(WampdeError::BadInput("omegas/slices length mismatch".into()));
+    }
+    if init.slices.iter().any(|s| s.len() != len) {
+        return Err(WampdeError::BadInput(format!(
+            "each slice must have n·N0 = {len} entries"
+        )));
+    }
+    if !(t2_period > 0.0) {
+        return Err(WampdeError::BadInput("t2 period must be positive".into()));
+    }
+
+    // Cyclic difference stencil (uniform h): coefficients (c0, c1, c2)
+    // of q_m, q_{m-1}, q_{m-2} and the instantaneous weight θ.
+    let (c0, c1, c2, theta) = match opts.integrator {
+        T2Integrator::BackwardEuler => (1.0, -1.0, 0.0, 1.0),
+        T2Integrator::Trapezoidal => (1.0, -1.0, 0.0, 0.5),
+        T2Integrator::Bdf2 => (1.5, -2.0, 0.5, 1.0),
+    };
+    let h = t2_period / n1 as f64;
+    let bw = len + 1; // unknowns per slice: X_m then ω_m
+    let dim = n1 * bw;
+
+    let phase_row = colloc.phase_row(opts.phase_var, opts.phase_harmonic);
+
+    // Pack initial z.
+    let mut z = vec![0.0; dim];
+    for m in 0..n1 {
+        z[m * bw..m * bw + len].copy_from_slice(&init.slices[m]);
+        z[m * bw + len] = init.omegas[m];
+    }
+
+    // Forcing per slice.
+    let mut b_slices = vec![vec![0.0; n]; n1];
+    for (m, b) in b_slices.iter_mut().enumerate() {
+        dae.eval_b(h * m as f64, b);
+    }
+
+    // Residual buffers.
+    let mut qs = vec![vec![0.0; len]; n1];
+    let mut dqs = vec![vec![0.0; len]; n1];
+    let mut fs = vec![vec![0.0; len]; n1];
+
+    let residual = |z: &[f64],
+                    qs: &mut Vec<Vec<f64>>,
+                    dqs: &mut Vec<Vec<f64>>,
+                    fs: &mut Vec<Vec<f64>>,
+                    out: &mut [f64]| {
+        for m in 0..n1 {
+            let x = &z[m * bw..m * bw + len];
+            colloc.eval_q_all(dae, x, &mut qs[m]);
+            colloc.eval_f_all(dae, x, &mut fs[m]);
+        }
+        for m in 0..n1 {
+            let q = std::mem::take(&mut qs[m]);
+            colloc.apply_diff(&q, &mut dqs[m]);
+            qs[m] = q;
+        }
+        for m in 0..n1 {
+            let prev = (m + n1 - 1) % n1;
+            let prev2 = (m + n1 - 2) % n1;
+            let om = z[m * bw + len];
+            let om_prev = z[prev * bw + len];
+            for s in 0..colloc.n0 {
+                for i in 0..n {
+                    let k = colloc.idx(s, i);
+                    let g_m = om * dqs[m][k] + fs[m][k] - b_slices[m][i];
+                    let g_p = om_prev * dqs[prev][k] + fs[prev][k] - b_slices[prev][i];
+                    out[m * bw + k] = (c0 * qs[m][k] + c1 * qs[prev][k] + c2 * qs[prev2][k]) / h
+                        + theta * g_m
+                        + (1.0 - theta) * g_p;
+                }
+            }
+            let x = &z[m * bw..m * bw + len];
+            out[m * bw + len] = phase_row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        }
+    };
+
+    let mut r = vec![0.0; dim];
+    residual(&z, &mut qs, &mut dqs, &mut fs, &mut r);
+    let mut rnorm = norm2(&r);
+
+    let mut cblocks: Vec<Vec<DMat>> = vec![Vec::new(); n1];
+    let mut gblocks: Vec<Vec<DMat>> = vec![Vec::new(); n1];
+    let mut iterations = 0;
+
+    for iter in 1..=opts.newton.max_iter {
+        iterations = iter;
+        // Per-slice Jacobian blocks.
+        for m in 0..n1 {
+            let x = &z[m * bw..m * bw + len];
+            cblocks[m].clear();
+            gblocks[m].clear();
+            for s in 0..colloc.n0 {
+                let xs = &x[s * n..(s + 1) * n];
+                let mut c = DMat::zeros(n, n);
+                let mut g = DMat::zeros(n, n);
+                dae.jac_q(xs, &mut c);
+                dae.jac_f(xs, &mut g);
+                cblocks[m].push(c);
+                gblocks[m].push(g);
+            }
+        }
+        // dq at current iterate (for the ω columns).
+        for m in 0..n1 {
+            let x = &z[m * bw..m * bw + len];
+            colloc.eval_q_all(dae, x, &mut qs[m]);
+            let q = std::mem::take(&mut qs[m]);
+            colloc.apply_diff(&q, &mut dqs[m]);
+            qs[m] = q;
+        }
+
+        let mut trip = Triplets::with_capacity(dim, dim, n1 * (colloc.n0 * colloc.n0 * n + 4 * len));
+        for m in 0..n1 {
+            let prev = (m + n1 - 1) % n1;
+            let prev2 = (m + n1 - 2) % n1;
+            let om = z[m * bw + len];
+            let om_prev = z[prev * bw + len];
+            let row0 = m * bw;
+            // ∂/∂X_m: c0·C_m/h + θ(ω_m D⊗C_m + G_m).
+            add_slice_block(
+                &mut trip, &colloc, row0, m * bw, &cblocks[m], &gblocks[m], c0 / h, theta, om,
+            );
+            // ∂/∂X_prev: c1·C_prev/h + (1−θ)(ω_prev D⊗C_prev + G_prev).
+            add_slice_block(
+                &mut trip,
+                &colloc,
+                row0,
+                prev * bw,
+                &cblocks[prev],
+                &gblocks[prev],
+                c1 / h,
+                1.0 - theta,
+                om_prev,
+            );
+            // ∂/∂X_prev2: c2·C_prev2/h (BDF2 only).
+            if c2 != 0.0 {
+                add_slice_block(
+                    &mut trip,
+                    &colloc,
+                    row0,
+                    prev2 * bw,
+                    &cblocks[prev2],
+                    &gblocks[prev2],
+                    c2 / h,
+                    0.0,
+                    0.0,
+                );
+            }
+            // ω columns.
+            for k in 0..len {
+                let v = theta * dqs[m][k];
+                if v != 0.0 {
+                    trip.push(row0 + k, m * bw + len, v);
+                }
+                let vp = (1.0 - theta) * dqs[prev][k];
+                if vp != 0.0 {
+                    trip.push(row0 + k, prev * bw + len, vp);
+                }
+            }
+            // Phase row.
+            for (k, &c) in phase_row.iter().enumerate() {
+                if c != 0.0 {
+                    trip.push(row0 + len, m * bw + k, c);
+                }
+            }
+        }
+
+        let lu = SparseLu::factor(&trip.to_csc()).map_err(|e| WampdeError::LinearSolve {
+            at_t2: 0.0,
+            cause: e.to_string(),
+        })?;
+        let mut dz = r.clone();
+        lu.solve_in_place(&mut dz).map_err(|e| WampdeError::LinearSolve {
+            at_t2: 0.0,
+            cause: e.to_string(),
+        })?;
+        for v in dz.iter_mut() {
+            *v = -*v;
+        }
+
+        // Damped update.
+        let mut lambda = 1.0_f64;
+        let mut z_trial = vec![0.0; dim];
+        let mut r_trial = vec![0.0; dim];
+        loop {
+            for i in 0..dim {
+                z_trial[i] = z[i] + lambda * dz[i];
+            }
+            residual(&z_trial, &mut qs, &mut dqs, &mut fs, &mut r_trial);
+            let rt = norm2(&r_trial);
+            if rt.is_finite() && (rt <= rnorm || lambda <= opts.newton.min_damping) {
+                z.copy_from_slice(&z_trial);
+                r.copy_from_slice(&r_trial);
+                rnorm = rt;
+                break;
+            }
+            lambda *= 0.5;
+        }
+
+        // Block-scaled update norm: samples weighted by the global sample
+        // magnitude, each ω by its own (see envelope::block_update_norm).
+        let x_scale = (0..n1)
+            .flat_map(|m| z[m * bw..m * bw + len].iter())
+            .fold(0.0_f64, |mx, v| mx.max(v.abs()))
+            .max(1e-300);
+        let wx = opts.newton.abstol + opts.newton.reltol * x_scale;
+        let mut acc = 0.0;
+        for m in 0..n1 {
+            for k in 0..len {
+                let e = lambda * dz[m * bw + k] / wx;
+                acc += e * e;
+            }
+            let womega =
+                opts.newton.abstol + opts.newton.reltol * z[m * bw + len].abs().max(1e-300);
+            let e = lambda * dz[m * bw + len] / womega;
+            acc += e * e;
+        }
+        let update = (acc / dim as f64).sqrt();
+        if update <= 1.0 {
+            let mut slices = Vec::with_capacity(n1);
+            let mut omegas = Vec::with_capacity(n1);
+            for m in 0..n1 {
+                slices.push(z[m * bw..m * bw + len].to_vec());
+                omegas.push(z[m * bw + len]);
+            }
+            return Ok(QuasiPeriodicSolution {
+                n,
+                n0: colloc.n0,
+                n1,
+                t2_period,
+                slices,
+                omegas,
+                iterations,
+            });
+        }
+    }
+
+    Err(WampdeError::NewtonFailed {
+        at_t2: 0.0,
+        iterations,
+        residual: rnorm,
+    })
+}
+
+/// Adds `coef_c·C_s + w·(ω·D[s,s']·C_{s'} + δ·G_s)` block rows for one
+/// slice pair into the triplet buffer.
+fn add_slice_block(
+    trip: &mut Triplets,
+    colloc: &Colloc,
+    row0: usize,
+    col0: usize,
+    cblocks: &[DMat],
+    gblocks: &[DMat],
+    coef_c: f64,
+    weight: f64,
+    omega: f64,
+) {
+    let n = colloc.n;
+    for s in 0..colloc.n0 {
+        let c = &cblocks[s];
+        let g = &gblocks[s];
+        for i in 0..n {
+            for j in 0..n {
+                let v = coef_c * c[(i, j)] + weight * g[(i, j)];
+                if v != 0.0 {
+                    trip.push(row0 + colloc.idx(s, i), col0 + colloc.idx(s, j), v);
+                }
+            }
+        }
+    }
+    if weight != 0.0 {
+        for s in 0..colloc.n0 {
+            for sp in 0..colloc.n0 {
+                let d = weight * omega * colloc.dmat[(s, sp)];
+                if d == 0.0 {
+                    continue;
+                }
+                let c = &cblocks[sp];
+                for i in 0..n {
+                    for j in 0..n {
+                        let v = d * c[(i, j)];
+                        if v != 0.0 {
+                            trip.push(row0 + colloc.idx(s, i), col0 + colloc.idx(sp, j), v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::WampdeInit;
+    use circuitdae::circuits::{self, MemsVcoConfig};
+    use shooting::{oscillator_steady_state, ShootingOptions};
+
+    #[test]
+    fn unforced_vco_gives_flat_omega() {
+        // With constant control the quasiperiodic solution at any T2 is the
+        // steady orbit repeated on every slice, ω(t2) ≡ f0.
+        let cfg = MemsVcoConfig::constant(1.5);
+        let dae = circuits::mems_vco(cfg);
+        let orbit = oscillator_steady_state(&dae, &ShootingOptions::default()).unwrap();
+        let opts = crate::WampdeOptions {
+            harmonics: 5,
+            ..Default::default()
+        };
+        let winit = WampdeInit::from_orbit(&orbit, &opts);
+        let init = QpInit::from_constant(winit.stacked(), winit.freq_hz, 8);
+        let sol = solve_quasiperiodic(&dae, &init, 4.0e-5, &opts).unwrap();
+        let f0 = orbit.frequency();
+        for &w in &sol.omegas {
+            assert!((w - f0).abs() / f0 < 1e-3, "omega {w} vs {f0}");
+        }
+        assert!((sol.omega0() - f0).abs() / f0 < 1e-3);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let cfg = MemsVcoConfig::constant(1.5);
+        let dae = circuits::mems_vco(cfg);
+        let opts = crate::WampdeOptions::default();
+        let too_few = QpInit {
+            slices: vec![vec![0.0; opts.n0() * 4]; 2],
+            omegas: vec![1.0; 2],
+        };
+        assert!(solve_quasiperiodic(&dae, &too_few, 1.0, &opts).is_err());
+        let mismatched = QpInit {
+            slices: vec![vec![0.0; 5]; 4],
+            omegas: vec![1.0; 4],
+        };
+        assert!(solve_quasiperiodic(&dae, &mismatched, 1.0, &opts).is_err());
+    }
+
+    /// Synthetic flat solution for exercising the post-processing without
+    /// a solver run: one variable, cos(2πt1) on every slice, constant ω.
+    fn synthetic_qp(n1: usize, omega: f64, t2: f64) -> QuasiPeriodicSolution {
+        let n0 = 9;
+        let slice: Vec<f64> = (0..n0)
+            .map(|s| (2.0 * std::f64::consts::PI * s as f64 / n0 as f64).cos())
+            .collect();
+        QuasiPeriodicSolution {
+            n: 1,
+            n0,
+            n1,
+            t2_period: t2,
+            slices: vec![slice; n1],
+            omegas: vec![omega; n1],
+            iterations: 1,
+        }
+    }
+
+    #[test]
+    fn phi_of_constant_omega_is_linear() {
+        let qp = synthetic_qp(8, 5.0, 1.0);
+        for &t in &[0.1, 0.37, 1.4, 2.9] {
+            assert!((qp.phi_at(t) - 5.0 * t).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_constant_omega_is_pure_cosine() {
+        let qp = synthetic_qp(8, 3.0, 1.0);
+        let ts: Vec<f64> = (0..200).map(|k| k as f64 * 0.01).collect();
+        let xs = qp.reconstruct(0, &ts);
+        for (&t, &x) in ts.iter().zip(xs.iter()) {
+            let want = (2.0 * std::f64::consts::PI * 3.0 * t).cos();
+            assert!((x - want).abs() < 1e-8, "t={t}: {x} vs {want}");
+        }
+    }
+
+    #[test]
+    fn omega_at_interpolates_periodically() {
+        let mut qp = synthetic_qp(4, 1.0, 2.0);
+        qp.omegas = vec![1.0, 2.0, 3.0, 2.0];
+        // Midpoint of the first slice interval.
+        assert!((qp.omega_at(0.25) - 1.5).abs() < 1e-12);
+        // Wraps: the last interval interpolates toward omegas[0].
+        assert!((qp.omega_at(1.75) - 1.5).abs() < 1e-12);
+        // Periodic extension.
+        assert!((qp.omega_at(2.25) - qp.omega_at(0.25)).abs() < 1e-12);
+    }
+}

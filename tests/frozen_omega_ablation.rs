@@ -1,0 +1,96 @@
+//! The motivating negative result (paper Section 3 / [Roy99]): an
+//! *unwarped* multirate formulation — here the WaMPDE with its frequency
+//! frozen and the phase condition dropped — cannot represent the VCO's FM
+//! compactly. The warped (free-ω) run tracks the modulation; the frozen
+//! run degrades badly at identical discretisation cost.
+
+use circuitdae::circuits::{self, MemsVcoConfig};
+use shooting::{oscillator_steady_state, ShootingOptions};
+use transim::{run_transient, Integrator, StepControl, TransientOptions};
+use wampde::{solve_envelope, OmegaMode, T2StepControl, WampdeInit, WampdeOptions};
+
+#[test]
+fn frozen_omega_cannot_track_fm() {
+    let cfg = MemsVcoConfig::paper_vacuum();
+    let dae = circuits::mems_vco(cfg);
+    // 8 µs is enough for the control to pull the frequency well away from
+    // its nominal value.
+    let t_end = 8e-6;
+
+    let unforced = circuits::mems_vco(MemsVcoConfig::constant(1.5));
+    let orbit = oscillator_steady_state(&unforced, &ShootingOptions::default()).unwrap();
+    let f0 = orbit.frequency();
+
+    let base = WampdeOptions {
+        harmonics: 8,
+        step: T2StepControl::Fixed(0.25e-6),
+        ..Default::default()
+    };
+    let init = WampdeInit::from_orbit(&orbit, &base);
+
+    // Transient reference.
+    let x0: Vec<f64> = init.samples[0].clone();
+    let tr = run_transient(
+        &dae,
+        &x0,
+        0.0,
+        t_end,
+        &TransientOptions {
+            integrator: Integrator::Trapezoidal,
+            step: StepControl::Adaptive {
+                rtol: 1e-7,
+                atol: 1e-12,
+                dt_init: 1e-9,
+                dt_min: 0.0,
+                dt_max: 5e-8,
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let probes: Vec<f64> = (0..800).map(|k| k as f64 / 800.0 * t_end).collect();
+    let refv: Vec<f64> = probes
+        .iter()
+        .map(|&t| tr.sample(circuits::idx::V_TANK, t))
+        .collect();
+    let amp = refv.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+
+    // Free (warped) run.
+    let free = solve_envelope(&dae, &init, t_end, &base).unwrap();
+    let free_err = sigproc::max_abs_error(
+        &free.reconstruct(circuits::idx::V_TANK, &probes),
+        &refv,
+    );
+
+    // Frozen-ω run at identical discretisation. It may fail outright; if
+    // it survives, its reconstruction must be far worse.
+    let frozen_opts = WampdeOptions {
+        omega_mode: OmegaMode::Frozen(f0),
+        ..base
+    };
+    match solve_envelope(&dae, &init, t_end, &frozen_opts) {
+        Err(_) => {
+            // Newton breakdown is an acceptable demonstration of failure.
+        }
+        Ok(frozen) => {
+            let frozen_err = sigproc::max_abs_error(
+                &frozen.reconstruct(circuits::idx::V_TANK, &probes),
+                &refv,
+            );
+            assert!(
+                frozen_err > 5.0 * free_err,
+                "frozen-ω error {frozen_err} should dwarf free-ω error {free_err}"
+            );
+            assert!(
+                frozen_err > 0.3 * amp,
+                "frozen-ω error {frozen_err} should be amplitude-scale (amp {amp})"
+            );
+        }
+    }
+
+    // The warped run stays accurate.
+    assert!(
+        free_err < 0.08 * amp,
+        "free-ω error {free_err} vs amplitude {amp}"
+    );
+}

@@ -1,0 +1,75 @@
+//! Section 4.1's special cases, observed on real waveforms: mode locking
+//! (entrainment) of an injected oscillator, and the unlocked quasiperiodic
+//! (beating) regime.
+
+use circuitdae::analytic::VanDerPol;
+use shooting::{oscillator_steady_state, ShootingOptions};
+use sigproc::instantaneous_frequency;
+use transim::{run_transient, Integrator, StepControl, TransientOptions};
+
+fn forced_run(f_inj: f64, ampl: f64, f0: f64, x0: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let vdp = VanDerPol::forced(1.0, ampl, f_inj);
+    let res = run_transient(
+        &vdp,
+        x0,
+        0.0,
+        300.0 / f0,
+        &TransientOptions {
+            integrator: Integrator::Trapezoidal,
+            step: StepControl::Fixed(1.0 / (150.0 * f0)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let half = res.times.len() / 2;
+    (res.times[half..].to_vec(), res.signal(0)[half..].to_vec())
+}
+
+#[test]
+fn injection_near_natural_frequency_locks() {
+    let vdp0 = VanDerPol::unforced(1.0);
+    let orbit = oscillator_steady_state(&vdp0, &ShootingOptions::default()).unwrap();
+    let f0 = orbit.frequency();
+
+    let f_inj = 1.03 * f0;
+    let (ts, xs) = forced_run(f_inj, 0.8, f0, &orbit.x0);
+    let trace = instantaneous_frequency(&ts, &xs);
+    let mean = trace.freq_hz.iter().sum::<f64>() / trace.freq_hz.len() as f64;
+    let (lo, hi) = trace.range();
+
+    // Locked: every cycle runs at the injection frequency.
+    assert!(
+        (mean - f_inj).abs() / f_inj < 5e-3,
+        "mean {mean} vs injection {f_inj}"
+    );
+    assert!(
+        (hi - lo) / mean < 2e-2,
+        "cycle-frequency spread {:.3e} too large for a locked state",
+        (hi - lo) / mean
+    );
+}
+
+#[test]
+fn weak_far_injection_beats() {
+    let vdp0 = VanDerPol::unforced(1.0);
+    let orbit = oscillator_steady_state(&vdp0, &ShootingOptions::default()).unwrap();
+    let f0 = orbit.frequency();
+
+    let f_inj = 1.45 * f0;
+    let (ts, xs) = forced_run(f_inj, 0.25, f0, &orbit.x0);
+    let trace = instantaneous_frequency(&ts, &xs);
+    let mean = trace.freq_hz.iter().sum::<f64>() / trace.freq_hz.len() as f64;
+    let (lo, hi) = trace.range();
+
+    // Unlocked: the oscillator stays near its own frequency and the
+    // per-cycle estimate wobbles (beat).
+    assert!(
+        (mean - f0).abs() < (mean - f_inj).abs(),
+        "mean {mean} should stay nearer f0 {f0} than injection {f_inj}"
+    );
+    assert!(
+        (hi - lo) / mean > 2e-2,
+        "expected visible beat wobble, got spread {:.3e}",
+        (hi - lo) / mean
+    );
+}

@@ -1,0 +1,112 @@
+//! The paper's Figure 9 check, as a test: on the vacuum-damped MEMS VCO,
+//! the reconstructed WaMPDE solution must overlay direct transient
+//! simulation ("the match is so close that it is difficult to tell the
+//! two waveforms apart").
+
+use circuitdae::circuits::{self, MemsVcoConfig};
+use circuitdae::Dae;
+use shooting::{oscillator_steady_state, ShootingOptions};
+use transim::{run_transient, Integrator, StepControl, TransientOptions};
+use wampde::{solve_envelope, WampdeInit, WampdeOptions};
+
+#[test]
+fn vacuum_vco_reconstruction_overlays_transient() {
+    let cfg = MemsVcoConfig::paper_vacuum();
+    let dae = circuits::mems_vco(cfg);
+    let t_end = 10e-6; // ≈ 7 carrier cycles with the frequency rising
+
+    let unforced = circuits::mems_vco(MemsVcoConfig::constant(1.5));
+    let orbit = oscillator_steady_state(&unforced, &ShootingOptions::default()).unwrap();
+
+    let opts = WampdeOptions {
+        harmonics: 8,
+        ..Default::default()
+    };
+    let init = WampdeInit::from_orbit(&orbit, &opts);
+    let env = solve_envelope(&dae, &init, t_end, &opts).unwrap();
+
+    // Transient reference started from the same univariate state
+    // x(0) = x̂(0, 0) (the first collocation sample).
+    let x0: Vec<f64> = env.states[0][0..dae.dim()].to_vec();
+    let tr = run_transient(
+        &dae,
+        &x0,
+        0.0,
+        t_end,
+        &TransientOptions {
+            integrator: Integrator::Trapezoidal,
+            step: StepControl::Adaptive {
+                rtol: 1e-7,
+                atol: 1e-12,
+                dt_init: 1e-9,
+                dt_min: 0.0,
+                dt_max: 5e-8,
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let probes: Vec<f64> = (0..1500).map(|k| k as f64 / 1500.0 * t_end).collect();
+    let wam = env.reconstruct(circuits::idx::V_TANK, &probes);
+    let refv: Vec<f64> = probes
+        .iter()
+        .map(|&t| tr.sample(circuits::idx::V_TANK, t))
+        .collect();
+
+    let amp = refv.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    let max_err = sigproc::max_abs_error(&wam, &refv);
+    assert!(amp > 1.5, "oscillation amplitude sane: {amp}");
+    assert!(
+        max_err < 0.05 * amp,
+        "WaMPDE deviates from transient: {max_err} V on ±{amp} V"
+    );
+}
+
+#[test]
+fn frequency_trace_matches_transient_zero_crossings() {
+    let cfg = MemsVcoConfig::paper_vacuum();
+    let dae = circuits::mems_vco(cfg);
+    let t_end = 15e-6;
+
+    let unforced = circuits::mems_vco(MemsVcoConfig::constant(1.5));
+    let orbit = oscillator_steady_state(&unforced, &ShootingOptions::default()).unwrap();
+    let opts = WampdeOptions {
+        harmonics: 8,
+        ..Default::default()
+    };
+    let init = WampdeInit::from_orbit(&orbit, &opts);
+    let env = solve_envelope(&dae, &init, t_end, &opts).unwrap();
+
+    let x0: Vec<f64> = env.states[0][0..dae.dim()].to_vec();
+    let tr = run_transient(
+        &dae,
+        &x0,
+        0.0,
+        t_end,
+        &TransientOptions {
+            integrator: Integrator::Trapezoidal,
+            step: StepControl::Adaptive {
+                rtol: 1e-7,
+                atol: 1e-12,
+                dt_init: 1e-9,
+                dt_min: 0.0,
+                dt_max: 5e-8,
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // Per-cycle frequency from the transient's zero crossings vs the
+    // WaMPDE's explicit ω(t2) at the same times.
+    let trace = sigproc::instantaneous_frequency(&tr.times, &tr.signal(circuits::idx::V_TANK));
+    assert!(trace.freq_hz.len() > 5, "need several cycles");
+    for (t, f) in trace.times.iter().zip(trace.freq_hz.iter()) {
+        let w = env.omega_at(*t);
+        assert!(
+            (f - w).abs() / w < 0.05,
+            "t={t}: transient cycle frequency {f} vs WaMPDE ω {w}"
+        );
+    }
+}
