@@ -41,8 +41,8 @@ fn bench(c: &mut Criterion) {
                 };
                 let init = WampdeInit::from_orbit(&orbit, &opts);
                 b.iter(|| {
-                    let env = solve_envelope(&dae, &init, black_box(6e-6), &opts)
-                        .expect("envelope step");
+                    let env =
+                        solve_envelope(&dae, &init, black_box(6e-6), &opts).expect("envelope step");
                     black_box(env.stats.newton_iterations)
                 })
             });

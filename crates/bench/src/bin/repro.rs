@@ -26,11 +26,19 @@ fn main() {
         match args[i].as_str() {
             "--fig" => {
                 i += 1;
-                figs.push(args[i].parse().expect("figure number"));
+                let fig = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--fig requires a figure number (1-12)");
+                    std::process::exit(2);
+                });
+                figs.push(fig);
             }
             "--table" => {
                 i += 1;
-                tables.push(args[i].clone());
+                let table = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--table requires a table name");
+                    std::process::exit(2);
+                });
+                tables.push(table);
             }
             "--all" => {}
             other => {
@@ -61,23 +69,31 @@ fn main() {
 fn figures_1_to_3() {
     println!("=== Figures 1–3: two-tone AM signal ===");
     let (ts, ys) = am::sample_univariate(15);
-    let rows: Vec<Vec<f64>> = ts.iter().zip(ys.iter()).map(|(&t, &y)| vec![t, y]).collect();
+    let rows: Vec<Vec<f64>> = ts
+        .iter()
+        .zip(ys.iter())
+        .map(|(&t, &y)| vec![t, y])
+        .collect();
     let p = write_csv("fig01_univariate.csv", &["t", "y"], &rows);
-    println!("fig 1: {} univariate samples -> {}", rows.len(), p.display());
+    println!(
+        "fig 1: {} univariate samples -> {}",
+        rows.len(),
+        p.display()
+    );
 
     let grid = am::sample_bivariate(15);
     let mut rows = Vec::new();
     for j in 0..15 {
         for (i, &v) in grid.row(j).iter().enumerate() {
-            rows.push(vec![
-                i as f64 / 15.0 * am::T1,
-                j as f64 / 15.0 * am::T2,
-                v,
-            ]);
+            rows.push(vec![i as f64 / 15.0 * am::T1, j as f64 / 15.0 * am::T2, v]);
         }
     }
     let p = write_csv("fig02_bivariate.csv", &["t1", "t2", "yhat"], &rows);
-    println!("fig 2: 15x15 = {} bivariate samples -> {}", grid.sample_count(), p.display());
+    println!(
+        "fig 2: 15x15 = {} bivariate samples -> {}",
+        grid.sample_count(),
+        p.display()
+    );
 
     println!(
         "fig 3: sawtooth-path reconstruction error = {:.3e}",
@@ -114,10 +130,17 @@ fn figures_4_to_6() {
     let mut rows = Vec::new();
     for n2 in [9usize, 17, 33, 65, 129, 257] {
         let err = fm::unwarped_grid_error(9, n2, 800);
-        println!("  9x{n2:<4} grid ({:>5} samples): max err {err:.3e}", 9 * n2);
+        println!(
+            "  9x{n2:<4} grid ({:>5} samples): max err {err:.3e}",
+            9 * n2
+        );
         rows.push(vec![n2 as f64, (9 * n2) as f64, err]);
     }
-    let p = write_csv("fig05_unwarped_error.csv", &["n2", "samples", "max_err"], &rows);
+    let p = write_csv(
+        "fig05_unwarped_error.csv",
+        &["n2", "samples", "max_err"],
+        &rows,
+    );
     println!("  -> {}", p.display());
 
     // Figure 6: warped bivariate + warping function are tiny.
@@ -129,7 +152,11 @@ fn figures_4_to_6() {
             vec![t, fm::warping_phi(t), fm::instantaneous_frequency(t)]
         })
         .collect();
-    let p = write_csv("fig06_warping.csv", &["t", "phi_cycles", "inst_freq"], &rows);
+    let p = write_csv(
+        "fig06_warping.csv",
+        &["t", "phi_cycles", "inst_freq"],
+        &rows,
+    );
     println!("  warping function -> {}\n", p.display());
 }
 
@@ -158,7 +185,10 @@ fn figures_7_to_9() {
         p.display()
     );
     let xs: Vec<f64> = run.env.t2.clone();
-    print!("{}", ascii_plot("omega(t2) MHz", &xs, &run.env.omega_hz, 70, 12));
+    print!(
+        "{}",
+        ascii_plot("omega(t2) MHz", &xs, &run.env.omega_hz, 70, 12)
+    );
 
     // Figure 8: bivariate surface.
     let (t1g, t2g, surface) = run.env.bivariate(circuits::idx::V_TANK);
@@ -198,7 +228,11 @@ fn figures_7_to_9() {
         .zip(wam.iter().zip(refv.iter()))
         .map(|(&t, (&a, &b))| vec![t, a, b])
         .collect();
-    let p = write_csv("fig09_overlay.csv", &["t", "v_wampde", "v_transient"], &rows);
+    let p = write_csv(
+        "fig09_overlay.csv",
+        &["t", "v_wampde", "v_transient"],
+        &rows,
+    );
     let err = sigproc::max_abs_error(&wam, &refv);
     let amp = refv.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
     println!(
@@ -234,7 +268,10 @@ fn figures_10_to_12() {
         hi / 1e6,
         p.display()
     );
-    print!("{}", ascii_plot("omega(t2) MHz", &run.env.t2, &run.env.omega_hz, 70, 12));
+    print!(
+        "{}",
+        ascii_plot("omega(t2) MHz", &run.env.t2, &run.env.omega_hz, 70, 12)
+    );
 
     // Figure 11.
     let (t1g, t2g, surface) = run.env.bivariate(circuits::idx::V_TANK);
@@ -294,9 +331,15 @@ fn figures_10_to_12() {
     for (t, e) in tw.iter().zip(ew.iter()).step_by(200) {
         csv_rows.push(vec![0.0, *t, *e]);
     }
-    let p = write_csv("fig12_phase_error.csv", &["pts_per_cycle_or_0_wampde", "t", "phase_err_cycles"], &csv_rows);
+    let p = write_csv(
+        "fig12_phase_error.csv",
+        &["pts_per_cycle_or_0_wampde", "t", "phase_err_cycles"],
+        &csv_rows,
+    );
 
-    println!("  method                      final phase err (cycles)   wall (s)   speedup vs 1000pts");
+    println!(
+        "  method                      final phase err (cycles)   wall (s)   speedup vs 1000pts"
+    );
     for (name, err, wall) in &table_rows {
         println!(
             "  {name:<27} {err:>24.2}  {:>9.2}   {:>8.1}x",

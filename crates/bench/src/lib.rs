@@ -12,8 +12,7 @@ use circuitdae::{CircuitDae, Dae};
 use shooting::{oscillator_steady_state, PeriodicOrbit, ShootingOptions};
 use std::time::{Duration, Instant};
 use transim::{
-    run_fixed_per_cycle, run_transient, Integrator, StepControl, TransientOptions,
-    TransientResult,
+    run_fixed_per_cycle, run_transient, Integrator, StepControl, TransientOptions, TransientResult,
 };
 use wampde::{solve_envelope, EnvelopeResult, WampdeInit, WampdeOptions};
 
@@ -26,8 +25,7 @@ pub mod out;
 /// Panics when shooting fails (it never does for the calibrated presets).
 pub fn unforced_orbit() -> PeriodicOrbit {
     let dae = circuits::mems_vco(MemsVcoConfig::constant(1.5));
-    oscillator_steady_state(&dae, &ShootingOptions::default())
-        .expect("unforced VCO oscillates")
+    oscillator_steady_state(&dae, &ShootingOptions::default()).expect("unforced VCO oscillates")
 }
 
 /// A WaMPDE envelope run of one of the paper's MEMS VCO experiments.
@@ -47,7 +45,12 @@ pub struct EnvelopeRun {
 /// # Panics
 ///
 /// Panics when the solve fails (calibrated presets converge).
-pub fn run_envelope(cfg: MemsVcoConfig, orbit: &PeriodicOrbit, t_end: f64, harmonics: usize) -> EnvelopeRun {
+pub fn run_envelope(
+    cfg: MemsVcoConfig,
+    orbit: &PeriodicOrbit,
+    t_end: f64,
+    harmonics: usize,
+) -> EnvelopeRun {
     let dae = circuits::mems_vco(cfg);
     let opts = WampdeOptions {
         harmonics,

@@ -65,7 +65,11 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        let p = write_csv("unit_test.csv", &["a", "b"], &[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let p = write_csv(
+            "unit_test.csv",
+            &["a", "b"],
+            &[vec![1.0, 2.0], vec![3.0, 4.0]],
+        );
         let text = fs::read_to_string(p).unwrap();
         assert!(text.starts_with("a,b\n"));
         assert_eq!(text.lines().count(), 3);

@@ -127,7 +127,10 @@ impl LinearOscillator {
     ///
     /// Panics when `zeta >= 1` (not underdamped).
     pub fn exact_unforced(&self, x0: f64, t: f64) -> f64 {
-        assert!(self.zeta < 1.0, "exact solution implemented for underdamped case");
+        assert!(
+            self.zeta < 1.0,
+            "exact solution implemented for underdamped case"
+        );
         let wd = self.omega * (1.0 - self.zeta * self.zeta).sqrt();
         let decay = (-self.zeta * self.omega * t).exp();
         decay * x0 * ((wd * t).cos() + self.zeta * self.omega / wd * (wd * t).sin())
@@ -218,7 +221,8 @@ mod tests {
         let x0 = 1.5;
         let x = lo.exact_unforced(x0, t);
         let xdot = (lo.exact_unforced(x0, t + h) - lo.exact_unforced(x0, t - h)) / (2.0 * h);
-        let xddot = (lo.exact_unforced(x0, t + h) - 2.0 * x + lo.exact_unforced(x0, t - h)) / (h * h);
+        let xddot =
+            (lo.exact_unforced(x0, t + h) - 2.0 * x + lo.exact_unforced(x0, t - h)) / (h * h);
         let r = dae_residual(&lo, t, &[x, xdot], &[xdot, xddot]);
         assert!(r[0].abs() < 1e-6);
         assert!(r[1].abs() < 1e-3); // second difference is noisier

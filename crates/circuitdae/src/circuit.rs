@@ -145,11 +145,7 @@ impl Circuit {
         // Assign extra-unknown offsets after the node voltages.
         let mut offset = n_nodes;
         let mut placed = Vec::with_capacity(self.devices.len());
-        let mut names: Vec<String> = self
-            .node_names
-            .iter()
-            .map(|n| format!("v({n})"))
-            .collect();
+        let mut names: Vec<String> = self.node_names.iter().map(|n| format!("v({n})")).collect();
         for (k, d) in self.devices.into_iter().enumerate() {
             let extras = d.n_extras();
             match d {
@@ -302,7 +298,10 @@ mod tests {
         let mut ckt = Circuit::new();
         let _a = ckt.node("a");
         ckt.add(Device::resistor(Node::from_raw(5), Circuit::GND, 1.0));
-        assert!(matches!(ckt.build(), Err(CircuitError::UnknownNode { node: 5 })));
+        assert!(matches!(
+            ckt.build(),
+            Err(CircuitError::UnknownNode { node: 5 })
+        ));
     }
 
     #[test]
@@ -438,7 +437,11 @@ mod tests {
         let inp = ckt.node("in");
         let out = ckt.node("out");
         ckt.add(Device::resistor(inp, Circuit::GND, 1e3));
-        ckt.add(Device::current_source(Circuit::GND, inp, Waveform::Dc(1e-3))); // v_in = 1
+        ckt.add(Device::current_source(
+            Circuit::GND,
+            inp,
+            Waveform::Dc(1e-3),
+        )); // v_in = 1
         ckt.add(Device::vccs(Circuit::GND, out, inp, Circuit::GND, 2e-3));
         ckt.add(Device::resistor(out, Circuit::GND, 500.0));
         let dae = ckt.build().unwrap();

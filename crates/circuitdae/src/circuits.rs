@@ -42,7 +42,12 @@ pub fn lc_vco() -> CircuitDae {
     let tank = ckt.node("tank");
     ckt.add(Device::capacitor(tank, Circuit::GND, TANK_C_750K));
     ckt.add(Device::inductor(tank, Circuit::GND, TANK_L));
-    ckt.add(Device::cubic_conductor(tank, Circuit::GND, TANK_G1, TANK_G3));
+    ckt.add(Device::cubic_conductor(
+        tank,
+        Circuit::GND,
+        TANK_G1,
+        TANK_G3,
+    ));
     ckt.build().expect("lc_vco preset is well-formed")
 }
 
@@ -144,7 +149,12 @@ pub fn mems_vco(cfg: MemsVcoConfig) -> CircuitDae {
     let mut ckt = Circuit::new();
     let tank = ckt.node("tank");
     ckt.add(Device::inductor(tank, Circuit::GND, TANK_L));
-    ckt.add(Device::cubic_conductor(tank, Circuit::GND, TANK_G1, TANK_G3));
+    ckt.add(Device::cubic_conductor(
+        tank,
+        Circuit::GND,
+        TANK_G1,
+        TANK_G3,
+    ));
     ckt.add(Device::mems_varactor(
         tank,
         Circuit::GND,
@@ -176,7 +186,12 @@ pub fn ring_loaded_vco(stages: usize) -> CircuitDae {
     let tank = ckt.node("tank");
     ckt.add(Device::capacitor(tank, Circuit::GND, TANK_C_750K));
     ckt.add(Device::inductor(tank, Circuit::GND, TANK_L));
-    ckt.add(Device::cubic_conductor(tank, Circuit::GND, TANK_G1, TANK_G3));
+    ckt.add(Device::cubic_conductor(
+        tank,
+        Circuit::GND,
+        TANK_G1,
+        TANK_G3,
+    ));
     let mut prev: Node = tank;
     for s in 0..stages {
         let n = ckt.node(format!("ld{s}"));

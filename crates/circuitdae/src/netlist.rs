@@ -90,7 +90,8 @@ pub fn parse_value(token: &str) -> Result<f64, String> {
             }
         }
     }
-    t.parse::<f64>().map_err(|_| format!("cannot parse value '{token}'"))
+    t.parse::<f64>()
+        .map_err(|_| format!("cannot parse value '{token}'"))
 }
 
 /// Parses a source waveform: `DC(v)`, `SIN(offset ampl freq [phase])`,

@@ -46,14 +46,21 @@ pub fn idft(x: &[Complex64]) -> Vec<Complex64> {
 /// symmetric, which the WaMPDE discretisation relies on).
 pub fn harmonics_from_samples(x: &[f64]) -> Vec<Complex64> {
     let n = x.len();
-    assert!(n % 2 == 1, "harmonics_from_samples requires an odd sample count");
+    assert!(
+        n % 2 == 1,
+        "harmonics_from_samples requires an odd sample count"
+    );
     let m = n / 2;
     let buf: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
     let spec = dft(&buf);
     // Bin k of the DFT corresponds to harmonic k for k<=M and k-N for k>M.
     let mut c = vec![Complex64::ZERO; n];
     for (k, s) in spec.iter().enumerate() {
-        let i = if k <= m { k as isize } else { k as isize - n as isize };
+        let i = if k <= m {
+            k as isize
+        } else {
+            k as isize - n as isize
+        };
         c[(i + m as isize) as usize] = *s / n as f64;
     }
     c
@@ -67,7 +74,10 @@ pub fn harmonics_from_samples(x: &[f64]) -> Vec<Complex64> {
 /// Panics when `c.len()` is even.
 pub fn samples_from_harmonics(c: &[Complex64]) -> Vec<f64> {
     let n = c.len();
-    assert!(n % 2 == 1, "samples_from_harmonics requires an odd coefficient count");
+    assert!(
+        n % 2 == 1,
+        "samples_from_harmonics requires an odd coefficient count"
+    );
     let m = (n / 2) as isize;
     (0..n)
         .map(|s| {
@@ -101,7 +111,9 @@ mod tests {
 
     #[test]
     fn idft_roundtrip() {
-        let x: Vec<Complex64> = (0..9).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let x: Vec<Complex64> = (0..9)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
         let back = idft(&dft(&x));
         for (a, b) in back.iter().zip(x.iter()) {
             assert!((*a - *b).abs() < 1e-10);

@@ -15,7 +15,10 @@ use numkit::{Complex64, DMat};
 /// derivative ill-defined; the WaMPDE discretisation always uses
 /// `n = 2M+1`.)
 pub fn spectral_diff_matrix(n: usize) -> DMat {
-    assert!(n > 0 && n % 2 == 1, "spectral differentiation grid must be odd");
+    assert!(
+        n > 0 && n % 2 == 1,
+        "spectral differentiation grid must be odd"
+    );
     let m = (n / 2) as isize;
     let two_pi = 2.0 * std::f64::consts::PI;
     // D = Re( F^{-1} diag(j2πi) F ), computed directly:
@@ -44,7 +47,10 @@ mod tests {
         let d = spectral_diff_matrix(n);
         let two_pi = 2.0 * std::f64::consts::PI;
         for k in 1..=3 {
-            let x: Vec<f64> = grid(n).iter().map(|&t| (two_pi * k as f64 * t).sin()).collect();
+            let x: Vec<f64> = grid(n)
+                .iter()
+                .map(|&t| (two_pi * k as f64 * t).sin())
+                .collect();
             let want: Vec<f64> = grid(n)
                 .iter()
                 .map(|&t| two_pi * k as f64 * (two_pi * k as f64 * t).cos())
@@ -59,7 +65,7 @@ mod tests {
     #[test]
     fn constant_maps_to_zero() {
         let d = spectral_diff_matrix(9);
-        let got = d.matvec(&vec![3.5; 9]);
+        let got = d.matvec(&[3.5; 9]);
         for g in got {
             assert!(g.abs() < 1e-10);
         }
@@ -101,7 +107,10 @@ mod tests {
             .iter()
             .map(|&t| (two_pi * t).sin() * (two_pi * t).cos())
             .collect();
-        let want: Vec<f64> = grid(n).iter().map(|&t| two_pi * (2.0 * two_pi * t).cos()).collect();
+        let want: Vec<f64> = grid(n)
+            .iter()
+            .map(|&t| two_pi * (2.0 * two_pi * t).cos())
+            .collect();
         let got = d.matvec(&x);
         for (g, w) in got.iter().zip(want.iter()) {
             assert!((g - w).abs() < 1e-9);

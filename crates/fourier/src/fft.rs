@@ -19,7 +19,10 @@ use numkit::Complex64;
 /// general lengths).
 pub fn fft_in_place(x: &mut [Complex64]) {
     let n = x.len();
-    assert!(n.is_power_of_two(), "fft_in_place requires power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "fft_in_place requires power-of-two length"
+    );
     if n <= 1 {
         return;
     }
@@ -44,7 +47,7 @@ pub fn fft_in_place(x: &mut [Complex64]) {
                 let v = x[i + k + len / 2] * w;
                 x[i + k] = u + v;
                 x[i + k + len / 2] = u - v;
-                w = w * wlen;
+                w *= wlen;
             }
             i += len;
         }
@@ -126,7 +129,7 @@ fn bluestein(x: &[Complex64]) -> Vec<Complex64> {
     fft_in_place(&mut a);
     fft_in_place(&mut b);
     for (ai, bi) in a.iter_mut().zip(b.iter()) {
-        *ai = *ai * *bi;
+        *ai *= *bi;
     }
     ifft_in_place(&mut a);
 
@@ -149,7 +152,9 @@ mod tests {
             .map(|k| {
                 (0..n)
                     .map(|t| {
-                        x[t] * Complex64::cis(-2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64)
+                        x[t] * Complex64::cis(
+                            -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64,
+                        )
                     })
                     .sum()
             })
@@ -252,7 +257,10 @@ mod tests {
     #[test]
     fn linearity() {
         let a = ramp(24);
-        let b: Vec<Complex64> = ramp(24).iter().map(|v| *v * Complex64::new(0.0, 1.5)).collect();
+        let b: Vec<Complex64> = ramp(24)
+            .iter()
+            .map(|v| *v * Complex64::new(0.0, 1.5))
+            .collect();
         let sum: Vec<Complex64> = a.iter().zip(b.iter()).map(|(p, q)| *p + *q).collect();
         let fa = fft_of_any_len(&a);
         let fb = fft_of_any_len(&b);

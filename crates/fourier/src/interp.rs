@@ -40,7 +40,10 @@ pub fn trig_interp(samples: &[f64], t: f64) -> f64 {
 /// Panics when `samples.len()` is even or zero.
 pub fn trig_interp_barycentric(samples: &[f64], t: f64) -> f64 {
     let n = samples.len();
-    assert!(n % 2 == 1 && n > 0, "trig interpolation requires odd sample count");
+    assert!(
+        n % 2 == 1 && n > 0,
+        "trig interpolation requires odd sample count"
+    );
     let nf = n as f64;
     let pi = std::f64::consts::PI;
     let mut acc = 0.0;

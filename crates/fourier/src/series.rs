@@ -88,7 +88,7 @@ impl FourierSeries {
         let mut ph = w;
         for i in 1..=m {
             acc += 2.0 * (self.coeff(i) * ph).re;
-            ph = ph * w;
+            ph *= w;
         }
         acc
     }
@@ -103,7 +103,7 @@ impl FourierSeries {
         for i in 1..=m {
             let jw = Complex64::new(0.0, two_pi * i as f64);
             acc += 2.0 * (self.coeff(i) * jw * ph).re;
-            ph = ph * w;
+            ph *= w;
         }
         acc
     }
@@ -154,7 +154,10 @@ mod tests {
     #[test]
     fn interpolates_samples() {
         let n = 11;
-        let samples: Vec<f64> = grid(n).iter().map(|&t| (2.0 * std::f64::consts::PI * t).sin() + 0.5).collect();
+        let samples: Vec<f64> = grid(n)
+            .iter()
+            .map(|&t| (2.0 * std::f64::consts::PI * t).sin() + 0.5)
+            .collect();
         let s = FourierSeries::from_samples(&samples);
         for (i, &t) in grid(n).iter().enumerate() {
             assert!((s.eval(t) - samples[i]).abs() < 1e-10);
@@ -163,7 +166,10 @@ mod tests {
 
     #[test]
     fn eval_is_periodic() {
-        let samples: Vec<f64> = grid(9).iter().map(|&t| (2.0 * std::f64::consts::PI * t).cos()).collect();
+        let samples: Vec<f64> = grid(9)
+            .iter()
+            .map(|&t| (2.0 * std::f64::consts::PI * t).cos())
+            .collect();
         let s = FourierSeries::from_samples(&samples);
         assert!((s.eval(0.3) - s.eval(1.3)).abs() < 1e-10);
         assert!((s.eval(0.3) - s.eval(-0.7)).abs() < 1e-10);
@@ -195,7 +201,10 @@ mod tests {
 
     #[test]
     fn coeff_accessor_is_hermitian() {
-        let samples: Vec<f64> = grid(9).iter().map(|&t| (2.0 * std::f64::consts::PI * t).cos()).collect();
+        let samples: Vec<f64> = grid(9)
+            .iter()
+            .map(|&t| (2.0 * std::f64::consts::PI * t).cos())
+            .collect();
         let s = FourierSeries::from_samples(&samples);
         assert!((s.coeff(1) - s.coeff(-1).conj()).abs() < 1e-12);
     }

@@ -218,8 +218,11 @@ pub fn solve_forced<D: Dae + ?Sized>(
     init: Option<&[f64]>,
     opts: &HbOptions,
 ) -> Result<HbSolution, HbError> {
-    if !(freq_hz > 0.0) {
-        return Err(HbError::BadInput("forcing frequency must be positive".into()));
+    // `partial_cmp` keeps the NaN-rejecting behavior of `!(f > 0.0)`.
+    if freq_hz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(HbError::BadInput(
+            "forcing frequency must be positive".into(),
+        ));
     }
     let colloc = Colloc::new(dae.dim(), opts.harmonics);
     let len = colloc.len();
@@ -295,8 +298,10 @@ pub fn solve_autonomous<D: Dae + ?Sized>(
             init_samples.len()
         )));
     }
-    if !(init_freq_hz > 0.0) {
-        return Err(HbError::BadInput("initial frequency must be positive".into()));
+    if init_freq_hz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(HbError::BadInput(
+            "initial frequency must be positive".into(),
+        ));
     }
     let len = colloc.len();
     let mut x = vec![0.0; len + 1];
@@ -394,7 +399,12 @@ mod tests {
         let init = orbit.resample_uniform(2 * opts.harmonics + 1);
         let sol = solve_autonomous(&vdp, &init, orbit.frequency(), &opts).unwrap();
         let rel = (sol.freq_hz - orbit.frequency()).abs() / orbit.frequency();
-        assert!(rel < 1e-4, "HB {} vs shooting {}", sol.freq_hz, orbit.frequency());
+        assert!(
+            rel < 1e-4,
+            "HB {} vs shooting {}",
+            sol.freq_hz,
+            orbit.frequency()
+        );
         // Amplitude ≈ 2 (peak-to-peak 4).
         assert!((sol.amplitude(0) - 4.0).abs() < 0.1);
     }

@@ -77,7 +77,10 @@ impl fmt::Display for MpdeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MpdeError::NewtonFailed { at_t2, residual } => {
-                write!(f, "mpde newton failed at t2={at_t2:.6e} (residual {residual:.3e})")
+                write!(
+                    f,
+                    "mpde newton failed at t2={at_t2:.6e} (residual {residual:.3e})"
+                )
             }
             MpdeError::Singular { at_t2 } => write!(f, "mpde jacobian singular at t2={at_t2:.6e}"),
             MpdeError::BadInput(msg) => write!(f, "bad input: {msg}"),
@@ -112,8 +115,7 @@ impl BivariateForcing for AmForcing {
     fn eval(&self, t1: f64, t2: f64, out: &mut [f64]) {
         out.iter_mut().for_each(|v| *v = 0.0);
         let env = 1.0 + self.mod_depth * (2.0 * std::f64::consts::PI * self.mod_freq_hz * t2).sin();
-        out[self.node] =
-            self.carrier_amplitude * env * (2.0 * std::f64::consts::PI * t1).sin();
+        out[self.node] = self.carrier_amplitude * env * (2.0 * std::f64::consts::PI * t1).sin();
     }
 }
 
@@ -195,7 +197,10 @@ impl MpdeResult {
                 } else if t >= self.t2[m - 1] {
                     m - 2
                 } else {
-                    self.t2.partition_point(|&v| v <= t).saturating_sub(1).min(m - 2)
+                    self.t2
+                        .partition_point(|&v| v <= t)
+                        .saturating_sub(1)
+                        .min(m - 2)
                 };
                 let w = ((t - self.t2[i]) / (self.t2[i + 1] - self.t2[i])).clamp(0.0, 1.0);
                 let xa = &self.states[i];
@@ -226,16 +231,23 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
     t2_end: f64,
     opts: &MpdeOptions,
 ) -> Result<MpdeResult, MpdeError> {
-    if !(f1_hz > 0.0) {
-        return Err(MpdeError::BadInput("carrier frequency must be positive".into()));
+    // `partial_cmp` keeps the NaN-rejecting behavior of `!(v > 0.0)`.
+    if f1_hz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(MpdeError::BadInput(
+            "carrier frequency must be positive".into(),
+        ));
     }
-    if !(t2_end > 0.0) {
+    if t2_end.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(MpdeError::BadInput("t2_end must be positive".into()));
     }
     let n = dae.dim();
     let colloc = Colloc::new(n, opts.harmonics);
     let len = colloc.len();
-    let h = if opts.dt2 > 0.0 { opts.dt2 } else { t2_end / 50.0 };
+    let h = if opts.dt2 > 0.0 {
+        opts.dt2
+    } else {
+        t2_end / 50.0
+    };
 
     // Forcing at collocation phases, updated per step.
     let mut bgrid = vec![0.0; len];
@@ -253,7 +265,17 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
         .map_err(|e| MpdeError::BadInput(format!("dc operating point failed: {e}")))?;
     let mut x: Vec<f64> = (0..colloc.n0).flat_map(|_| dc.iter().copied()).collect();
     eval_forcing(0.0, &mut bgrid);
-    newton_mpde(dae, &colloc, &mut x, None, 0.0, f1_hz, &bgrid, &opts.newton, 0.0)?;
+    newton_mpde(
+        dae,
+        &colloc,
+        &mut x,
+        None,
+        0.0,
+        f1_hz,
+        &bgrid,
+        &opts.newton,
+        0.0,
+    )?;
 
     let mut t2s = vec![0.0];
     let mut states = vec![x.clone()];
@@ -316,17 +338,18 @@ fn newton_mpde<D: Dae + ?Sized>(
     let mut fv = vec![0.0; len];
     let mut r = vec![0.0; len];
 
-    let residual = |x: &[f64], q: &mut Vec<f64>, dq: &mut Vec<f64>, fv: &mut Vec<f64>, r: &mut Vec<f64>| {
-        colloc.eval_q_all(dae, x, q);
-        colloc.apply_diff(q, dq);
-        colloc.eval_f_all(dae, x, fv);
-        for k in 0..len {
-            r[k] = f1 * dq[k] + fv[k] - bgrid[k];
-            if let Some((qp, h)) = prev {
-                r[k] += (q[k] - qp[k]) / h;
+    let residual =
+        |x: &[f64], q: &mut Vec<f64>, dq: &mut Vec<f64>, fv: &mut Vec<f64>, r: &mut Vec<f64>| {
+            colloc.eval_q_all(dae, x, q);
+            colloc.apply_diff(q, dq);
+            colloc.eval_f_all(dae, x, fv);
+            for k in 0..len {
+                r[k] = f1 * dq[k] + fv[k] - bgrid[k];
+                if let Some((qp, h)) = prev {
+                    r[k] += (q[k] - qp[k]) / h;
+                }
             }
-        }
-    };
+        };
 
     residual(x, &mut q, &mut dq, &mut fv, &mut r);
     let mut rnorm = norm2(&r);
@@ -365,7 +388,8 @@ fn newton_mpde<D: Dae + ?Sized>(
         }
         let lu = DenseLu::factor(&jac).map_err(|_| MpdeError::Singular { at_t2 })?;
         let mut dx = r.clone();
-        lu.solve_in_place(&mut dx).map_err(|_| MpdeError::Singular { at_t2 })?;
+        lu.solve_in_place(&mut dx)
+            .map_err(|_| MpdeError::Singular { at_t2 })?;
 
         let mut lambda = 1.0_f64;
         let mut x_trial = vec![0.0; len];
@@ -388,13 +412,15 @@ fn newton_mpde<D: Dae + ?Sized>(
         // Block-scaled convergence (cf. wampde::envelope).
         let x_scale = x.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
         let w = newton.abstol + newton.reltol * x_scale;
-        let update =
-            (dx.iter().map(|d| (lambda * d / w).powi(2)).sum::<f64>() / len as f64).sqrt();
+        let update = (dx.iter().map(|d| (lambda * d / w).powi(2)).sum::<f64>() / len as f64).sqrt();
         if update <= 1.0 {
             return Ok(());
         }
     }
-    Err(MpdeError::NewtonFailed { at_t2, residual: rnorm })
+    Err(MpdeError::NewtonFailed {
+        at_t2,
+        residual: rnorm,
+    })
 }
 
 #[cfg(test)]

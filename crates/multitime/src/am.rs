@@ -118,7 +118,10 @@ mod tests {
             uni_err = uni_err.max((interp - signal(t)).abs());
         }
         assert!(biv_err < 1e-9, "bivariate error {biv_err}");
-        assert!(uni_err > 0.15, "univariate error {uni_err} suspiciously small");
+        assert!(
+            uni_err > 0.15,
+            "univariate error {uni_err} suspiciously small"
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl BivariateGrid {
     ) -> Self {
         assert!(n1 % 2 == 1 && n1 > 0, "n1 must be odd");
         assert!(n2 % 2 == 1 && n2 > 0, "n2 must be odd");
-        assert!(t1_period > 0.0 && t2_period > 0.0, "periods must be positive");
+        assert!(
+            t1_period > 0.0 && t2_period > 0.0,
+            "periods must be positive"
+        );
         let values = (0..n2)
             .map(|j| {
                 let t2 = j as f64 / n2 as f64 * t2_period;

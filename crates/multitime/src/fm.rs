@@ -140,10 +140,7 @@ mod tests {
     fn warped_reconstruction_is_exact() {
         for k in 0..200 {
             let t = k as f64 * 2.7e-7;
-            assert!(
-                (reconstruct_warped(t) - signal(t)).abs() < 1e-9,
-                "t={t}"
-            );
+            assert!((reconstruct_warped(t) - signal(t)).abs() < 1e-9, "t={t}");
         }
     }
 

@@ -154,6 +154,9 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    // Complex division is multiplication by the reciprocal; clippy's
+    // suspicious-arithmetic-impl heuristic expects a literal `/` here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }

@@ -198,7 +198,12 @@ mod tests {
         let fine: Vec<f64> = (0..900).map(|i| i as f64 / 100.0).collect();
         let vals = p.eval_many(&fine);
         for w in vals.windows(2) {
-            assert!(w[1] >= w[0] - 1e-12, "pchip overshoot: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "pchip overshoot: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
     }
 

@@ -212,7 +212,10 @@ mod tests {
     #[test]
     fn detects_singular() {
         let a = DMat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(DenseLu::factor(&a), Err(NumError::Singular { .. })));
+        assert!(matches!(
+            DenseLu::factor(&a),
+            Err(NumError::Singular { .. })
+        ));
     }
 
     #[test]
@@ -230,7 +233,9 @@ mod tests {
         let n = 25;
         let mut state = 0x9e3779b97f4a7c15_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         let mut a = DMat::zeros(n, n);

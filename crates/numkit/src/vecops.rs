@@ -165,7 +165,7 @@ mod tests {
     fn compensated_sum_beats_naive() {
         // 1 + 1e-16 repeated: naive summation loses the small terms.
         let mut xs = vec![1.0];
-        xs.extend(std::iter::repeat(1e-16).take(10_000));
+        xs.extend(std::iter::repeat_n(1e-16, 10_000));
         let naive: f64 = xs.iter().sum();
         let comp = compensated_sum(&xs);
         let exact = 1.0 + 1e-12;

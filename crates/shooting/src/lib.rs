@@ -166,6 +166,10 @@ impl PeriodicOrbit {
     }
 }
 
+/// End state, monodromy matrix, and trajectory samples of one flow
+/// integration.
+type FlowOutput = (Vec<f64>, DMat, Vec<Vec<f64>>);
+
 /// Integrates the flow over `[0, T]` with `steps` fixed implicit steps,
 /// returning `(x(T), monodromy, samples)`.
 fn flow_with_monodromy<D: Dae + ?Sized>(
@@ -174,7 +178,7 @@ fn flow_with_monodromy<D: Dae + ?Sized>(
     period: f64,
     steps: usize,
     integrator: Integrator,
-) -> Result<(Vec<f64>, DMat, Vec<Vec<f64>>), ShootingError> {
+) -> Result<FlowOutput, ShootingError> {
     let n = dae.dim();
     let h = period / steps as f64;
     let opts = TransientOptions {
@@ -205,12 +209,12 @@ fn flow_with_monodromy<D: Dae + ?Sized>(
     dae.jac_q(&states[0], &mut c_prev);
     dae.jac_f(&states[0], &mut g_prev);
 
-    for i in 1..states.len() {
+    for (i, state) in states.iter().enumerate().skip(1) {
         // Use the actual step taken (the final step may be a float-rounding
         // remainder smaller than the nominal h).
         let hi = res.times[i] - res.times[i - 1];
-        dae.jac_q(&states[i], &mut c_cur);
-        dae.jac_f(&states[i], &mut g_cur);
+        dae.jac_q(state, &mut c_cur);
+        dae.jac_f(state, &mut g_cur);
         // A = C_i/h + θ·G_i ;  B = C_{i-1}/h − (1−θ)·G_{i-1}
         let mut a = c_cur.clone();
         a.scale(1.0 / hi);
@@ -220,10 +224,11 @@ fn flow_with_monodromy<D: Dae + ?Sized>(
         if theta < 1.0 {
             bmat.axpy(-(1.0 - theta), &g_prev);
         }
-        let lu = DenseLu::factor(&a)
-            .map_err(|_| ShootingError::Transient(transim::TransimError::SingularJacobian {
+        let lu = DenseLu::factor(&a).map_err(|_| {
+            ShootingError::Transient(transim::TransimError::SingularJacobian {
                 at_time: i as f64 * h,
-            }))?;
+            })
+        })?;
         // M ← A⁻¹ B M, column by column.
         let bm = bmat.matmul(&m).expect("dimension-consistent product");
         let mut m_new = DMat::zeros(n, n);
@@ -282,8 +287,11 @@ pub fn find_periodic_orbit<D: Dae + ?Sized>(
     if x0_guess.len() != n {
         return Err(ShootingError::BadInput("x0 guess has wrong length".into()));
     }
-    if !(period_guess > 0.0) {
-        return Err(ShootingError::BadInput("period guess must be positive".into()));
+    // `partial_cmp` keeps the NaN-rejecting behavior of `!(guess > 0.0)`.
+    if period_guess.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(ShootingError::BadInput(
+            "period guess must be positive".into(),
+        ));
     }
     if opts.phase_var >= n {
         return Err(ShootingError::BadInput("phase_var out of range".into()));
@@ -341,10 +349,11 @@ pub fn find_periodic_orbit<D: Dae + ?Sized>(
             residual: rnorm,
         })?;
         let mut dz = resid.clone();
-        lu.solve_in_place(&mut dz).map_err(|_| ShootingError::NoConvergence {
-            iterations: iter,
-            residual: rnorm,
-        })?;
+        lu.solve_in_place(&mut dz)
+            .map_err(|_| ShootingError::NoConvergence {
+                iterations: iter,
+                residual: rnorm,
+            })?;
 
         // Trust-region damping: the shooting Newton linearises a map that
         // is strongly nonlinear around the orbit, so cap the state move at
@@ -391,10 +400,7 @@ pub fn find_periodic_orbit<D: Dae + ?Sized>(
 ///
 /// Returns `(period, t_last_crossing)` or `None` when fewer than three
 /// crossings exist.
-pub fn estimate_period_from_transient(
-    res: &TransientResult,
-    var: usize,
-) -> Option<(f64, f64)> {
+pub fn estimate_period_from_transient(res: &TransientResult, var: usize) -> Option<(f64, f64)> {
     let sig = res.signal(var);
     let mean = sig.iter().sum::<f64>() / sig.len() as f64;
     let mut crossings = Vec::new();
@@ -457,7 +463,13 @@ pub fn oscillator_steady_state<D: Dae + ?Sized>(
             },
             newton: NewtonOptions::default(),
         };
-        let warm = run_transient(dae, &x, 0.0, horizon_guess * opts.warmup_periods / 10.0, &opts_tr)?;
+        let warm = run_transient(
+            dae,
+            &x,
+            0.0,
+            horizon_guess * opts.warmup_periods / 10.0,
+            &opts_tr,
+        )?;
         if let Some((period, _t_cross)) = estimate_period_from_transient(&warm, opts.phase_var) {
             // Settle onto the limit cycle, then pick the state at the last
             // *peak* of the phase variable: there q̇_k ≈ 0 already, so the
@@ -556,7 +568,11 @@ mod tests {
         assert!(disc >= 0.0, "expected real multipliers, disc={disc}");
         let l1 = tr / 2.0 + disc.sqrt();
         let l2 = tr / 2.0 - disc.sqrt();
-        let closest = if (l1 - 1.0).abs() < (l2 - 1.0).abs() { l1 } else { l2 };
+        let closest = if (l1 - 1.0).abs() < (l2 - 1.0).abs() {
+            l1
+        } else {
+            l2
+        };
         assert!((closest - 1.0).abs() < 0.02, "multipliers {l1}, {l2}");
         // The other multiplier must be inside the unit circle (stable orbit).
         let other = if closest == l1 { l2 } else { l1 };
@@ -568,10 +584,7 @@ mod tests {
         let dae = circuits::lc_vco();
         let orbit = oscillator_steady_state(&dae, &ShootingOptions::default()).unwrap();
         let f = orbit.frequency();
-        assert!(
-            (f - 0.75e6).abs() / 0.75e6 < 0.02,
-            "frequency {f} Hz"
-        );
+        assert!((f - 0.75e6).abs() / 0.75e6 < 0.02, "frequency {f} Hz");
     }
 
     #[test]

@@ -63,7 +63,10 @@ mod tests {
         assert!(times.len() > 50);
         for (t, a) in times.iter().zip(amps.iter()) {
             let want = (-0.2 * t).exp();
-            assert!((a - want).abs() < 0.05 * want + 0.01, "t={t}: {a} vs {want}");
+            assert!(
+                (a - want).abs() < 0.05 * want + 0.01,
+                "t={t}: {a} vs {want}"
+            );
         }
     }
 

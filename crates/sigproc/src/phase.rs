@@ -42,7 +42,10 @@ impl FrequencyTrace {
     pub fn range(&self) -> (f64, f64) {
         assert!(!self.freq_hz.is_empty(), "empty frequency trace");
         let lo = self.freq_hz.iter().fold(f64::INFINITY, |m, v| m.min(*v));
-        let hi = self.freq_hz.iter().fold(f64::NEG_INFINITY, |m, v| m.max(*v));
+        let hi = self
+            .freq_hz
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, v| m.max(*v));
         (lo, hi)
     }
 }
@@ -207,7 +210,10 @@ mod tests {
         let n = 4000;
         let dt = 1e-4;
         let ts: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
-        let a: Vec<f64> = ts.iter().map(|&t| (2.0 * std::f64::consts::PI * 25.0 * t).sin()).collect();
+        let a: Vec<f64> = ts
+            .iter()
+            .map(|&t| (2.0 * std::f64::consts::PI * 25.0 * t).sin())
+            .collect();
         let b: Vec<f64> = ts
             .iter()
             .map(|&t| (2.0 * std::f64::consts::PI * 25.0 * t + 1.0).sin())

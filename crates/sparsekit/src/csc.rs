@@ -29,7 +29,11 @@ impl Csc {
     ) -> Self {
         assert_eq!(indptr.len(), ncols + 1, "indptr length must be ncols+1");
         assert_eq!(indices.len(), data.len(), "indices/data length mismatch");
-        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr tail must equal nnz");
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr tail must equal nnz"
+        );
         debug_assert!(indices.iter().all(|&r| r < nrows), "row index out of range");
         Csc {
             nrows,
@@ -139,7 +143,13 @@ mod tests {
 
     fn sample() -> Csc {
         let mut t = Triplets::new(3, 3);
-        for &(r, c, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+        for &(r, c, v) in &[
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
             t.push(r, c, v);
         }
         t.to_csc()

@@ -31,8 +31,15 @@ impl Csr {
     ) -> Self {
         assert_eq!(indptr.len(), nrows + 1, "indptr length must be nrows+1");
         assert_eq!(indices.len(), data.len(), "indices/data length mismatch");
-        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr tail must equal nnz");
-        debug_assert!(indices.iter().all(|&c| c < ncols), "column index out of range");
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr tail must equal nnz"
+        );
+        debug_assert!(
+            indices.iter().all(|&c| c < ncols),
+            "column index out of range"
+        );
         Csr {
             nrows,
             ncols,
@@ -130,13 +137,13 @@ impl Csr {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
         assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             let mut acc = 0.0;
             for (c, v) in cols.iter().zip(vals.iter()) {
                 acc += v * x[*c];
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 
@@ -197,7 +204,13 @@ mod tests {
         // [0 3 0]
         // [4 0 5]
         let mut t = Triplets::new(3, 3);
-        for &(r, c, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+        for &(r, c, v) in &[
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
             t.push(r, c, v);
         }
         t.to_csr()

@@ -57,7 +57,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SparseError::Singular { column: 2 }.to_string().contains("column 2"));
+        assert!(SparseError::Singular { column: 2 }
+            .to_string()
+            .contains("column 2"));
         assert!(SparseError::NoConvergence {
             iterations: 10,
             residual: 0.5

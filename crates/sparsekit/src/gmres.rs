@@ -357,7 +357,7 @@ mod tests {
         let r = gmres(
             &op,
             &IdentityPrecond,
-            &vec![0.0; 10],
+            &[0.0; 10],
             None,
             &GmresOptions::default(),
         )

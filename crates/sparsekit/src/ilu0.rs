@@ -36,11 +36,11 @@ impl Ilu0 {
         let mut f = a.clone();
         // Locate diagonal positions once.
         let mut diag_pos = vec![usize::MAX; n];
-        for i in 0..n {
+        for (i, dp) in diag_pos.iter_mut().enumerate() {
             let (lo, hi) = (f.indptr()[i], f.indptr()[i + 1]);
             let cols = &f.indices()[lo..hi];
             match cols.binary_search(&i) {
-                Ok(k) => diag_pos[i] = lo + k,
+                Ok(k) => *dp = lo + k,
                 Err(_) => return Err(SparseError::Singular { column: i }),
             }
         }

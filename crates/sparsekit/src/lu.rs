@@ -132,11 +132,7 @@ impl SparseLu {
                 mark[r] = true;
                 while let Some(&mut (node, ref mut child)) = dfs_stack.last_mut() {
                     let pk = pinv[node];
-                    let children: &[(usize, f64)] = if pk == UNPIVOTED {
-                        &[]
-                    } else {
-                        &l_cols[pk]
-                    };
+                    let children: &[(usize, f64)] = if pk == UNPIVOTED { &[] } else { &l_cols[pk] };
                     if *child < children.len() {
                         let next = children[*child].0;
                         *child += 1;

@@ -59,7 +59,11 @@ pub fn dc_operating_point<D: Dae + ?Sized>(
 
     let mut last_err = None;
     for &gmin in &ladder {
-        let sys = DcSystem { dae, gmin, b0: b0.clone() };
+        let sys = DcSystem {
+            dae,
+            gmin,
+            b0: b0.clone(),
+        };
         let mut trial = x.clone();
         match newton_solve(&sys, &mut trial, opts) {
             Ok(_) => {

@@ -267,13 +267,14 @@ pub fn run_transient<D: Dae + ?Sized>(
             n
         )));
     }
-    if !(t_end > t0) {
+    // `partial_cmp` keeps the NaN-rejecting behavior of `!(t_end > t0)`.
+    if t_end.partial_cmp(&t0) != Some(std::cmp::Ordering::Greater) {
         return Err(TransimError::BadInput("t_end must exceed t0".into()));
     }
     let span = t_end - t0;
     let (adaptive, rtol, atol, mut h, h_min, h_max) = match opts.step {
         StepControl::Fixed(dt) => {
-            if !(dt > 0.0) {
+            if dt.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                 return Err(TransimError::BadInput("fixed step must be positive".into()));
             }
             (false, 0.0, 0.0, dt, dt, dt)
@@ -285,7 +286,11 @@ pub fn run_transient<D: Dae + ?Sized>(
             dt_min,
             dt_max,
         } => {
-            let h0 = if dt_init > 0.0 { dt_init } else { span / 1000.0 };
+            let h0 = if dt_init > 0.0 {
+                dt_init
+            } else {
+                span / 1000.0
+            };
             let hmin = if dt_min > 0.0 { dt_min } else { span * 1e-12 };
             let hmax = if dt_max > 0.0 { dt_max } else { span / 10.0 };
             (true, rtol, atol, h0, hmin, hmax)
@@ -311,11 +316,15 @@ pub fn run_transient<D: Dae + ?Sized>(
     let mut fbuf = vec![0.0; n];
     let order = opts.integrator.order();
     // Hard cap prevents runaway loops if a caller passes absurd tolerances.
-    let max_steps = 200_000_000usize.min(((span / h_min).ceil() as usize).saturating_mul(2).max(1024));
+    let max_steps =
+        200_000_000usize.min(((span / h_min).ceil() as usize).saturating_mul(2).max(1024));
 
     while t < t_end - 1e-15 * span {
         if stats.steps + stats.rejected > max_steps {
-            return Err(TransimError::StepTooSmall { at_time: t, step: h });
+            return Err(TransimError::StepTooSmall {
+                at_time: t,
+                step: h,
+            });
         }
         let h_try = h.min(t_end - t);
         let t_new = t + h_try;
@@ -324,8 +333,8 @@ pub fn run_transient<D: Dae + ?Sized>(
         let (a0h, theta, mut rconst) = match opts.integrator {
             Integrator::BackwardEuler => {
                 let mut rc = vec![0.0; n];
-                for i in 0..n {
-                    rc[i] = -hist.entries[0].2[i] / h_try;
+                for (r, qv) in rc.iter_mut().zip(&hist.entries[0].2) {
+                    *r = -qv / h_try;
                 }
                 (1.0 / h_try, 1.0, rc)
             }
@@ -343,8 +352,8 @@ pub fn run_transient<D: Dae + ?Sized>(
                 if hist.entries.len() < 2 {
                     // Self-start with one BE step.
                     let mut rc = vec![0.0; n];
-                    for i in 0..n {
-                        rc[i] = -hist.entries[0].2[i] / h_try;
+                    for (r, qv) in rc.iter_mut().zip(&hist.entries[0].2) {
+                        *r = -qv / h_try;
                     }
                     (1.0 / h_try, 1.0, rc)
                 } else {
@@ -378,11 +387,8 @@ pub fn run_transient<D: Dae + ?Sized>(
                 if adaptive {
                     match hist.predict(t_new) {
                         Some(pred) => {
-                            let diff: Vec<f64> = x_new
-                                .iter()
-                                .zip(pred.iter())
-                                .map(|(a, b)| a - b)
-                                .collect();
+                            let diff: Vec<f64> =
+                                x_new.iter().zip(pred.iter()).map(|(a, b)| a - b).collect();
                             // Predictor-corrector difference over-estimates the
                             // LTE; the 1/5 factor is the usual calibration.
                             let err = wrms_norm(&diff, &x_new, atol, rtol) / 5.0;
@@ -435,9 +441,12 @@ pub fn run_transient<D: Dae + ?Sized>(
             stats.steps += 1;
         } else {
             stats.rejected += 1;
-            if adaptive && h <= h_min * 1.0000001 && matches!(newton_result, Ok(_)) {
+            if adaptive && h <= h_min * 1.0000001 && newton_result.is_ok() {
                 // Error control cannot be satisfied even at the minimum step.
-                return Err(TransimError::StepTooSmall { at_time: t, step: h });
+                return Err(TransimError::StepTooSmall {
+                    at_time: t,
+                    step: h,
+                });
             }
         }
     }
@@ -645,8 +654,7 @@ mod tests {
     fn fixed_per_cycle_helper() {
         let osc = LinearOscillator::undamped(2.0 * std::f64::consts::PI);
         let res =
-            run_fixed_per_cycle(&osc, &[1.0, 0.0], 1.0, 2.0, 100, Integrator::Trapezoidal)
-                .unwrap();
+            run_fixed_per_cycle(&osc, &[1.0, 0.0], 1.0, 2.0, 100, Integrator::Trapezoidal).unwrap();
         assert_eq!(res.stats.steps, 200);
         assert!((res.last()[0] - 1.0).abs() < 1e-2);
     }

@@ -38,7 +38,6 @@ pub mod newton;
 pub use dcop::dc_operating_point;
 pub use error::TransimError;
 pub use integrate::{
-    run_fixed_per_cycle, run_transient, Integrator, StepControl, TransientOptions,
-    TransientResult,
+    run_fixed_per_cycle, run_transient, Integrator, StepControl, TransientOptions, TransientResult,
 };
 pub use newton::{newton_solve, NewtonOptions, NewtonReport, NonlinearSystem};

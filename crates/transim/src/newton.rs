@@ -78,9 +78,8 @@ pub fn newton_solve<S: NonlinearSystem + ?Sized>(
 
     for iter in 1..=opts.max_iter {
         sys.jacobian(x, &mut jac);
-        let lu = DenseLu::factor(&jac).map_err(|_| TransimError::SingularJacobian {
-            at_time: f64::NAN,
-        })?;
+        let lu = DenseLu::factor(&jac)
+            .map_err(|_| TransimError::SingularJacobian { at_time: f64::NAN })?;
         // dx = -J⁻¹ r
         let mut dx = r.clone();
         lu.solve_in_place(&mut dx)

@@ -8,17 +8,25 @@ fn main() {
     let dae = circuits::mems_vco(cfg);
     let unforced = circuits::mems_vco(MemsVcoConfig::constant(1.5));
     let orbit = oscillator_steady_state(&unforced, &ShootingOptions::default()).unwrap();
-    let opts = WampdeOptions { harmonics: 9, ..Default::default() };
+    let opts = WampdeOptions {
+        harmonics: 9,
+        ..Default::default()
+    };
     let init = WampdeInit::from_orbit(&orbit, &opts);
     let t0 = std::time::Instant::now();
     let env = solve_envelope(&dae, &init, 3e-3, &opts).unwrap();
-    println!("steps={} rejected={} time={:?}", env.stats.steps, env.stats.rejected, t0.elapsed());
+    println!(
+        "steps={} rejected={} time={:?}",
+        env.stats.steps,
+        env.stats.rejected,
+        t0.elapsed()
+    );
     let (lo, hi) = env.frequency_range();
-    println!("frequency range: {:.3} - {:.3} MHz", lo/1e6, hi/1e6);
+    println!("frequency range: {:.3} - {:.3} MHz", lo / 1e6, hi / 1e6);
     // print every ~0.1ms for shape inspection
     for i in 0..=30 {
         let t = i as f64 * 1e-4;
-        print!("({:.1}ms {:.3}) ", t*1e3, env.omega_at(t)/1e6);
+        print!("({:.1}ms {:.3}) ", t * 1e3, env.omega_at(t) / 1e6);
     }
     println!();
     println!("phi(3ms) = {} cycles", env.phi_at(3e-3));

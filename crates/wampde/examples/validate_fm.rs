@@ -12,25 +12,49 @@ fn main() {
     let orbit = oscillator_steady_state(&unforced, &ShootingOptions::default()).unwrap();
     println!("f0 = {:.1} kHz", orbit.frequency() / 1e3);
 
-    let opts = WampdeOptions { harmonics: 9, ..Default::default() };
+    let opts = WampdeOptions {
+        harmonics: 9,
+        ..Default::default()
+    };
     let init = WampdeInit::from_orbit(&orbit, &opts);
     let t_end = 80e-6; // two control periods
     let t0 = std::time::Instant::now();
     let env = solve_envelope(&dae, &init, t_end, &opts).unwrap();
     let wampde_time = t0.elapsed();
     let (lo, hi) = env.frequency_range();
-    println!("WaMPDE: steps={} rejected={} newton={} time={:?}", env.stats.steps, env.stats.rejected, env.stats.newton_iterations, wampde_time);
-    println!("frequency range: {:.3} - {:.3} MHz (ratio {:.2})", lo/1e6, hi/1e6, hi/lo);
+    println!(
+        "WaMPDE: steps={} rejected={} newton={} time={:?}",
+        env.stats.steps, env.stats.rejected, env.stats.newton_iterations, wampde_time
+    );
+    println!(
+        "frequency range: {:.3} - {:.3} MHz (ratio {:.2})",
+        lo / 1e6,
+        hi / 1e6,
+        hi / lo
+    );
 
     // Transient reference from the same initial state.
     // Initial condition: state at t1 = phi(0) = 0 of the initial samples -> first sample row.
     let x0: Vec<f64> = env.states[0][0..dae.dim()].to_vec();
     let t0 = std::time::Instant::now();
-    let tr = run_transient(&dae, &x0, 0.0, t_end, &TransientOptions {
-        integrator: Integrator::Trapezoidal,
-        step: StepControl::Adaptive { rtol: 1e-8, atol: 1e-12, dt_init: 1e-9, dt_min: 0.0, dt_max: 5e-8 },
-        ..Default::default()
-    }).unwrap();
+    let tr = run_transient(
+        &dae,
+        &x0,
+        0.0,
+        t_end,
+        &TransientOptions {
+            integrator: Integrator::Trapezoidal,
+            step: StepControl::Adaptive {
+                rtol: 1e-8,
+                atol: 1e-12,
+                dt_init: 1e-9,
+                dt_min: 0.0,
+                dt_max: 5e-8,
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let tr_time = t0.elapsed();
     println!("transient: steps={} time={:?}", tr.stats.steps, tr_time);
 

@@ -123,9 +123,12 @@ pub fn solve_envelope<D: Dae + ?Sized>(
         )));
     }
     if init.samples.iter().any(|r| r.len() != n) {
-        return Err(WampdeError::BadInput("init sample width != dae dimension".into()));
+        return Err(WampdeError::BadInput(
+            "init sample width != dae dimension".into(),
+        ));
     }
-    if !(t2_end > 0.0) {
+    // `partial_cmp` keeps the NaN-rejecting behavior of `!(v > 0.0)`.
+    if t2_end.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(WampdeError::BadInput("t2_end must be positive".into()));
     }
 
@@ -134,8 +137,10 @@ pub fn solve_envelope<D: Dae + ?Sized>(
         OmegaMode::Free => init.freq_hz,
         OmegaMode::Frozen(w) => w,
     };
-    if !(omega > 0.0) {
-        return Err(WampdeError::BadInput("initial frequency must be positive".into()));
+    if omega.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(WampdeError::BadInput(
+            "initial frequency must be positive".into(),
+        ));
     }
 
     let mut x = init.stacked();
@@ -163,8 +168,10 @@ pub fn solve_envelope<D: Dae + ?Sized>(
 
     let (adaptive, rtol, atol, mut h, h_min, h_max) = match opts.step {
         T2StepControl::Fixed(dt) => {
-            if !(dt > 0.0) {
-                return Err(WampdeError::BadInput("fixed t2 step must be positive".into()));
+            if dt.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(WampdeError::BadInput(
+                    "fixed t2 step must be positive".into(),
+                ));
             }
             (false, 0.0, 0.0, dt, dt, dt)
         }
@@ -175,7 +182,11 @@ pub fn solve_envelope<D: Dae + ?Sized>(
             dt_min,
             dt_max,
         } => {
-            let h0 = if dt_init > 0.0 { dt_init } else { t2_end / 200.0 };
+            let h0 = if dt_init > 0.0 {
+                dt_init
+            } else {
+                t2_end / 200.0
+            };
             let hmin = if dt_min > 0.0 { dt_min } else { t2_end * 1e-9 };
             let hmax = if dt_max > 0.0 { dt_max } else { t2_end / 20.0 };
             (true, rtol, atol, h0, hmin, hmax)
@@ -415,7 +426,7 @@ fn newton_step<D: Dae + ?Sized>(
     t_new: f64,
     g_prev: &[f64],
     phase_row: Option<&[f64]>,
-    x: &mut Vec<f64>,
+    x: &mut [f64],
     omega: &mut f64,
     work: &mut Work,
 ) -> Result<usize, WampdeError> {
@@ -424,10 +435,7 @@ fn newton_step<D: Dae + ?Sized>(
     let free_omega = phase_row.is_some();
     let dim = len + usize::from(free_omega);
 
-    let residual = |x: &[f64],
-                    omega: f64,
-                    work: &mut Work,
-                    out: &mut Vec<f64>| {
+    let residual = |x: &[f64], omega: f64, work: &mut Work, out: &mut Vec<f64>| {
         out.resize(dim, 0.0);
         colloc.eval_q_all(dae, x, &mut work.q);
         colloc.apply_diff(&work.q, &mut work.dq);

@@ -74,9 +74,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = WampdeError::DegeneratePhase { var: 1, harmonic: 2 };
+        let e = WampdeError::DegeneratePhase {
+            var: 1,
+            harmonic: 2,
+        };
         assert!(e.to_string().contains("variable 1"));
-        let e = WampdeError::StepTooSmall { at_t2: 1.0, step: 1e-12 };
+        let e = WampdeError::StepTooSmall {
+            at_t2: 1.0,
+            step: 1e-12,
+        };
         assert!(e.to_string().contains("underflow"));
     }
 

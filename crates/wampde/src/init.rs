@@ -66,9 +66,15 @@ impl WampdeInit {
         let var_k: Vec<f64> = self.samples.iter().map(|row| row[k]).collect();
         let series = FourierSeries::from_samples(&var_k);
         let c = series.coeff(l as isize);
-        let scale = var_k.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
+        let scale = var_k
+            .iter()
+            .fold(0.0_f64, |m, v| m.max(v.abs()))
+            .max(1e-300);
         if c.abs() < 1e-9 * scale {
-            return Err(WampdeError::DegeneratePhase { var: k, harmonic: l });
+            return Err(WampdeError::DegeneratePhase {
+                var: k,
+                harmonic: l,
+            });
         }
         // Shifting samples to x̂(t1 + Δ) multiplies coefficient c_l by
         // e^{j2πlΔ}; choose Δ so the result is real: 2πlΔ = −arg(c).
@@ -153,7 +159,8 @@ mod tests {
 
     #[test]
     fn stacked_layout_is_sample_major() {
-        let init = WampdeInit::from_samples(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]], 1.0);
+        let init =
+            WampdeInit::from_samples(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]], 1.0);
         assert_eq!(init.stacked(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
     }
 }

@@ -82,7 +82,8 @@ impl JacobianParts<'_> {
         let len = self.colloc.len();
         let n = self.colloc.n;
         let dim = self.dim();
-        let mut t = Triplets::with_capacity(dim, dim, self.colloc.n0 * self.colloc.n0 * n + 4 * len);
+        let mut t =
+            Triplets::with_capacity(dim, dim, self.colloc.n0 * self.colloc.n0 * n + 4 * len);
         for s in 0..self.colloc.n0 {
             let g = &self.gblocks[s];
             let c = &self.cblocks[s];
@@ -154,7 +155,11 @@ impl FactoredJacobian {
     /// # Errors
     ///
     /// [`WampdeError::LinearSolve`] when the factorisation fails.
-    pub fn factor(parts: &JacobianParts<'_>, kind: LinearSolverKind, at_t2: f64) -> Result<Self, WampdeError> {
+    pub fn factor(
+        parts: &JacobianParts<'_>,
+        kind: LinearSolverKind,
+        at_t2: f64,
+    ) -> Result<Self, WampdeError> {
         match kind {
             LinearSolverKind::Dense => {
                 let jac = parts.assemble_dense();
@@ -205,26 +210,27 @@ impl FactoredJacobian {
     /// stagnates).
     pub fn solve_in_place(&self, rhs: &mut [f64], at_t2: f64) -> Result<(), WampdeError> {
         match self {
-            FactoredJacobian::Dense(lu) => lu.solve_in_place(rhs).map_err(|e| {
-                WampdeError::LinearSolve {
-                    at_t2,
-                    cause: e.to_string(),
-                }
-            }),
-            FactoredJacobian::Sparse(lu) => lu.solve_in_place(rhs).map_err(|e| {
-                WampdeError::LinearSolve {
-                    at_t2,
-                    cause: e.to_string(),
-                }
-            }),
-            FactoredJacobian::Gmres { a, precond, opts } => {
-                let op = CsrOp::new(a);
-                let result = gmres(&op, precond, rhs, None, opts).map_err(|e| {
-                    WampdeError::LinearSolve {
+            FactoredJacobian::Dense(lu) => {
+                lu.solve_in_place(rhs)
+                    .map_err(|e| WampdeError::LinearSolve {
                         at_t2,
                         cause: e.to_string(),
-                    }
-                })?;
+                    })
+            }
+            FactoredJacobian::Sparse(lu) => {
+                lu.solve_in_place(rhs)
+                    .map_err(|e| WampdeError::LinearSolve {
+                        at_t2,
+                        cause: e.to_string(),
+                    })
+            }
+            FactoredJacobian::Gmres { a, precond, opts } => {
+                let op = CsrOp::new(a);
+                let result =
+                    gmres(&op, precond, rhs, None, opts).map_err(|e| WampdeError::LinearSolve {
+                        at_t2,
+                        cause: e.to_string(),
+                    })?;
                 rhs.copy_from_slice(&result.x);
                 Ok(())
             }
@@ -269,7 +275,9 @@ mod tests {
             omega: 1.3,
             border: Some((&row, &col)),
         };
-        let rhs: Vec<f64> = (0..parts.dim()).map(|i| ((i * 3 % 7) as f64) - 3.0).collect();
+        let rhs: Vec<f64> = (0..parts.dim())
+            .map(|i| ((i * 3 % 7) as f64) - 3.0)
+            .collect();
 
         let mut dense_sol = rhs.clone();
         FactoredJacobian::factor(&parts, LinearSolverKind::Dense, 0.0)

@@ -67,10 +67,11 @@ impl Default for T2StepControl {
 }
 
 /// How the local frequency unknown is treated.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum OmegaMode {
     /// `ω(t2)` is a solver unknown pinned by the phase condition — the
     /// WaMPDE proper.
+    #[default]
     Free,
     /// `ω` is frozen at a constant and the phase condition is dropped —
     /// this degenerates to the *unwarped* MPDE applied to an autonomous
@@ -79,16 +80,11 @@ pub enum OmegaMode {
     Frozen(f64),
 }
 
-impl Default for OmegaMode {
-    fn default() -> Self {
-        OmegaMode::Free
-    }
-}
-
 /// Which linear solver factors the per-step bordered Jacobian.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LinearSolverKind {
     /// Dense LU — simplest, right for small circuits.
+    #[default]
     Dense,
     /// Sparse LU (Gilbert–Peierls) on the block-sparse Jacobian.
     SparseLu,
@@ -102,12 +98,6 @@ pub enum LinearSolverKind {
         /// Relative residual target.
         rtol: f64,
     },
-}
-
-impl Default for LinearSolverKind {
-    fn default() -> Self {
-        LinearSolverKind::Dense
-    }
 }
 
 /// Options for [`crate::solve_envelope`] / [`crate::solve_quasiperiodic`].

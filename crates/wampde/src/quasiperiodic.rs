@@ -62,8 +62,8 @@ impl QpInit {
                 .min(env.len() - 2);
             let w = ((t - env.t2[i]) / (env.t2[i + 1] - env.t2[i])).clamp(0.0, 1.0);
             let mut x = vec![0.0; len];
-            for k in 0..len {
-                x[k] = env.states[i][k] * (1.0 - w) + env.states[i + 1][k] * w;
+            for (k, xv) in x.iter_mut().enumerate() {
+                *xv = env.states[i][k] * (1.0 - w) + env.states[i + 1][k] * w;
             }
             slices.push(x);
             omegas.push(env.omega_at(t));
@@ -214,14 +214,17 @@ pub fn solve_quasiperiodic<D: Dae + ?Sized>(
         return Err(WampdeError::BadInput("need at least 3 t2 slices".into()));
     }
     if init.omegas.len() != n1 {
-        return Err(WampdeError::BadInput("omegas/slices length mismatch".into()));
+        return Err(WampdeError::BadInput(
+            "omegas/slices length mismatch".into(),
+        ));
     }
     if init.slices.iter().any(|s| s.len() != len) {
         return Err(WampdeError::BadInput(format!(
             "each slice must have n·N0 = {len} entries"
         )));
     }
-    if !(t2_period > 0.0) {
+    // `partial_cmp` keeps the NaN-rejecting behavior of `!(period > 0.0)`.
+    if t2_period.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(WampdeError::BadInput("t2 period must be positive".into()));
     }
 
@@ -277,10 +280,10 @@ pub fn solve_quasiperiodic<D: Dae + ?Sized>(
             let om = z[m * bw + len];
             let om_prev = z[prev * bw + len];
             for s in 0..colloc.n0 {
-                for i in 0..n {
+                for (i, (bm, bp)) in b_slices[m].iter().zip(b_slices[prev].iter()).enumerate() {
                     let k = colloc.idx(s, i);
-                    let g_m = om * dqs[m][k] + fs[m][k] - b_slices[m][i];
-                    let g_p = om_prev * dqs[prev][k] + fs[prev][k] - b_slices[prev][i];
+                    let g_m = om * dqs[m][k] + fs[m][k] - bm;
+                    let g_p = om_prev * dqs[prev][k] + fs[prev][k] - bp;
                     out[m * bw + k] = (c0 * qs[m][k] + c1 * qs[prev][k] + c2 * qs[prev2][k]) / h
                         + theta * g_m
                         + (1.0 - theta) * g_p;
@@ -325,7 +328,8 @@ pub fn solve_quasiperiodic<D: Dae + ?Sized>(
             qs[m] = q;
         }
 
-        let mut trip = Triplets::with_capacity(dim, dim, n1 * (colloc.n0 * colloc.n0 * n + 4 * len));
+        let mut trip =
+            Triplets::with_capacity(dim, dim, n1 * (colloc.n0 * colloc.n0 * n + 4 * len));
         for m in 0..n1 {
             let prev = (m + n1 - 1) % n1;
             let prev2 = (m + n1 - 2) % n1;
@@ -334,7 +338,15 @@ pub fn solve_quasiperiodic<D: Dae + ?Sized>(
             let row0 = m * bw;
             // ∂/∂X_m: c0·C_m/h + θ(ω_m D⊗C_m + G_m).
             add_slice_block(
-                &mut trip, &colloc, row0, m * bw, &cblocks[m], &gblocks[m], c0 / h, theta, om,
+                &mut trip,
+                &colloc,
+                row0,
+                m * bw,
+                &cblocks[m],
+                &gblocks[m],
+                c0 / h,
+                theta,
+                om,
             );
             // ∂/∂X_prev: c1·C_prev/h + (1−θ)(ω_prev D⊗C_prev + G_prev).
             add_slice_block(
@@ -363,12 +375,12 @@ pub fn solve_quasiperiodic<D: Dae + ?Sized>(
                 );
             }
             // ω columns.
-            for k in 0..len {
-                let v = theta * dqs[m][k];
+            for (k, (dm, dp)) in dqs[m].iter().zip(dqs[prev].iter()).enumerate() {
+                let v = theta * dm;
                 if v != 0.0 {
                     trip.push(row0 + k, m * bw + len, v);
                 }
-                let vp = (1.0 - theta) * dqs[prev][k];
+                let vp = (1.0 - theta) * dp;
                 if vp != 0.0 {
                     trip.push(row0 + k, prev * bw + len, vp);
                 }
@@ -386,10 +398,11 @@ pub fn solve_quasiperiodic<D: Dae + ?Sized>(
             cause: e.to_string(),
         })?;
         let mut dz = r.clone();
-        lu.solve_in_place(&mut dz).map_err(|e| WampdeError::LinearSolve {
-            at_t2: 0.0,
-            cause: e.to_string(),
-        })?;
+        lu.solve_in_place(&mut dz)
+            .map_err(|e| WampdeError::LinearSolve {
+                at_t2: 0.0,
+                cause: e.to_string(),
+            })?;
         for v in dz.iter_mut() {
             *v = -*v;
         }
@@ -460,6 +473,9 @@ pub fn solve_quasiperiodic<D: Dae + ?Sized>(
 
 /// Adds `coef_c·C_s + w·(ω·D[s,s']·C_{s'} + δ·G_s)` block rows for one
 /// slice pair into the triplet buffer.
+// The argument list mirrors the stencil coefficients one-to-one; bundling
+// them into a struct would obscure the correspondence.
+#[allow(clippy::too_many_arguments)]
 fn add_slice_block(
     trip: &mut Triplets,
     colloc: &Colloc,
@@ -486,12 +502,11 @@ fn add_slice_block(
     }
     if weight != 0.0 {
         for s in 0..colloc.n0 {
-            for sp in 0..colloc.n0 {
+            for (sp, c) in cblocks.iter().enumerate().take(colloc.n0) {
                 let d = weight * omega * colloc.dmat[(s, sp)];
                 if d == 0.0 {
                     continue;
                 }
-                let c = &cblocks[sp];
                 for i in 0..n {
                     for j in 0..n {
                         let v = d * c[(i, j)];

@@ -38,7 +38,10 @@ impl EnvelopeResult {
     /// Minimum and maximum local frequency over the run.
     pub fn frequency_range(&self) -> (f64, f64) {
         let lo = self.omega_hz.iter().fold(f64::INFINITY, |m, v| m.min(*v));
-        let hi = self.omega_hz.iter().fold(f64::NEG_INFINITY, |m, v| m.max(*v));
+        let hi = self
+            .omega_hz
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, v| m.max(*v));
         (lo, hi)
     }
 
@@ -84,7 +87,10 @@ impl EnvelopeResult {
         if t >= self.t2[n - 1] {
             return n - 2;
         }
-        self.t2.partition_point(|&v| v <= t).saturating_sub(1).min(n - 2)
+        self.t2
+            .partition_point(|&v| v <= t)
+            .saturating_sub(1)
+            .min(n - 2)
     }
 
     /// Local frequency at an arbitrary time (linear interpolation).

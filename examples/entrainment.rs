@@ -23,10 +23,10 @@ fn main() {
     println!("  f_inj/f0   amplitude   mean f    spread    verdict");
 
     for &(ratio, ampl) in &[
-        (1.02, 0.8),  // close, strong: locks
-        (1.05, 0.8),  // close: locks
-        (1.30, 0.3),  // far, weak: beats
-        (1.50, 0.3),  // far: beats
+        (1.02, 0.8), // close, strong: locks
+        (1.05, 0.8), // close: locks
+        (1.30, 0.3), // far, weak: beats
+        (1.50, 0.3), // far: beats
     ] {
         let f_inj = ratio * f0;
         let vdp = VanDerPol::forced(1.0, ampl, f_inj);
@@ -53,7 +53,11 @@ fn main() {
         let locked = spread < 0.01 && (mean - f_inj).abs() / f_inj < 0.01;
         println!(
             "  {ratio:<9.2} {ampl:<10.2} {mean:<9.5} {spread:<9.1e} {}",
-            if locked { "LOCKED to injection" } else { "quasiperiodic (beating)" }
+            if locked {
+                "LOCKED to injection"
+            } else {
+                "quasiperiodic (beating)"
+            }
         );
     }
 

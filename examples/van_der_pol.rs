@@ -18,8 +18,8 @@ fn main() {
         let approx = vdp.approx_period();
 
         // Shooting.
-        let orbit = oscillator_steady_state(&vdp, &ShootingOptions::default())
-            .expect("vdp oscillates");
+        let orbit =
+            oscillator_steady_state(&vdp, &ShootingOptions::default()).expect("vdp oscillates");
 
         // Autonomous harmonic balance, seeded from the orbit.
         let hb_opts = HbOptions {
@@ -27,8 +27,8 @@ fn main() {
             ..Default::default()
         };
         let init = orbit.resample_uniform(2 * hb_opts.harmonics + 1);
-        let hb_sol = solve_autonomous(&vdp, &init, orbit.frequency(), &hb_opts)
-            .expect("HB converges");
+        let hb_sol =
+            solve_autonomous(&vdp, &init, orbit.frequency(), &hb_opts).expect("HB converges");
 
         // WaMPDE envelope with nothing to track: ω must stay put.
         let wam_opts = WampdeOptions {
@@ -37,8 +37,7 @@ fn main() {
             ..Default::default()
         };
         let wam_init = WampdeInit::from_orbit(&orbit, &wam_opts);
-        let env =
-            solve_envelope(&vdp, &wam_init, 20.0, &wam_opts).expect("envelope converges");
+        let env = solve_envelope(&vdp, &wam_init, 20.0, &wam_opts).expect("envelope converges");
         let wam_period = 1.0 / env.omega_hz.last().expect("nonempty");
 
         println!(

@@ -10,9 +10,9 @@
 //! Run with `cargo run --release --example vco_fm`.
 
 use circuitdae::circuits::{self, MemsVcoConfig};
+use circuitdae::Dae;
 use shooting::{oscillator_steady_state, ShootingOptions};
 use sigproc::instantaneous_frequency;
-use circuitdae::Dae;
 use transim::{run_transient, Integrator, StepControl, TransientOptions};
 use wampde::{solve_envelope, WampdeInit, WampdeOptions};
 
@@ -50,7 +50,10 @@ fn main() {
     let (t1g, t2g, surface) = env.bivariate(circuits::idx::V_TANK);
     let amp_first = surface.first().map(|row| peak(row)).unwrap_or(0.0);
     let amp_max = surface.iter().map(|row| peak(row)).fold(0.0_f64, f64::max);
-    let amp_min = surface.iter().map(|row| peak(row)).fold(f64::INFINITY, f64::min);
+    let amp_min = surface
+        .iter()
+        .map(|row| peak(row))
+        .fold(f64::INFINITY, f64::min);
     println!("\n== Figure 8: bivariate capacitor voltage ==");
     println!(
         "{}×{} surface; oscillation amplitude varies {:.2}–{:.2} V (initial {:.2} V)",

@@ -20,6 +20,7 @@
 //! | [`wampde`] | **the WaMPDE itself**: envelope & quasiperiodic solvers |
 //! | [`multitime`] | the paper's Section-3 signal examples (Figures 1–6) |
 //! | [`sigproc`] | instantaneous frequency, phase error, spectra |
+//! | [`wampde_bench`] | experiment drivers behind the benches and the `repro` binary |
 //!
 //! ## Quickstart
 //!
@@ -58,3 +59,4 @@ pub use sigproc;
 pub use sparsekit;
 pub use transim;
 pub use wampde;
+pub use wampde_bench;

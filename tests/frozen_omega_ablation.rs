@@ -57,10 +57,7 @@ fn frozen_omega_cannot_track_fm() {
 
     // Free (warped) run.
     let free = solve_envelope(&dae, &init, t_end, &base).unwrap();
-    let free_err = sigproc::max_abs_error(
-        &free.reconstruct(circuits::idx::V_TANK, &probes),
-        &refv,
-    );
+    let free_err = sigproc::max_abs_error(&free.reconstruct(circuits::idx::V_TANK, &probes), &refv);
 
     // Frozen-ω run at identical discretisation. It may fail outright; if
     // it survives, its reconstruction must be far worse.
@@ -73,10 +70,8 @@ fn frozen_omega_cannot_track_fm() {
             // Newton breakdown is an acceptable demonstration of failure.
         }
         Ok(frozen) => {
-            let frozen_err = sigproc::max_abs_error(
-                &frozen.reconstruct(circuits::idx::V_TANK, &probes),
-                &refv,
-            );
+            let frozen_err =
+                sigproc::max_abs_error(&frozen.reconstruct(circuits::idx::V_TANK, &probes), &refv);
             assert!(
                 frozen_err > 5.0 * free_err,
                 "frozen-ω error {frozen_err} should dwarf free-ω error {free_err}"

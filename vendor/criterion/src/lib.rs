@@ -1,0 +1,141 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this repository has no network access to the
+//! crates.io registry, so the real criterion cannot be fetched. This crate
+//! implements the (small) API subset the workspace benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! wall-clock timer so `cargo bench` still produces useful numbers and
+//! `cargo bench --no-run` exercises the same compile surface as the real
+//! harness. Swap the `criterion` entry in the workspace `Cargo.toml` back
+//! to the registry version when network access is available; no bench
+//! source needs to change.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Number of timed iterations per benchmark (the real criterion decides
+/// this adaptively; the stand-in keeps it small because the workloads are
+/// whole solver runs).
+const TIMED_ITERS: u32 = 3;
+
+/// Entry point handed to each bench function, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(None, &id.into(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in uses a fixed small
+    /// iteration count instead of criterion's adaptive sampling.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is not configurable
+    /// in the stand-in.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times `f` and prints a one-line summary.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.into(), f);
+        self
+    }
+
+    /// Ends the group (a no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing context, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` once as warm-up, then [`TIMED_ITERS`] times timed,
+    /// recording the best observed wall-clock duration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        for _ in 0..TIMED_ITERS {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            if self.best.is_none_or(|b| dt < b) {
+                self.best = Some(dt);
+            }
+        }
+    }
+}
+
+fn run_one(group: Option<&str>, id: &str, mut f: impl FnMut(&mut Bencher)) {
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut b = Bencher { best: None };
+    f(&mut b);
+    match b.best {
+        Some(best) => println!("bench: {label:<48} best of {TIMED_ITERS}: {best:?}"),
+        None => println!("bench: {label:<48} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Collects bench functions into a runnable group, mirroring
+/// `criterion_group!`. Only the simple `criterion_group!(name, fns...)`
+/// form is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

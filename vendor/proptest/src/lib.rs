@@ -1,0 +1,127 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The build environment for this repository has no network access to the
+//! crates.io registry, so the real proptest cannot be fetched. This crate
+//! implements the API subset the workspace property tests use:
+//!
+//! - the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   inner attribute and `pattern in strategy` arguments,
+//! - numeric [`Range`](std::ops::Range) strategies, tuple strategies, and
+//!   [`prop::collection::vec`](crate::collection::vec) with either a fixed
+//!   length or a length range,
+//! - [`prop_assert!`] / [`prop_assert_eq!`] and
+//!   [`ProptestConfig::with_cases`](test_runner::ProptestConfig::with_cases).
+//!
+//! Unlike the real proptest there is no shrinking: a failing case panics
+//! with the case number, and generation is deterministic (seeded from the
+//! test name, overridable via the `PROPTEST_STUB_SEED` environment
+//! variable) so failures reproduce exactly in CI. Swap the `proptest`
+//! entry in the workspace `Cargo.toml` back to the registry version when
+//! network access is available; no test source needs to change.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy combinators namespace, mirroring `proptest::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of values from `element`, with a length
+    /// drawn from `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, mirroring
+/// `prop_assert!`. The stand-in panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirrors `prop_assert_eq!`; panics immediately on mismatch.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Mirrors `prop_assert_ne!`; panics immediately on match.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(expr)]          // optional
+///     #[test]
+///     fn name(pat in strategy, ...) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    let run = || { $body; };
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest stand-in: {} failed on case {}/{} (seed: test name)",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strategy),+) $body
+            )*
+        }
+    };
+}

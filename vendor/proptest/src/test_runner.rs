@@ -1,0 +1,61 @@
+//! Test configuration and the deterministic RNG behind the stand-in.
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs, mirroring
+    /// `ProptestConfig::with_cases`.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest default is 256; keep it.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64 generator seeded from the test name (FNV-1a), so every run —
+/// locally and in CI — sees the same case sequence. Set the
+/// `PROPTEST_STUB_SEED` environment variable to a `u64` to explore a
+/// different sequence.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let seed = match std::env::var("PROPTEST_STUB_SEED") {
+            Ok(s) => s.parse().expect("PROPTEST_STUB_SEED must be a u64"),
+            Err(_) => 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
+        };
+        let mut state = seed;
+        for b in name.bytes() {
+            state ^= u64::from(b);
+            state = state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state }
+    }
+
+    /// Next raw 64-bit draw (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
