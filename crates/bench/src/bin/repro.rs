@@ -1,13 +1,15 @@
 //! Regenerates every figure and headline number of the paper.
 //!
 //! ```text
-//! cargo run --release -p wampde-bench --bin repro            # everything
-//! cargo run --release -p wampde-bench --bin repro -- --fig 7 # one figure
-//! cargo run --release -p wampde-bench --bin repro -- --table speedup
+//! cargo run --release -p wampde_bench --bin repro            # everything
+//! cargo run --release -p wampde_bench --bin repro -- --fig 7 # one figure
+//! cargo run --release -p wampde_bench --bin repro -- --table speedup
+//! cargo run --release -p wampde_bench --bin repro -- --list  # targets
 //! ```
 //!
 //! CSV data lands in `target/repro/`; summaries print to stdout in the
-//! form recorded in `EXPERIMENTS.md`.
+//! form recorded in `EXPERIMENTS.md`. Unknown `--fig`/`--table` values
+//! exit with the valid target list instead of running nothing.
 
 use circuitdae::circuits::{self, MemsVcoConfig};
 use multitime::{am, fm};
@@ -16,6 +18,42 @@ use wampde_bench::out::{ascii_plot, write_csv};
 use wampde_bench::{
     run_envelope, run_transient_fixed, run_transient_reference, unforced_orbit, univariate_x0,
 };
+
+/// Every runnable target: figure groups and named tables, with the
+/// driver that produces them. The single source for `--list` and for
+/// validating `--fig`/`--table` values.
+const FIG_GROUPS: &[(&str, &[u32], &str)] = &[
+    ("figs 1-3", &[1, 2, 3], "two-tone AM signal, bivariate grid"),
+    (
+        "figs 4-6",
+        &[4, 5, 6],
+        "FM signal, unwarped vs warped grids",
+    ),
+    ("figs 7-9", &[7, 8, 9], "vacuum MEMS VCO envelope + overlay"),
+    (
+        "figs 10-12",
+        &[10, 11, 12],
+        "air MEMS VCO envelope + phase error",
+    ),
+];
+const TABLES: &[(&str, &str)] = &[
+    (
+        "samples",
+        "accuracy-matched representation sizes (figs 1-3)",
+    ),
+    ("speedup", "wall-time/phase-error comparison (figs 10-12)"),
+];
+
+fn print_targets() {
+    println!("available targets:");
+    for (label, figs, what) in FIG_GROUPS {
+        let nums: Vec<String> = figs.iter().map(u32::to_string).collect();
+        println!("  --fig {{{}}}  {label}: {what}", nums.join(","));
+    }
+    for (name, what) in TABLES {
+        println!("  --table {name:<9} {what}");
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +68,11 @@ fn main() {
                     eprintln!("--fig requires a figure number (1-12)");
                     std::process::exit(2);
                 });
+                if !FIG_GROUPS.iter().any(|(_, fs, _)| fs.contains(&fig)) {
+                    eprintln!("unknown figure {fig}");
+                    print_targets();
+                    std::process::exit(2);
+                }
                 figs.push(fig);
             }
             "--table" => {
@@ -38,11 +81,21 @@ fn main() {
                     eprintln!("--table requires a table name");
                     std::process::exit(2);
                 });
+                if !TABLES.iter().any(|(name, _)| *name == table) {
+                    eprintln!("unknown table '{table}'");
+                    print_targets();
+                    std::process::exit(2);
+                }
                 tables.push(table);
+            }
+            "--list" => {
+                print_targets();
+                return;
             }
             "--all" => {}
             other => {
                 eprintln!("unknown argument: {other}");
+                print_targets();
                 std::process::exit(2);
             }
         }

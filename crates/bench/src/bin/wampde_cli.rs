@@ -1,0 +1,233 @@
+//! `wampde-cli` — deck-driven, parallel experiment runs.
+//!
+//! ```text
+//! wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--list]
+//! ```
+//!
+//! Loads a scenario deck (circuit cards + `.tran`/`.shooting`/`.mpde`/
+//! `.wampde`/`.sweep` directives), expands the sweep grid, runs every
+//! (grid point × analysis) job on `N` worker threads, and writes CSV and
+//! JSON artifacts into `DIR` (default `target/sweep/<deck stem>`):
+//!
+//! * `<stem>_<analysis>_summary.csv` — one metric row per grid point;
+//! * `<stem>_<analysis>_waveforms.csv` — long-format waveform table;
+//! * `<stem>_manifest.json` — parameters, grid, and artifact index.
+//!
+//! Results are aggregated in grid order, so artifacts are byte-identical
+//! for any `--jobs` value. `--list` prints the expanded job plan without
+//! running anything.
+
+use circuitdae::parse_deck;
+use std::path::{Path, PathBuf};
+use sweepkit::{expand_grid, run_deck};
+use wampde_bench::out::{json_escape, write_csv_in, write_text_in};
+
+fn usage() -> ! {
+    eprintln!("usage: wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--list]");
+    std::process::exit(2);
+}
+
+struct Args {
+    deck_path: PathBuf,
+    jobs: usize,
+    out_dir: Option<PathBuf>,
+    list: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut deck_path: Option<PathBuf> = None;
+    let mut jobs = 1usize;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut list = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                jobs = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--out requires a directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--list" => list = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+            other => {
+                if deck_path.replace(PathBuf::from(other)).is_some() {
+                    eprintln!("multiple deck paths given");
+                    usage();
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(deck_path) = deck_path else { usage() };
+    Args {
+        deck_path,
+        jobs,
+        out_dir,
+        list,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if let Err(e) = real_main(&args) {
+        eprintln!("wampde-cli: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// `NetlistError`, `SweepError`, and `io::Error` all implement
+/// `std::error::Error` (the deck subsystem's composability contract), so
+/// the whole pipeline threads through one `?`-friendly signature.
+fn real_main(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(&args.deck_path)
+        .map_err(|e| format!("cannot read {}: {e}", args.deck_path.display()))?;
+    let deck = parse_deck(&text)?;
+
+    let stem = args
+        .deck_path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("deck")
+        .to_string();
+    let params: Vec<String> = deck.sweeps.iter().map(|s| s.label()).collect();
+    let grid = expand_grid(&deck.sweeps);
+    let n_jobs = grid.len() * deck.analyses.len();
+
+    println!(
+        "deck {}: {} device(s), {} analysis(es), {} sweep(s) -> {} point(s), {} job(s)",
+        args.deck_path.display(),
+        deck.device_names().len(),
+        deck.analyses.len(),
+        deck.sweeps.len(),
+        grid.len(),
+        n_jobs,
+    );
+
+    if args.list {
+        for (i, a) in deck.analyses.iter().enumerate() {
+            println!("  analysis {}{i}: {a:?}", a.name());
+        }
+        for (p, values) in grid.iter().enumerate() {
+            let assigns: Vec<String> = params
+                .iter()
+                .zip(values.iter())
+                .map(|(l, v)| format!("{l}={v:.6e}"))
+                .collect();
+            println!("  point {p}: [{}]", assigns.join(", "));
+        }
+        return Ok(());
+    }
+
+    let out_dir = args
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| Path::new("target/sweep").join(&stem));
+
+    let t0 = std::time::Instant::now();
+    let outcome = run_deck(&deck, args.jobs)?;
+    let wall = t0.elapsed();
+    println!(
+        "{} job(s) on {} worker(s) in {:.2} s",
+        n_jobs,
+        args.jobs,
+        wall.as_secs_f64()
+    );
+
+    let mut artifacts: Vec<String> = Vec::new();
+    for (ai, label) in outcome.analysis_labels.iter().enumerate() {
+        let (sh, sr) = outcome.summary_table(ai);
+        let sh_refs: Vec<&str> = sh.iter().map(String::as_str).collect();
+        let name = format!("{stem}_{label}_summary.csv");
+        let p = write_csv_in(&out_dir, &name, &sh_refs, &sr)?;
+        println!("  {}", p.display());
+        artifacts.push(name);
+
+        let (wh, wr) = outcome.waveform_table(ai);
+        let wh_refs: Vec<&str> = wh.iter().map(String::as_str).collect();
+        let name = format!("{stem}_{label}_waveforms.csv");
+        let p = write_csv_in(&out_dir, &name, &wh_refs, &wr)?;
+        println!("  {} ({} rows)", p.display(), wr.len());
+        artifacts.push(name);
+
+        // Per-point metric digest on stdout.
+        for rec in outcome.runs_of(ai) {
+            let assigns: Vec<String> = params
+                .iter()
+                .zip(rec.values.iter())
+                .map(|(l, v)| format!("{l}={v:.4e}"))
+                .collect();
+            let metrics: Vec<String> = rec
+                .result
+                .metrics
+                .iter()
+                .map(|(n, v)| format!("{n}={v:.6e}"))
+                .collect();
+            println!(
+                "  {label} point {} [{}]: {}",
+                rec.point,
+                assigns.join(", "),
+                metrics.join(", ")
+            );
+        }
+    }
+
+    let manifest = render_manifest(
+        &args.deck_path,
+        args.jobs,
+        &params,
+        &outcome.grid,
+        &artifacts,
+    );
+    let p = write_text_in(&out_dir, &format!("{stem}_manifest.json"), &manifest)?;
+    println!("  {}", p.display());
+    Ok(())
+}
+
+fn render_manifest(
+    deck_path: &Path,
+    jobs: usize,
+    params: &[String],
+    grid: &[Vec<f64>],
+    artifacts: &[String],
+) -> String {
+    let quote = |s: &str| format!("\"{}\"", json_escape(s));
+    let str_list = |xs: &[String]| xs.iter().map(|s| quote(s)).collect::<Vec<_>>().join(", ");
+    let points = grid
+        .iter()
+        .map(|p| {
+            let vals: Vec<String> = p.iter().map(|v| format!("{v:.9e}")).collect();
+            format!("[{}]", vals.join(", "))
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\n  \"deck\": {},\n  \"jobs\": {},\n  \"params\": [{}],\n  \
+         \"points\": [{}],\n  \"artifacts\": [{}]\n}}\n",
+        quote(&deck_path.display().to_string()),
+        jobs,
+        str_list(params),
+        points,
+        str_list(artifacts),
+    )
+}

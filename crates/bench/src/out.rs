@@ -1,8 +1,9 @@
-//! CSV output and ASCII plotting for the `repro` binary.
+//! CSV/JSON output and ASCII plotting for the `repro` and `wampde-cli`
+//! binaries.
 
 use std::fs;
-use std::io::Write;
-use std::path::PathBuf;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// Directory figure data is written to (`target/repro`).
 ///
@@ -15,20 +16,72 @@ pub fn repro_dir() -> PathBuf {
     dir
 }
 
-/// Writes a CSV file with a header row and one row per record.
+/// Renders a header and f64 rows to CSV text (9-significant-digit
+/// engineering notation, the workspace's artifact format).
+pub fn csv_string(header: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut s = String::new();
+    s.push_str(&header.join(","));
+    s.push('\n');
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.9e}")).collect();
+        s.push_str(&line.join(","));
+        s.push('\n');
+    }
+    s
+}
+
+/// Writes a CSV file into `dir`, creating the directory if needed.
+///
+/// # Errors
+///
+/// Any I/O failure creating the directory or writing the file.
+pub fn write_csv_in(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<f64>],
+) -> io::Result<PathBuf> {
+    write_text_in(dir, name, &csv_string(header, rows))
+}
+
+/// Writes a text artifact (e.g. a rendered JSON manifest) into `dir`,
+/// creating the directory if needed.
+///
+/// # Errors
+///
+/// Any I/O failure creating the directory or writing the file.
+pub fn write_text_in(dir: &Path, name: &str, contents: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes a CSV file with a header row and one row per record into
+/// [`repro_dir`].
 ///
 /// # Panics
 ///
 /// Panics on I/O failure (the repro binary treats that as fatal).
 pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) -> PathBuf {
-    let path = repro_dir().join(name);
-    let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "{}", header.join(",")).expect("write header");
-    for row in rows {
-        let line: Vec<String> = row.iter().map(|v| format!("{v:.9e}")).collect();
-        writeln!(f, "{}", line.join(",")).expect("write row");
-    }
-    path
+    write_csv_in(&repro_dir(), name, header, rows).expect("write csv")
 }
 
 /// Renders a quick ASCII line plot (rows × cols characters) of `ys(xs)`.
@@ -88,5 +141,25 @@ mod tests {
     fn ascii_plot_degenerate_input() {
         let plot = ascii_plot("empty", &[], &[], 10, 5);
         assert!(plot.contains("insufficient"));
+    }
+
+    #[test]
+    fn csv_string_matches_file_format() {
+        let text = csv_string(&["a", "b"], &[vec![1.0, 2.0]]);
+        assert_eq!(text, "a,b\n1.000000000e0,2.000000000e0\n");
+    }
+
+    #[test]
+    fn write_text_in_creates_directory() {
+        let dir = repro_dir().join("nested_out_test");
+        let p = write_text_in(&dir, "m.json", "{}").unwrap();
+        assert_eq!(fs::read_to_string(p).unwrap(), "{}");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
     }
 }

@@ -112,6 +112,18 @@ impl Circuit {
         self.devices.push(device);
     }
 
+    /// The devices attached so far, in insertion order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Mutable access to device `index` (insertion order), for applying
+    /// parameter overrides before [`Circuit::build`] — the substrate of
+    /// deck-driven sweeps.
+    pub fn device_mut(&mut self, index: usize) -> Option<&mut Device> {
+        self.devices.get_mut(index)
+    }
+
     /// Finalises the circuit into a [`CircuitDae`].
     ///
     /// # Errors
@@ -192,6 +204,26 @@ impl CircuitDae {
             Some(*off)
         } else {
             None
+        }
+    }
+
+    /// The circuit with every time-dependent source and control waveform
+    /// frozen at its value at time `t` — the *unforced* companion system.
+    ///
+    /// Freezing changes no device topology, so the returned DAE has the
+    /// same dimension and unknown ordering; only `b(t)` becomes constant.
+    /// This is how deck-driven WaMPDE runs obtain the oscillator whose
+    /// periodic steady state seeds the envelope (paper §4.1: the natural
+    /// initial condition is the unforced solution at `t = 0`).
+    pub fn frozen_at(&self, t: f64) -> CircuitDae {
+        CircuitDae {
+            dim: self.dim,
+            devices: self
+                .devices
+                .iter()
+                .map(|(d, off)| (d.frozen_at(t), *off))
+                .collect(),
+            names: self.names.clone(),
         }
     }
 }
@@ -332,6 +364,39 @@ mod tests {
         dae.eval_b(0.0, &mut b);
         assert!((f[0] - b[0]).abs() < 1e-12);
         assert!((f[1] - b[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frozen_at_keeps_dimension_and_stills_forcing() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Device::resistor(a, Circuit::GND, 1e3));
+        ckt.add(Device::current_source(
+            Circuit::GND,
+            a,
+            Waveform::sine(0.0, 1e-3, 1e3),
+        ));
+        let dae = ckt.build().unwrap();
+        let frozen = dae.frozen_at(0.25e-3); // sine peak
+        assert_eq!(frozen.dim(), dae.dim());
+        assert_eq!(frozen.var_names(), dae.var_names());
+        let mut b0 = [0.0];
+        let mut b1 = [0.0];
+        frozen.eval_b(0.0, &mut b0);
+        frozen.eval_b(7.7, &mut b1);
+        assert!((b0[0] - 1e-3).abs() < 1e-12);
+        assert_eq!(b0, b1);
+    }
+
+    #[test]
+    fn device_mut_applies_override() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Device::resistor(a, Circuit::GND, 1.0));
+        ckt.add(Device::capacitor(a, Circuit::GND, 1.0));
+        ckt.device_mut(0).unwrap().set_param(None, 2.0).unwrap();
+        assert!(ckt.device_mut(5).is_none());
+        assert_eq!(ckt.devices()[0], Device::resistor(a, Circuit::GND, 2.0));
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Typed scenario decks: a circuit plus analysis and sweep directives.
+//!
+//! A *deck* is the versioned text description of an experiment: the
+//! circuit cards of [`crate::netlist`], analysis directives naming which
+//! solver(s) to run, and `.sweep` directives spanning a parameter grid.
+//! [`crate::netlist::parse_deck`] produces a [`Deck`]; the `sweepkit`
+//! crate expands its sweeps into jobs and runs them in parallel.
+//!
+//! ```text
+//! * paper MEMS VCO, control sweep
+//! L1  tank 0 10u
+//! GN1 tank 0 5m 1.667m
+//! M1  tank 0 5n 1 1e-12 3e-7 2.47 0.121 DC(1.5)
+//! .wampde 6u harmonics=5
+//! .sweep M1.control 1.2 1.8 4
+//! ```
+//!
+//! This module holds only *data* (specs are plain numbers); the adapter
+//! functions that map a spec onto a solver live in the solver crates
+//! (`transim::run_tran_spec`, `shooting::run_shooting_spec`,
+//! `mpde::run_mpde_spec`, `wampde::run_wampde_spec`), so `circuitdae`
+//! keeps zero solver dependencies.
+
+use crate::circuit::{Circuit, CircuitDae};
+use crate::netlist::NetlistError;
+
+/// `.tran <tstop> [dt=<v>] [rtol=<v>]` — transient integration from the
+/// DC operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranSpec {
+    /// End time (s).
+    pub t_stop: f64,
+    /// Fixed step (s); `0.0` selects LTE-adaptive stepping.
+    pub dt: f64,
+    /// Relative tolerance of the adaptive controller.
+    pub rtol: f64,
+}
+
+/// `.shooting [steps=<n>] [phase_var=<k>]` — periodic steady state of an
+/// autonomous oscillator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShootingSpec {
+    /// Fixed integration steps per period for the flow evaluation.
+    pub steps_per_period: usize,
+    /// Index of the oscillating unknown (phase anchor).
+    pub phase_var: usize,
+}
+
+/// `.mpde <f1> <tstop> [harmonics=<n>] [node=<k>] [amp=<v>] [depth=<v>]
+/// [fmod=<v>]` — unwarped MPDE envelope with an AM-modulated carrier
+/// forcing into one KCL row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpdeSpec {
+    /// Fast carrier fundamental (Hz) — fixed a priori, per the method.
+    pub f1_hz: f64,
+    /// Envelope end time (s).
+    pub t_stop: f64,
+    /// Harmonics along the fast axis.
+    pub harmonics: usize,
+    /// Forced unknown (KCL row) index.
+    pub node: usize,
+    /// Carrier amplitude.
+    pub amplitude: f64,
+    /// Modulation depth.
+    pub mod_depth: f64,
+    /// Envelope modulation frequency (Hz).
+    pub mod_freq_hz: f64,
+}
+
+/// `.wampde <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>]` — warped
+/// MPDE envelope, initialised from the shooting steady state of the
+/// circuit with its waveforms frozen at `t = 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WampdeSpec {
+    /// Envelope end time (s).
+    pub t_stop: f64,
+    /// Harmonic count `M` along the warped axis.
+    pub harmonics: usize,
+    /// Phase-condition variable index.
+    pub phase_var: usize,
+    /// Shooting steps per period for the initial orbit.
+    pub shooting_steps: usize,
+}
+
+/// One analysis directive of a deck.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisSpec {
+    /// `.tran` — conventional transient (the paper's baseline).
+    Tran(TranSpec),
+    /// `.shooting` — unforced periodic steady state.
+    Shooting(ShootingSpec),
+    /// `.mpde` — unwarped multirate envelope (non-autonomous AM).
+    Mpde(MpdeSpec),
+    /// `.wampde` — warped multirate envelope (the paper's method).
+    Wampde(WampdeSpec),
+}
+
+impl AnalysisSpec {
+    /// The directive keyword, used for labels and artifact names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnalysisSpec::Tran(_) => "tran",
+            AnalysisSpec::Shooting(_) => "shooting",
+            AnalysisSpec::Mpde(_) => "mpde",
+            AnalysisSpec::Wampde(_) => "wampde",
+        }
+    }
+}
+
+/// `.sweep <param> <from> <to> <points> [log]` — one swept parameter.
+///
+/// `param` is a device card name (`R1` — primary value) or a dotted field
+/// (`M1.control`, `V1.ampl`); see [`crate::Device::set_param`] for the
+/// field tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Device card name (uppercase).
+    pub device: String,
+    /// Optional parameter field (lowercase).
+    pub field: Option<String>,
+    /// First grid value.
+    pub from: f64,
+    /// Last grid value.
+    pub to: f64,
+    /// Number of grid points (≥ 1).
+    pub points: usize,
+    /// Logarithmic (geometric) spacing instead of linear.
+    pub log: bool,
+}
+
+impl SweepSpec {
+    /// The `NAME` / `NAME.field` label of the swept parameter.
+    pub fn label(&self) -> String {
+        match &self.field {
+            Some(f) => format!("{}.{f}", self.device),
+            None => self.device.clone(),
+        }
+    }
+
+    /// The grid values, `from` to `to` inclusive, linearly or
+    /// geometrically spaced. `points == 1` yields `[from]`.
+    pub fn values(&self) -> Vec<f64> {
+        if self.points <= 1 {
+            return vec![self.from];
+        }
+        let n = (self.points - 1) as f64;
+        (0..self.points)
+            .map(|i| {
+                let w = i as f64 / n;
+                if self.log {
+                    self.from * (self.to / self.from).powf(w)
+                } else {
+                    self.from + (self.to - self.from) * w
+                }
+            })
+            .collect()
+    }
+}
+
+/// A parsed scenario deck: the (unbuilt) circuit, the device card names,
+/// and the analysis/sweep directives.
+#[derive(Debug, Clone)]
+pub struct Deck {
+    pub(crate) circuit: Circuit,
+    pub(crate) names: Vec<String>,
+    /// Analysis directives, in deck order.
+    pub analyses: Vec<AnalysisSpec>,
+    /// Sweep directives, in deck order (first varies slowest).
+    pub sweeps: Vec<SweepSpec>,
+}
+
+impl Deck {
+    /// Device card names, uppercase, in deck order.
+    pub fn device_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Builds the circuit with no overrides applied.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Circuit`] when validation fails (cannot happen for
+    /// decks returned by the parser, which validates at parse time).
+    pub fn base_circuit(&self) -> Result<CircuitDae, NetlistError> {
+        Ok(self.circuit.clone().build()?)
+    }
+
+    /// Builds the circuit with sweep values applied: `values[i]` is
+    /// assigned to the parameter of `self.sweeps[i]`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Param`] when the value count mismatches the sweep
+    /// count, a sweep names an unknown device, or the device rejects the
+    /// value; [`NetlistError::Circuit`] when the overridden circuit fails
+    /// validation.
+    pub fn instantiate(&self, values: &[f64]) -> Result<CircuitDae, NetlistError> {
+        if values.len() != self.sweeps.len() {
+            return Err(NetlistError::Param {
+                device: String::new(),
+                message: format!(
+                    "expected {} sweep values, got {}",
+                    self.sweeps.len(),
+                    values.len()
+                ),
+            });
+        }
+        let mut ckt = self.circuit.clone();
+        for (sw, &v) in self.sweeps.iter().zip(values) {
+            let idx = self
+                .names
+                .iter()
+                .position(|n| *n == sw.device)
+                .ok_or_else(|| NetlistError::Param {
+                    device: sw.device.clone(),
+                    message: "sweep references unknown device".into(),
+                })?;
+            ckt.device_mut(idx)
+                .expect("names parallel devices")
+                .set_param(sw.field.as_deref(), v)
+                .map_err(|message| NetlistError::Param {
+                    device: sw.label(),
+                    message,
+                })?;
+        }
+        Ok(ckt.build()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_values_linear_and_log() {
+        let mut sw = SweepSpec {
+            device: "R1".into(),
+            field: None,
+            from: 1.0,
+            to: 3.0,
+            points: 5,
+            log: false,
+        };
+        assert_eq!(sw.values(), vec![1.0, 1.5, 2.0, 2.5, 3.0]);
+        sw.log = true;
+        sw.from = 1.0;
+        sw.to = 100.0;
+        sw.points = 3;
+        let v = sw.values();
+        assert!((v[1] - 10.0).abs() < 1e-12, "{v:?}");
+        sw.points = 1;
+        assert_eq!(sw.values(), vec![1.0]);
+    }
+
+    #[test]
+    fn label_includes_field() {
+        let sw = SweepSpec {
+            device: "M1".into(),
+            field: Some("control".into()),
+            from: 1.0,
+            to: 2.0,
+            points: 2,
+            log: false,
+        };
+        assert_eq!(sw.label(), "M1.control");
+    }
+}

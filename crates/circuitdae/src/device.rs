@@ -279,6 +279,169 @@ impl Device {
         }
     }
 
+    /// Sets one scalar parameter by field name, for sweep overrides.
+    ///
+    /// `field = None` selects the device's primary value (`r`, `c`, `l`,
+    /// `g1`, `isat`, `gm`, or the DC level of a DC source). Named fields:
+    ///
+    /// | device | fields |
+    /// |---|---|
+    /// | `GN` cubic | `g1`, `g3` |
+    /// | `GT` tanh | `isat`, `vt`, `gmin` |
+    /// | diode | `isat`, `vt` |
+    /// | VCCS | `gm` |
+    /// | sources | waveform fields (see [`Waveform::set_param`]) |
+    /// | MEMS | `control` (DC control voltage), `c0`, `y0`, `mass`, `damping`, `k`, `force_gain` |
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the field does not exist on this device or
+    /// the value is out of its legal domain (zero resistance, nonpositive
+    /// diode parameters).
+    pub fn set_param(&mut self, field: Option<&str>, value: f64) -> Result<(), String> {
+        let unknown = |field: &str, allowed: &str| {
+            Err(format!("unknown field '{field}' (expected {allowed})"))
+        };
+        match self {
+            Device::Resistor { r, .. } => match field {
+                None | Some("r") => {
+                    if value == 0.0 {
+                        return Err("resistance must be nonzero".into());
+                    }
+                    *r = value;
+                    Ok(())
+                }
+                Some(f) => unknown(f, "r"),
+            },
+            Device::Capacitor { c, .. } => match field {
+                None | Some("c") => {
+                    *c = value;
+                    Ok(())
+                }
+                Some(f) => unknown(f, "c"),
+            },
+            Device::Inductor { l, .. } => match field {
+                None | Some("l") => {
+                    *l = value;
+                    Ok(())
+                }
+                Some(f) => unknown(f, "l"),
+            },
+            Device::CubicConductor { g1, g3, .. } => match field {
+                None | Some("g1") => {
+                    *g1 = value;
+                    Ok(())
+                }
+                Some("g3") => {
+                    *g3 = value;
+                    Ok(())
+                }
+                Some(f) => unknown(f, "g1, g3"),
+            },
+            Device::TanhConductor { isat, vt, gmin, .. } => match field {
+                None | Some("isat") => {
+                    *isat = value;
+                    Ok(())
+                }
+                Some("vt") => {
+                    *vt = value;
+                    Ok(())
+                }
+                Some("gmin") => {
+                    *gmin = value;
+                    Ok(())
+                }
+                Some(f) => unknown(f, "isat, vt, gmin"),
+            },
+            Device::Diode { isat, vt, .. } => match field {
+                None | Some("isat") => {
+                    if value <= 0.0 {
+                        return Err("saturation current must be positive".into());
+                    }
+                    *isat = value;
+                    Ok(())
+                }
+                Some("vt") => {
+                    if value <= 0.0 {
+                        return Err("thermal voltage must be positive".into());
+                    }
+                    *vt = value;
+                    Ok(())
+                }
+                Some(f) => unknown(f, "isat, vt"),
+            },
+            Device::Vccs { gm, .. } => match field {
+                None | Some("gm") => {
+                    *gm = value;
+                    Ok(())
+                }
+                Some(f) => unknown(f, "gm"),
+            },
+            Device::CurrentSource { wave, .. } | Device::VoltageSource { wave, .. } => {
+                match field {
+                    Some(f) => wave.set_param(f, value),
+                    None => wave.set_param("dc", value).map_err(|_| {
+                        "source default parameter requires a DC waveform; \
+                         name a waveform field (e.g. NAME.ampl)"
+                            .to_string()
+                    }),
+                }
+            }
+            Device::MemsVaractor { params, .. } => match field {
+                Some("control") => params.control.set_param("dc", value).map_err(|_| {
+                    "field 'control' requires a DC control waveform; \
+                     use control-waveform fields via a DC source instead"
+                        .to_string()
+                }),
+                Some("c0") => {
+                    params.c0 = value;
+                    Ok(())
+                }
+                Some("y0") => {
+                    params.y0 = value;
+                    Ok(())
+                }
+                Some("mass") => {
+                    params.mass = value;
+                    Ok(())
+                }
+                Some("damping") => {
+                    params.damping = value;
+                    Ok(())
+                }
+                Some("k") => {
+                    params.spring_k = value;
+                    Ok(())
+                }
+                Some("force_gain") => {
+                    params.force_gain = value;
+                    Ok(())
+                }
+                Some(f) => unknown(f, "control, c0, y0, mass, damping, k, force_gain"),
+                None => Err("MEMS varactor has no default parameter; name a field \
+                     (control, c0, y0, mass, damping, k, force_gain)"
+                    .into()),
+            },
+        }
+    }
+
+    /// The device with every time-dependent waveform replaced by its DC
+    /// value at time `t` — the unforced companion used to initialise
+    /// oscillator analyses.
+    pub fn frozen_at(&self, t: f64) -> Device {
+        let mut d = self.clone();
+        match &mut d {
+            Device::CurrentSource { wave, .. } | Device::VoltageSource { wave, .. } => {
+                *wave = wave.frozen_at(t);
+            }
+            Device::MemsVaractor { params, .. } => {
+                params.control = params.control.frozen_at(t);
+            }
+            _ => {}
+        }
+        d
+    }
+
     /// Number of extra (non-node) unknowns this device introduces.
     pub fn n_extras(&self) -> usize {
         match self {
@@ -609,6 +772,73 @@ mod tests {
     #[should_panic]
     fn zero_resistance_rejected() {
         let _ = Device::resistor(Node::from_raw(1), Circuit::GND, 0.0);
+    }
+
+    #[test]
+    fn set_param_primary_values() {
+        let n1 = Node::from_raw(1);
+        let mut r = Device::resistor(n1, Circuit::GND, 1.0e3);
+        r.set_param(None, 2.0e3).unwrap();
+        assert_eq!(r, Device::resistor(n1, Circuit::GND, 2.0e3));
+        assert!(r.set_param(None, 0.0).is_err());
+        assert!(r.set_param(Some("c"), 1.0).unwrap_err().contains("'c'"));
+
+        let mut g = Device::cubic_conductor(n1, Circuit::GND, 1e-3, 1e-4);
+        g.set_param(Some("g3"), 2e-4).unwrap();
+        assert_eq!(g, Device::cubic_conductor(n1, Circuit::GND, 1e-3, 2e-4));
+
+        let mut d = Device::diode(n1, Circuit::GND, 1e-14, 0.025);
+        assert!(d.set_param(Some("vt"), -1.0).is_err());
+        d.set_param(Some("vt"), 0.05).unwrap();
+    }
+
+    #[test]
+    fn set_param_source_and_mems() {
+        let n1 = Node::from_raw(1);
+        let mut i = Device::current_source(Circuit::GND, n1, Waveform::Dc(1e-3));
+        i.set_param(None, 2e-3).unwrap();
+        assert_eq!(
+            i,
+            Device::current_source(Circuit::GND, n1, Waveform::Dc(2e-3))
+        );
+        let mut s = Device::voltage_source(n1, Circuit::GND, Waveform::sine(0.0, 1.0, 50.0));
+        assert!(s.set_param(None, 1.0).is_err()); // default needs DC
+        s.set_param(Some("ampl"), 3.0).unwrap();
+
+        let mut m = Device::mems_varactor(
+            n1,
+            Circuit::GND,
+            MemsParams {
+                c0: 5e-9,
+                y0: 1.0,
+                mass: 1e-12,
+                damping: 1e-7,
+                spring_k: 2.5,
+                force_gain: 0.12,
+                control: Waveform::Dc(1.5),
+                tank_coupling: 0.0,
+            },
+        );
+        assert!(m.set_param(None, 1.0).is_err());
+        m.set_param(Some("control"), 1.8).unwrap();
+        match &m {
+            Device::MemsVaractor { params, .. } => {
+                assert_eq!(params.control, Waveform::Dc(1.8));
+            }
+            other => panic!("unexpected device {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frozen_at_replaces_waveforms() {
+        let n1 = Node::from_raw(1);
+        let src = Device::current_source(Circuit::GND, n1, Waveform::sine(1.0, 2.0, 1.0));
+        assert_eq!(
+            src.frozen_at(0.25),
+            Device::current_source(Circuit::GND, n1, Waveform::Dc(3.0))
+        );
+        let r = Device::resistor(n1, Circuit::GND, 1.0);
+        assert_eq!(r.frozen_at(5.0), r);
     }
 
     #[test]

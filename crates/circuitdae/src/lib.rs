@@ -37,12 +37,14 @@ pub mod analytic;
 pub mod circuit;
 pub mod circuits;
 pub mod dae;
+pub mod deck;
 pub mod device;
 pub mod netlist;
 pub mod waveform;
 
 pub use circuit::{Circuit, CircuitDae, CircuitError, Node};
 pub use dae::{check_jacobians, dae_residual, Dae};
+pub use deck::{AnalysisSpec, Deck, MpdeSpec, ShootingSpec, SweepSpec, TranSpec, WampdeSpec};
 pub use device::{Device, MemsParams};
-pub use netlist::{parse_netlist, NetlistError};
+pub use netlist::{parse_deck, parse_netlist, NetlistError};
 pub use waveform::Waveform;

@@ -1,4 +1,4 @@
-//! SPICE-style netlist parsing.
+//! SPICE-style netlist and scenario-deck parsing.
 //!
 //! A small, line-oriented netlist dialect so circuits can be described as
 //! text (and experiment configurations versioned) instead of Rust code:
@@ -19,8 +19,25 @@
 //! Node `0` (or `gnd`) is ground; all other node names are created on
 //! first use. Values accept the usual suffixes
 //! `f p n u m k meg g t` (case-insensitive).
+//!
+//! [`parse_deck`] additionally accepts *directive* lines (SPICE-style
+//! analysis cards), producing a typed [`Deck`]:
+//!
+//! ```text
+//! .tran     <tstop> [dt=<v>] [rtol=<v>]
+//! .shooting [steps=<n>] [phase_var=<k>]
+//! .mpde     <f1> <tstop> [harmonics=<n>] [node=<k>] [amp=<v>] [depth=<v>] [fmod=<v>]
+//! .wampde   <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>]
+//! .sweep    <param> <from> <to> <points> [log]
+//! ```
+//!
+//! `<param>` in `.sweep` is a device card name (`R1`) or a dotted field
+//! (`M1.control`); see [`Device::set_param`] for the field tables.
+//! [`parse_netlist`] rejects directives, so plain-circuit callers get a
+//! clear error instead of silently dropped analyses.
 
 use crate::circuit::{Circuit, CircuitDae, Node};
+use crate::deck::{AnalysisSpec, Deck, MpdeSpec, ShootingSpec, SweepSpec, TranSpec, WampdeSpec};
 use crate::device::{Device, MemsParams};
 use crate::waveform::Waveform;
 use std::collections::HashMap;
@@ -38,6 +55,13 @@ pub enum NetlistError {
     },
     /// The assembled circuit failed validation.
     Circuit(crate::circuit::CircuitError),
+    /// A parameter override (sweep assignment) was rejected.
+    Param {
+        /// `NAME` / `NAME.field` label of the parameter.
+        device: String,
+        /// Explanation from the device.
+        message: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -47,11 +71,21 @@ impl fmt::Display for NetlistError {
                 write!(f, "netlist line {line}: {message}")
             }
             NetlistError::Circuit(e) => write!(f, "netlist circuit error: {e}"),
+            NetlistError::Param { device, message } => {
+                write!(f, "parameter '{device}': {message}")
+            }
         }
     }
 }
 
-impl std::error::Error for NetlistError {}
+impl std::error::Error for NetlistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetlistError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<crate::circuit::CircuitError> for NetlistError {
     fn from(e: crate::circuit::CircuitError) -> Self {
@@ -146,14 +180,38 @@ fn parse_waveform(tokens: &[&str]) -> Result<Waveform, String> {
     }
 }
 
-/// Parses a netlist into a [`CircuitDae`].
+/// Parses a plain netlist (device cards only) into a [`CircuitDae`].
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] with the offending line — including any
+/// directive line, which belongs in [`parse_deck`] — or
+/// [`NetlistError::Circuit`] if the assembled circuit is invalid.
+pub fn parse_netlist(text: &str) -> Result<CircuitDae, NetlistError> {
+    let deck = parse_impl(text, false)?;
+    deck.base_circuit()
+}
+
+/// Parses a scenario deck: device cards plus analysis/sweep directives.
+///
+/// The circuit is validated eagerly (so a deck that parses is known to
+/// instantiate), and every `.sweep` is checked against the named device.
 ///
 /// # Errors
 ///
 /// [`NetlistError::Parse`] with the offending line, or
 /// [`NetlistError::Circuit`] if the assembled circuit is invalid.
-pub fn parse_netlist(text: &str) -> Result<CircuitDae, NetlistError> {
+pub fn parse_deck(text: &str) -> Result<Deck, NetlistError> {
+    let deck = parse_impl(text, true)?;
+    deck.base_circuit()?; // eager validation
+    Ok(deck)
+}
+
+fn parse_impl(text: &str, allow_directives: bool) -> Result<Deck, NetlistError> {
     let mut ckt = Circuit::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut analyses: Vec<AnalysisSpec> = Vec::new();
+    let mut sweeps: Vec<(usize, SweepSpec)> = Vec::new();
     let mut nodes: HashMap<String, Node> = HashMap::new();
 
     let mut node_of = |ckt: &mut Circuit, name: &str| -> Node {
@@ -173,6 +231,25 @@ pub fn parse_netlist(text: &str) -> Result<CircuitDae, NetlistError> {
             continue;
         }
         let tokens: Vec<&str> = stripped.split_whitespace().collect();
+
+        if tokens[0].starts_with('.') {
+            if !allow_directives {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: format!(
+                        "directive '{}' not allowed in a plain netlist; use parse_deck",
+                        tokens[0]
+                    ),
+                });
+            }
+            match parse_directive(&tokens) {
+                Ok(Directive::Analysis(a)) => analyses.push(a),
+                Ok(Directive::Sweep(s)) => sweeps.push((line, s)),
+                Err(message) => return Err(NetlistError::Parse { line, message }),
+            }
+            continue;
+        }
+
         if tokens.len() < 3 {
             return Err(NetlistError::Parse {
                 line,
@@ -180,6 +257,12 @@ pub fn parse_netlist(text: &str) -> Result<CircuitDae, NetlistError> {
             });
         }
         let name = tokens[0].to_ascii_uppercase();
+        if names.contains(&name) {
+            return Err(NetlistError::Parse {
+                line,
+                message: format!("duplicate device name '{name}'"),
+            });
+        }
         let n1 = node_of(&mut ckt, tokens[1]);
         let n2 = node_of(&mut ckt, tokens[2]);
         let args = &tokens[3..];
@@ -268,9 +351,239 @@ pub fn parse_netlist(text: &str) -> Result<CircuitDae, NetlistError> {
                 })
             }
         }
+        names.push(name);
     }
 
-    Ok(ckt.build()?)
+    // Validate sweeps against the parsed cards: the named device must
+    // exist and accept the field at *every* grid value (a linear sweep
+    // through zero would otherwise pass an endpoints-only check and fail
+    // mid-run), so a deck that parses is known to instantiate at every
+    // grid point.
+    for (line, sw) in &sweeps {
+        let line = *line;
+        let Some(idx) = names.iter().position(|n| *n == sw.device) else {
+            return Err(NetlistError::Parse {
+                line,
+                message: format!("sweep references unknown device '{}'", sw.device),
+            });
+        };
+        let mut probe = ckt.devices()[idx].clone();
+        for v in sw.values() {
+            probe
+                .set_param(sw.field.as_deref(), v)
+                .map_err(|e| NetlistError::Parse {
+                    line,
+                    message: format!("sweep parameter '{}' at value {v}: {e}", sw.label()),
+                })?;
+        }
+    }
+
+    Ok(Deck {
+        circuit: ckt,
+        names,
+        analyses,
+        sweeps: sweeps.into_iter().map(|(_, s)| s).collect(),
+    })
+}
+
+/// A parsed directive line.
+enum Directive {
+    Analysis(AnalysisSpec),
+    Sweep(SweepSpec),
+}
+
+/// Positional tokens and `key=value` options of one directive line.
+type DirectiveArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
+/// Splits directive arguments into leading positional tokens and trailing
+/// `key=value` options, rejecting positionals after the first option.
+fn split_args<'a>(args: &[&'a str]) -> Result<DirectiveArgs<'a>, String> {
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    for &tok in args {
+        if let Some((k, v)) = tok.split_once('=') {
+            if k.is_empty() || v.is_empty() {
+                return Err(format!("malformed option '{tok}' (expected key=value)"));
+            }
+            options.push((k, v));
+        } else if options.is_empty() {
+            positional.push(tok);
+        } else {
+            return Err(format!(
+                "positional argument '{tok}' after key=value options"
+            ));
+        }
+    }
+    Ok((positional, options))
+}
+
+fn parse_usize(v: &str, what: &str) -> Result<usize, String> {
+    v.parse::<usize>()
+        .map_err(|_| format!("cannot parse {what} '{v}' as an integer"))
+}
+
+fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
+    let keyword = tokens[0].to_ascii_lowercase();
+    let args = &tokens[1..];
+    match keyword.as_str() {
+        ".tran" => {
+            let (pos, opts) = split_args(args)?;
+            let [t_stop] = pos[..] else {
+                return Err("usage: .tran <tstop> [dt=<v>] [rtol=<v>]".into());
+            };
+            let mut spec = TranSpec {
+                t_stop: parse_value(t_stop)?,
+                dt: 0.0,
+                rtol: 1e-6,
+            };
+            for (k, v) in opts {
+                match k {
+                    "dt" => spec.dt = parse_value(v)?,
+                    "rtol" => spec.rtol = parse_value(v)?,
+                    other => return Err(format!(".tran: unknown option '{other}' (dt, rtol)")),
+                }
+            }
+            if spec.t_stop <= 0.0 {
+                return Err(".tran: tstop must be positive".into());
+            }
+            Ok(Directive::Analysis(AnalysisSpec::Tran(spec)))
+        }
+        ".shooting" => {
+            let (pos, opts) = split_args(args)?;
+            if !pos.is_empty() {
+                return Err("usage: .shooting [steps=<n>] [phase_var=<k>]".into());
+            }
+            let mut spec = ShootingSpec {
+                steps_per_period: 512,
+                phase_var: 0,
+            };
+            for (k, v) in opts {
+                match k {
+                    "steps" => spec.steps_per_period = parse_usize(v, "steps")?,
+                    "phase_var" => spec.phase_var = parse_usize(v, "phase_var")?,
+                    other => {
+                        return Err(format!(
+                            ".shooting: unknown option '{other}' (steps, phase_var)"
+                        ))
+                    }
+                }
+            }
+            Ok(Directive::Analysis(AnalysisSpec::Shooting(spec)))
+        }
+        ".mpde" => {
+            let (pos, opts) = split_args(args)?;
+            let [f1, t_stop] = pos[..] else {
+                return Err("usage: .mpde <f1> <tstop> [harmonics=<n>] [node=<k>] \
+                     [amp=<v>] [depth=<v>] [fmod=<v>]"
+                    .into());
+            };
+            let f1_hz = parse_value(f1)?;
+            if f1_hz <= 0.0 {
+                return Err(".mpde: carrier frequency must be positive".into());
+            }
+            let mut spec = MpdeSpec {
+                f1_hz,
+                t_stop: parse_value(t_stop)?,
+                harmonics: 6,
+                node: 0,
+                amplitude: 1e-3,
+                mod_depth: 0.5,
+                mod_freq_hz: f1_hz / 100.0,
+            };
+            for (k, v) in opts {
+                match k {
+                    "harmonics" => spec.harmonics = parse_usize(v, "harmonics")?,
+                    "node" => spec.node = parse_usize(v, "node")?,
+                    "amp" => spec.amplitude = parse_value(v)?,
+                    "depth" => spec.mod_depth = parse_value(v)?,
+                    "fmod" => spec.mod_freq_hz = parse_value(v)?,
+                    other => {
+                        return Err(format!(
+                            ".mpde: unknown option '{other}' (harmonics, node, amp, depth, fmod)"
+                        ))
+                    }
+                }
+            }
+            if spec.t_stop <= 0.0 {
+                return Err(".mpde: tstop must be positive".into());
+            }
+            if spec.harmonics == 0 {
+                // N0 = 2M+1 = 1 sample cannot represent the carrier.
+                return Err(".mpde: harmonics must be at least 1".into());
+            }
+            Ok(Directive::Analysis(AnalysisSpec::Mpde(spec)))
+        }
+        ".wampde" => {
+            let (pos, opts) = split_args(args)?;
+            let [t_stop] = pos[..] else {
+                return Err(
+                    "usage: .wampde <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>]".into(),
+                );
+            };
+            let mut spec = WampdeSpec {
+                t_stop: parse_value(t_stop)?,
+                harmonics: 8,
+                phase_var: 0,
+                shooting_steps: 512,
+            };
+            for (k, v) in opts {
+                match k {
+                    "harmonics" => spec.harmonics = parse_usize(v, "harmonics")?,
+                    "phase_var" => spec.phase_var = parse_usize(v, "phase_var")?,
+                    "steps" => spec.shooting_steps = parse_usize(v, "steps")?,
+                    other => {
+                        return Err(format!(
+                            ".wampde: unknown option '{other}' (harmonics, phase_var, steps)"
+                        ))
+                    }
+                }
+            }
+            if spec.t_stop <= 0.0 {
+                return Err(".wampde: tstop must be positive".into());
+            }
+            if spec.harmonics == 0 {
+                return Err(".wampde: harmonics must be at least 1".into());
+            }
+            Ok(Directive::Analysis(AnalysisSpec::Wampde(spec)))
+        }
+        ".sweep" => {
+            let (pos, opts) = split_args(args)?;
+            if !opts.is_empty() {
+                return Err(".sweep takes no key=value options".into());
+            }
+            let (param, from, to, points, log) = match pos[..] {
+                [param, from, to, points] => (param, from, to, points, false),
+                [param, from, to, points, log_tok] if log_tok.eq_ignore_ascii_case("log") => {
+                    (param, from, to, points, true)
+                }
+                _ => return Err("usage: .sweep <param> <from> <to> <points> [log]".into()),
+            };
+            let (device, field) = match param.split_once('.') {
+                Some((d, f)) => (d.to_ascii_uppercase(), Some(f.to_ascii_lowercase())),
+                None => (param.to_ascii_uppercase(), None),
+            };
+            let from = parse_value(from)?;
+            let to = parse_value(to)?;
+            let points = parse_usize(points, "points")?;
+            if points == 0 {
+                return Err(".sweep: points must be at least 1".into());
+            }
+            if log && (from <= 0.0 || to <= 0.0) {
+                return Err(".sweep: log spacing requires positive bounds".into());
+            }
+            Ok(Directive::Sweep(SweepSpec {
+                device,
+                field,
+                from,
+                to,
+                points,
+                log,
+            }))
+        }
+        other => Err(format!(
+            "unknown directive '{other}' (.tran, .shooting, .mpde, .wampde, .sweep)"
+        )),
+    }
 }
 
 fn one_value(args: &[&str]) -> Result<f64, String> {
@@ -406,5 +719,164 @@ mod tests {
         let mut b = vec![0.0; 1];
         dae.eval_b(0.0, &mut b);
         assert!((b[0] - 2e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn duplicate_device_name_rejected() {
+        let err = parse_netlist("R1 a 0 1k\nR1 a 0 2k\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("duplicate"), "{message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    const VCO_CARDS: &str = "L1  tank 0 10u\n\
+                             GN1 tank 0 5m 1.667m\n\
+                             M1  tank 0 5n 1 1e-12 3e-7 2.47 0.121 DC(1.5)\n";
+
+    #[test]
+    fn deck_parses_analyses_and_sweeps() {
+        let deck = parse_deck(&format!(
+            "{VCO_CARDS}.wampde 6u harmonics=5 steps=256\n\
+             .shooting steps=128\n\
+             .sweep M1.control 1.2 1.8 4\n"
+        ))
+        .unwrap();
+        assert_eq!(deck.device_names(), &["L1", "GN1", "M1"]);
+        assert_eq!(deck.analyses.len(), 2);
+        match &deck.analyses[0] {
+            crate::deck::AnalysisSpec::Wampde(w) => {
+                assert!((w.t_stop - 6e-6).abs() < 1e-18);
+                assert_eq!(w.harmonics, 5);
+                assert_eq!(w.shooting_steps, 256);
+            }
+            other => panic!("unexpected analysis {other:?}"),
+        }
+        assert_eq!(deck.sweeps.len(), 1);
+        assert_eq!(deck.sweeps[0].label(), "M1.control");
+        assert_eq!(deck.sweeps[0].values().len(), 4);
+    }
+
+    #[test]
+    fn deck_instantiate_applies_override() {
+        let deck = parse_deck(&format!("{VCO_CARDS}.sweep M1.control 1.2 1.8 4\n")).unwrap();
+        let dae = deck.instantiate(&[1.8]).unwrap();
+        assert_eq!(dae.dim(), 4);
+        // The MEMS force row b[3] = force_gain * v_ctl^2 must scale with
+        // the overridden control voltage.
+        let mut b_hi = vec![0.0; 4];
+        dae.eval_b(0.0, &mut b_hi);
+        let mut b_lo = vec![0.0; 4];
+        deck.instantiate(&[1.2]).unwrap().eval_b(0.0, &mut b_lo);
+        assert!(b_hi[3] > b_lo[3] * 2.0);
+        // Mismatched value count is rejected.
+        assert!(matches!(
+            deck.instantiate(&[]),
+            Err(NetlistError::Param { .. })
+        ));
+    }
+
+    #[test]
+    fn plain_netlist_rejects_directives() {
+        let err = parse_netlist("R1 a 0 1k\nC1 a 0 1n\n.tran 1m\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("parse_deck"), "{message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn directive_errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("R1 a 0 1k\nC1 a 0 1n\n.tran\n", 3, "usage: .tran"),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.frobnicate 1\n",
+                3,
+                "unknown directive",
+            ),
+            (
+                "R1 a 0 1k\n.tran 1m cheese=5\nC1 a 0 1n\n",
+                2,
+                "unknown option",
+            ),
+            (".sweep R1 1 10\nR1 a 0 1k\nC1 a 0 1n\n", 1, "usage: .sweep"),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.sweep R1 1k 10k 0\n",
+                3,
+                "at least 1",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.sweep R1 -1 1 3 log\n",
+                3,
+                "log spacing",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.sweep Q9 1 2 3\n",
+                3,
+                "unknown device",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.sweep R1.bogus 1 2 3\n",
+                3,
+                "'bogus'",
+            ),
+            ("R1 a 0 1k\nC1 a 0 1n\n.tran 0\n", 3, "must be positive"),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.wampde 1u harmonics=x\n",
+                3,
+                "integer",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.mpde 1meg 1m harmonics=0\n",
+                3,
+                "at least 1",
+            ),
+        ];
+        for (text, want_line, want_msg) in cases {
+            let err = parse_deck(text).unwrap_err();
+            match err {
+                NetlistError::Parse { line, message } => {
+                    assert_eq!(line, *want_line, "text: {text:?}: {message}");
+                    assert!(
+                        message.contains(want_msg),
+                        "text: {text:?}: message {message:?} missing {want_msg:?}"
+                    );
+                }
+                other => panic!("unexpected error {other} for {text:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_zero_resistance_grid_point_rejected_at_parse() {
+        // from = 0 would produce an invalid resistor at the first grid
+        // point; the parser catches it with the directive's line number.
+        let err = parse_deck("R1 a 0 1k\nC1 a 0 1n\n.sweep R1 0 10k 3\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }), "{err}");
+        // An *interior* grid point through zero is caught too (endpoints
+        // alone would pass: -1k and 1k are both valid resistances).
+        let err = parse_deck("R1 a 0 1k\nC1 a 0 1n\n.sweep R1 -1k 1k 3\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("nonzero"), "{message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn netlist_error_source_chains_circuit_error() {
+        use std::error::Error;
+        let err = parse_netlist("* nothing\n").unwrap_err();
+        assert!(err.source().is_some());
+        let err = parse_netlist("R1 a\n").unwrap_err();
+        assert!(err.source().is_none());
     }
 }

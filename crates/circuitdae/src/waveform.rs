@@ -81,6 +81,78 @@ impl Waveform {
         }
     }
 
+    /// The waveform frozen at time `t`: a [`Waveform::Dc`] holding the
+    /// instantaneous value. Used to build the *unforced* companion of a
+    /// driven circuit (e.g. the WaMPDE's shooting initial condition).
+    pub fn frozen_at(&self, t: f64) -> Waveform {
+        Waveform::Dc(self.eval(t))
+    }
+
+    /// Sets one named scalar parameter, for sweep overrides.
+    ///
+    /// Recognised fields: `dc` (DC value), `offset`/`ampl`/`freq`/`phase`
+    /// (sine), `low`/`high`/`rise`/`width`/`fall`/`period` (pulse). Each
+    /// field is valid only for the matching waveform shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the field and the waveform shape when they
+    /// do not match, or listing the recognised fields for unknown names.
+    pub fn set_param(&mut self, field: &str, value: f64) -> Result<(), String> {
+        let shape_err = |shape: &str| Err(format!("field '{field}' requires a {shape} waveform"));
+        match field {
+            "dc" => match self {
+                Waveform::Dc(v) => {
+                    *v = value;
+                    Ok(())
+                }
+                _ => shape_err("DC"),
+            },
+            "offset" | "ampl" | "freq" | "phase" => match self {
+                Waveform::Sine {
+                    offset,
+                    amplitude,
+                    freq_hz,
+                    phase_rad,
+                } => {
+                    match field {
+                        "offset" => *offset = value,
+                        "ampl" => *amplitude = value,
+                        "freq" => *freq_hz = value,
+                        _ => *phase_rad = value,
+                    }
+                    Ok(())
+                }
+                _ => shape_err("SIN"),
+            },
+            "low" | "high" | "rise" | "width" | "fall" | "period" => match self {
+                Waveform::Pulse {
+                    low,
+                    high,
+                    rise,
+                    width,
+                    fall,
+                    period,
+                } => {
+                    match field {
+                        "low" => *low = value,
+                        "high" => *high = value,
+                        "rise" => *rise = value,
+                        "width" => *width = value,
+                        "fall" => *fall = value,
+                        _ => *period = value,
+                    }
+                    Ok(())
+                }
+                _ => shape_err("PULSE"),
+            },
+            other => Err(format!(
+                "unknown waveform field '{other}' (expected dc, offset, ampl, freq, phase, \
+                 low, high, rise, width, fall, period)"
+            )),
+        }
+    }
+
     /// Natural period of the waveform, if it has one (`None` for DC).
     pub fn period(&self) -> Option<f64> {
         match *self {
@@ -143,6 +215,43 @@ mod tests {
         assert!((w.eval(0.45) - 2.5).abs() < 1e-9); // mid-fall
         assert!((w.eval(0.9)).abs() < 1e-12); // low
         assert!((w.eval(1.2) - 5.0).abs() < 1e-12); // periodic repeat
+    }
+
+    #[test]
+    fn frozen_at_samples_the_instant() {
+        let w = Waveform::sine(1.0, 2.0, 1.0);
+        assert_eq!(w.frozen_at(0.25), Waveform::Dc(3.0));
+        assert_eq!(Waveform::Dc(5.0).frozen_at(123.0), Waveform::Dc(5.0));
+    }
+
+    #[test]
+    fn set_param_dc_and_sine() {
+        let mut w = Waveform::Dc(1.0);
+        w.set_param("dc", 2.5).unwrap();
+        assert_eq!(w, Waveform::Dc(2.5));
+        assert!(w.set_param("ampl", 1.0).is_err());
+
+        let mut s = Waveform::sine(0.0, 1.0, 10.0);
+        s.set_param("ampl", 3.0).unwrap();
+        s.set_param("freq", 20.0).unwrap();
+        assert!((s.eval(1.0 / 80.0) - 3.0).abs() < 1e-12);
+        assert!(s.set_param("dc", 1.0).is_err());
+        assert!(s.set_param("bogus", 1.0).unwrap_err().contains("bogus"));
+    }
+
+    #[test]
+    fn set_param_pulse() {
+        let mut w = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            rise: 0.0,
+            width: 0.5,
+            fall: 0.0,
+            period: 2.0,
+        };
+        w.set_param("high", 7.0).unwrap();
+        assert!((w.eval(0.2) - 7.0).abs() < 1e-12);
+        assert!(w.set_param("freq", 1.0).is_err());
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Property-based tests for netlist value parsing: engineering-suffix
+//! round trips, case-insensitivity, and directive parse behaviour under
+//! generated grids.
+
+use circuitdae::netlist::parse_value;
+use circuitdae::parse_deck;
+use proptest::prelude::*;
+
+/// The suffix table of the parser, mirrored here so a drifting multiplier
+/// fails a property instead of silently changing every deck.
+const SUFFIXES: &[(&str, f64)] = &[
+    ("f", 1e-15),
+    ("p", 1e-12),
+    ("n", 1e-9),
+    ("u", 1e-6),
+    ("m", 1e-3),
+    ("k", 1e3),
+    ("meg", 1e6),
+    ("g", 1e9),
+    ("t", 1e12),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `format!("{m}{suffix}")` parses back to `m * multiplier` for every
+    /// suffix, at either case.
+    #[test]
+    fn suffix_round_trip(
+        mantissa in -1000.0f64..1000.0,
+        suffix_idx in 0usize..9,
+        upper in 0usize..2,
+    ) {
+        let (suffix, mult) = SUFFIXES[suffix_idx];
+        let token = if upper == 1 {
+            format!("{mantissa}{}", suffix.to_ascii_uppercase())
+        } else {
+            format!("{mantissa}{suffix}")
+        };
+        let parsed = parse_value(&token).unwrap();
+        let want = mantissa * mult;
+        prop_assert!(
+            (parsed - want).abs() <= 1e-12 * want.abs().max(1e-300),
+            "token {token}: {parsed} vs {want}"
+        );
+    }
+
+    /// Bare scientific notation survives a text round trip exactly.
+    #[test]
+    fn scientific_notation_is_exact(v in -1.0e9f64..1.0e9) {
+        let token = format!("{v:e}");
+        prop_assert_eq!(parse_value(&token).unwrap().to_bits(), v.to_bits());
+    }
+
+    /// A suffix never changes the sign, and scaling the mantissa scales
+    /// the parsed value linearly.
+    #[test]
+    fn suffix_scaling_is_linear(
+        mantissa in 0.001f64..1000.0,
+        suffix_idx in 0usize..9,
+    ) {
+        let (suffix, _) = SUFFIXES[suffix_idx];
+        let one = parse_value(&format!("{mantissa}{suffix}")).unwrap();
+        let two = parse_value(&format!("{}{suffix}", 2.0 * mantissa)).unwrap();
+        prop_assert!(one > 0.0);
+        prop_assert!((two - 2.0 * one).abs() <= 1e-9 * two.abs());
+    }
+
+    /// Every generated linear `.sweep` grid has the requested length and
+    /// exact endpoints, and instantiates at every point.
+    #[test]
+    fn generated_sweep_grids_instantiate(
+        from in 0.5f64..2.0,
+        span in 0.1f64..3.0,
+        points in 2usize..7,
+    ) {
+        let to = from + span;
+        let deck = parse_deck(&format!(
+            "V1 in 0 SIN(0 5 1k)\n\
+             R1 in out 1k\n\
+             C1 out 0 1u\n\
+             .tran 1m\n\
+             .sweep R1.r {from}k {to}k {points}\n"
+        )).unwrap();
+        let values = deck.sweeps[0].values();
+        prop_assert_eq!(values.len(), points);
+        prop_assert!((values[0] - from * 1e3).abs() < 1e-9);
+        prop_assert!((values[points - 1] - to * 1e3).abs() < 1e-9);
+        for v in &values {
+            prop_assert!(deck.instantiate(&[*v]).is_ok());
+        }
+    }
+}
+
+#[test]
+fn rejects_suffix_only_and_garbage() {
+    for bad in ["", "k", "meg", "1kk", "1 k", "abc", "--3"] {
+        assert!(parse_value(bad).is_err(), "accepted {bad:?}");
+    }
+}

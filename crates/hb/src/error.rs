@@ -20,7 +20,14 @@ impl fmt::Display for HbError {
     }
 }
 
-impl std::error::Error for HbError {}
+impl std::error::Error for HbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HbError::Newton(e) => Some(e),
+            HbError::BadInput(_) => None,
+        }
+    }
+}
 
 impl From<transim::TransimError> for HbError {
     fn from(e: transim::TransimError) -> Self {

@@ -423,6 +423,42 @@ fn newton_mpde<D: Dae + ?Sized>(
     })
 }
 
+/// Deck adapter: runs a `.mpde` directive. The spec's AM forcing fields
+/// map onto an [`AmForcing`] into the named KCL row.
+///
+/// # Errors
+///
+/// [`MpdeError::BadInput`] when the forced node index is out of range;
+/// otherwise see [`solve_envelope_mpde`].
+pub fn run_mpde_spec<D: Dae + ?Sized>(
+    dae: &D,
+    spec: &circuitdae::MpdeSpec,
+) -> Result<MpdeResult, MpdeError> {
+    if spec.node >= dae.dim() {
+        return Err(MpdeError::BadInput(format!(
+            "forced node index {} out of range (dim = {})",
+            spec.node,
+            dae.dim()
+        )));
+    }
+    let forcing = AmForcing {
+        node: spec.node,
+        carrier_amplitude: spec.amplitude,
+        mod_depth: spec.mod_depth,
+        mod_freq_hz: spec.mod_freq_hz,
+    };
+    solve_envelope_mpde(
+        dae,
+        &forcing,
+        spec.f1_hz,
+        spec.t_stop,
+        &MpdeOptions {
+            harmonics: spec.harmonics,
+            ..Default::default()
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -74,7 +74,14 @@ impl fmt::Display for ShootingError {
     }
 }
 
-impl std::error::Error for ShootingError {}
+impl std::error::Error for ShootingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShootingError::Transient(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<transim::TransimError> for ShootingError {
     fn from(e: transim::TransimError) -> Self {
@@ -489,6 +496,35 @@ pub fn oscillator_steady_state<D: Dae + ?Sized>(
         horizon_guess *= 8.0;
     }
     Err(ShootingError::NoOscillation)
+}
+
+/// Deck adapter: runs a `.shooting` directive via
+/// [`oscillator_steady_state`] with the spec's step count and phase
+/// variable over otherwise-default options.
+///
+/// # Errors
+///
+/// [`ShootingError::BadInput`] when `phase_var` is out of range,
+/// otherwise see [`oscillator_steady_state`].
+pub fn run_shooting_spec<D: Dae + ?Sized>(
+    dae: &D,
+    spec: &circuitdae::ShootingSpec,
+) -> Result<PeriodicOrbit, ShootingError> {
+    if spec.phase_var >= dae.dim() {
+        return Err(ShootingError::BadInput(format!(
+            "phase_var {} out of range (dim = {})",
+            spec.phase_var,
+            dae.dim()
+        )));
+    }
+    oscillator_steady_state(
+        dae,
+        &ShootingOptions {
+            steps_per_period: spec.steps_per_period,
+            phase_var: spec.phase_var,
+            ..Default::default()
+        },
+    )
 }
 
 /// State at the last interior local maximum of variable `var`.

@@ -1,0 +1,357 @@
+//! The parallel sweep executor: deck → job grid → worker pool →
+//! deterministic, index-ordered aggregation.
+//!
+//! Every (grid point × analysis) pair is an independent job: workers
+//! instantiate the deck's circuit with that point's overrides and run the
+//! analysis. Jobs are distributed over a `std::thread` pool through mpsc
+//! channels, and results are slotted back by job index, so the aggregated
+//! output is **identical for any worker count** — `--jobs 1` and
+//! `--jobs 8` produce byte-identical artifacts.
+
+use crate::analysis::{analysis_for, Analysis, ScenarioResult};
+use crate::error::SweepError;
+use crate::grid::expand_grid;
+use circuitdae::Deck;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+
+/// One completed job of a sweep run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Grid point index (row-major over the deck's sweep directives).
+    pub point: usize,
+    /// Swept parameter values at this point (parallel to the labels).
+    pub values: Vec<f64>,
+    /// Index of the analysis directive in the deck.
+    pub analysis_index: usize,
+    /// Unique analysis label, e.g. `wampde0`.
+    pub analysis: String,
+    /// The analysis result.
+    pub result: ScenarioResult,
+}
+
+/// The aggregated, deterministic result of a deck run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// Labels of the swept parameters (`M1.control`, ...).
+    pub param_labels: Vec<String>,
+    /// The expanded grid, one value vector per point.
+    pub grid: Vec<Vec<f64>>,
+    /// Unique labels of the deck's analyses (`<keyword><directive idx>`).
+    pub analysis_labels: Vec<String>,
+    /// All runs, ordered point-major then by analysis — independent of
+    /// the worker count.
+    pub runs: Vec<RunRecord>,
+}
+
+impl SweepOutcome {
+    /// Runs of one analysis (by directive index), in grid order.
+    pub fn runs_of(&self, analysis_index: usize) -> impl Iterator<Item = &RunRecord> {
+        self.runs
+            .iter()
+            .filter(move |r| r.analysis_index == analysis_index)
+    }
+
+    /// Long-format waveform table of one analysis: header
+    /// `[point, <params...>, <result columns...>]`, with every grid
+    /// point's rows stacked in order. Feed straight into a CSV writer.
+    pub fn waveform_table(&self, analysis_index: usize) -> (Vec<String>, Vec<Vec<f64>>) {
+        let mut header = vec!["point".to_string()];
+        header.extend(self.param_labels.iter().cloned());
+        let mut rows = Vec::new();
+        let mut first = true;
+        for rec in self.runs_of(analysis_index) {
+            if first {
+                header.extend(rec.result.columns.iter().cloned());
+                first = false;
+            }
+            for row in &rec.result.rows {
+                let mut out = Vec::with_capacity(1 + rec.values.len() + row.len());
+                out.push(rec.point as f64);
+                out.extend_from_slice(&rec.values);
+                out.extend_from_slice(row);
+                rows.push(out);
+            }
+        }
+        (header, rows)
+    }
+
+    /// Per-point metric summary of one analysis: header
+    /// `[point, <params...>, <metrics...>]`, one row per grid point.
+    pub fn summary_table(&self, analysis_index: usize) -> (Vec<String>, Vec<Vec<f64>>) {
+        let mut header = vec!["point".to_string()];
+        header.extend(self.param_labels.iter().cloned());
+        let mut rows = Vec::new();
+        let mut first = true;
+        for rec in self.runs_of(analysis_index) {
+            if first {
+                header.extend(rec.result.metrics.iter().map(|(n, _)| n.clone()));
+                first = false;
+            }
+            let mut out = Vec::with_capacity(1 + rec.values.len() + rec.result.metrics.len());
+            out.push(rec.point as f64);
+            out.extend_from_slice(&rec.values);
+            out.extend(rec.result.metrics.iter().map(|(_, v)| *v));
+            rows.push(out);
+        }
+        (header, rows)
+    }
+}
+
+/// Expands a deck's sweep grid and runs every (point × analysis) job on a
+/// pool of `jobs` worker threads (clamped to `[1, job count]`).
+///
+/// Results are aggregated in job-index order, so the outcome is
+/// deterministic and independent of `jobs`. On failure the error of the
+/// *lowest-indexed* failing job is returned (also independent of `jobs`);
+/// queued jobs above the failure are skipped rather than run to
+/// completion.
+///
+/// # Errors
+///
+/// [`SweepError::BadInput`] for a deck without analyses, otherwise the
+/// first failing job's error wrapped in [`SweepError::Job`].
+pub fn run_deck(deck: &Deck, jobs: usize) -> Result<SweepOutcome, SweepError> {
+    let analyses: Vec<Box<dyn Analysis>> = deck.analyses.iter().map(analysis_for).collect();
+    if analyses.is_empty() {
+        return Err(SweepError::BadInput(
+            "deck has no analysis directive (.tran/.shooting/.mpde/.wampde)".into(),
+        ));
+    }
+    let analysis_labels: Vec<String> = analyses
+        .iter()
+        .enumerate()
+        .map(|(i, a)| format!("{}{i}", a.name()))
+        .collect();
+    let grid = expand_grid(&deck.sweeps);
+    let n_jobs = grid.len() * analyses.len();
+    let workers = jobs.max(1).min(n_jobs);
+
+    // Job dispatch and result return both ride std channels; the single
+    // consumed receiver is shared behind a mutex (std-only work queue).
+    let (job_tx, job_rx) = mpsc::channel::<usize>();
+    for id in 0..n_jobs {
+        job_tx.send(id).expect("queue jobs");
+    }
+    drop(job_tx);
+    let job_rx = Mutex::new(job_rx);
+    let (res_tx, res_rx) = mpsc::channel::<(usize, Result<ScenarioResult, SweepError>)>();
+
+    let mut slots: Vec<Option<ScenarioResult>> = vec![None; n_jobs];
+    let mut first_failure: Option<(usize, SweepError)> = None;
+
+    // Lowest failing job index seen so far; jobs above it are skipped so
+    // a failing grid does not burn the whole remaining budget. Jobs
+    // *below* it still run, so the reported error is always the overall
+    // lowest-indexed failure, independent of worker count.
+    let cancel_above = AtomicUsize::new(usize::MAX);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = &job_rx;
+            let res_tx = res_tx.clone();
+            let grid = &grid;
+            let analyses = &analyses;
+            let cancel_above = &cancel_above;
+            scope.spawn(move || loop {
+                let id = match job_rx.lock().expect("job queue lock").recv() {
+                    Ok(id) => id,
+                    Err(_) => break, // queue drained
+                };
+                if id > cancel_above.load(Ordering::Relaxed) {
+                    continue; // a lower-indexed job already failed
+                }
+                let point = id / analyses.len();
+                let a = id % analyses.len();
+                let run_one = || -> Result<ScenarioResult, SweepError> {
+                    let dae = deck.instantiate(&grid[point])?;
+                    analyses[a].run(&dae)
+                };
+                if res_tx.send((id, run_one())).is_err() {
+                    break; // main thread gave up
+                }
+            });
+        }
+        drop(res_tx);
+        for (id, res) in res_rx {
+            match res {
+                Ok(result) => slots[id] = Some(result),
+                Err(e) => {
+                    cancel_above.fetch_min(id, Ordering::Relaxed);
+                    // Keep the lowest-indexed failure so the reported
+                    // error does not depend on worker scheduling.
+                    if first_failure.as_ref().is_none_or(|(fid, _)| id < *fid) {
+                        first_failure = Some((id, e));
+                    }
+                }
+            }
+        }
+    });
+
+    if let Some((id, cause)) = first_failure {
+        return Err(SweepError::Job {
+            point: id / analyses.len(),
+            analysis: analysis_labels[id % analyses.len()].clone(),
+            cause: Box::new(cause),
+        });
+    }
+
+    let runs = slots
+        .into_iter()
+        .enumerate()
+        .map(|(id, slot)| {
+            let point = id / analyses.len();
+            let a = id % analyses.len();
+            RunRecord {
+                point,
+                values: grid[point].clone(),
+                analysis_index: a,
+                analysis: analysis_labels[a].clone(),
+                result: slot.expect("every job completed"),
+            }
+        })
+        .collect();
+
+    Ok(SweepOutcome {
+        param_labels: deck.sweeps.iter().map(|s| s.label()).collect(),
+        grid,
+        analysis_labels,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuitdae::parse_deck;
+
+    /// Sine-driven RC low-pass with a 3-point resistance sweep: cheap to
+    /// run many times, and the output amplitude depends on R (the corner
+    /// frequency moves), so results differ per grid point. A DC drive
+    /// would start at its operating point and never move.
+    const RC_DECK: &str = "V1 in 0 SIN(0 5 1k)\n\
+                           R1 in out 1k\n\
+                           C1 out 0 1u\n\
+                           .tran 2m dt=20u\n\
+                           .sweep R1 1k 3k 3\n";
+
+    #[test]
+    fn runs_all_grid_points_in_order() {
+        let deck = parse_deck(RC_DECK).unwrap();
+        let out = run_deck(&deck, 2).unwrap();
+        assert_eq!(out.param_labels, vec!["R1"]);
+        assert_eq!(out.grid.len(), 3);
+        assert_eq!(out.runs.len(), 3);
+        assert_eq!(out.analysis_labels, vec!["tran0"]);
+        for (i, rec) in out.runs.iter().enumerate() {
+            assert_eq!(rec.point, i);
+            assert_eq!(rec.values, out.grid[i]);
+        }
+        // Larger R lowers the corner frequency, so the settled output
+        // amplitude of the 1 kHz drive decreases along the grid.
+        let vout = out.runs[0].result.column("v(out)").unwrap();
+        let amps: Vec<f64> = out
+            .runs
+            .iter()
+            .map(|r| {
+                let half = r.result.rows.len() / 2;
+                r.result.rows[half..]
+                    .iter()
+                    .fold(0.0_f64, |m, row| m.max(row[vout].abs()))
+            })
+            .collect();
+        assert!(
+            amps[0] > 1.2 * amps[1] && amps[1] > 1.2 * amps[2],
+            "{amps:?}"
+        );
+    }
+
+    #[test]
+    fn outcome_is_independent_of_worker_count() {
+        let deck = parse_deck(RC_DECK).unwrap();
+        let one = run_deck(&deck, 1).unwrap();
+        let four = run_deck(&deck, 4).unwrap();
+        assert_eq!(one, four);
+        let (h1, r1) = one.waveform_table(0);
+        let (h4, r4) = four.waveform_table(0);
+        assert_eq!(h1, h4);
+        assert_eq!(r1.len(), r4.len());
+        for (a, b) in r1.iter().zip(r4.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn tables_have_expected_shape() {
+        let deck = parse_deck(RC_DECK).unwrap();
+        let out = run_deck(&deck, 3).unwrap();
+        let (header, rows) = out.waveform_table(0);
+        assert_eq!(header[..2], ["point".to_string(), "R1".to_string()]);
+        assert_eq!(header.len(), 2 + out.runs[0].result.columns.len());
+        assert_eq!(
+            rows.len(),
+            out.runs.iter().map(|r| r.result.rows.len()).sum::<usize>()
+        );
+        let (sh, sr) = out.summary_table(0);
+        assert_eq!(sr.len(), 3);
+        assert!(sh.contains(&"steps".to_string()));
+        // Summary rows carry the swept value in column 1.
+        assert_eq!(sr[2][1], 3000.0);
+    }
+
+    #[test]
+    fn bad_phase_var_is_an_error_not_a_panic() {
+        // An out-of-range phase_var must surface as a Job error through
+        // the pool, not panic a worker thread.
+        let deck = parse_deck(
+            "C1 tank 0 4.503n\n\
+             L1 tank 0 10u\n\
+             GN1 tank 0 5m 1.667m\n\
+             .shooting phase_var=9\n",
+        )
+        .unwrap();
+        let err = run_deck(&deck, 2).unwrap_err();
+        match err {
+            SweepError::Job { point, cause, .. } => {
+                assert_eq!(point, 0);
+                assert!(matches!(*cause, SweepError::Shooting(_)), "{cause}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn no_analysis_is_rejected() {
+        let deck = parse_deck("R1 a 0 1k\nC1 a 0 1n\n").unwrap();
+        assert!(matches!(run_deck(&deck, 1), Err(SweepError::BadInput(_))));
+    }
+
+    #[test]
+    fn failing_point_reports_lowest_job_index() {
+        // Sweep a diode's vt through a negative value: points 0 and 1
+        // are invalid at instantiation time, point 2 is fine. The parser
+        // would reject this, so build the failure via a valid parse and a
+        // deck with values that fail only for the mpde node check.
+        let deck = parse_deck(
+            "R1 out 0 1k\n\
+             C1 out 0 1n\n\
+             .mpde 1meg 1m node=5\n\
+             .sweep R1 1k 2k 2\n",
+        )
+        .unwrap();
+        let err = run_deck(&deck, 4).unwrap_err();
+        match err {
+            SweepError::Job {
+                point, analysis, ..
+            } => {
+                assert_eq!(point, 0);
+                assert_eq!(analysis, "mpde0");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+}

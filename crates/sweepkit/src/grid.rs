@@ -1,0 +1,75 @@
+//! Sweep-grid expansion: directives to an ordered list of grid points.
+
+use circuitdae::SweepSpec;
+
+/// Expands sweep directives into the full cartesian grid, row-major: the
+/// *first* directive varies slowest, the last varies fastest. With no
+/// sweeps the grid is a single empty point (one unswept run).
+///
+/// Each returned point is the value vector to hand to
+/// [`circuitdae::Deck::instantiate`].
+pub fn expand_grid(sweeps: &[SweepSpec]) -> Vec<Vec<f64>> {
+    let axes: Vec<Vec<f64>> = sweeps.iter().map(SweepSpec::values).collect();
+    let total: usize = axes.iter().map(Vec::len).product();
+    let mut grid = Vec::with_capacity(total);
+    let mut point = vec![0.0; axes.len()];
+    let mut indices = vec![0usize; axes.len()];
+    for _ in 0..total {
+        for (k, &i) in indices.iter().enumerate() {
+            point[k] = axes[k][i];
+        }
+        grid.push(point.clone());
+        // Odometer increment, last axis fastest.
+        for k in (0..indices.len()).rev() {
+            indices[k] += 1;
+            if indices[k] < axes[k].len() {
+                break;
+            }
+            indices[k] = 0;
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(from: f64, to: f64, points: usize) -> SweepSpec {
+        SweepSpec {
+            device: "R1".into(),
+            field: None,
+            from,
+            to,
+            points,
+            log: false,
+        }
+    }
+
+    #[test]
+    fn empty_sweep_list_is_one_unswept_point() {
+        assert_eq!(expand_grid(&[]), vec![Vec::<f64>::new()]);
+    }
+
+    #[test]
+    fn single_axis_in_order() {
+        let g = expand_grid(&[sweep(0.0, 1.0, 3)]);
+        assert_eq!(g, vec![vec![0.0], vec![0.5], vec![1.0]]);
+    }
+
+    #[test]
+    fn two_axes_row_major_first_slowest() {
+        let g = expand_grid(&[sweep(0.0, 1.0, 2), sweep(10.0, 30.0, 3)]);
+        assert_eq!(
+            g,
+            vec![
+                vec![0.0, 10.0],
+                vec![0.0, 20.0],
+                vec![0.0, 30.0],
+                vec![1.0, 10.0],
+                vec![1.0, 20.0],
+                vec![1.0, 30.0],
+            ]
+        );
+    }
+}

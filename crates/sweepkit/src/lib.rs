@@ -1,0 +1,52 @@
+//! Scenario decks to parallel experiment runs.
+//!
+//! The four solver entry points of this workspace (`transim`, `shooting`,
+//! `mpde`, `wampde`) historically had unrelated APIs, so comparing
+//! methods or sweeping a VCO control input meant new Rust code each time.
+//! This crate turns a text *deck* (circuit cards + analysis/sweep
+//! directives, see [`circuitdae::netlist::parse_deck`]) into versioned,
+//! reproducible experiment runs:
+//!
+//! * [`Analysis`] — one uniform `run(&CircuitDae) -> ScenarioResult`
+//!   interface wrapping all four solvers ([`analysis_for`] dispatches a
+//!   parsed directive);
+//! * [`expand_grid`] — `.sweep` directives to a row-major value grid;
+//! * [`run_deck`] — the executor: every (grid point × analysis) pair
+//!   becomes a job on a std-only worker pool (`std::thread` + mpsc
+//!   channels), with results aggregated in job-index order so the outcome
+//!   is **byte-identical for any `--jobs` count**;
+//! * [`SweepError`] — one error type the whole stack converts into, so
+//!   deck-driven code composes with `?`.
+//!
+//! # Example
+//!
+//! ```
+//! use circuitdae::parse_deck;
+//! use sweepkit::run_deck;
+//!
+//! # fn main() -> Result<(), sweepkit::SweepError> {
+//! let deck = parse_deck(
+//!     "V1 in 0 DC(5)\n\
+//!      R1 in out 1k\n\
+//!      C1 out 0 1u\n\
+//!      .tran 2m dt=20u\n\
+//!      .sweep R1 1k 3k 3\n",
+//! )?;
+//! let outcome = run_deck(&deck, 2)?;
+//! assert_eq!(outcome.runs.len(), 3); // one transient per grid point
+//! let (header, rows) = outcome.summary_table(0);
+//! assert_eq!(header[1], "R1");
+//! assert_eq!(rows.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod error;
+pub mod executor;
+pub mod grid;
+
+pub use analysis::{analysis_for, Analysis, ScenarioResult};
+pub use error::SweepError;
+pub use executor::{run_deck, RunRecord, SweepOutcome};
+pub use grid::expand_grid;

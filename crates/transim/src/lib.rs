@@ -31,11 +31,13 @@
 //! ```
 
 pub mod dcop;
+pub mod deck;
 pub mod error;
 pub mod integrate;
 pub mod newton;
 
 pub use dcop::dc_operating_point;
+pub use deck::run_tran_spec;
 pub use error::TransimError;
 pub use integrate::{
     run_fixed_per_cycle, run_transient, Integrator, StepControl, TransientOptions, TransientResult,

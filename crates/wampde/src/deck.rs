@@ -1,0 +1,89 @@
+//! Deck adapter: runs a [`circuitdae::WampdeSpec`] directive.
+
+use crate::envelope::solve_envelope;
+use crate::error::WampdeError;
+use crate::init::WampdeInit;
+use crate::options::WampdeOptions;
+use crate::result::EnvelopeResult;
+use circuitdae::{CircuitDae, Dae, WampdeSpec};
+use shooting::{oscillator_steady_state, ShootingOptions};
+
+/// Runs a `.wampde` directive end to end: freezes the circuit's waveforms
+/// at `t = 0`, shoots for the unforced periodic orbit (the paper's
+/// natural initial condition, §4.1), phase-aligns it, and tracks the
+/// envelope of the *driven* circuit to `t_stop`.
+///
+/// This is the one-call path the deck/sweep subsystem uses; the manual
+/// orbit → [`WampdeInit::from_orbit`] → [`solve_envelope`] pipeline stays
+/// available for callers that need custom initial conditions.
+///
+/// # Errors
+///
+/// [`WampdeError::BadInput`] when `phase_var` is out of range or the
+/// shooting initialisation fails (reporting the underlying cause),
+/// otherwise see [`solve_envelope`].
+pub fn run_wampde_spec(dae: &CircuitDae, spec: &WampdeSpec) -> Result<EnvelopeResult, WampdeError> {
+    if spec.phase_var >= dae.dim() {
+        return Err(WampdeError::BadInput(format!(
+            "phase_var {} out of range (dim = {})",
+            spec.phase_var,
+            dae.dim()
+        )));
+    }
+    let unforced = dae.frozen_at(0.0);
+    let orbit = oscillator_steady_state(
+        &unforced,
+        &ShootingOptions {
+            steps_per_period: spec.shooting_steps,
+            phase_var: spec.phase_var,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| WampdeError::BadInput(format!("shooting initialisation failed: {e}")))?;
+    let opts = WampdeOptions {
+        harmonics: spec.harmonics,
+        phase_var: spec.phase_var,
+        ..Default::default()
+    };
+    let init = WampdeInit::from_orbit(&orbit, &opts);
+    solve_envelope(dae, &init, spec.t_stop, &opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuitdae::circuits::{self, MemsVcoConfig};
+
+    #[test]
+    fn wampde_spec_runs_constant_control_vco() {
+        // With a DC control the local frequency must stay near the
+        // unforced 0.75 MHz for the whole (short) run.
+        let dae = circuits::mems_vco(MemsVcoConfig::constant(1.5));
+        let spec = WampdeSpec {
+            t_stop: 1.0e-6,
+            harmonics: 4,
+            phase_var: 0,
+            shooting_steps: 256,
+        };
+        let env = run_wampde_spec(&dae, &spec).unwrap();
+        assert!(env.stats.steps > 0);
+        let (lo, hi) = env.frequency_range();
+        assert!((lo - 0.75e6).abs() / 0.75e6 < 0.05, "lo = {lo}");
+        assert!((hi - 0.75e6).abs() / 0.75e6 < 0.05, "hi = {hi}");
+    }
+
+    #[test]
+    fn out_of_range_phase_var_rejected() {
+        let dae = circuits::mems_vco(MemsVcoConfig::constant(1.5));
+        let spec = WampdeSpec {
+            t_stop: 1.0e-6,
+            harmonics: 4,
+            phase_var: 9, // dim is 4
+            shooting_steps: 256,
+        };
+        assert!(matches!(
+            run_wampde_spec(&dae, &spec),
+            Err(WampdeError::BadInput(_))
+        ));
+    }
+}

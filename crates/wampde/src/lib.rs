@@ -53,6 +53,7 @@
 //! println!("local frequency swing: {:?}", result.frequency_range());
 //! ```
 
+pub mod deck;
 pub mod envelope;
 pub mod error;
 pub mod init;
@@ -61,6 +62,7 @@ pub mod options;
 pub mod quasiperiodic;
 pub mod result;
 
+pub use deck::run_wampde_spec;
 pub use envelope::solve_envelope;
 pub use error::WampdeError;
 pub use init::WampdeInit;

@@ -1,0 +1,33 @@
+//! Deck-driven sweeps from Rust: load the committed example deck, run it
+//! on two workers, and print the VCO tuning curve.
+//!
+//! ```text
+//! cargo run --release --example deck_sweep
+//! ```
+//!
+//! The same experiment is available without writing any Rust at all:
+//! `wampde-cli examples/decks/vco_sweep.ckt --jobs 2`.
+
+use circuitdae::parse_deck;
+use sweepkit::run_deck;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string("examples/decks/vco_sweep.ckt")?;
+    let deck = parse_deck(&text)?;
+    println!(
+        "{} analyses x {} grid points",
+        deck.analyses.len(),
+        deck.sweeps.iter().map(|s| s.points).product::<usize>()
+    );
+
+    let outcome = run_deck(&deck, 2)?;
+
+    // Analysis 0 is the `.shooting` directive: its freq_hz metric per
+    // grid point is the VCO tuning curve.
+    println!("control (V)   f_osc (kHz)");
+    for rec in outcome.runs_of(0) {
+        let f = rec.result.metric("freq_hz").expect("shooting reports freq");
+        println!("  {:>7.2}     {:>9.2}", rec.values[0], f / 1e3);
+    }
+    Ok(())
+}
