@@ -1,58 +1,43 @@
-//! Ablation: dense LU vs sparse LU vs GMRES+ILU(0) on the WaMPDE step
-//! Jacobian, as circuit size grows (LC VCO loaded with an RC ladder).
+//! Ablation: dense LU vs sparse LU vs GMRES+ILU(0) on the bordered
+//! WaMPDE step Jacobian as circuit size grows (LC VCO loaded with an RC
+//! ladder, stages ∈ {4, 32, 128}).
 //!
 //! This is the paper's "iterative linear techniques enable large systems"
 //! point: dense LU is O((n·N0)³) per Newton iteration, the sparse paths
-//! exploit the block structure.
+//! exploit the block structure. Each measurement is one factor + solve of
+//! the step system via the shared `linsolve` layer — the unit of work
+//! every Newton iteration pays. `repro --table linsolve` records the same
+//! workload into `target/repro/BENCH_linsolve.json`.
 
-use circuitdae::circuits;
 use criterion::{criterion_group, criterion_main, Criterion};
-use shooting::{oscillator_steady_state, ShootingOptions};
 use std::hint::black_box;
-use wampde::{solve_envelope, LinearSolverKind, T2StepControl, WampdeInit, WampdeOptions};
+use wampde::LinearSolverKind;
+use wampde_bench::StepJacobian;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_linear_solver");
     g.sample_size(10);
 
-    for stages in [0usize, 8, 24] {
-        let dae = circuits::ring_loaded_vco(stages);
-        let orbit = oscillator_steady_state(&dae, &ShootingOptions::default())
-            .expect("loaded VCO oscillates");
+    for stages in [4usize, 32, 128] {
+        let jac = StepJacobian::build(stages, 5);
         let solvers = [
             ("dense", LinearSolverKind::Dense),
             ("sparse_lu", LinearSolverKind::SparseLu),
-            (
-                "gmres_ilu0",
-                LinearSolverKind::GmresIlu0 {
-                    restart: 60,
-                    max_iters: 600,
-                    rtol: 1e-10,
-                },
-            ),
+            ("gmres_ilu0", LinearSolverKind::gmres_default()),
         ];
         for (name, kind) in solvers {
-            g.bench_function(format!("n{}_{name}", dae_dim(stages)), |b| {
-                let opts = WampdeOptions {
-                    harmonics: 5,
-                    step: T2StepControl::Fixed(1e-6),
-                    linear_solver: kind,
-                    ..Default::default()
-                };
-                let init = WampdeInit::from_orbit(&orbit, &opts);
+            // Dense LU at n = 130 blocks (dim 1431) costs ~seconds per
+            // factorisation; keep the sample small but still measure it —
+            // the dense-vs-iterative gap at 128 stages *is* the result.
+            g.bench_function(format!("dim{}_{name}", jac.dim()), |b| {
                 b.iter(|| {
-                    let env =
-                        solve_envelope(&dae, &init, black_box(6e-6), &opts).expect("envelope step");
-                    black_box(env.stats.newton_iterations)
+                    let x = jac.factor_solve(black_box(kind));
+                    black_box(x[0])
                 })
             });
         }
     }
     g.finish();
-}
-
-fn dae_dim(stages: usize) -> usize {
-    2 + stages
 }
 
 criterion_group!(benches, bench);

@@ -14,9 +14,10 @@
 use circuitdae::circuits::{self, MemsVcoConfig};
 use multitime::{am, fm};
 use sigproc::phase_error_trace;
-use wampde_bench::out::{ascii_plot, write_csv};
+use wampde_bench::out::{ascii_plot, repro_dir, write_csv, write_text_in};
 use wampde_bench::{
     run_envelope, run_transient_fixed, run_transient_reference, unforced_orbit, univariate_x0,
+    StepJacobian,
 };
 
 /// Every runnable target: figure groups and named tables, with the
@@ -42,6 +43,10 @@ const TABLES: &[(&str, &str)] = &[
         "accuracy-matched representation sizes (figs 1-3)",
     ),
     ("speedup", "wall-time/phase-error comparison (figs 10-12)"),
+    (
+        "linsolve",
+        "linear-solver scaling on ring_loaded_vco (BENCH_linsolve.json)",
+    ),
 ];
 
 fn print_targets() {
@@ -117,6 +122,62 @@ fn main() {
     if want_fig(10) || want_fig(11) || want_fig(12) || want_table("speedup") {
         figures_10_to_12();
     }
+    if want_table("linsolve") {
+        table_linsolve();
+    }
+}
+
+/// Times one factor + solve of the bordered WaMPDE step Jacobian per
+/// backend on `ring_loaded_vco` at stages {4, 32, 128}, checks backend
+/// agreement, and emits `target/repro/BENCH_linsolve.json` — the
+/// machine-readable perf record of the linear-solver layer.
+fn table_linsolve() {
+    println!("=== table `linsolve`: backend scaling on ring_loaded_vco ===");
+    let solvers = [
+        ("dense", wampde::LinearSolverKind::Dense),
+        ("sparselu", wampde::LinearSolverKind::SparseLu),
+        ("gmres", wampde::LinearSolverKind::gmres_default()),
+    ];
+    println!("  stages    dim   backend     wall (ns/solve)");
+    let mut records: Vec<String> = Vec::new();
+    for stages in [4usize, 32, 128] {
+        let jac = StepJacobian::build(stages, 5);
+        let dense_ref = jac.factor_solve(wampde::LinearSolverKind::Dense);
+        let scale = dense_ref.iter().fold(1.0_f64, |m, v| m.max(v.abs()));
+        for (name, kind) in solvers {
+            // Best-of-N wall time; N shrinks as the dense solve grows.
+            let reps = if jac.dim() > 1000 { 2 } else { 5 };
+            let mut best = u128::MAX;
+            let mut x = Vec::new();
+            for _ in 0..reps {
+                let t0 = std::time::Instant::now();
+                x = jac.factor_solve(kind);
+                best = best.min(t0.elapsed().as_nanos());
+            }
+            // Every backend must solve the same system.
+            let max_dev = x
+                .iter()
+                .zip(dense_ref.iter())
+                .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()));
+            assert!(
+                max_dev < 1e-6 * scale,
+                "{name} deviates from dense by {max_dev:e} at {stages} stages"
+            );
+            println!("  {stages:>6} {:>6}   {name:<10} {best:>14}", jac.dim());
+            records.push(format!(
+                "    {{\"backend\": \"{name}\", \"stages\": {stages}, \"dim\": {}, \
+                 \"wall_ns\": {best}}}",
+                jac.dim()
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"linsolve\",\n  \"workload\": \"bordered WaMPDE step \
+         Jacobian, harmonics=5, factor+solve\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    let p = write_text_in(&repro_dir(), "BENCH_linsolve.json", &json).expect("write json");
+    println!("  -> {}", p.display());
 }
 
 fn figures_1_to_3() {

@@ -1,7 +1,7 @@
 //! `wampde-cli` — deck-driven, parallel experiment runs.
 //!
 //! ```text
-//! wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--list]
+//! wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--solver KIND] [--list]
 //! ```
 //!
 //! Loads a scenario deck (circuit cards + `.tran`/`.shooting`/`.mpde`/
@@ -16,14 +16,18 @@
 //! Results are aggregated in grid order, so artifacts are byte-identical
 //! for any `--jobs` value. `--list` prints the expanded job plan without
 //! running anything.
+//!
+//! `--solver dense|sparselu|gmres` overrides the deck's `.options` choice
+//! of linear-solver backend for every analysis.
 
-use circuitdae::parse_deck;
+use circuitdae::{parse_deck, LinearSolverKind};
 use std::path::{Path, PathBuf};
 use sweepkit::{expand_grid, run_deck};
 use wampde_bench::out::{json_escape, write_csv_in, write_text_in};
 
 fn usage() -> ! {
-    eprintln!("usage: wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--list]");
+    eprintln!("usage: wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--solver KIND] [--list]");
+    eprintln!("  KIND: dense | sparselu | gmres");
     std::process::exit(2);
 }
 
@@ -31,6 +35,7 @@ struct Args {
     deck_path: PathBuf,
     jobs: usize,
     out_dir: Option<PathBuf>,
+    solver: Option<LinearSolverKind>,
     list: bool,
 }
 
@@ -39,10 +44,22 @@ fn parse_args() -> Args {
     let mut deck_path: Option<PathBuf> = None;
     let mut jobs = 1usize;
     let mut out_dir: Option<PathBuf> = None;
+    let mut solver: Option<LinearSolverKind> = None;
     let mut list = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--solver" => {
+                i += 1;
+                solver = Some(
+                    argv.get(i)
+                        .and_then(|v| LinearSolverKind::parse(v))
+                        .unwrap_or_else(|| {
+                            eprintln!("--solver requires one of: dense, sparselu, gmres");
+                            std::process::exit(2);
+                        }),
+                );
+            }
             "--jobs" => {
                 i += 1;
                 jobs = argv
@@ -84,6 +101,7 @@ fn parse_args() -> Args {
         deck_path,
         jobs,
         out_dir,
+        solver,
         list,
     }
 }
@@ -102,7 +120,14 @@ fn main() {
 fn real_main(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(&args.deck_path)
         .map_err(|e| format!("cannot read {}: {e}", args.deck_path.display()))?;
-    let deck = parse_deck(&text)?;
+    let mut deck = parse_deck(&text)?;
+    if let Some(kind) = args.solver {
+        for a in &mut deck.analyses {
+            a.set_solver(kind);
+        }
+        println!("linear solver override: {}", kind.label());
+    }
+    let deck = deck;
 
     let stem = args
         .deck_path

@@ -134,9 +134,112 @@ pub fn univariate_x0(run: &EnvelopeRun) -> Vec<f64> {
     run.env.states[0][0..run.dae.dim()].to_vec()
 }
 
+/// An owned bordered WaMPDE step Jacobian for `ring_loaded_vco(stages)`
+/// at a smooth synthetic oscillation state — the shared workload of the
+/// linear-solver ablation bench and the `repro --table linsolve` emitter.
+///
+/// The state is analytic rather than a shooting solution so the workload
+/// depends only on `(stages, harmonics)` and is cheap to rebuild at any
+/// size; the Jacobian structure (block diagonal + `D⊗C` coupling + phase
+/// border) is exactly the per-step envelope system.
+pub struct StepJacobian {
+    colloc: hb::Colloc,
+    cblocks: Vec<numkit::DMat>,
+    gblocks: Vec<numkit::DMat>,
+    phase_row: Vec<f64>,
+    omega_col: Vec<f64>,
+    inv_h: f64,
+    omega: f64,
+}
+
+impl StepJacobian {
+    /// Builds the step Jacobian for the ladder-loaded VCO.
+    pub fn build(stages: usize, harmonics: usize) -> Self {
+        let dae = circuits::ring_loaded_vco(stages);
+        let n = dae.dim();
+        let colloc = hb::Colloc::new(n, harmonics);
+        let len = colloc.len();
+        // Tank swings ±2 V; load nodes follow at decaying amplitude.
+        let x: Vec<f64> = (0..len)
+            .map(|k| {
+                let (s, i) = (k / n, k % n);
+                let phase = 2.0 * std::f64::consts::PI * s as f64 / colloc.n0 as f64;
+                2.0 * (phase + 0.3 * i as f64).sin() / (1.0 + 0.2 * i as f64)
+            })
+            .collect();
+        let (cblocks, gblocks) = circuitdae::jac_blocks(&dae, &x);
+        // ∂r/∂ω column = θ·(D·q): evaluate q and differentiate.
+        let mut q = vec![0.0; len];
+        colloc.eval_q_all(&dae, &x, &mut q);
+        let mut omega_col = vec![0.0; len];
+        colloc.apply_diff(&q, &mut omega_col);
+        StepJacobian {
+            phase_row: colloc.phase_row(0, 1),
+            colloc,
+            cblocks,
+            gblocks,
+            omega_col,
+            inv_h: 1.0 / 2.0e-6,
+            omega: 0.75e6,
+        }
+    }
+
+    /// System dimension including the border.
+    pub fn dim(&self) -> usize {
+        self.colloc.len() + 1
+    }
+
+    /// Borrows the assembly description for the shared solver layer.
+    pub fn parts(&self) -> wampde::linsolve::JacobianParts<'_> {
+        wampde::linsolve::JacobianParts {
+            n: self.colloc.n,
+            n0: self.colloc.n0,
+            dmat: &self.colloc.dmat,
+            cblocks: &self.cblocks,
+            gblocks: &self.gblocks,
+            inv_h: self.inv_h,
+            theta: 1.0,
+            omega: self.omega,
+            border: Some((&self.phase_row, &self.omega_col)),
+        }
+    }
+
+    /// A smooth right-hand side of matching dimension.
+    pub fn rhs(&self) -> Vec<f64> {
+        (0..self.dim()).map(|i| (0.13 * i as f64).sin()).collect()
+    }
+
+    /// Factors and solves once with `kind`, returning the solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the backend fails (the workload is well-conditioned).
+    pub fn factor_solve(&self, kind: wampde::LinearSolverKind) -> Vec<f64> {
+        let f = wampde::linsolve::FactoredJacobian::factor(&self.parts(), kind)
+            .expect("step jacobian factors");
+        let mut x = self.rhs();
+        f.solve_in_place(&mut x).expect("step jacobian solves");
+        x
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn step_jacobian_backends_agree() {
+        let j = StepJacobian::build(8, 4);
+        assert_eq!(j.dim(), 10 * 9 + 1);
+        let dense = j.factor_solve(wampde::LinearSolverKind::Dense);
+        let sparse = j.factor_solve(wampde::LinearSolverKind::SparseLu);
+        let gm = j.factor_solve(wampde::LinearSolverKind::gmres_default());
+        let scale = dense.iter().fold(1.0_f64, |m, v| m.max(v.abs()));
+        for i in 0..dense.len() {
+            assert!((dense[i] - sparse[i]).abs() < 1e-9 * scale, "sparse at {i}");
+            assert!((dense[i] - gm[i]).abs() < 1e-6 * scale, "gmres at {i}");
+        }
+    }
 
     #[test]
     fn drivers_run_a_short_experiment() {

@@ -1,8 +1,9 @@
 //! Modified-nodal-analysis circuit builder.
 
-use crate::dae::Dae;
+use crate::dae::{Dae, Pattern};
 use crate::device::{Device, Stamper};
 use numkit::DMat;
+use sparsekit::Triplets;
 use std::fmt;
 
 /// A circuit node handle.
@@ -275,6 +276,30 @@ impl Dae for CircuitDae {
     fn var_names(&self) -> Vec<String> {
         self.names.clone()
     }
+
+    fn sparsity(&self) -> Pattern {
+        // Device triplet stamps push every structural position regardless
+        // of value, so one stamp at x = 0 reveals the full pattern.
+        let x = vec![0.0; self.dim];
+        let mut t = Triplets::new(self.dim, self.dim);
+        self.jac_q_triplets(&x, &mut t);
+        self.jac_f_triplets(&x, &mut t);
+        Pattern::from_entries(self.dim, t.iter().map(|(r, c, _)| (r, c)).collect())
+    }
+
+    fn jac_q_triplets(&self, x: &[f64], out: &mut Triplets) {
+        let st = Stamper { x };
+        for (d, off) in &self.devices {
+            d.stamp_jac_q_trip(&st, *off, out);
+        }
+    }
+
+    fn jac_f_triplets(&self, x: &[f64], out: &mut Triplets) {
+        let st = Stamper { x };
+        for (d, off) in &self.devices {
+            d.stamp_jac_f_trip(&st, *off, out);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -520,6 +545,92 @@ mod tests {
         assert!((f[0] - b[0]).abs() < 1e-12, "{f:?} vs {b:?}");
         assert!((f[1] - b[1]).abs() < 1e-12, "{f:?} vs {b:?}");
         assert!(check_jacobians(&dae, &[0.3, -0.2]) < 1e-6);
+    }
+
+    /// Sparse and dense Jacobian stamping must agree entrywise, and the
+    /// reported pattern must cover every dense nonzero.
+    fn assert_sparse_matches_dense(dae: &CircuitDae, x: &[f64]) {
+        let n = dae.dim();
+        let mut dense_q = DMat::zeros(n, n);
+        let mut dense_f = DMat::zeros(n, n);
+        dae.jac_q(x, &mut dense_q);
+        dae.jac_f(x, &mut dense_f);
+        let mut tq = Triplets::new(n, n);
+        dae.jac_q_triplets(x, &mut tq);
+        let mut tf = Triplets::new(n, n);
+        dae.jac_f_triplets(x, &mut tf);
+        let sq = tq.to_dense();
+        let sf = tf.to_dense();
+        let pattern = dae.sparsity();
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (dense_q[(i, j)] - sq[(i, j)]).abs() < 1e-14,
+                    "C({i},{j}): {} vs {}",
+                    dense_q[(i, j)],
+                    sq[(i, j)]
+                );
+                assert!(
+                    (dense_f[(i, j)] - sf[(i, j)]).abs() < 1e-14,
+                    "G({i},{j}): {} vs {}",
+                    dense_f[(i, j)],
+                    sf[(i, j)]
+                );
+                if dense_q[(i, j)] != 0.0 || dense_f[(i, j)] != 0.0 {
+                    assert!(pattern.contains(i, j), "pattern misses ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_stamps_match_dense_across_devices() {
+        // Covers R, C, L, GN, GT, V, I, diode, VCCS.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(Device::voltage_source(a, Circuit::GND, Waveform::Dc(2.0)));
+        ckt.add(Device::resistor(a, b, 1e3));
+        ckt.add(Device::capacitor(b, Circuit::GND, 1e-9));
+        ckt.add(Device::inductor(b, Circuit::GND, 1e-5));
+        ckt.add(Device::cubic_conductor(b, Circuit::GND, 2e-3, 6.7e-4));
+        ckt.add(Device::tanh_conductor(a, b, 1e-3, 0.5, 1e-5));
+        ckt.add(Device::diode(a, b, 1e-14, 0.02585));
+        ckt.add(Device::vccs(Circuit::GND, b, a, Circuit::GND, 2e-3));
+        ckt.add(Device::current_source(Circuit::GND, a, Waveform::Dc(1e-3)));
+        let dae = ckt.build().unwrap();
+        let x: Vec<f64> = (0..dae.dim()).map(|i| 0.4 - 0.17 * i as f64).collect();
+        assert_sparse_matches_dense(&dae, &x);
+    }
+
+    #[test]
+    fn sparse_stamps_match_dense_mems_with_coupling() {
+        let p = MemsParams {
+            c0: 5e-9,
+            y0: 1.0,
+            mass: 1e-12,
+            damping: 3e-7,
+            spring_k: 2.5,
+            force_gain: 0.12,
+            control: Waveform::Dc(1.5),
+            tank_coupling: 0.8,
+        };
+        let mut ckt = Circuit::new();
+        let t = ckt.node("tank");
+        ckt.add(Device::inductor(t, Circuit::GND, 1e-5));
+        ckt.add(Device::mems_varactor(t, Circuit::GND, p));
+        let dae = ckt.build().unwrap();
+        assert_sparse_matches_dense(&dae, &[1.2, -0.5, 0.3, 0.1]);
+    }
+
+    #[test]
+    fn ladder_circuit_pattern_is_genuinely_sparse() {
+        let dae = crate::circuits::ring_loaded_vco(20);
+        let p = dae.sparsity();
+        assert!(!p.is_dense());
+        assert!(p.density() < 0.25, "density {}", p.density());
+        let x: Vec<f64> = (0..dae.dim()).map(|i| (0.3 * i as f64).sin()).collect();
+        assert_sparse_matches_dense(&dae, &x);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use crate::circuit::{Circuit, CircuitDae};
 use crate::netlist::NetlistError;
+use linsolve::LinearSolverKind;
 
 /// `.tran <tstop> [dt=<v>] [rtol=<v>]` — transient integration from the
 /// DC operating point.
@@ -34,16 +35,20 @@ pub struct TranSpec {
     pub dt: f64,
     /// Relative tolerance of the adaptive controller.
     pub rtol: f64,
+    /// Linear-solver backend (from the deck's `.options solver=` line).
+    pub solver: LinearSolverKind,
 }
 
 /// `.shooting [steps=<n>] [phase_var=<k>]` — periodic steady state of an
 /// autonomous oscillator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShootingSpec {
     /// Fixed integration steps per period for the flow evaluation.
     pub steps_per_period: usize,
     /// Index of the oscillating unknown (phase anchor).
     pub phase_var: usize,
+    /// Linear-solver backend (from the deck's `.options solver=` line).
+    pub solver: LinearSolverKind,
 }
 
 /// `.mpde <f1> <tstop> [harmonics=<n>] [node=<k>] [amp=<v>] [depth=<v>]
@@ -65,6 +70,8 @@ pub struct MpdeSpec {
     pub mod_depth: f64,
     /// Envelope modulation frequency (Hz).
     pub mod_freq_hz: f64,
+    /// Linear-solver backend (from the deck's `.options solver=` line).
+    pub solver: LinearSolverKind,
 }
 
 /// `.wampde <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>]` — warped
@@ -80,6 +87,8 @@ pub struct WampdeSpec {
     pub phase_var: usize,
     /// Shooting steps per period for the initial orbit.
     pub shooting_steps: usize,
+    /// Linear-solver backend (from the deck's `.options solver=` line).
+    pub solver: LinearSolverKind,
 }
 
 /// One analysis directive of a deck.
@@ -103,6 +112,27 @@ impl AnalysisSpec {
             AnalysisSpec::Shooting(_) => "shooting",
             AnalysisSpec::Mpde(_) => "mpde",
             AnalysisSpec::Wampde(_) => "wampde",
+        }
+    }
+
+    /// The linear-solver backend this analysis will run with.
+    pub fn solver(&self) -> LinearSolverKind {
+        match self {
+            AnalysisSpec::Tran(s) => s.solver,
+            AnalysisSpec::Shooting(s) => s.solver,
+            AnalysisSpec::Mpde(s) => s.solver,
+            AnalysisSpec::Wampde(s) => s.solver,
+        }
+    }
+
+    /// Overrides the linear-solver backend (used by the `.options`
+    /// directive and the `wampde-cli --solver` flag).
+    pub fn set_solver(&mut self, kind: LinearSolverKind) {
+        match self {
+            AnalysisSpec::Tran(s) => s.solver = kind,
+            AnalysisSpec::Shooting(s) => s.solver = kind,
+            AnalysisSpec::Mpde(s) => s.solver = kind,
+            AnalysisSpec::Wampde(s) => s.solver = kind,
         }
     }
 }

@@ -3,6 +3,7 @@
 use crate::circuit::Node;
 use crate::waveform::Waveform;
 use numkit::DMat;
+use sparsekit::Triplets;
 
 /// Parameters of the electrostatically actuated MEMS varactor
 /// (the paper's "novel MEMS varactor with a separate control voltage").
@@ -515,6 +516,42 @@ impl Stamper<'_> {
             out[(row, j)] += val;
         }
     }
+
+    // Sparse (triplet) counterparts of the dense accumulators. These push
+    // *unconditionally* — a value of 0.0 is kept — so the emitted pattern
+    // is structural: the same positions appear for every `x`, which is
+    // what lets `CircuitDae::sparsity` be computed from a single stamp.
+
+    #[inline]
+    pub fn trip(out: &mut Triplets, row: Node, col: Node, val: f64) {
+        if let (Some(i), Some(j)) = (row.unknown_index(), col.unknown_index()) {
+            out.push(i, j, val);
+        }
+    }
+
+    #[inline]
+    pub fn trip_ri(out: &mut Triplets, row: Node, col: usize, val: f64) {
+        if let Some(i) = row.unknown_index() {
+            out.push(i, col, val);
+        }
+    }
+
+    #[inline]
+    pub fn trip_ir(out: &mut Triplets, row: usize, col: Node, val: f64) {
+        if let Some(j) = col.unknown_index() {
+            out.push(row, j, val);
+        }
+    }
+
+    /// Pushes the four-entry conductance-style block `±g` between two
+    /// nodes (ground rows/cols skipped).
+    #[inline]
+    fn trip_pair(out: &mut Triplets, n1: Node, n2: Node, g: f64) {
+        Stamper::trip(out, n1, n1, g);
+        Stamper::trip(out, n1, n2, -g);
+        Stamper::trip(out, n2, n1, -g);
+        Stamper::trip(out, n2, n2, g);
+    }
 }
 
 impl Device {
@@ -746,6 +783,105 @@ impl Device {
                 Stamper::acc_jac(out, n_to, cn, gm);
                 Stamper::acc_jac(out, n_from, cp, gm);
                 Stamper::acc_jac(out, n_from, cn, -gm);
+            }
+            Device::CurrentSource { .. } | Device::Capacitor { .. } => {}
+        }
+    }
+
+    /// Sparse counterpart of [`Device::stamp_jac_q`]: pushes the device's
+    /// `∂q/∂x` entries as triplets at their structural positions (zeros
+    /// kept, so the pattern is `x`-independent).
+    pub(crate) fn stamp_jac_q_trip(&self, st: &Stamper<'_>, extra: usize, out: &mut Triplets) {
+        match *self {
+            Device::Capacitor { n1, n2, c } => {
+                Stamper::trip_pair(out, n1, n2, c);
+            }
+            Device::Inductor { l, .. } => {
+                out.push(extra, extra, l);
+            }
+            Device::MemsVaractor { n1, n2, ref params } => {
+                let v12 = st.v(n1) - st.v(n2);
+                let y = st.x[extra];
+                let c = params.capacitance(y);
+                let dcdy = params.dc_dy(y);
+                Stamper::trip_pair(out, n1, n2, c);
+                Stamper::trip_ri(out, n1, extra, dcdy * v12);
+                Stamper::trip_ri(out, n2, extra, -dcdy * v12);
+                out.push(extra, extra, 1.0);
+                out.push(extra + 1, extra + 1, params.mass);
+            }
+            _ => {}
+        }
+    }
+
+    /// Sparse counterpart of [`Device::stamp_jac_f`]; same contract as
+    /// [`Device::stamp_jac_q_trip`].
+    pub(crate) fn stamp_jac_f_trip(&self, st: &Stamper<'_>, extra: usize, out: &mut Triplets) {
+        match *self {
+            Device::Resistor { n1, n2, r } => {
+                Stamper::trip_pair(out, n1, n2, 1.0 / r);
+            }
+            Device::CubicConductor { n1, n2, g1, g3 } => {
+                let v = st.v(n1) - st.v(n2);
+                Stamper::trip_pair(out, n1, n2, -g1 + 3.0 * g3 * v * v);
+            }
+            Device::TanhConductor {
+                n1,
+                n2,
+                isat,
+                vt,
+                gmin,
+            } => {
+                let v = st.v(n1) - st.v(n2);
+                let sech2 = {
+                    let t = (v / vt).tanh();
+                    1.0 - t * t
+                };
+                Stamper::trip_pair(out, n1, n2, -isat / vt * sech2 + gmin);
+            }
+            Device::Inductor { n1, n2, .. } => {
+                Stamper::trip_ri(out, n1, extra, 1.0);
+                Stamper::trip_ri(out, n2, extra, -1.0);
+                Stamper::trip_ir(out, extra, n1, -1.0);
+                Stamper::trip_ir(out, extra, n2, 1.0);
+            }
+            Device::VoltageSource { n1, n2, .. } => {
+                Stamper::trip_ri(out, n1, extra, 1.0);
+                Stamper::trip_ri(out, n2, extra, -1.0);
+                Stamper::trip_ir(out, extra, n1, 1.0);
+                Stamper::trip_ir(out, extra, n2, -1.0);
+            }
+            Device::MemsVaractor { n1, n2, ref params } => {
+                out.push(extra, extra + 1, -1.0);
+                out.push(extra + 1, extra, params.spring_k);
+                out.push(extra + 1, extra + 1, params.damping);
+                if params.tank_coupling != 0.0 {
+                    let v12 = st.v(n1) - st.v(n2);
+                    let y = st.x[extra];
+                    let dcdy = params.dc_dy(y);
+                    let d2c = params.d2c_dy2(y);
+                    let tc = params.tank_coupling;
+                    Stamper::trip_ir(out, extra + 1, n1, -tc * v12 * dcdy);
+                    Stamper::trip_ir(out, extra + 1, n2, tc * v12 * dcdy);
+                    out.push(extra + 1, extra, -0.5 * tc * v12 * v12 * d2c);
+                }
+            }
+            Device::Diode { n1, n2, isat, vt } => {
+                let v = st.v(n1) - st.v(n2);
+                let (_, g) = diode_iv(v, isat, vt);
+                Stamper::trip_pair(out, n1, n2, g);
+            }
+            Device::Vccs {
+                n_from,
+                n_to,
+                cp,
+                cn,
+                gm,
+            } => {
+                Stamper::trip(out, n_to, cp, -gm);
+                Stamper::trip(out, n_to, cn, gm);
+                Stamper::trip(out, n_from, cp, gm);
+                Stamper::trip(out, n_from, cn, -gm);
             }
             Device::CurrentSource { .. } | Device::Capacitor { .. } => {}
         }

@@ -43,8 +43,11 @@ pub mod netlist;
 pub mod waveform;
 
 pub use circuit::{Circuit, CircuitDae, CircuitError, Node};
-pub use dae::{check_jacobians, dae_residual, Dae};
+pub use dae::{check_jacobians, dae_residual, jac_blocks, Dae, Pattern};
 pub use deck::{AnalysisSpec, Deck, MpdeSpec, ShootingSpec, SweepSpec, TranSpec, WampdeSpec};
+// Deck specs carry the backend choice, so re-export it for deck-driven
+// callers (the CLI, sweepkit) that never touch `linsolve` directly.
 pub use device::{Device, MemsParams};
+pub use linsolve::LinearSolverKind;
 pub use netlist::{parse_deck, parse_netlist, NetlistError};
 pub use waveform::Waveform;

@@ -29,7 +29,13 @@
 //! .mpde     <f1> <tstop> [harmonics=<n>] [node=<k>] [amp=<v>] [depth=<v>] [fmod=<v>]
 //! .wampde   <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>]
 //! .sweep    <param> <from> <to> <points> [log]
+//! .options  solver=dense|sparselu|gmres [gmres_tol=<v>] [gmres_restart=<n>]
 //! ```
+//!
+//! `.options` selects the linear-solver backend for *every* analysis in
+//! the deck (position-independent; a later `.options` line wins). The
+//! default is dense LU; `sparselu` and `gmres` route each solver's inner
+//! factorisations through the shared `linsolve` layer's sparse backends.
 //!
 //! `<param>` in `.sweep` is a device card name (`R1`) or a dotted field
 //! (`M1.control`); see [`Device::set_param`] for the field tables.
@@ -40,6 +46,7 @@ use crate::circuit::{Circuit, CircuitDae, Node};
 use crate::deck::{AnalysisSpec, Deck, MpdeSpec, ShootingSpec, SweepSpec, TranSpec, WampdeSpec};
 use crate::device::{Device, MemsParams};
 use crate::waveform::Waveform;
+use linsolve::LinearSolverKind;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -212,6 +219,7 @@ fn parse_impl(text: &str, allow_directives: bool) -> Result<Deck, NetlistError> 
     let mut names: Vec<String> = Vec::new();
     let mut analyses: Vec<AnalysisSpec> = Vec::new();
     let mut sweeps: Vec<(usize, SweepSpec)> = Vec::new();
+    let mut solver: Option<LinearSolverKind> = None;
     let mut nodes: HashMap<String, Node> = HashMap::new();
 
     let mut node_of = |ckt: &mut Circuit, name: &str| -> Node {
@@ -245,6 +253,7 @@ fn parse_impl(text: &str, allow_directives: bool) -> Result<Deck, NetlistError> 
             match parse_directive(&tokens) {
                 Ok(Directive::Analysis(a)) => analyses.push(a),
                 Ok(Directive::Sweep(s)) => sweeps.push((line, s)),
+                Ok(Directive::Options(kind)) => solver = Some(kind),
                 Err(message) => return Err(NetlistError::Parse { line, message }),
             }
             continue;
@@ -378,6 +387,14 @@ fn parse_impl(text: &str, allow_directives: bool) -> Result<Deck, NetlistError> 
         }
     }
 
+    // `.options` applies deck-wide: stamp the chosen backend into every
+    // analysis spec (each carries it so sweep jobs stay self-contained).
+    if let Some(kind) = solver {
+        for a in &mut analyses {
+            a.set_solver(kind);
+        }
+    }
+
     Ok(Deck {
         circuit: ckt,
         names,
@@ -390,6 +407,7 @@ fn parse_impl(text: &str, allow_directives: bool) -> Result<Deck, NetlistError> 
 enum Directive {
     Analysis(AnalysisSpec),
     Sweep(SweepSpec),
+    Options(LinearSolverKind),
 }
 
 /// Positional tokens and `key=value` options of one directive line.
@@ -435,6 +453,7 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
                 t_stop: parse_value(t_stop)?,
                 dt: 0.0,
                 rtol: 1e-6,
+                solver: LinearSolverKind::default(),
             };
             for (k, v) in opts {
                 match k {
@@ -456,6 +475,7 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
             let mut spec = ShootingSpec {
                 steps_per_period: 512,
                 phase_var: 0,
+                solver: LinearSolverKind::default(),
             };
             for (k, v) in opts {
                 match k {
@@ -489,6 +509,7 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
                 amplitude: 1e-3,
                 mod_depth: 0.5,
                 mod_freq_hz: f1_hz / 100.0,
+                solver: LinearSolverKind::default(),
             };
             for (k, v) in opts {
                 match k {
@@ -525,6 +546,7 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
                 harmonics: 8,
                 phase_var: 0,
                 shooting_steps: 512,
+                solver: LinearSolverKind::default(),
             };
             for (k, v) in opts {
                 match k {
@@ -580,8 +602,58 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
                 log,
             }))
         }
+        ".options" => {
+            let (pos, opts) = split_args(args)?;
+            if !pos.is_empty() {
+                return Err(
+                    "usage: .options solver=dense|sparselu|gmres [gmres_tol=<v>] \
+                     [gmres_restart=<n>]"
+                        .into(),
+                );
+            }
+            let mut solver_tok: Option<&str> = None;
+            let mut gmres_tol: Option<f64> = None;
+            let mut gmres_restart: Option<usize> = None;
+            for (k, v) in opts {
+                match k {
+                    "solver" => solver_tok = Some(v),
+                    "gmres_tol" => gmres_tol = Some(parse_value(v)?),
+                    "gmres_restart" => {
+                        gmres_restart = Some(parse_usize(v, "gmres_restart")?);
+                    }
+                    other => {
+                        return Err(format!(
+                            ".options: unknown option '{other}' (solver, gmres_tol, gmres_restart)"
+                        ))
+                    }
+                }
+            }
+            let Some(tok) = solver_tok else {
+                return Err(".options requires solver=<dense|sparselu|gmres>".into());
+            };
+            let mut kind = LinearSolverKind::parse(tok).ok_or_else(|| {
+                format!(".options: unknown solver '{tok}' (dense, sparselu, gmres)")
+            })?;
+            if let LinearSolverKind::GmresIlu0 { restart, rtol, .. } = &mut kind {
+                if let Some(tol) = gmres_tol {
+                    if tol <= 0.0 {
+                        return Err(".options: gmres_tol must be positive".into());
+                    }
+                    *rtol = tol;
+                }
+                if let Some(r) = gmres_restart {
+                    if r == 0 {
+                        return Err(".options: gmres_restart must be at least 1".into());
+                    }
+                    *restart = r;
+                }
+            } else if gmres_tol.is_some() || gmres_restart.is_some() {
+                return Err(".options: gmres_tol/gmres_restart require solver=gmres".into());
+            }
+            Ok(Directive::Options(kind))
+        }
         other => Err(format!(
-            "unknown directive '{other}' (.tran, .shooting, .mpde, .wampde, .sweep)"
+            "unknown directive '{other}' (.tran, .shooting, .mpde, .wampde, .sweep, .options)"
         )),
     }
 }
@@ -837,6 +909,36 @@ mod tests {
                 3,
                 "at least 1",
             ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.options cheese=5\n",
+                3,
+                "unknown option 'cheese'",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.options solver=qr\n",
+                3,
+                "unknown solver 'qr'",
+            ),
+            (
+                "R1 a 0 1k\n.options gmres_tol=1e-9\nC1 a 0 1n\n",
+                2,
+                "requires solver=",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.options solver=dense gmres_tol=1e-9\n",
+                3,
+                "require solver=gmres",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.options solver=gmres gmres_restart=0\n",
+                3,
+                "at least 1",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.options dense\n",
+                3,
+                "usage: .options",
+            ),
         ];
         for (text, want_line, want_msg) in cases {
             let err = parse_deck(text).unwrap_err();
@@ -851,6 +953,46 @@ mod tests {
                 other => panic!("unexpected error {other} for {text:?}"),
             }
         }
+    }
+
+    #[test]
+    fn options_directive_applies_to_every_analysis() {
+        // Position-independent: the `.options` line sits between the two
+        // analyses and still configures both.
+        let deck = parse_deck(&format!(
+            "{VCO_CARDS}.shooting steps=128\n\
+             .options solver=gmres gmres_tol=1e-8 gmres_restart=40\n\
+             .wampde 1u harmonics=4\n"
+        ))
+        .unwrap();
+        assert_eq!(deck.analyses.len(), 2);
+        for a in &deck.analyses {
+            match a.solver() {
+                LinearSolverKind::GmresIlu0 {
+                    restart,
+                    max_iters,
+                    rtol,
+                } => {
+                    assert_eq!(restart, 40);
+                    assert!(max_iters > 0);
+                    assert!((rtol - 1e-8).abs() < 1e-20);
+                }
+                other => panic!("unexpected solver {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn options_default_is_dense_and_last_line_wins() {
+        let deck = parse_deck(&format!("{VCO_CARDS}.shooting\n")).unwrap();
+        assert_eq!(deck.analyses[0].solver(), LinearSolverKind::Dense);
+        let deck = parse_deck(&format!(
+            "{VCO_CARDS}.options solver=gmres\n\
+             .shooting\n\
+             .options solver=sparselu\n"
+        ))
+        .unwrap();
+        assert_eq!(deck.analyses[0].solver(), LinearSolverKind::SparseLu);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Property tests of the sparse Jacobian stamping layer: for randomly
+//! parameterised circuits and random states, the triplet-assembled
+//! `jac_q`/`jac_f` must agree with the dense stamps entrywise to 1e-12
+//! (relative to the matrix magnitude), and the structural pattern must
+//! cover every dense nonzero.
+
+use circuitdae::{Circuit, Dae, Device, MemsParams, Waveform};
+use numkit::DMat;
+use proptest::prelude::*;
+use sparsekit::Triplets;
+
+/// Asserts the sparse/dense agreement contract at state `x`.
+fn check_sparse_vs_dense(dae: &circuitdae::CircuitDae, x: &[f64]) -> Result<(), String> {
+    let n = dae.dim();
+    let mut dense_q = DMat::zeros(n, n);
+    let mut dense_f = DMat::zeros(n, n);
+    dae.jac_q(x, &mut dense_q);
+    dae.jac_f(x, &mut dense_f);
+    let mut tq = Triplets::new(n, n);
+    dae.jac_q_triplets(x, &mut tq);
+    let mut tf = Triplets::new(n, n);
+    dae.jac_f_triplets(x, &mut tf);
+    let sq = tq.to_dense();
+    let sf = tf.to_dense();
+    let pattern = dae.sparsity();
+    let scale_q = dense_q.max_abs().max(1.0);
+    let scale_f = dense_f.max_abs().max(1.0);
+    for i in 0..n {
+        for j in 0..n {
+            let dq = (dense_q[(i, j)] - sq[(i, j)]).abs();
+            if dq > 1e-12 * scale_q {
+                return Err(format!("C({i},{j}): {} vs {}", dense_q[(i, j)], sq[(i, j)]));
+            }
+            let df = (dense_f[(i, j)] - sf[(i, j)]).abs();
+            if df > 1e-12 * scale_f {
+                return Err(format!("G({i},{j}): {} vs {}", dense_f[(i, j)], sf[(i, j)]));
+            }
+            if (dense_q[(i, j)] != 0.0 || dense_f[(i, j)] != 0.0) && !pattern.contains(i, j) {
+                return Err(format!("pattern misses ({i},{j})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A deterministic state vector built from two random seeds.
+fn state(n: usize, a: f64, b: f64) -> Vec<f64> {
+    (0..n).map(|i| a * (b + 0.7 * i as f64).sin()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random RC-ladder-loaded VCOs (the scaling workload): random stage
+    /// count, random element values, random states.
+    #[test]
+    fn ladder_vco_sparse_matches_dense(
+        stages in 1usize..8,
+        rval in 1.0e2f64..1.0e5,
+        cval in 1.0e-13f64..1.0e-9,
+        g1 in 1.0e-4f64..1.0e-2,
+        xa in 0.1f64..2.0,
+        xb in -3.0f64..3.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let tank = ckt.node("tank");
+        ckt.add(Device::capacitor(tank, Circuit::GND, 4.503e-9));
+        ckt.add(Device::inductor(tank, Circuit::GND, 1.0e-5));
+        ckt.add(Device::cubic_conductor(tank, Circuit::GND, g1, g1 / 3.0));
+        let mut prev = tank;
+        for s in 0..stages {
+            let n = ckt.node(format!("ld{s}"));
+            ckt.add(Device::resistor(prev, n, rval));
+            ckt.add(Device::capacitor(n, Circuit::GND, cval));
+            prev = n;
+        }
+        let dae = ckt.build().unwrap();
+        let x = state(dae.dim(), xa, xb);
+        if let Err(msg) = check_sparse_vs_dense(&dae, &x) {
+            prop_assert!(false, "{}", msg);
+        }
+        // The ladder must actually be sparse once it has a few stages.
+        if stages >= 4 {
+            prop_assert!(!dae.sparsity().is_dense());
+        }
+    }
+
+    /// Random mixed-device circuits covering every stamp: sources, diode,
+    /// tanh conductor, VCCS, and the MEMS varactor (with tank coupling
+    /// exercised through a second circuit below).
+    #[test]
+    fn mixed_device_circuit_sparse_matches_dense(
+        r1 in 10.0f64..1.0e5,
+        isat in 1.0e-15f64..1.0e-12,
+        gm in 1.0e-4f64..1.0e-2,
+        vt in 0.1f64..1.0,
+        xa in 0.1f64..1.5,
+        xb in -3.0f64..3.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(Device::voltage_source(a, Circuit::GND, Waveform::sine(0.0, 1.0, 1.0e3)));
+        ckt.add(Device::resistor(a, b, r1));
+        ckt.add(Device::capacitor(b, Circuit::GND, 1.0e-9));
+        ckt.add(Device::diode(a, b, isat, 0.02585));
+        ckt.add(Device::tanh_conductor(b, Circuit::GND, 1.0e-3, vt, 1.0e-6));
+        ckt.add(Device::vccs(Circuit::GND, b, a, Circuit::GND, gm));
+        ckt.add(Device::current_source(Circuit::GND, a, Waveform::Dc(1.0e-3)));
+        let dae = ckt.build().unwrap();
+        let x = state(dae.dim(), xa, xb);
+        if let Err(msg) = check_sparse_vs_dense(&dae, &x) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    /// Random MEMS varactor parameters with tank coupling on — the one
+    /// stamp whose sparse positions depend on a parameter flag.
+    #[test]
+    fn mems_circuit_sparse_matches_dense(
+        c0 in 1.0e-9f64..1.0e-8,
+        damping in 1.0e-8f64..1.0e-6,
+        coupling in 0.0f64..1.0,
+        xa in 0.05f64..0.8,
+        xb in -3.0f64..3.0,
+    ) {
+        let p = MemsParams {
+            c0,
+            y0: 1.0,
+            mass: 1.0e-12,
+            damping,
+            spring_k: 2.5,
+            force_gain: 0.12,
+            control: Waveform::Dc(1.5),
+            tank_coupling: coupling,
+        };
+        let mut ckt = Circuit::new();
+        let t = ckt.node("tank");
+        ckt.add(Device::inductor(t, Circuit::GND, 1.0e-5));
+        ckt.add(Device::cubic_conductor(t, Circuit::GND, 5.0e-3, 1.667e-3));
+        ckt.add(Device::mems_varactor(t, Circuit::GND, p));
+        let dae = ckt.build().unwrap();
+        let x = state(dae.dim(), xa, xb);
+        if let Err(msg) = check_sparse_vs_dense(&dae, &x) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}

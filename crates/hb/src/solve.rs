@@ -4,7 +4,9 @@ use crate::colloc::Colloc;
 use crate::error::HbError;
 use circuitdae::Dae;
 use fourier::FourierSeries;
+use linsolve::JacobianParts;
 use numkit::DMat;
+use sparsekit::Triplets;
 use transim::{newton_solve, NewtonOptions, NonlinearSystem};
 
 /// Options for the harmonic-balance solvers.
@@ -98,6 +100,23 @@ impl<D: Dae + ?Sized> NonlinearSystem for ForcedSystem<'_, D> {
     fn jacobian(&self, x: &[f64], out: &mut DMat) {
         assemble_block_jacobian(self.dae, self.colloc, x, self.freq_hz, out, 0);
     }
+
+    fn jacobian_triplets(&self, x: &[f64], out: &mut Triplets) -> bool {
+        let (cblocks, gblocks) = circuitdae::jac_blocks(self.dae, x);
+        JacobianParts {
+            n: self.colloc.n,
+            n0: self.colloc.n0,
+            dmat: &self.colloc.dmat,
+            cblocks: &cblocks,
+            gblocks: &gblocks,
+            inv_h: 0.0,
+            theta: 1.0,
+            omega: self.freq_hz,
+            border: None,
+        }
+        .push_triplets(out);
+        true
+    }
 }
 
 /// Newton system for autonomous HB: unknowns = samples + frequency; the
@@ -155,6 +174,31 @@ impl<D: Dae + ?Sized> NonlinearSystem for AutonomousSystem<'_, D> {
             out[(len, k)] = self.phase_row[k];
         }
         out[(len, len)] = 0.0;
+    }
+
+    fn jacobian_triplets(&self, x: &[f64], out: &mut Triplets) -> bool {
+        let len = self.colloc.len();
+        let freq = x[len];
+        let xs = &x[..len];
+        let (cblocks, gblocks) = circuitdae::jac_blocks(self.dae, xs);
+        // ∂r/∂ω column: (D·q)(t1_s).
+        let mut q = vec![0.0; len];
+        self.colloc.eval_q_all(self.dae, xs, &mut q);
+        let mut dq = vec![0.0; len];
+        self.colloc.apply_diff(&q, &mut dq);
+        JacobianParts {
+            n: self.colloc.n,
+            n0: self.colloc.n0,
+            dmat: &self.colloc.dmat,
+            cblocks: &cblocks,
+            gblocks: &gblocks,
+            inv_h: 0.0,
+            theta: 1.0,
+            omega: freq,
+            border: Some((self.phase_row, &dq)),
+        }
+        .push_triplets(out);
+        true
     }
 }
 
@@ -427,6 +471,62 @@ mod tests {
         // Phase condition holds at the solution.
         let pv = sol.colloc.phase_value(&sol.x, 0, 1);
         assert!(pv.abs() < 1e-9, "phase residual {pv}");
+    }
+
+    #[test]
+    fn forced_hb_sparse_backend_matches_dense() {
+        let (r, c, f, i0) = (1.0e3, 1.0e-6, 200.0, 1.0e-3);
+        let mut ckt = Circuit::new();
+        let n = ckt.node("out");
+        ckt.add(Device::resistor(n, Circuit::GND, r));
+        ckt.add(Device::capacitor(n, Circuit::GND, c));
+        ckt.add(Device::current_source(
+            Circuit::GND,
+            n,
+            Waveform::sine(0.0, i0, f),
+        ));
+        let dae = ckt.build().unwrap();
+        let dense = solve_forced(&dae, f, None, &HbOptions::default()).unwrap();
+        for kind in [
+            circuitdae::LinearSolverKind::SparseLu,
+            circuitdae::LinearSolverKind::gmres_default(),
+        ] {
+            let opts = HbOptions {
+                newton: transim::NewtonOptions {
+                    linear_solver: kind,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let sol = solve_forced(&dae, f, None, &opts).unwrap();
+            for (a, b) in dense.x.iter().zip(sol.x.iter()) {
+                assert!((a - b).abs() < 1e-9, "{}: {a} vs {b}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn autonomous_hb_sparse_backend_matches_dense() {
+        // The bordered autonomous system exercises the zero corner
+        // diagonal through the sparse backends.
+        let vdp = VanDerPol::unforced(0.5);
+        let orbit = oscillator_steady_state(&vdp, &ShootingOptions::default()).unwrap();
+        let base = HbOptions {
+            harmonics: 6,
+            ..Default::default()
+        };
+        let init = orbit.resample_uniform(2 * base.harmonics + 1);
+        let dense = solve_autonomous(&vdp, &init, orbit.frequency(), &base).unwrap();
+        let sparse_opts = HbOptions {
+            newton: transim::NewtonOptions {
+                linear_solver: circuitdae::LinearSolverKind::SparseLu,
+                ..Default::default()
+            },
+            ..base
+        };
+        let sparse = solve_autonomous(&vdp, &init, orbit.frequency(), &sparse_opts).unwrap();
+        let rel = (dense.freq_hz - sparse.freq_hz).abs() / dense.freq_hz;
+        assert!(rel < 1e-9, "{} vs {}", dense.freq_hz, sparse.freq_hz);
     }
 
     #[test]

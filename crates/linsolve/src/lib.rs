@@ -1,0 +1,761 @@
+//! Shared sparse-capable linear-solver layer.
+//!
+//! Every solver crate in the workspace (transient Newton, shooting,
+//! harmonic balance, MPDE, WaMPDE) faces the same inner problem: factor a
+//! Jacobian, then back-substitute one or more right-hand sides. This crate
+//! owns that step behind one backend switch, [`LinearSolverKind`], so the
+//! paper's "iterative linear techniques enable large systems" route
+//! (GMRES+ILU(0)) is available to *all* of them, not just the WaMPDE.
+//!
+//! Two matrix descriptions are supported:
+//!
+//! * [`JacobianParts`] — the block-structured collocation Jacobian
+//!   `J[s,s'] = δ_{ss'}·(inv_h·C_s + θ·G_s) + θ·ω·D[s,s']·C_{s'}`,
+//!   optionally bordered by a phase row and an `∂r/∂ω` column. Used by the
+//!   WaMPDE envelope, the MPDE, and harmonic balance.
+//! * [`NewtonMatrix`] — a plain square Jacobian, dense or in triplet form.
+//!   Used by `transim`'s damped Newton, shooting's monodromy chain and
+//!   bordered boundary system, and the WaMPDE quasiperiodic cyclic system.
+//!
+//! Errors are solver-agnostic ([`LinSolveError`]); each consumer maps them
+//! into its own error enum (`TransimError::SingularJacobian`,
+//! `WampdeError::LinearSolve`, ...).
+//!
+//! For GMRES, structurally zero diagonal entries (bordered corners, phase
+//! rows) are regularised *in the ILU(0) preconditioner only*; the true
+//! operator is never modified.
+
+use numkit::{DMat, DenseLu};
+use sparsekit::{gmres, Csr, CsrOp, GmresOptions, Ilu0, SparseLu, Triplets};
+use std::fmt;
+
+/// Solver-agnostic linear-solve failure (factorisation or back-solve).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinSolveError {
+    /// Human-readable cause from the underlying backend.
+    pub cause: String,
+}
+
+impl LinSolveError {
+    fn new(cause: impl fmt::Display) -> Self {
+        LinSolveError {
+            cause: cause.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for LinSolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "linear solve failed: {}", self.cause)
+    }
+}
+
+impl std::error::Error for LinSolveError {}
+
+/// Which linear solver factors a Jacobian.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LinearSolverKind {
+    /// Dense LU — simplest, right for small circuits.
+    #[default]
+    Dense,
+    /// Sparse LU (Gilbert–Peierls) on the assembled sparse Jacobian.
+    SparseLu,
+    /// Restarted GMRES with ILU(0), per the paper's note on iterative
+    /// methods for large systems.
+    GmresIlu0 {
+        /// Restart length.
+        restart: usize,
+        /// Iteration cap.
+        max_iters: usize,
+        /// Relative residual target.
+        rtol: f64,
+    },
+}
+
+impl LinearSolverKind {
+    /// The GMRES backend at its recommended defaults (restart 60, 1000
+    /// iterations, relative residual 1e-10 — tight enough that sparse and
+    /// dense solver paths agree to solver tolerances).
+    pub fn gmres_default() -> Self {
+        LinearSolverKind::GmresIlu0 {
+            restart: 60,
+            max_iters: 1000,
+            rtol: 1e-10,
+        }
+    }
+
+    /// Parses a backend name (`dense`, `sparselu`, `gmres`), as used by
+    /// the `.options solver=` deck directive and `wampde-cli --solver`.
+    /// `gmres` selects [`LinearSolverKind::gmres_default`].
+    pub fn parse(token: &str) -> Option<Self> {
+        match token.to_ascii_lowercase().as_str() {
+            "dense" => Some(LinearSolverKind::Dense),
+            "sparselu" => Some(LinearSolverKind::SparseLu),
+            "gmres" => Some(LinearSolverKind::gmres_default()),
+            _ => None,
+        }
+    }
+
+    /// Short backend name for labels and artifact records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LinearSolverKind::Dense => "dense",
+            LinearSolverKind::SparseLu => "sparselu",
+            LinearSolverKind::GmresIlu0 { .. } => "gmres",
+        }
+    }
+}
+
+/// Assembly-ready description of one (optionally bordered) block
+/// collocation Jacobian
+///
+/// ```text
+/// J[s,s'] = δ_{ss'}·(inv_h·C_s + θ·G_s) + θ·ω·D[s,s']·C_{s'}
+/// ```
+///
+/// with `N0` samples of block size `n` in the sample-major layout
+/// `idx(s, i) = s·n + i`. Setting `inv_h = 0, θ = 1` yields the harmonic
+/// balance Jacobian; `ω = f1` the MPDE step Jacobian; the WaMPDE envelope
+/// uses the full form plus the phase/frequency border.
+pub struct JacobianParts<'a> {
+    /// Block size (the DAE dimension).
+    pub n: usize,
+    /// Sample count along the periodic axis (`N0 = 2M+1`).
+    pub n0: usize,
+    /// Spectral differentiation matrix (`N0 × N0`).
+    pub dmat: &'a DMat,
+    /// Per-sample `C_s = ∂q/∂x`.
+    pub cblocks: &'a [DMat],
+    /// Per-sample `G_s = ∂f/∂x`.
+    pub gblocks: &'a [DMat],
+    /// Coefficient of `C_s` on the diagonal (`1/h`, or `a0/h`; `0` for
+    /// steady-state problems).
+    pub inv_h: f64,
+    /// Weight of the instantaneous terms (1 for BE, ½ for trapezoidal).
+    pub theta: f64,
+    /// Current local frequency (Hz).
+    pub omega: f64,
+    /// Optional border: (phase row, `∂r/∂ω` column), both of length
+    /// `n·n0`; the corner entry is zero.
+    pub border: Option<(&'a [f64], &'a [f64])>,
+}
+
+impl JacobianParts<'_> {
+    /// Unbordered system size `n·N0`.
+    pub fn len(&self) -> usize {
+        self.n * self.n0
+    }
+
+    /// True only for degenerate empty systems (kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total system dimension including the border.
+    pub fn dim(&self) -> usize {
+        self.len() + usize::from(self.border.is_some())
+    }
+
+    /// Flat index of variable `i` at sample `s`.
+    #[inline]
+    fn idx(&self, s: usize, i: usize) -> usize {
+        s * self.n + i
+    }
+
+    /// Assembles the full dense matrix.
+    pub fn assemble_dense(&self) -> DMat {
+        let len = self.len();
+        let n = self.n;
+        let mut jac = DMat::zeros(self.dim(), self.dim());
+        for s in 0..self.n0 {
+            let g = &self.gblocks[s];
+            let c = &self.cblocks[s];
+            for i in 0..n {
+                for j in 0..n {
+                    jac[(self.idx(s, i), self.idx(s, j))] +=
+                        self.inv_h * c[(i, j)] + self.theta * g[(i, j)];
+                }
+            }
+        }
+        for s in 0..self.n0 {
+            for sp in 0..self.n0 {
+                let d = self.theta * self.omega * self.dmat[(s, sp)];
+                if d == 0.0 {
+                    continue;
+                }
+                let c = &self.cblocks[sp];
+                for i in 0..n {
+                    for j in 0..n {
+                        jac[(self.idx(s, i), self.idx(sp, j))] += d * c[(i, j)];
+                    }
+                }
+            }
+        }
+        if let Some((row, col)) = self.border {
+            for k in 0..len {
+                jac[(len, k)] = row[k];
+                jac[(k, len)] = col[k];
+            }
+        }
+        jac
+    }
+
+    /// Pushes the nonzero entries into a triplet buffer (duplicates sum on
+    /// conversion; the caller provides a `dim() × dim()` buffer).
+    pub fn push_triplets(&self, t: &mut Triplets) {
+        let len = self.len();
+        let n = self.n;
+        for s in 0..self.n0 {
+            let g = &self.gblocks[s];
+            let c = &self.cblocks[s];
+            for i in 0..n {
+                for j in 0..n {
+                    let v = self.inv_h * c[(i, j)] + self.theta * g[(i, j)];
+                    if v != 0.0 {
+                        t.push(self.idx(s, i), self.idx(s, j), v);
+                    }
+                }
+            }
+        }
+        for s in 0..self.n0 {
+            for sp in 0..self.n0 {
+                let d = self.theta * self.omega * self.dmat[(s, sp)];
+                if d == 0.0 {
+                    continue;
+                }
+                let c = &self.cblocks[sp];
+                for i in 0..n {
+                    for j in 0..n {
+                        let v = d * c[(i, j)];
+                        if v != 0.0 {
+                            t.push(self.idx(s, i), self.idx(sp, j), v);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((row, col)) = self.border {
+            for k in 0..len {
+                if row[k] != 0.0 {
+                    t.push(len, k, row[k]);
+                }
+                if col[k] != 0.0 {
+                    t.push(k, len, col[k]);
+                }
+            }
+        }
+    }
+
+    /// The triplet form (allocating convenience over [`Self::push_triplets`]).
+    pub fn assemble_triplets(&self) -> Triplets {
+        let mut t = Triplets::with_capacity(
+            self.dim(),
+            self.dim(),
+            self.n0 * self.n0 * self.n + 4 * self.len(),
+        );
+        self.push_triplets(&mut t);
+        t
+    }
+}
+
+/// A plain square Newton-style Jacobian in either description.
+///
+/// The non-collocation consumers (`transim::newton_solve`, shooting's
+/// monodromy and bordered boundary systems, the WaMPDE quasiperiodic
+/// cyclic matrix) hand their matrix to the backend switch through this.
+pub enum NewtonMatrix<'a> {
+    /// A dense matrix (converted to sparse form when a sparse backend is
+    /// selected; exact zeros define the pattern).
+    Dense(&'a DMat),
+    /// A triplet-assembled sparse matrix (converted to dense when the
+    /// dense backend is selected).
+    Triplets(&'a Triplets),
+}
+
+impl NewtonMatrix<'_> {
+    /// Row count of the described matrix.
+    pub fn dim(&self) -> usize {
+        match self {
+            NewtonMatrix::Dense(m) => m.nrows(),
+            NewtonMatrix::Triplets(t) => t.nrows(),
+        }
+    }
+
+    fn to_triplets(&self) -> Triplets {
+        match self {
+            NewtonMatrix::Dense(m) => {
+                let n = m.nrows();
+                let mut t = Triplets::new(n, m.ncols());
+                for i in 0..n {
+                    for j in 0..m.ncols() {
+                        let v = m[(i, j)];
+                        if v != 0.0 {
+                            t.push(i, j, v);
+                        }
+                    }
+                }
+                t
+            }
+            NewtonMatrix::Triplets(t) => (*t).clone(),
+        }
+    }
+}
+
+/// A factored (or preconditioned) Jacobian ready for repeated solves.
+#[derive(Debug)]
+pub enum FactoredJacobian {
+    /// Dense LU factors.
+    Dense(DenseLu),
+    /// Sparse LU factors.
+    Sparse(SparseLu),
+    /// Equilibrated CSR operator + ILU(0) preconditioner for GMRES.
+    Gmres {
+        /// Assembled matrix after row/column equilibration
+        /// (`A' = R·A·C`; zero diagonals untouched).
+        a: Csr,
+        /// Row scales `R` applied to the right-hand side.
+        row_scale: Vec<f64>,
+        /// Column scales `C` applied to the computed solution.
+        col_scale: Vec<f64>,
+        /// ILU(0) of the diagonal-regularised equilibrated matrix.
+        precond: Ilu0,
+        /// Iteration parameters.
+        opts: GmresOptions,
+    },
+}
+
+/// Builds the GMRES operator + preconditioner pair from triplets.
+///
+/// Circuit-style Jacobians mix entries spanning many decades (pF charges
+/// next to O(1) phase rows), which wrecks ILU(0) pivots, so the matrix is
+/// first max-norm equilibrated: `A' = R·A·C` with `R`/`C` scaling every
+/// row then column to unit max magnitude. GMRES solves
+/// `A'·y = R·b`, and the solution is recovered as `x = C·y`.
+///
+/// Rows whose diagonal is structurally missing or exactly zero (bordered
+/// corners, phase rows) additionally get a unit diagonal in the
+/// *preconditioner* matrix only; the true operator is never modified.
+fn factor_gmres(
+    trip: &Triplets,
+    restart: usize,
+    max_iters: usize,
+    rtol: f64,
+) -> Result<FactoredJacobian, LinSolveError> {
+    let mut a = trip.to_csr();
+    let n = a.nrows();
+
+    // Max-norm row scales, then column scales of the row-scaled matrix.
+    let mut row_scale = vec![1.0_f64; n];
+    for (i, rs) in row_scale.iter_mut().enumerate() {
+        let (_, vals) = a.row(i);
+        let m = vals.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        if m > 0.0 {
+            *rs = 1.0 / m;
+        }
+    }
+    let mut col_max = vec![0.0_f64; n.max(a.ncols())];
+    for (i, rs) in row_scale.iter().enumerate() {
+        let (cols, vals) = a.row(i);
+        for (&c, &v) in cols.iter().zip(vals.iter()) {
+            col_max[c] = col_max[c].max((v * rs).abs());
+        }
+    }
+    let col_scale: Vec<f64> = col_max
+        .iter()
+        .map(|&m| if m > 0.0 { 1.0 / m } else { 1.0 })
+        .collect();
+    {
+        let indptr = a.indptr().to_vec();
+        let indices = a.indices().to_vec();
+        let data = a.data_mut();
+        for i in 0..n {
+            for k in indptr[i]..indptr[i + 1] {
+                data[k] *= row_scale[i] * col_scale[indices[k]];
+            }
+        }
+    }
+
+    let zero_diag: Vec<usize> = (0..n).filter(|&i| a.get(i, i) == 0.0).collect();
+    let precond_csr = if zero_diag.is_empty() {
+        a.clone()
+    } else {
+        // Rebuild from the *scaled* entries so the unit regularisation is
+        // commensurate with the equilibrated rows.
+        let mut reg = Triplets::with_capacity(n, a.ncols(), a.nnz() + zero_diag.len());
+        for i in 0..n {
+            let (cols, vals) = a.row(i);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                reg.push(i, c, v);
+            }
+        }
+        for &i in &zero_diag {
+            reg.push(i, i, 1.0);
+        }
+        reg.to_csr()
+    };
+    let precond =
+        Ilu0::factor(&precond_csr).map_err(|e| LinSolveError::new(format!("ilu0: {e}")))?;
+    Ok(FactoredJacobian::Gmres {
+        a,
+        row_scale,
+        col_scale,
+        precond,
+        opts: GmresOptions {
+            restart,
+            max_iters,
+            rtol,
+            atol: 1e-300,
+        },
+    })
+}
+
+impl FactoredJacobian {
+    /// Factors the described collocation Jacobian with the requested
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// [`LinSolveError`] when the factorisation fails.
+    pub fn factor(
+        parts: &JacobianParts<'_>,
+        kind: LinearSolverKind,
+    ) -> Result<Self, LinSolveError> {
+        match kind {
+            LinearSolverKind::Dense => {
+                let jac = parts.assemble_dense();
+                let lu = DenseLu::factor(&jac).map_err(LinSolveError::new)?;
+                Ok(FactoredJacobian::Dense(lu))
+            }
+            LinearSolverKind::SparseLu => {
+                let csc = parts.assemble_triplets().to_csc();
+                let lu = SparseLu::factor(&csc).map_err(LinSolveError::new)?;
+                Ok(FactoredJacobian::Sparse(lu))
+            }
+            LinearSolverKind::GmresIlu0 {
+                restart,
+                max_iters,
+                rtol,
+            } => factor_gmres(&parts.assemble_triplets(), restart, max_iters, rtol),
+        }
+    }
+
+    /// Factors a plain square Jacobian with the requested backend,
+    /// converting between the dense and triplet descriptions as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`LinSolveError`] when the factorisation fails.
+    pub fn factor_matrix(
+        matrix: &NewtonMatrix<'_>,
+        kind: LinearSolverKind,
+    ) -> Result<Self, LinSolveError> {
+        match kind {
+            LinearSolverKind::Dense => {
+                let lu = match matrix {
+                    NewtonMatrix::Dense(m) => DenseLu::factor(m),
+                    NewtonMatrix::Triplets(t) => DenseLu::factor(&t.to_dense()),
+                }
+                .map_err(LinSolveError::new)?;
+                Ok(FactoredJacobian::Dense(lu))
+            }
+            LinearSolverKind::SparseLu => {
+                let csc = matrix.to_triplets().to_csc();
+                let lu = SparseLu::factor(&csc).map_err(LinSolveError::new)?;
+                Ok(FactoredJacobian::Sparse(lu))
+            }
+            LinearSolverKind::GmresIlu0 {
+                restart,
+                max_iters,
+                rtol,
+            } => factor_gmres(&matrix.to_triplets(), restart, max_iters, rtol),
+        }
+    }
+
+    /// System dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        match self {
+            FactoredJacobian::Dense(lu) => lu.dim(),
+            FactoredJacobian::Sparse(lu) => lu.dim(),
+            FactoredJacobian::Gmres { a, .. } => a.nrows(),
+        }
+    }
+
+    /// Solves `J·x = rhs` in place.
+    ///
+    /// # Errors
+    ///
+    /// [`LinSolveError`] when the backend fails (e.g. GMRES stagnates).
+    pub fn solve_in_place(&self, rhs: &mut [f64]) -> Result<(), LinSolveError> {
+        match self {
+            FactoredJacobian::Dense(lu) => lu.solve_in_place(rhs).map_err(LinSolveError::new),
+            FactoredJacobian::Sparse(lu) => lu.solve_in_place(rhs).map_err(LinSolveError::new),
+            FactoredJacobian::Gmres {
+                a,
+                row_scale,
+                col_scale,
+                precond,
+                opts,
+            } => {
+                let b: Vec<f64> = rhs
+                    .iter()
+                    .zip(row_scale.iter())
+                    .map(|(v, s)| v * s)
+                    .collect();
+                let op = CsrOp::new(a);
+                let result = gmres(&op, precond, &b, None, opts).map_err(LinSolveError::new)?;
+                for (slot, (y, s)) in rhs.iter_mut().zip(result.x.iter().zip(col_scale.iter())) {
+                    *slot = y * s;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small synthetic collocation system: n = 2 blocks over N0 = 5
+    /// samples with well-conditioned C/G blocks and a border.
+    fn synthetic_parts<'a>(
+        dmat: &'a DMat,
+        cblocks: &'a [DMat],
+        gblocks: &'a [DMat],
+    ) -> JacobianParts<'a> {
+        JacobianParts {
+            n: 2,
+            n0: 5,
+            dmat,
+            cblocks,
+            gblocks,
+            inv_h: 10.0,
+            theta: 0.5,
+            omega: 1.3,
+            border: None,
+        }
+    }
+
+    fn synthetic_blocks() -> (DMat, Vec<DMat>, Vec<DMat>) {
+        // A circulant-ish differentiation matrix stand-in (exact spectral
+        // structure is irrelevant for backend agreement).
+        let n0 = 5;
+        let dmat = DMat::from_fn(n0, n0, |s, sp| {
+            if s == sp {
+                0.0
+            } else {
+                0.5 * ((s as f64 - sp as f64) * 0.7).sin()
+            }
+        });
+        let mut cblocks = Vec::new();
+        let mut gblocks = Vec::new();
+        for s in 0..n0 {
+            let sf = s as f64;
+            cblocks.push(DMat::from_rows(&[
+                &[2.0 + 0.1 * sf, 0.3],
+                &[0.0, 1.5 - 0.05 * sf],
+            ]));
+            gblocks.push(DMat::from_rows(&[
+                &[0.5, -0.2 * sf],
+                &[0.1 * sf, 0.8 + 0.02 * sf],
+            ]));
+        }
+        (dmat, cblocks, gblocks)
+    }
+
+    #[test]
+    fn backends_agree_unbordered() {
+        let (dmat, cblocks, gblocks) = synthetic_blocks();
+        let parts = synthetic_parts(&dmat, &cblocks, &gblocks);
+        let rhs: Vec<f64> = (0..parts.dim())
+            .map(|i| ((i * 3 % 7) as f64) - 3.0)
+            .collect();
+
+        let mut dense = rhs.clone();
+        FactoredJacobian::factor(&parts, LinearSolverKind::Dense)
+            .unwrap()
+            .solve_in_place(&mut dense)
+            .unwrap();
+        let mut sparse = rhs.clone();
+        FactoredJacobian::factor(&parts, LinearSolverKind::SparseLu)
+            .unwrap()
+            .solve_in_place(&mut sparse)
+            .unwrap();
+        let mut gm = rhs.clone();
+        FactoredJacobian::factor(&parts, LinearSolverKind::gmres_default())
+            .unwrap()
+            .solve_in_place(&mut gm)
+            .unwrap();
+        for i in 0..rhs.len() {
+            assert!(
+                (dense[i] - sparse[i]).abs() < 1e-9,
+                "sparse mismatch at {i}"
+            );
+            assert!((dense[i] - gm[i]).abs() < 1e-7, "gmres mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn backends_agree_bordered() {
+        let (dmat, cblocks, gblocks) = synthetic_blocks();
+        let len = 10;
+        let row: Vec<f64> = (0..len)
+            .map(|k| if k % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let col: Vec<f64> = (0..len).map(|k| 0.1 + (k as f64 * 0.11).cos()).collect();
+        let mut parts = synthetic_parts(&dmat, &cblocks, &gblocks);
+        parts.border = Some((&row, &col));
+        assert_eq!(parts.dim(), len + 1);
+        let rhs: Vec<f64> = (0..parts.dim())
+            .map(|i| 1.0 + (i as f64 * 0.3).sin())
+            .collect();
+
+        let mut dense = rhs.clone();
+        FactoredJacobian::factor(&parts, LinearSolverKind::Dense)
+            .unwrap()
+            .solve_in_place(&mut dense)
+            .unwrap();
+        let mut sparse = rhs.clone();
+        FactoredJacobian::factor(&parts, LinearSolverKind::SparseLu)
+            .unwrap()
+            .solve_in_place(&mut sparse)
+            .unwrap();
+        // The bordered corner is structurally zero: the GMRES path must
+        // regularise the preconditioner diagonal on its own.
+        let mut gm = rhs.clone();
+        FactoredJacobian::factor(&parts, LinearSolverKind::gmres_default())
+            .unwrap()
+            .solve_in_place(&mut gm)
+            .unwrap();
+        for i in 0..rhs.len() {
+            assert!(
+                (dense[i] - sparse[i]).abs() < 1e-9,
+                "sparse mismatch at {i}"
+            );
+            assert!((dense[i] - gm[i]).abs() < 1e-6, "gmres mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn dense_and_triplet_assembly_agree() {
+        let (dmat, cblocks, gblocks) = synthetic_blocks();
+        let parts = synthetic_parts(&dmat, &cblocks, &gblocks);
+        let a = parts.assemble_dense();
+        let b = parts.assemble_triplets().to_dense();
+        for i in 0..parts.dim() {
+            for j in 0..parts.dim() {
+                assert!((a[(i, j)] - b[(i, j)]).abs() < 1e-15, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_matrix_backends_agree() {
+        let m = DMat::from_rows(&[
+            &[4.0, 1.0, 0.0, 0.5],
+            &[1.0, 3.0, 0.2, 0.0],
+            &[0.0, 0.2, 5.0, 1.0],
+            &[0.5, 0.0, 1.0, 2.0],
+        ]);
+        let rhs = vec![1.0, -2.0, 0.5, 3.0];
+        let mut dense = rhs.clone();
+        FactoredJacobian::factor_matrix(&NewtonMatrix::Dense(&m), LinearSolverKind::Dense)
+            .unwrap()
+            .solve_in_place(&mut dense)
+            .unwrap();
+
+        // Same matrix assembled as triplets, solved with every backend.
+        let mut t = Triplets::new(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                if m[(i, j)] != 0.0 {
+                    t.push(i, j, m[(i, j)]);
+                }
+            }
+        }
+        for kind in [
+            LinearSolverKind::Dense,
+            LinearSolverKind::SparseLu,
+            LinearSolverKind::gmres_default(),
+        ] {
+            let f = FactoredJacobian::factor_matrix(&NewtonMatrix::Triplets(&t), kind).unwrap();
+            assert_eq!(f.dim(), 4);
+            let mut x = rhs.clone();
+            f.solve_in_place(&mut x).unwrap();
+            for i in 0..4 {
+                assert!((x[i] - dense[i]).abs() < 1e-8, "{}: {i}", kind.label());
+            }
+        }
+        // Dense matrix through the sparse backends too.
+        for kind in [
+            LinearSolverKind::SparseLu,
+            LinearSolverKind::gmres_default(),
+        ] {
+            let f = FactoredJacobian::factor_matrix(&NewtonMatrix::Dense(&m), kind).unwrap();
+            let mut x = rhs.clone();
+            f.solve_in_place(&mut x).unwrap();
+            for i in 0..4 {
+                assert!((x[i] - dense[i]).abs() < 1e-8, "{}: {i}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn gmres_regularises_zero_diagonal() {
+        // Saddle-point-like matrix with an exactly zero corner diagonal.
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(0, 2, 1.0);
+        t.push(2, 0, 1.0);
+        t.push(1, 2, 0.5);
+        t.push(2, 1, 0.5);
+        let rhs = vec![1.0, 2.0, 3.0];
+        let mut dense = rhs.clone();
+        FactoredJacobian::factor_matrix(&NewtonMatrix::Triplets(&t), LinearSolverKind::Dense)
+            .unwrap()
+            .solve_in_place(&mut dense)
+            .unwrap();
+        let mut gm = rhs.clone();
+        FactoredJacobian::factor_matrix(
+            &NewtonMatrix::Triplets(&t),
+            LinearSolverKind::gmres_default(),
+        )
+        .unwrap()
+        .solve_in_place(&mut gm)
+        .unwrap();
+        for i in 0..3 {
+            assert!((dense[i] - gm[i]).abs() < 1e-8, "{dense:?} vs {gm:?}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_reported() {
+        let m = DMat::zeros(2, 2);
+        let err =
+            FactoredJacobian::factor_matrix(&NewtonMatrix::Dense(&m), LinearSolverKind::Dense)
+                .unwrap_err();
+        assert!(!err.cause.is_empty());
+        assert!(err.to_string().contains("linear solve failed"));
+    }
+
+    #[test]
+    fn kind_parsing_and_labels() {
+        assert_eq!(
+            LinearSolverKind::parse("dense"),
+            Some(LinearSolverKind::Dense)
+        );
+        assert_eq!(
+            LinearSolverKind::parse("SPARSELU"),
+            Some(LinearSolverKind::SparseLu)
+        );
+        assert!(matches!(
+            LinearSolverKind::parse("gmres"),
+            Some(LinearSolverKind::GmresIlu0 { .. })
+        ));
+        assert_eq!(LinearSolverKind::parse("bogus"), None);
+        assert_eq!(LinearSolverKind::gmres_default().label(), "gmres");
+        assert_eq!(LinearSolverKind::default().label(), "dense");
+        assert_eq!(LinearSolverKind::SparseLu.label(), "sparselu");
+    }
+}

@@ -49,8 +49,8 @@
 
 use circuitdae::Dae;
 use hb::Colloc;
+use linsolve::{FactoredJacobian, JacobianParts, LinearSolverKind};
 use numkit::vecops::norm2;
-use numkit::{DMat, DenseLu};
 use std::fmt;
 use transim::NewtonOptions;
 
@@ -128,6 +128,8 @@ pub struct MpdeOptions {
     pub dt2: f64,
     /// Inner Newton options.
     pub newton: NewtonOptions,
+    /// Linear solver for the per-step collocation Jacobian.
+    pub linear_solver: LinearSolverKind,
 }
 
 impl Default for MpdeOptions {
@@ -136,6 +138,7 @@ impl Default for MpdeOptions {
             harmonics: 6,
             dt2: 0.0,
             newton: NewtonOptions::default(),
+            linear_solver: LinearSolverKind::default(),
         }
     }
 }
@@ -274,6 +277,7 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
         f1_hz,
         &bgrid,
         &opts.newton,
+        opts.linear_solver,
         0.0,
     )?;
 
@@ -299,6 +303,7 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
             f1_hz,
             &bgrid,
             &opts.newton,
+            opts.linear_solver,
             t_new,
         )?;
         colloc.eval_q_all(dae, &x, &mut q_prev);
@@ -329,6 +334,7 @@ fn newton_mpde<D: Dae + ?Sized>(
     f1: f64,
     bgrid: &[f64],
     newton: &NewtonOptions,
+    solver: LinearSolverKind,
     at_t2: f64,
 ) -> Result<(), MpdeError> {
     let n = colloc.n;
@@ -356,39 +362,26 @@ fn newton_mpde<D: Dae + ?Sized>(
     let inv_h = prev.map_or(0.0, |(_, h)| 1.0 / h);
 
     for _iter in 1..=newton.max_iter {
-        // Dense Jacobian: δ(C/h + G) + f1·D⊗C.
-        let mut jac = DMat::zeros(len, len);
-        let mut cblocks = Vec::with_capacity(colloc.n0);
-        let mut g = DMat::zeros(n, n);
-        for s in 0..colloc.n0 {
-            let xs = &x[s * n..(s + 1) * n];
-            let mut c = DMat::zeros(n, n);
-            dae.jac_q(xs, &mut c);
-            dae.jac_f(xs, &mut g);
-            for i in 0..n {
-                for j in 0..n {
-                    jac[(colloc.idx(s, i), colloc.idx(s, j))] += inv_h * c[(i, j)] + g[(i, j)];
-                }
-            }
-            cblocks.push(c);
-        }
-        for s in 0..colloc.n0 {
-            for sp in 0..colloc.n0 {
-                let d = f1 * colloc.dmat[(s, sp)];
-                if d == 0.0 {
-                    continue;
-                }
-                let c = &cblocks[sp];
-                for i in 0..n {
-                    for j in 0..n {
-                        jac[(colloc.idx(s, i), colloc.idx(sp, j))] += d * c[(i, j)];
-                    }
-                }
-            }
-        }
-        let lu = DenseLu::factor(&jac).map_err(|_| MpdeError::Singular { at_t2 })?;
+        // Step Jacobian δ(C/h + G) + f1·D⊗C through the shared solver
+        // layer (the MPDE is the `inv_h`-shifted, unbordered collocation
+        // form with ω pinned at the carrier fundamental f1).
+        let (cblocks, gblocks) = circuitdae::jac_blocks(dae, x);
+        let parts = JacobianParts {
+            n,
+            n0: colloc.n0,
+            dmat: &colloc.dmat,
+            cblocks: &cblocks,
+            gblocks: &gblocks,
+            inv_h,
+            theta: 1.0,
+            omega: f1,
+            border: None,
+        };
+        let factored =
+            FactoredJacobian::factor(&parts, solver).map_err(|_| MpdeError::Singular { at_t2 })?;
         let mut dx = r.clone();
-        lu.solve_in_place(&mut dx)
+        factored
+            .solve_in_place(&mut dx)
             .map_err(|_| MpdeError::Singular { at_t2 })?;
 
         let mut lambda = 1.0_f64;
@@ -454,6 +447,7 @@ pub fn run_mpde_spec<D: Dae + ?Sized>(
         spec.t_stop,
         &MpdeOptions {
             harmonics: spec.harmonics,
+            linear_solver: spec.solver,
             ..Default::default()
         },
     )
@@ -617,5 +611,38 @@ mod tests {
         };
         assert!(solve_envelope_mpde(&dae, &f, -1.0, 1.0, &MpdeOptions::default()).is_err());
         assert!(solve_envelope_mpde(&dae, &f, 1.0, -1.0, &MpdeOptions::default()).is_err());
+    }
+
+    #[test]
+    fn sparse_backends_match_dense_envelope() {
+        let dae = rc(1e3, 1e-9);
+        let forcing = AmForcing {
+            node: 0,
+            carrier_amplitude: 1.0e-3,
+            mod_depth: 0.5,
+            mod_freq_hz: 1.0e3,
+        };
+        let base = MpdeOptions {
+            harmonics: 4,
+            dt2: 5.0e-5,
+            ..Default::default()
+        };
+        let dense = solve_envelope_mpde(&dae, &forcing, 1.0e6, 5.0e-4, &base).unwrap();
+        for kind in [
+            LinearSolverKind::SparseLu,
+            LinearSolverKind::gmres_default(),
+        ] {
+            let opts = MpdeOptions {
+                linear_solver: kind,
+                ..base
+            };
+            let sol = solve_envelope_mpde(&dae, &forcing, 1.0e6, 5.0e-4, &opts).unwrap();
+            assert_eq!(dense.t2.len(), sol.t2.len());
+            for (a, b) in dense.states.iter().zip(sol.states.iter()) {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert!((x - y).abs() < 1e-9, "{}: {x} vs {y}", kind.label());
+                }
+            }
+        }
     }
 }

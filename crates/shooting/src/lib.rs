@@ -30,8 +30,9 @@
 //! ```
 
 use circuitdae::Dae;
+use linsolve::{FactoredJacobian, LinearSolverKind, NewtonMatrix};
 use numkit::vecops::norm2;
-use numkit::{DMat, DenseLu};
+use numkit::DMat;
 use std::fmt;
 use transim::{
     run_transient, Integrator, NewtonOptions, StepControl, TransientOptions, TransientResult,
@@ -109,6 +110,9 @@ pub struct ShootingOptions {
     pub warmup_periods: f64,
     /// Relative kick applied to the DC solution to start the oscillation.
     pub kick: f64,
+    /// Linear-solver backend for the flow-step Newton solves, the
+    /// monodromy propagation, and the bordered boundary system.
+    pub linear_solver: LinearSolverKind,
 }
 
 impl Default for ShootingOptions {
@@ -121,6 +125,7 @@ impl Default for ShootingOptions {
             phase_var: 0,
             warmup_periods: 40.0,
             kick: 0.1,
+            linear_solver: LinearSolverKind::default(),
         }
     }
 }
@@ -185,13 +190,17 @@ fn flow_with_monodromy<D: Dae + ?Sized>(
     period: f64,
     steps: usize,
     integrator: Integrator,
+    solver: LinearSolverKind,
 ) -> Result<FlowOutput, ShootingError> {
     let n = dae.dim();
     let h = period / steps as f64;
     let opts = TransientOptions {
         integrator,
         step: StepControl::Fixed(h),
-        newton: NewtonOptions::default(),
+        newton: NewtonOptions {
+            linear_solver: solver,
+            ..Default::default()
+        },
     };
     let res = run_transient(dae, x0, 0.0, period, &opts)?;
     let states = &res.states;
@@ -231,11 +240,12 @@ fn flow_with_monodromy<D: Dae + ?Sized>(
         if theta < 1.0 {
             bmat.axpy(-(1.0 - theta), &g_prev);
         }
-        let lu = DenseLu::factor(&a).map_err(|_| {
-            ShootingError::Transient(transim::TransimError::SingularJacobian {
-                at_time: i as f64 * h,
-            })
-        })?;
+        let lu =
+            FactoredJacobian::factor_matrix(&NewtonMatrix::Dense(&a), solver).map_err(|_| {
+                ShootingError::Transient(transim::TransimError::SingularJacobian {
+                    at_time: i as f64 * h,
+                })
+            })?;
         // M ← A⁻¹ B M, column by column.
         let bm = bmat.matmul(&m).expect("dimension-consistent product");
         let mut m_new = DMat::zeros(n, n);
@@ -270,9 +280,12 @@ fn state_derivative<D: Dae + ?Sized>(dae: &D, x: &[f64]) -> Result<Vec<f64>, Sho
     for i in 0..n {
         rhs[i] = b[i] - rhs[i];
     }
-    let lu = DenseLu::factor(&c).map_err(|_| {
-        ShootingError::BadInput("mass matrix C is singular: shooting needs ODE-like DAEs".into())
-    })?;
+    let lu = FactoredJacobian::factor_matrix(&NewtonMatrix::Dense(&c), LinearSolverKind::Dense)
+        .map_err(|_| {
+            ShootingError::BadInput(
+                "mass matrix C is singular: shooting needs ODE-like DAEs".into(),
+            )
+        })?;
     lu.solve_in_place(&mut rhs)
         .map_err(|_| ShootingError::BadInput("mass matrix solve failed".into()))?;
     Ok(rhs)
@@ -313,8 +326,14 @@ pub fn find_periodic_orbit<D: Dae + ?Sized>(
     dae.eval_b(0.0, &mut b0);
 
     for iter in 1..=opts.max_iter {
-        let (x_end, monodromy, samples) =
-            flow_with_monodromy(dae, &x0, period, opts.steps_per_period, opts.integrator)?;
+        let (x_end, monodromy, samples) = flow_with_monodromy(
+            dae,
+            &x0,
+            period,
+            opts.steps_per_period,
+            opts.integrator,
+            opts.linear_solver,
+        )?;
 
         // Residual F = [x(T) − x0 ; (b − f)_k(x0)].
         let mut fvec = vec![0.0; n];
@@ -351,10 +370,11 @@ pub fn find_periodic_orbit<D: Dae + ?Sized>(
             jac[(n, i)] = -g0[(k, i)];
         }
 
-        let lu = DenseLu::factor(&jac).map_err(|_| ShootingError::NoConvergence {
-            iterations: iter,
-            residual: rnorm,
-        })?;
+        let lu = FactoredJacobian::factor_matrix(&NewtonMatrix::Dense(&jac), opts.linear_solver)
+            .map_err(|_| ShootingError::NoConvergence {
+                iterations: iter,
+                residual: rnorm,
+            })?;
         let mut dz = resid.clone();
         lu.solve_in_place(&mut dz)
             .map_err(|_| ShootingError::NoConvergence {
@@ -468,7 +488,10 @@ pub fn oscillator_steady_state<D: Dae + ?Sized>(
                 dt_min: 0.0,
                 dt_max: horizon_guess / 200.0,
             },
-            newton: NewtonOptions::default(),
+            newton: NewtonOptions {
+                linear_solver: opts.linear_solver,
+                ..Default::default()
+            },
         };
         let warm = run_transient(
             dae,
@@ -522,6 +545,7 @@ pub fn run_shooting_spec<D: Dae + ?Sized>(
         &ShootingOptions {
             steps_per_period: spec.steps_per_period,
             phase_var: spec.phase_var,
+            linear_solver: spec.solver,
             ..Default::default()
         },
     )
@@ -577,14 +601,22 @@ mod tests {
             orbit.period,
             opts.steps_per_period,
             opts.integrator,
+            opts.linear_solver,
         )
         .unwrap();
         for (a, b) in x_end.iter().zip(orbit.x0.iter()) {
             assert!((a - b).abs() < 1e-6, "{x_end:?} vs {:?}", orbit.x0);
         }
         // A finer discretisation agrees to integration accuracy O(h²).
-        let (x_fine, _m, _s) =
-            flow_with_monodromy(&vdp, &orbit.x0, orbit.period, 4096, opts.integrator).unwrap();
+        let (x_fine, _m, _s) = flow_with_monodromy(
+            &vdp,
+            &orbit.x0,
+            orbit.period,
+            4096,
+            opts.integrator,
+            opts.linear_solver,
+        )
+        .unwrap();
         for (a, b) in x_fine.iter().zip(orbit.x0.iter()) {
             assert!((a - b).abs() < 5e-3, "fine {x_fine:?} vs {:?}", orbit.x0);
         }
@@ -634,6 +666,22 @@ mod tests {
         for (a, b) in grid[0].iter().zip(orbit.x0.iter()) {
             assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn sparse_backend_finds_the_same_orbit() {
+        let dae = circuits::ring_loaded_vco(6);
+        let dense = oscillator_steady_state(&dae, &ShootingOptions::default()).unwrap();
+        let sparse = oscillator_steady_state(
+            &dae,
+            &ShootingOptions {
+                linear_solver: LinearSolverKind::SparseLu,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let rel = (dense.period - sparse.period).abs() / dense.period;
+        assert!(rel < 1e-9, "period {} vs {}", dense.period, sparse.period);
     }
 
     #[test]

@@ -98,6 +98,27 @@ impl Triplets {
         self.vals.clear();
     }
 
+    /// Scales every stored value by `s` (pattern unchanged).
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.vals {
+            *v *= s;
+        }
+    }
+
+    /// Appends every entry of `other` with its value scaled by `s` — the
+    /// building block for Jacobian combinations like `a0/h·C + θ·G`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn append_scaled(&mut self, other: &Triplets, s: f64) {
+        assert_eq!(self.nrows, other.nrows, "append_scaled: row mismatch");
+        assert_eq!(self.ncols, other.ncols, "append_scaled: col mismatch");
+        self.rows.extend_from_slice(&other.rows);
+        self.cols.extend_from_slice(&other.cols);
+        self.vals.extend(other.vals.iter().map(|v| v * s));
+    }
+
     /// Iterates over raw `(row, col, value)` entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         self.rows
@@ -210,6 +231,27 @@ mod tests {
         assert_eq!(d[(0, 2)], 6.0);
         assert_eq!(d[(1, 0)], 3.0);
         assert_eq!(d[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn scale_and_append_scaled() {
+        let mut c = Triplets::new(2, 2);
+        c.push(0, 0, 2.0);
+        c.push(1, 1, 4.0);
+        let mut g = Triplets::new(2, 2);
+        g.push(0, 1, 1.0);
+        g.push(1, 1, -2.0);
+        // J = 10·C + 0.5·G.
+        let mut j = Triplets::new(2, 2);
+        j.append_scaled(&c, 10.0);
+        j.append_scaled(&g, 0.5);
+        let d = j.to_dense();
+        assert_eq!(d[(0, 0)], 20.0);
+        assert_eq!(d[(0, 1)], 0.5);
+        assert_eq!(d[(1, 1)], 39.0);
+        // In-place scale.
+        j.scale(2.0);
+        assert_eq!(j.to_dense()[(1, 1)], 78.0);
     }
 
     #[test]

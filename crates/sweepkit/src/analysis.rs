@@ -292,6 +292,32 @@ mod tests {
     }
 
     #[test]
+    fn options_solver_is_honored_end_to_end() {
+        // The `.options solver=sparselu` deck line must reach the solver:
+        // the run succeeds and matches the dense-deck result exactly for
+        // this linear circuit (identical step sequences).
+        const CARDS: &str = "V1 in 0 SIN(0 5 1k)\n\
+                             R1 in out 1k\n\
+                             C1 out 0 1u\n\
+                             .tran 1m dt=20u\n";
+        let dense_deck = parse_deck(CARDS).unwrap();
+        let sparse_deck = parse_deck(&format!("{CARDS}.options solver=sparselu\n")).unwrap();
+        assert_eq!(
+            sparse_deck.analyses[0].solver(),
+            circuitdae::LinearSolverKind::SparseLu
+        );
+        let dae = dense_deck.base_circuit().unwrap();
+        let dense = analysis_for(&dense_deck.analyses[0]).run(&dae).unwrap();
+        let sparse = analysis_for(&sparse_deck.analyses[0]).run(&dae).unwrap();
+        assert_eq!(dense.rows.len(), sparse.rows.len());
+        for (a, b) in dense.rows.iter().zip(sparse.rows.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
     fn mpde_analysis_rejects_bad_node() {
         let deck = parse_deck(
             "R1 out 0 1k\n\

@@ -30,6 +30,14 @@ impl<D: Dae + ?Sized> NonlinearSystem for DcSystem<'_, D> {
             out[(i, i)] += self.gmin;
         }
     }
+
+    fn jacobian_triplets(&self, x: &[f64], out: &mut sparsekit::Triplets) -> bool {
+        self.dae.jac_f_triplets(x, out);
+        for i in 0..self.dim() {
+            out.push(i, i, self.gmin);
+        }
+        true
+    }
 }
 
 /// Computes a DC operating point: `f(x) = b(0)`.

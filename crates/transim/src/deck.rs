@@ -17,7 +17,13 @@ pub fn run_tran_spec<D: Dae + ?Sized>(
     dae: &D,
     spec: &TranSpec,
 ) -> Result<TransientResult, TransimError> {
-    let x0 = dc_operating_point(dae, &NewtonOptions::default())?;
+    // The deck's `.options solver=` choice rides on the spec and is
+    // honored by both the DC solve and every step's Newton iteration.
+    let newton = NewtonOptions {
+        linear_solver: spec.solver,
+        ..Default::default()
+    };
+    let x0 = dc_operating_point(dae, &newton)?;
     let step = if spec.dt > 0.0 {
         StepControl::Fixed(spec.dt)
     } else {
@@ -37,7 +43,7 @@ pub fn run_tran_spec<D: Dae + ?Sized>(
         &TransientOptions {
             integrator: Integrator::Trapezoidal,
             step,
-            newton: NewtonOptions::default(),
+            newton,
         },
     )
 }
@@ -60,6 +66,7 @@ mod tests {
             t_stop: 10e-3, // 10 time constants
             dt: 0.0,
             rtol: 1e-6,
+            solver: Default::default(),
         };
         let res = run_tran_spec(&dae, &spec).unwrap();
         let names = dae.var_names();
@@ -80,8 +87,38 @@ mod tests {
             t_stop: 1e-3,
             dt: 1e-5,
             rtol: 1e-6,
+            solver: Default::default(),
         };
         let res = run_tran_spec(&dae, &spec).unwrap();
         assert_eq!(res.stats.steps, 100);
+    }
+
+    #[test]
+    fn tran_spec_sparse_backend_matches_dense() {
+        // Same fixed-step run through the sparse-LU backend must land on
+        // bitwise-comparable trajectories (identical step sequence, same
+        // solutions to solver tolerance).
+        let dae = parse_netlist(
+            "I1 0 a 1m\n\
+             R1 a 0 1k\n\
+             C1 a 0 1u\n\
+             R2 a b 2k\n\
+             C2 b 0 1u\n",
+        )
+        .unwrap();
+        let mk = |solver| TranSpec {
+            t_stop: 1e-3,
+            dt: 1e-5,
+            rtol: 1e-6,
+            solver,
+        };
+        let dense = run_tran_spec(&dae, &mk(Default::default())).unwrap();
+        let sparse = run_tran_spec(&dae, &mk(circuitdae::LinearSolverKind::SparseLu)).unwrap();
+        assert_eq!(dense.times.len(), sparse.times.len());
+        for (a, b) in dense.states.iter().zip(sparse.states.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+            }
+        }
     }
 }

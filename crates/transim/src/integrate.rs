@@ -11,6 +11,7 @@ use crate::newton::{newton_solve, NewtonOptions, NonlinearSystem};
 use circuitdae::Dae;
 use numkit::vecops::wrms_norm;
 use numkit::DMat;
+use sparsekit::Triplets;
 
 /// Implicit integration scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -154,6 +155,7 @@ struct StepSystem<'a, D: Dae + ?Sized> {
     qbuf: std::cell::RefCell<Vec<f64>>,
     fbuf: std::cell::RefCell<Vec<f64>>,
     cmat: std::cell::RefCell<DMat>,
+    tbuf: std::cell::RefCell<Triplets>,
 }
 
 impl<D: Dae + ?Sized> StepSystem<'_, D> {
@@ -167,6 +169,7 @@ impl<D: Dae + ?Sized> StepSystem<'_, D> {
             qbuf: std::cell::RefCell::new(vec![0.0; n]),
             fbuf: std::cell::RefCell::new(vec![0.0; n]),
             cmat: std::cell::RefCell::new(DMat::zeros(n, n)),
+            tbuf: std::cell::RefCell::new(Triplets::new(n, n)),
         }
     }
 }
@@ -192,6 +195,18 @@ impl<D: Dae + ?Sized> NonlinearSystem for StepSystem<'_, D> {
         self.dae.jac_f(x, out);
         out.scale(self.theta);
         out.axpy(self.a0h, &c);
+    }
+
+    fn jacobian_triplets(&self, x: &[f64], out: &mut Triplets) -> bool {
+        // J = a0h·C + θ·G from the DAE's sparse stamps.
+        let mut scratch = self.tbuf.borrow_mut();
+        scratch.clear();
+        self.dae.jac_q_triplets(x, &mut scratch);
+        out.append_scaled(&scratch, self.a0h);
+        scratch.clear();
+        self.dae.jac_f_triplets(x, &mut scratch);
+        out.append_scaled(&scratch, self.theta);
+        true
     }
 }
 

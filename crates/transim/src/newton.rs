@@ -1,10 +1,18 @@
-//! Damped Newton–Raphson for dense nonlinear systems.
+//! Damped Newton–Raphson for nonlinear systems with a pluggable
+//! dense/sparse linear-solver backend (the shared `linsolve` layer).
 
 use crate::error::TransimError;
+use linsolve::{FactoredJacobian, LinearSolverKind, NewtonMatrix};
 use numkit::vecops::{norm2, wrms_norm};
-use numkit::{DMat, DenseLu};
+use numkit::DMat;
+use sparsekit::Triplets;
 
-/// A square nonlinear system `r(x) = 0` with a dense Jacobian.
+/// A square nonlinear system `r(x) = 0`.
+///
+/// The dense [`NonlinearSystem::jacobian`] is mandatory; systems that can
+/// assemble their Jacobian sparsely (circuit DAE steps, collocation
+/// blocks) additionally implement [`NonlinearSystem::jacobian_triplets`]
+/// so the sparse backends skip the `O(dim²)` dense stamp.
 pub trait NonlinearSystem {
     /// Number of unknowns.
     fn dim(&self) -> usize;
@@ -12,6 +20,13 @@ pub trait NonlinearSystem {
     fn residual(&self, x: &[f64], out: &mut [f64]);
     /// Jacobian `∂r/∂x` into `out` (`dim × dim`).
     fn jacobian(&self, x: &[f64], out: &mut DMat);
+    /// Sparse Jacobian pushed as triplets into `out` (a cleared
+    /// `dim × dim` buffer; duplicates sum). Returns `false` when the
+    /// system has no sparse assembly — the solver then stamps densely and
+    /// converts.
+    fn jacobian_triplets(&self, _x: &[f64], _out: &mut Triplets) -> bool {
+        false
+    }
 }
 
 /// Options for [`newton_solve`].
@@ -25,6 +40,8 @@ pub struct NewtonOptions {
     pub reltol: f64,
     /// Smallest damping factor tried before declaring failure.
     pub min_damping: f64,
+    /// Linear-solver backend for the per-iteration factorisation.
+    pub linear_solver: LinearSolverKind,
 }
 
 impl Default for NewtonOptions {
@@ -34,6 +51,7 @@ impl Default for NewtonOptions {
             abstol: 1e-12,
             reltol: 1e-9,
             min_damping: 1.0 / 64.0,
+            linear_solver: LinearSolverKind::default(),
         }
     }
 }
@@ -69,7 +87,11 @@ pub fn newton_solve<S: NonlinearSystem + ?Sized>(
     let n = sys.dim();
     assert_eq!(x.len(), n, "newton: x length mismatch");
     let mut r = vec![0.0; n];
-    let mut jac = DMat::zeros(n, n);
+    // The dense stamp buffer is allocated lazily: on the sparse path of a
+    // large system (the very case the sparse backends exist for) the
+    // O(n²) matrix is never touched.
+    let mut jac: Option<DMat> = None;
+    let mut trip = Triplets::new(n, n);
     let mut trial = vec![0.0; n];
     let mut r_trial = vec![0.0; n];
 
@@ -77,12 +99,24 @@ pub fn newton_solve<S: NonlinearSystem + ?Sized>(
     let mut rnorm = norm2(&r);
 
     for iter in 1..=opts.max_iter {
-        sys.jacobian(x, &mut jac);
-        let lu = DenseLu::factor(&jac)
-            .map_err(|_| TransimError::SingularJacobian { at_time: f64::NAN })?;
+        // Sparse backends prefer a triplet-assembled Jacobian; dense (or
+        // systems without sparse assembly) stamp the full matrix.
+        let use_triplets = !matches!(opts.linear_solver, LinearSolverKind::Dense) && {
+            trip.clear();
+            sys.jacobian_triplets(x, &mut trip)
+        };
+        let factored = if use_triplets {
+            FactoredJacobian::factor_matrix(&NewtonMatrix::Triplets(&trip), opts.linear_solver)
+        } else {
+            let jac = jac.get_or_insert_with(|| DMat::zeros(n, n));
+            sys.jacobian(x, jac);
+            FactoredJacobian::factor_matrix(&NewtonMatrix::Dense(jac), opts.linear_solver)
+        }
+        .map_err(|_| TransimError::SingularJacobian { at_time: f64::NAN })?;
         // dx = -J⁻¹ r
         let mut dx = r.clone();
-        lu.solve_in_place(&mut dx)
+        factored
+            .solve_in_place(&mut dx)
             .map_err(|_| TransimError::SingularJacobian { at_time: f64::NAN })?;
         for v in dx.iter_mut() {
             *v = -*v;
@@ -185,6 +219,63 @@ mod tests {
         newton_solve(&TwoDim, &mut x, &NewtonOptions::default()).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-9);
         assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_backends_reach_the_same_root() {
+        for kind in [
+            LinearSolverKind::SparseLu,
+            LinearSolverKind::gmres_default(),
+        ] {
+            let mut x = vec![2.0, 0.5];
+            let opts = NewtonOptions {
+                linear_solver: kind,
+                ..Default::default()
+            };
+            newton_solve(&TwoDim, &mut x, &opts).unwrap();
+            assert!((x[0] - 1.0).abs() < 1e-9, "{}", kind.label());
+            assert!((x[1] - 1.0).abs() < 1e-9, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn triplet_jacobian_path_is_used_when_offered() {
+        use std::cell::Cell;
+        /// TwoDim with a sparse Jacobian and a call counter proving the
+        /// sparse path ran instead of the dense stamp.
+        struct SparseTwoDim {
+            triplet_calls: Cell<usize>,
+        }
+        impl NonlinearSystem for SparseTwoDim {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn residual(&self, x: &[f64], out: &mut [f64]) {
+                TwoDim.residual(x, out);
+            }
+            fn jacobian(&self, _x: &[f64], _out: &mut DMat) {
+                panic!("dense jacobian must not be called on the sparse path");
+            }
+            fn jacobian_triplets(&self, x: &[f64], out: &mut Triplets) -> bool {
+                self.triplet_calls.set(self.triplet_calls.get() + 1);
+                out.push(0, 0, 2.0 * x[0]);
+                out.push(0, 1, 2.0 * x[1]);
+                out.push(1, 0, 1.0);
+                out.push(1, 1, -1.0);
+                true
+            }
+        }
+        let sys = SparseTwoDim {
+            triplet_calls: Cell::new(0),
+        };
+        let mut x = vec![2.0, 0.5];
+        let opts = NewtonOptions {
+            linear_solver: LinearSolverKind::SparseLu,
+            ..Default::default()
+        };
+        newton_solve(&sys, &mut x, &opts).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!(sys.triplet_calls.get() > 0);
     }
 
     #[test]

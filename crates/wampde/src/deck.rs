@@ -36,6 +36,7 @@ pub fn run_wampde_spec(dae: &CircuitDae, spec: &WampdeSpec) -> Result<EnvelopeRe
         &ShootingOptions {
             steps_per_period: spec.shooting_steps,
             phase_var: spec.phase_var,
+            linear_solver: spec.solver,
             ..Default::default()
         },
     )
@@ -43,6 +44,7 @@ pub fn run_wampde_spec(dae: &CircuitDae, spec: &WampdeSpec) -> Result<EnvelopeRe
     let opts = WampdeOptions {
         harmonics: spec.harmonics,
         phase_var: spec.phase_var,
+        linear_solver: spec.solver,
         ..Default::default()
     };
     let init = WampdeInit::from_orbit(&orbit, &opts);
@@ -64,6 +66,7 @@ mod tests {
             harmonics: 4,
             phase_var: 0,
             shooting_steps: 256,
+            solver: Default::default(),
         };
         let env = run_wampde_spec(&dae, &spec).unwrap();
         assert!(env.stats.steps > 0);
@@ -80,6 +83,7 @@ mod tests {
             harmonics: 4,
             phase_var: 9, // dim is 4
             shooting_steps: 256,
+            solver: Default::default(),
         };
         assert!(matches!(
             run_wampde_spec(&dae, &spec),

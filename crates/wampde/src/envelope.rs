@@ -10,7 +10,7 @@
 
 use crate::error::WampdeError;
 use crate::init::WampdeInit;
-use crate::linsolve::{FactoredJacobian, JacobianParts};
+use crate::linsolve::colloc_parts;
 use crate::options::{OmegaMode, T2Integrator, T2StepControl, WampdeOptions};
 use crate::result::{EnvelopeResult, EnvelopeStats};
 use circuitdae::Dae;
@@ -472,18 +472,18 @@ fn newton_step<D: Dae + ?Sized>(
         colloc.apply_diff(&work.q, &mut work.dq);
         let omega_col: Vec<f64> = work.dq.iter().map(|v| theta * v).collect();
 
-        let parts = JacobianParts {
+        let parts = colloc_parts(
             colloc,
-            cblocks: &cblocks,
-            gblocks: &gblocks,
-            inv_h: a0h,
+            &cblocks,
+            &gblocks,
+            a0h,
             theta,
-            omega: *omega,
-            border: phase_row.map(|row| (row, omega_col.as_slice())),
-        };
-        let factored = FactoredJacobian::factor(&parts, opts.linear_solver, t_new)?;
+            *omega,
+            phase_row.map(|row| (row, omega_col.as_slice())),
+        );
+        let factored = crate::linsolve::factor(&parts, opts.linear_solver, t_new)?;
         let mut dz = r.clone();
-        factored.solve_in_place(&mut dz, t_new)?;
+        crate::linsolve::solve_in_place(&factored, &mut dz, t_new)?;
         for v in dz.iter_mut() {
             *v = -*v;
         }
@@ -634,6 +634,35 @@ mod tests {
         let sparse = solve_envelope(&dae, &init, 1.0e-5, &sparse_opts).unwrap();
         for (a, b) in dense.omega_hz.iter().zip(sparse.omega_hz.iter()) {
             assert!((a - b).abs() / a < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_on_lc_vco_envelope() {
+        // The paper's basic LC VCO: dense, sparse-LU, and GMRES+ILU(0)
+        // envelopes must agree on ω(t2) to tight tolerance.
+        let dae = circuits::lc_vco();
+        let orbit = oscillator_steady_state(&dae, &ShootingOptions::default()).unwrap();
+        let base = WampdeOptions {
+            step: T2StepControl::Fixed(2.0e-6),
+            harmonics: 5,
+            ..Default::default()
+        };
+        let init = WampdeInit::from_orbit(&orbit, &base);
+        let dense = solve_envelope(&dae, &init, 1.0e-5, &base).unwrap();
+        for kind in [
+            LinearSolverKind::SparseLu,
+            LinearSolverKind::gmres_default(),
+        ] {
+            let opts = WampdeOptions {
+                linear_solver: kind,
+                ..base
+            };
+            let other = solve_envelope(&dae, &init, 1.0e-5, &opts).unwrap();
+            assert_eq!(dense.omega_hz.len(), other.omega_hz.len());
+            for (a, b) in dense.omega_hz.iter().zip(other.omega_hz.iter()) {
+                assert!((a - b).abs() / a < 1e-9, "{}: {a} vs {b}", kind.label());
+            }
         }
     }
 

@@ -81,24 +81,10 @@ pub enum OmegaMode {
 }
 
 /// Which linear solver factors the per-step bordered Jacobian.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub enum LinearSolverKind {
-    /// Dense LU — simplest, right for small circuits.
-    #[default]
-    Dense,
-    /// Sparse LU (Gilbert–Peierls) on the block-sparse Jacobian.
-    SparseLu,
-    /// Restarted GMRES with ILU(0), per the paper's note on iterative
-    /// methods for large systems.
-    GmresIlu0 {
-        /// Restart length.
-        restart: usize,
-        /// Iteration cap.
-        max_iters: usize,
-        /// Relative residual target.
-        rtol: f64,
-    },
-}
+///
+/// Re-exported from the workspace-wide `linsolve` crate: the same switch
+/// selects backends for every solver (transient, shooting, HB, MPDE).
+pub use ::linsolve::LinearSolverKind;
 
 /// Options for [`crate::solve_envelope`] / [`crate::solve_quasiperiodic`].
 #[derive(Debug, Clone, Copy)]

@@ -9,17 +9,20 @@
 //! locking (`ω0 = ω2`) and period multiplication (`ω0 = ω2/k`) emerge as
 //! special cases of the converged `ω(t2)`.
 //!
-//! The Jacobian is block-cyclic-bidiagonal and is always solved with the
-//! in-house sparse LU (a dense solve would be O((N1·n·N0)³)).
+//! The Jacobian is block-cyclic-bidiagonal and is solved through the
+//! shared `linsolve` layer. A dense solve would be O((N1·n·N0)³), so the
+//! default `Dense` backend selection is promoted to sparse LU here;
+//! `GmresIlu0` is honored as-is.
 
 use crate::error::WampdeError;
+use crate::linsolve::{FactoredJacobian, LinearSolverKind, NewtonMatrix};
 use crate::options::{T2Integrator, WampdeOptions};
 use crate::result::EnvelopeResult;
 use circuitdae::Dae;
 use hb::Colloc;
 use numkit::vecops::norm2;
 use numkit::DMat;
-use sparsekit::{SparseLu, Triplets};
+use sparsekit::Triplets;
 
 /// Initial guess for the quasiperiodic solve: `N1` slices of stacked
 /// samples plus per-slice frequencies.
@@ -393,15 +396,23 @@ pub fn solve_quasiperiodic<D: Dae + ?Sized>(
             }
         }
 
-        let lu = SparseLu::factor(&trip.to_csc()).map_err(|e| WampdeError::LinearSolve {
-            at_t2: 0.0,
-            cause: e.to_string(),
-        })?;
-        let mut dz = r.clone();
-        lu.solve_in_place(&mut dz)
+        // The cyclic system is never dense-solved: `Dense` (the global
+        // default) selects sparse LU; sparse backends pass through.
+        let kind = match opts.linear_solver {
+            LinearSolverKind::Dense | LinearSolverKind::SparseLu => LinearSolverKind::SparseLu,
+            gm @ LinearSolverKind::GmresIlu0 { .. } => gm,
+        };
+        let factored = FactoredJacobian::factor_matrix(&NewtonMatrix::Triplets(&trip), kind)
             .map_err(|e| WampdeError::LinearSolve {
                 at_t2: 0.0,
-                cause: e.to_string(),
+                cause: e.cause,
+            })?;
+        let mut dz = r.clone();
+        factored
+            .solve_in_place(&mut dz)
+            .map_err(|e| WampdeError::LinearSolve {
+                at_t2: 0.0,
+                cause: e.cause,
             })?;
         for v in dz.iter_mut() {
             *v = -*v;
@@ -546,6 +557,28 @@ mod tests {
             assert!((w - f0).abs() / f0 < 1e-3, "omega {w} vs {f0}");
         }
         assert!((sol.omega0() - f0).abs() / f0 < 1e-3);
+    }
+
+    #[test]
+    fn gmres_backend_matches_sparse_lu() {
+        let cfg = MemsVcoConfig::constant(1.5);
+        let dae = circuits::mems_vco(cfg);
+        let orbit = oscillator_steady_state(&dae, &ShootingOptions::default()).unwrap();
+        let base = crate::WampdeOptions {
+            harmonics: 4,
+            ..Default::default()
+        };
+        let winit = WampdeInit::from_orbit(&orbit, &base);
+        let init = QpInit::from_constant(winit.stacked(), winit.freq_hz, 6);
+        let sparse = solve_quasiperiodic(&dae, &init, 4.0e-5, &base).unwrap();
+        let gm_opts = crate::WampdeOptions {
+            linear_solver: crate::LinearSolverKind::gmres_default(),
+            ..base
+        };
+        let gm = solve_quasiperiodic(&dae, &init, 4.0e-5, &gm_opts).unwrap();
+        for (a, b) in sparse.omegas.iter().zip(gm.omegas.iter()) {
+            assert!((a - b).abs() / a < 1e-6, "{a} vs {b}");
+        }
     }
 
     #[test]
