@@ -47,6 +47,10 @@ const TABLES: &[(&str, &str)] = &[
         "linsolve",
         "linear-solver scaling on ring_loaded_vco (BENCH_linsolve.json)",
     ),
+    (
+        "timestep",
+        "adaptive vs fixed slow-time stepping per solver (BENCH_timestep.json)",
+    ),
 ];
 
 fn print_targets() {
@@ -125,6 +129,237 @@ fn main() {
     if want_table("linsolve") {
         table_linsolve();
     }
+    if want_table("timestep") {
+        table_timestep();
+    }
+}
+
+/// Builds the RC-ladder-loaded LC VCO as deck cards (the deck-level twin
+/// of `circuitdae::circuits::ring_loaded_vco`).
+fn ring_ladder_cards(stages: usize) -> String {
+    let mut s = String::from(
+        "C1  tank 0 4.503n\n\
+         L1  tank 0 10u\n\
+         GN1 tank 0 5m 1.667m\n",
+    );
+    let mut prev = "tank".to_string();
+    for k in 0..stages {
+        let node = format!("ld{k}");
+        s.push_str(&format!("R{} {prev} {node} 10k\n", k + 2));
+        s.push_str(&format!("C{} {node} 0 1p\n", k + 2));
+        prev = node;
+    }
+    s
+}
+
+/// Deck-driven adaptive-vs-fixed step comparison for every slow-time
+/// stepper, the machine-readable record of the shared `timekit` layer:
+/// each solver runs the same deck once with LTE-adaptive stepping and
+/// once with a tight fixed step, and must land on the same answer with
+/// measurably fewer steps. Emits `target/repro/BENCH_timestep.json`.
+fn table_timestep() {
+    println!("=== table `timestep`: adaptive vs fixed slow-time stepping ===");
+    println!("  solver   mode      integrator   steps  rejected   wall (ms)   rel dev");
+    let mut records: Vec<String> = Vec::new();
+    let mut record = |solver: &str,
+                      mode: &str,
+                      integrator: &str,
+                      steps: usize,
+                      rejected: usize,
+                      wall_ns: u128,
+                      rel_dev: f64| {
+        println!(
+            "  {solver:<8} {mode:<9} {integrator:<12} {steps:>5} {rejected:>9} {:>11.2}   {rel_dev:.2e}",
+            wall_ns as f64 / 1e6
+        );
+        records.push(format!(
+            "    {{\"solver\": \"{solver}\", \"mode\": \"{mode}\", \"integrator\": \
+             \"{integrator}\", \"steps\": {steps}, \"rejected\": {rejected}, \
+             \"wall_ns\": {wall_ns}, \"rel_dev\": {rel_dev:e}}}"
+        ));
+    };
+
+    // --- WaMPDE envelope on the ring-loaded VCO (the acceptance
+    // workload). The initial orbit excites a weakly damped settling
+    // beat of ω(t2): adaptive BDF2 resolves it finely early and
+    // coarsens as it decays, while an equal-accuracy fixed run must
+    // keep the transient-resolving step for the whole horizon. ---
+    {
+        let cards = ring_ladder_cards(8);
+        let run = |directive: &str| {
+            let deck = circuitdae::parse_deck(&format!("{cards}{directive}\n"))
+                .expect("timestep deck parses");
+            let dae = deck.base_circuit().expect("timestep deck instantiates");
+            let circuitdae::AnalysisSpec::Wampde(w) = &deck.analyses[0] else {
+                unreachable!("deck has one .wampde directive")
+            };
+            let t0 = std::time::Instant::now();
+            let env = wampde::run_wampde_spec(&dae, w).expect("wampde run converges");
+            (env, w.integrator.label(), t0.elapsed().as_nanos())
+        };
+        let (env_a, integ, wall_a) = run(".wampde 40u harmonics=5 steps=256");
+        // Equal-accuracy fixed baseline: the mean accepted step over the
+        // adaptive run's first decile — the resolution the settling
+        // transient demands, which a fixed-step user (not knowing where
+        // the transient ends) must pay everywhere.
+        let hs: Vec<f64> = env_a.t2.windows(2).map(|w| w[1] - w[0]).collect();
+        let decile = (hs.len() / 10).max(1);
+        let dt_fixed = hs[..decile].iter().sum::<f64>() / decile as f64;
+        let (env_f, _, wall_f) = run(&format!(
+            ".wampde 40u harmonics=5 steps=256 dt={dt_fixed:e}"
+        ));
+        let omega_a = *env_a.omega_hz.last().expect("nonempty envelope");
+        let omega_f = *env_f.omega_hz.last().expect("nonempty envelope");
+        let rel = (omega_a - omega_f).abs() / omega_f;
+        assert!(
+            rel < 5e-3,
+            "adaptive settled omega {omega_a} deviates from fixed {omega_f}"
+        );
+        record(
+            "wampde",
+            "adaptive",
+            integ,
+            env_a.stats.steps,
+            env_a.stats.rejected,
+            wall_a,
+            rel,
+        );
+        record(
+            "wampde",
+            "fixed",
+            integ,
+            env_f.stats.steps,
+            env_f.stats.rejected,
+            wall_f,
+            0.0,
+        );
+        assert!(
+            env_a.stats.steps + env_a.stats.rejected < env_f.stats.steps,
+            "adaptive must take fewer t2 solves ({} + {} rejected vs {})",
+            env_a.stats.steps,
+            env_a.stats.rejected,
+            env_f.stats.steps
+        );
+    }
+
+    // --- Transient on a pulse-driven RC ladder: 1 µs edges separated
+    // by long flats. Adaptive trapezoidal resolves the edges and
+    // coasts across the flats; a fixed-step run must resolve the edges
+    // everywhere. ---
+    {
+        let mut cards =
+            String::from("V1 in 0 PULSE(0 1 1u 2m 1u 4m)\nR1 in ld0 1k\nC1 ld0 0 10n\n");
+        for k in 0..3 {
+            cards.push_str(&format!("R{} ld{k} ld{} 1k\n", k + 2, k + 1));
+            cards.push_str(&format!("C{} ld{} 0 10n\n", k + 2, k + 1));
+        }
+        // One 1 µs rising edge at t = 0, then ~100 µs of RC settling and
+        // a long flat: adaptive steps resolve the edge and settle, then
+        // coast at dt_max; the fixed run pays edge resolution everywhere.
+        let deck = circuitdae::parse_deck(
+            &format!(
+                "{cards}.tran 1m rtol=1e-6 atol=1e-9\n\
+                 .tran 1m dt=0.25u\n"
+            ), // 4 points across the 1 µs edge
+        )
+        .expect("tran timestep deck parses");
+        let dae = deck.base_circuit().expect("deck instantiates");
+        let mut finals = Vec::new();
+        for spec in &deck.analyses {
+            let circuitdae::AnalysisSpec::Tran(t) = spec else {
+                unreachable!("deck has only .tran directives")
+            };
+            let mode = if t.dt > 0.0 { "fixed" } else { "adaptive" };
+            let t0 = std::time::Instant::now();
+            let res = transim::run_tran_spec(&dae, t).expect("transient converges");
+            let wall = t0.elapsed().as_nanos();
+            finals.push((
+                mode,
+                t.integrator.label(),
+                res.stats.steps,
+                res.stats.rejected,
+                wall,
+                res.last()[res.last().len() - 2], // deep ladder node
+            ));
+        }
+        let v_fixed = finals.iter().find(|r| r.0 == "fixed").unwrap().5;
+        let scale = v_fixed.abs().max(0.1);
+        for (mode, integ, steps, rejected, wall, v) in &finals {
+            let rel = (v - v_fixed).abs() / scale;
+            assert!(rel < 1e-2, "{mode} final value {v} deviates from {v_fixed}");
+            record("transim", mode, integ, *steps, *rejected, *wall, rel);
+        }
+        let adaptive = finals.iter().find(|r| r.0 == "adaptive").unwrap();
+        let fixed = finals.iter().find(|r| r.0 == "fixed").unwrap();
+        assert!(
+            adaptive.2 + adaptive.3 < fixed.2,
+            "adaptive must take fewer transient solves ({} + {} rejected vs {})",
+            adaptive.2,
+            adaptive.3,
+            fixed.2
+        );
+    }
+
+    // --- MPDE envelope on the AM-driven RC low-pass: fixed Backward
+    // Euler vs rtol-triggered adaptive stepping. ---
+    {
+        let deck = circuitdae::parse_deck(
+            "R1 out 0 1k\n\
+             C1 out 0 1n\n\
+             .mpde 1meg 2m amp=1m depth=0.5 fmod=1k rtol=1e-4 atol=1e-6\n\
+             .mpde 1meg 2m amp=1m depth=0.5 fmod=1k dt=10u\n",
+        )
+        .expect("mpde timestep deck parses");
+        let dae = deck.base_circuit().expect("deck instantiates");
+        let mut finals = Vec::new();
+        for spec in &deck.analyses {
+            let circuitdae::AnalysisSpec::Mpde(m) = spec else {
+                unreachable!("deck has only .mpde directives")
+            };
+            let mode = if m.rtol > 0.0 { "adaptive" } else { "fixed" };
+            let t0 = std::time::Instant::now();
+            let res = mpde::run_mpde_spec(&dae, m).expect("mpde run converges");
+            let wall = t0.elapsed().as_nanos();
+            // Peak demodulated envelope over the run: both modes see the
+            // same quasi-static filter response.
+            let peak = res
+                .envelope_amplitude(0)
+                .into_iter()
+                .fold(0.0_f64, f64::max);
+            finals.push((
+                mode,
+                m.integrator.label(),
+                res.stats.steps,
+                res.stats.rejected,
+                wall,
+                peak,
+            ));
+        }
+        let peak_fixed = finals.iter().find(|r| r.0 == "fixed").unwrap().5;
+        for (mode, integ, steps, rejected, wall, peak) in &finals {
+            let rel = (peak - peak_fixed).abs() / peak_fixed;
+            assert!(rel < 2e-2, "{mode} peak {peak} deviates from {peak_fixed}");
+            record("mpde", mode, integ, *steps, *rejected, *wall, rel);
+        }
+        let adaptive = finals.iter().find(|r| r.0 == "adaptive").unwrap();
+        let fixed = finals.iter().find(|r| r.0 == "fixed").unwrap();
+        assert!(
+            adaptive.2 + adaptive.3 < fixed.2,
+            "adaptive must take fewer mpde solves ({} + {} rejected vs {})",
+            adaptive.2,
+            adaptive.3,
+            fixed.2
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"timestep\",\n  \"workload\": \"deck-driven adaptive vs \
+         fixed slow-time stepping (timekit controller), per solver\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    let p = write_text_in(&repro_dir(), "BENCH_timestep.json", &json).expect("write json");
+    println!("  -> {}", p.display());
 }
 
 /// Times one factor + solve of the bordered WaMPDE step Jacobian per

@@ -1,7 +1,8 @@
 //! `wampde-cli` — deck-driven, parallel experiment runs.
 //!
 //! ```text
-//! wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--solver KIND] [--list]
+//! wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--solver KIND]
+//!            [--integrator SCHEME] [--rtol V] [--list]
 //! ```
 //!
 //! Loads a scenario deck (circuit cards + `.tran`/`.shooting`/`.mpde`/
@@ -18,16 +19,24 @@
 //! running anything.
 //!
 //! `--solver dense|sparselu|gmres` overrides the deck's `.options` choice
-//! of linear-solver backend for every analysis.
+//! of linear-solver backend for every analysis; `--integrator
+//! be|trap|bdf2` and `--rtol V` likewise override the time-stepping
+//! scheme and adaptive tolerance of every time-stepping analysis (for
+//! `.mpde`, a positive `--rtol` switches the envelope from fixed-step to
+//! LTE-adaptive mode).
 
-use circuitdae::{parse_deck, LinearSolverKind};
+use circuitdae::{parse_deck, LinearSolverKind, Scheme};
 use std::path::{Path, PathBuf};
 use sweepkit::{expand_grid, run_deck};
 use wampde_bench::out::{json_escape, write_csv_in, write_text_in};
 
 fn usage() -> ! {
-    eprintln!("usage: wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--solver KIND] [--list]");
+    eprintln!(
+        "usage: wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--solver KIND] \
+         [--integrator SCHEME] [--rtol V] [--list]"
+    );
     eprintln!("  KIND: dense | sparselu | gmres");
+    eprintln!("  SCHEME: be | trap | bdf2");
     std::process::exit(2);
 }
 
@@ -36,6 +45,8 @@ struct Args {
     jobs: usize,
     out_dir: Option<PathBuf>,
     solver: Option<LinearSolverKind>,
+    integrator: Option<Scheme>,
+    rtol: Option<f64>,
     list: bool,
 }
 
@@ -45,6 +56,8 @@ fn parse_args() -> Args {
     let mut jobs = 1usize;
     let mut out_dir: Option<PathBuf> = None;
     let mut solver: Option<LinearSolverKind> = None;
+    let mut integrator: Option<Scheme> = None;
+    let mut rtol: Option<f64> = None;
     let mut list = false;
     let mut i = 0;
     while i < argv.len() {
@@ -56,6 +69,27 @@ fn parse_args() -> Args {
                         .and_then(|v| LinearSolverKind::parse(v))
                         .unwrap_or_else(|| {
                             eprintln!("--solver requires one of: dense, sparselu, gmres");
+                            std::process::exit(2);
+                        }),
+                );
+            }
+            "--integrator" => {
+                i += 1;
+                integrator = Some(argv.get(i).and_then(|v| Scheme::parse(v)).unwrap_or_else(
+                    || {
+                        eprintln!("--integrator requires one of: be, trap, bdf2");
+                        std::process::exit(2);
+                    },
+                ));
+            }
+            "--rtol" => {
+                i += 1;
+                rtol = Some(
+                    argv.get(i)
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|&v| v > 0.0 && v.is_finite())
+                        .unwrap_or_else(|| {
+                            eprintln!("--rtol requires a positive number");
                             std::process::exit(2);
                         }),
                 );
@@ -102,6 +136,8 @@ fn parse_args() -> Args {
         jobs,
         out_dir,
         solver,
+        integrator,
+        rtol,
         list,
     }
 }
@@ -126,6 +162,18 @@ fn real_main(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             a.set_solver(kind);
         }
         println!("linear solver override: {}", kind.label());
+    }
+    if let Some(scheme) = args.integrator {
+        for a in &mut deck.analyses {
+            a.set_integrator(scheme);
+        }
+        println!("integrator override: {}", scheme.label());
+    }
+    if let Some(rtol) = args.rtol {
+        for a in &mut deck.analyses {
+            a.set_rtol(rtol);
+        }
+        println!("rtol override: {rtol:e}");
     }
     let deck = deck;
 

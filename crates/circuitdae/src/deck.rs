@@ -24,9 +24,11 @@
 use crate::circuit::{Circuit, CircuitDae};
 use crate::netlist::NetlistError;
 use linsolve::LinearSolverKind;
+use timekit::Scheme;
 
-/// `.tran <tstop> [dt=<v>] [rtol=<v>]` — transient integration from the
-/// DC operating point.
+/// `.tran <tstop> [dt=<v>] [integrator=<s>] [rtol=<v>] [atol=<v>]
+/// [dt_min=<v>] [dt_max=<v>]` — transient integration from the DC
+/// operating point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TranSpec {
     /// End time (s).
@@ -35,8 +37,33 @@ pub struct TranSpec {
     pub dt: f64,
     /// Relative tolerance of the adaptive controller.
     pub rtol: f64,
+    /// Absolute tolerance of the adaptive controller.
+    pub atol: f64,
+    /// Minimum adaptive step (`0.0` = auto: span·1e-12).
+    pub dt_min: f64,
+    /// Maximum adaptive step (`0.0` = auto: span/10).
+    pub dt_max: f64,
+    /// Integration scheme (`be`, `trap`, `bdf2`).
+    pub integrator: Scheme,
     /// Linear-solver backend (from the deck's `.options solver=` line).
     pub solver: LinearSolverKind,
+}
+
+impl TranSpec {
+    /// The directive defaults: LTE-adaptive trapezoidal stepping at
+    /// `rtol = 1e-6`, `atol = 1e-12`, auto step bounds, dense LU.
+    pub fn new(t_stop: f64) -> Self {
+        TranSpec {
+            t_stop,
+            dt: 0.0,
+            rtol: 1e-6,
+            atol: 1e-12,
+            dt_min: 0.0,
+            dt_max: 0.0,
+            integrator: Scheme::Trapezoidal,
+            solver: LinearSolverKind::default(),
+        }
+    }
 }
 
 /// `.shooting [steps=<n>] [phase_var=<k>]` — periodic steady state of an
@@ -52,8 +79,11 @@ pub struct ShootingSpec {
 }
 
 /// `.mpde <f1> <tstop> [harmonics=<n>] [node=<k>] [amp=<v>] [depth=<v>]
-/// [fmod=<v>]` — unwarped MPDE envelope with an AM-modulated carrier
-/// forcing into one KCL row.
+/// [fmod=<v>] [dt=<v>] [integrator=<s>] [rtol=<v>] [atol=<v>]
+/// [dt_min=<v>] [dt_max=<v>]` — unwarped MPDE envelope with an
+/// AM-modulated carrier forcing into one KCL row. Fixed-step by default
+/// (`dt`, auto `tstop/50`); `rtol=` switches on LTE-adaptive `t2`
+/// stepping.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MpdeSpec {
     /// Fast carrier fundamental (Hz) — fixed a priori, per the method.
@@ -70,13 +100,51 @@ pub struct MpdeSpec {
     pub mod_depth: f64,
     /// Envelope modulation frequency (Hz).
     pub mod_freq_hz: f64,
+    /// Fixed `t2` step (or `dt_init` in adaptive mode); `0.0` = auto.
+    pub dt: f64,
+    /// Adaptive relative tolerance; `0.0` keeps fixed-step mode.
+    pub rtol: f64,
+    /// Adaptive absolute tolerance.
+    pub atol: f64,
+    /// Minimum adaptive step (`0.0` = auto).
+    pub dt_min: f64,
+    /// Maximum adaptive step (`0.0` = auto).
+    pub dt_max: f64,
+    /// Integration scheme along `t2` (`be`, `trap`, `bdf2`).
+    pub integrator: Scheme,
     /// Linear-solver backend (from the deck's `.options solver=` line).
     pub solver: LinearSolverKind,
 }
 
-/// `.wampde <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>]` — warped
-/// MPDE envelope, initialised from the shooting steady state of the
-/// circuit with its waveforms frozen at `t = 0`.
+impl MpdeSpec {
+    /// The directive defaults: fixed-step Backward Euler along `t2`
+    /// (auto `t_stop/50`), 6 harmonics, a 50 %-depth AM carrier into
+    /// row 0 at `f1/100` modulation, dense LU.
+    pub fn new(f1_hz: f64, t_stop: f64) -> Self {
+        MpdeSpec {
+            f1_hz,
+            t_stop,
+            harmonics: 6,
+            node: 0,
+            amplitude: 1e-3,
+            mod_depth: 0.5,
+            mod_freq_hz: f1_hz / 100.0,
+            dt: 0.0,
+            rtol: 0.0, // fixed-step mode unless rtol is set
+            atol: 1e-9,
+            dt_min: 0.0,
+            dt_max: 0.0,
+            integrator: Scheme::BackwardEuler,
+            solver: LinearSolverKind::default(),
+        }
+    }
+}
+
+/// `.wampde <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>]
+/// [dt=<v>] [integrator=<s>] [rtol=<v>] [atol=<v>] [dt_min=<v>]
+/// [dt_max=<v>]` — warped MPDE envelope, initialised from the shooting
+/// steady state of the circuit with its waveforms frozen at `t = 0`.
+/// LTE-adaptive along `t2` by default; `dt=` pins a fixed step.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WampdeSpec {
     /// Envelope end time (s).
@@ -87,8 +155,41 @@ pub struct WampdeSpec {
     pub phase_var: usize,
     /// Shooting steps per period for the initial orbit.
     pub shooting_steps: usize,
+    /// Fixed `t2` step; `0.0` selects LTE-adaptive stepping.
+    pub dt: f64,
+    /// Adaptive relative tolerance.
+    pub rtol: f64,
+    /// Adaptive absolute tolerance.
+    pub atol: f64,
+    /// Minimum adaptive step (`0.0` = auto).
+    pub dt_min: f64,
+    /// Maximum adaptive step (`0.0` = auto).
+    pub dt_max: f64,
+    /// Integration scheme along `t2` (`be`, `trap`, `bdf2`).
+    pub integrator: Scheme,
     /// Linear-solver backend (from the deck's `.options solver=` line).
     pub solver: LinearSolverKind,
+}
+
+impl WampdeSpec {
+    /// The directive defaults: LTE-adaptive BDF2 along `t2` at
+    /// `rtol = 1e-4`, `atol = 1e-9`, auto step bounds, 8 harmonics,
+    /// 512-step shooting initialisation, dense LU.
+    pub fn new(t_stop: f64) -> Self {
+        WampdeSpec {
+            t_stop,
+            harmonics: 8,
+            phase_var: 0,
+            shooting_steps: 512,
+            dt: 0.0, // adaptive unless a fixed step is pinned
+            rtol: 1e-4,
+            atol: 1e-9,
+            dt_min: 0.0,
+            dt_max: 0.0,
+            integrator: Scheme::Bdf2,
+            solver: LinearSolverKind::default(),
+        }
+    }
 }
 
 /// One analysis directive of a deck.
@@ -133,6 +234,42 @@ impl AnalysisSpec {
             AnalysisSpec::Shooting(s) => s.solver = kind,
             AnalysisSpec::Mpde(s) => s.solver = kind,
             AnalysisSpec::Wampde(s) => s.solver = kind,
+        }
+    }
+
+    /// The time-integration scheme this analysis will step with
+    /// (`None` for `.shooting`, which has no slow-time axis).
+    pub fn integrator(&self) -> Option<Scheme> {
+        match self {
+            AnalysisSpec::Tran(s) => Some(s.integrator),
+            AnalysisSpec::Shooting(_) => None,
+            AnalysisSpec::Mpde(s) => Some(s.integrator),
+            AnalysisSpec::Wampde(s) => Some(s.integrator),
+        }
+    }
+
+    /// Overrides the integration scheme (used by the `wampde-cli
+    /// --integrator` flag). A no-op for `.shooting`.
+    pub fn set_integrator(&mut self, scheme: Scheme) {
+        match self {
+            AnalysisSpec::Tran(s) => s.integrator = scheme,
+            AnalysisSpec::Shooting(_) => {}
+            AnalysisSpec::Mpde(s) => s.integrator = scheme,
+            AnalysisSpec::Wampde(s) => s.integrator = scheme,
+        }
+    }
+
+    /// Overrides the adaptive relative tolerance (used by the
+    /// `wampde-cli --rtol` flag). For `.tran`/`.wampde` it takes effect
+    /// in adaptive mode; for `.mpde` a positive value also switches the
+    /// envelope from fixed-step to adaptive mode. A no-op for
+    /// `.shooting`.
+    pub fn set_rtol(&mut self, rtol: f64) {
+        match self {
+            AnalysisSpec::Tran(s) => s.rtol = rtol,
+            AnalysisSpec::Shooting(_) => {}
+            AnalysisSpec::Mpde(s) => s.rtol = rtol,
+            AnalysisSpec::Wampde(s) => s.rtol = rtol,
         }
     }
 }

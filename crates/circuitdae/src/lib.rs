@@ -49,5 +49,8 @@ pub use deck::{AnalysisSpec, Deck, MpdeSpec, ShootingSpec, SweepSpec, TranSpec, 
 // callers (the CLI, sweepkit) that never touch `linsolve` directly.
 pub use device::{Device, MemsParams};
 pub use linsolve::LinearSolverKind;
+// Deck specs likewise carry the integration scheme, so deck-driven
+// callers can name schemes without depending on `timekit` directly.
 pub use netlist::{parse_deck, parse_netlist, NetlistError};
+pub use timekit::Scheme;
 pub use waveform::Waveform;

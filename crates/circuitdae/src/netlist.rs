@@ -24,13 +24,20 @@
 //! analysis cards), producing a typed [`Deck`]:
 //!
 //! ```text
-//! .tran     <tstop> [dt=<v>] [rtol=<v>]
+//! .tran     <tstop> [dt=<v>] [STEP KEYS]
 //! .shooting [steps=<n>] [phase_var=<k>]
-//! .mpde     <f1> <tstop> [harmonics=<n>] [node=<k>] [amp=<v>] [depth=<v>] [fmod=<v>]
-//! .wampde   <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>]
+//! .mpde     <f1> <tstop> [harmonics=<n>] [node=<k>] [amp=<v>] [depth=<v>] [fmod=<v>] [dt=<v>] [STEP KEYS]
+//! .wampde   <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>] [dt=<v>] [STEP KEYS]
 //! .sweep    <param> <from> <to> <points> [log]
 //! .options  solver=dense|sparselu|gmres [gmres_tol=<v>] [gmres_restart=<n>]
 //! ```
+//!
+//! The time-stepping analyses share one set of `STEP KEYS` plumbed into
+//! the `timekit` controller: `integrator=be|trap|bdf2`, `rtol=<v>`,
+//! `atol=<v>`, `dt_min=<v>`, `dt_max=<v>`. For `.tran` and `.wampde`,
+//! `dt=` pins a fixed step and omitting it selects LTE-adaptive
+//! stepping; `.mpde` is fixed-step by default (auto `tstop/50`) and a
+//! `rtol=` key switches it to adaptive.
 //!
 //! `.options` selects the linear-solver backend for *every* analysis in
 //! the deck (position-independent; a later `.options` line wins). The
@@ -49,6 +56,7 @@ use crate::waveform::Waveform;
 use linsolve::LinearSolverKind;
 use std::collections::HashMap;
 use std::fmt;
+use timekit::Scheme;
 
 /// Errors from netlist parsing.
 #[derive(Debug, Clone, PartialEq)]
@@ -440,6 +448,66 @@ fn parse_usize(v: &str, what: &str) -> Result<usize, String> {
         .map_err(|_| format!("cannot parse {what} '{v}' as an integer"))
 }
 
+/// The step-control keys shared by the `.tran`/`.mpde`/`.wampde`
+/// directives, with per-directive defaults seeded by the caller. Each
+/// key is validated here so every directive rejects a bad value with
+/// the same message (plus its own line number).
+struct StepKeys<'a> {
+    dt: &'a mut f64,
+    rtol: &'a mut f64,
+    atol: &'a mut f64,
+    dt_min: &'a mut f64,
+    dt_max: &'a mut f64,
+    integrator: &'a mut Scheme,
+}
+
+impl StepKeys<'_> {
+    /// Cross-field validation after all keys are applied, so a
+    /// contradictory pair fails at parse time with the directive's line
+    /// number instead of at run time without one.
+    fn finish(&self) -> Result<(), String> {
+        if *self.dt_min > 0.0 && *self.dt_max > 0.0 && *self.dt_min > *self.dt_max {
+            return Err(format!(
+                "dt_min {:e} exceeds dt_max {:e}",
+                *self.dt_min, *self.dt_max
+            ));
+        }
+        Ok(())
+    }
+
+    /// Applies one `key=value` option; `Ok(false)` means the key is not
+    /// a step key and the directive should try its own table.
+    fn apply(&mut self, k: &str, v: &str) -> Result<bool, String> {
+        let positive = |v: f64, what: &str| -> Result<f64, String> {
+            if v > 0.0 {
+                Ok(v)
+            } else {
+                Err(format!("{what} must be positive"))
+            }
+        };
+        let nonnegative = |v: f64, what: &str| -> Result<f64, String> {
+            if v >= 0.0 {
+                Ok(v)
+            } else {
+                Err(format!("{what} must not be negative"))
+            }
+        };
+        match k {
+            "dt" => *self.dt = positive(parse_value(v)?, "dt")?,
+            "rtol" => *self.rtol = positive(parse_value(v)?, "rtol")?,
+            "atol" => *self.atol = positive(parse_value(v)?, "atol")?,
+            "dt_min" => *self.dt_min = nonnegative(parse_value(v)?, "dt_min")?,
+            "dt_max" => *self.dt_max = nonnegative(parse_value(v)?, "dt_max")?,
+            "integrator" => {
+                *self.integrator = Scheme::parse(v)
+                    .ok_or_else(|| format!("unknown integrator '{v}' (be, trap, bdf2)"))?;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
 fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
     let keyword = tokens[0].to_ascii_lowercase();
     let args = &tokens[1..];
@@ -447,21 +515,40 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
         ".tran" => {
             let (pos, opts) = split_args(args)?;
             let [t_stop] = pos[..] else {
-                return Err("usage: .tran <tstop> [dt=<v>] [rtol=<v>]".into());
+                return Err(
+                    "usage: .tran <tstop> [dt=<v>] [integrator=<s>] [rtol=<v>] [atol=<v>] \
+                     [dt_min=<v>] [dt_max=<v>]"
+                        .into(),
+                );
             };
-            let mut spec = TranSpec {
-                t_stop: parse_value(t_stop)?,
-                dt: 0.0,
-                rtol: 1e-6,
-                solver: LinearSolverKind::default(),
-            };
+            let mut spec = TranSpec::new(parse_value(t_stop)?);
             for (k, v) in opts {
-                match k {
-                    "dt" => spec.dt = parse_value(v)?,
-                    "rtol" => spec.rtol = parse_value(v)?,
-                    other => return Err(format!(".tran: unknown option '{other}' (dt, rtol)")),
+                let consumed = StepKeys {
+                    dt: &mut spec.dt,
+                    rtol: &mut spec.rtol,
+                    atol: &mut spec.atol,
+                    dt_min: &mut spec.dt_min,
+                    dt_max: &mut spec.dt_max,
+                    integrator: &mut spec.integrator,
+                }
+                .apply(k, v)
+                .map_err(|e| format!(".tran: {e}"))?;
+                if !consumed {
+                    return Err(format!(
+                        ".tran: unknown option '{k}' (dt, integrator, rtol, atol, dt_min, dt_max)"
+                    ));
                 }
             }
+            StepKeys {
+                dt: &mut spec.dt,
+                rtol: &mut spec.rtol,
+                atol: &mut spec.atol,
+                dt_min: &mut spec.dt_min,
+                dt_max: &mut spec.dt_max,
+                integrator: &mut spec.integrator,
+            }
+            .finish()
+            .map_err(|e| format!(".tran: {e}"))?;
             if spec.t_stop <= 0.0 {
                 return Err(".tran: tstop must be positive".into());
             }
@@ -494,24 +581,29 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
             let (pos, opts) = split_args(args)?;
             let [f1, t_stop] = pos[..] else {
                 return Err("usage: .mpde <f1> <tstop> [harmonics=<n>] [node=<k>] \
-                     [amp=<v>] [depth=<v>] [fmod=<v>]"
+                     [amp=<v>] [depth=<v>] [fmod=<v>] [dt=<v>] [integrator=<s>] \
+                     [rtol=<v>] [atol=<v>] [dt_min=<v>] [dt_max=<v>]"
                     .into());
             };
             let f1_hz = parse_value(f1)?;
             if f1_hz <= 0.0 {
                 return Err(".mpde: carrier frequency must be positive".into());
             }
-            let mut spec = MpdeSpec {
-                f1_hz,
-                t_stop: parse_value(t_stop)?,
-                harmonics: 6,
-                node: 0,
-                amplitude: 1e-3,
-                mod_depth: 0.5,
-                mod_freq_hz: f1_hz / 100.0,
-                solver: LinearSolverKind::default(),
-            };
+            let mut spec = MpdeSpec::new(f1_hz, parse_value(t_stop)?);
             for (k, v) in opts {
+                let consumed = StepKeys {
+                    dt: &mut spec.dt,
+                    rtol: &mut spec.rtol,
+                    atol: &mut spec.atol,
+                    dt_min: &mut spec.dt_min,
+                    dt_max: &mut spec.dt_max,
+                    integrator: &mut spec.integrator,
+                }
+                .apply(k, v)
+                .map_err(|e| format!(".mpde: {e}"))?;
+                if consumed {
+                    continue;
+                }
                 match k {
                     "harmonics" => spec.harmonics = parse_usize(v, "harmonics")?,
                     "node" => spec.node = parse_usize(v, "node")?,
@@ -520,11 +612,22 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
                     "fmod" => spec.mod_freq_hz = parse_value(v)?,
                     other => {
                         return Err(format!(
-                            ".mpde: unknown option '{other}' (harmonics, node, amp, depth, fmod)"
+                            ".mpde: unknown option '{other}' (harmonics, node, amp, depth, \
+                             fmod, dt, integrator, rtol, atol, dt_min, dt_max)"
                         ))
                     }
                 }
             }
+            StepKeys {
+                dt: &mut spec.dt,
+                rtol: &mut spec.rtol,
+                atol: &mut spec.atol,
+                dt_min: &mut spec.dt_min,
+                dt_max: &mut spec.dt_max,
+                integrator: &mut spec.integrator,
+            }
+            .finish()
+            .map_err(|e| format!(".mpde: {e}"))?;
             if spec.t_stop <= 0.0 {
                 return Err(".mpde: tstop must be positive".into());
             }
@@ -538,28 +641,48 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
             let (pos, opts) = split_args(args)?;
             let [t_stop] = pos[..] else {
                 return Err(
-                    "usage: .wampde <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>]".into(),
+                    "usage: .wampde <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>] \
+                     [dt=<v>] [integrator=<s>] [rtol=<v>] [atol=<v>] [dt_min=<v>] [dt_max=<v>]"
+                        .into(),
                 );
             };
-            let mut spec = WampdeSpec {
-                t_stop: parse_value(t_stop)?,
-                harmonics: 8,
-                phase_var: 0,
-                shooting_steps: 512,
-                solver: LinearSolverKind::default(),
-            };
+            let mut spec = WampdeSpec::new(parse_value(t_stop)?);
             for (k, v) in opts {
+                let consumed = StepKeys {
+                    dt: &mut spec.dt,
+                    rtol: &mut spec.rtol,
+                    atol: &mut spec.atol,
+                    dt_min: &mut spec.dt_min,
+                    dt_max: &mut spec.dt_max,
+                    integrator: &mut spec.integrator,
+                }
+                .apply(k, v)
+                .map_err(|e| format!(".wampde: {e}"))?;
+                if consumed {
+                    continue;
+                }
                 match k {
                     "harmonics" => spec.harmonics = parse_usize(v, "harmonics")?,
                     "phase_var" => spec.phase_var = parse_usize(v, "phase_var")?,
                     "steps" => spec.shooting_steps = parse_usize(v, "steps")?,
                     other => {
                         return Err(format!(
-                            ".wampde: unknown option '{other}' (harmonics, phase_var, steps)"
+                            ".wampde: unknown option '{other}' (harmonics, phase_var, steps, \
+                             dt, integrator, rtol, atol, dt_min, dt_max)"
                         ))
                     }
                 }
             }
+            StepKeys {
+                dt: &mut spec.dt,
+                rtol: &mut spec.rtol,
+                atol: &mut spec.atol,
+                dt_min: &mut spec.dt_min,
+                dt_max: &mut spec.dt_max,
+                integrator: &mut spec.integrator,
+            }
+            .finish()
+            .map_err(|e| format!(".wampde: {e}"))?;
             if spec.t_stop <= 0.0 {
                 return Err(".wampde: tstop must be positive".into());
             }
@@ -938,6 +1061,112 @@ mod tests {
                 "R1 a 0 1k\nC1 a 0 1n\n.options dense\n",
                 3,
                 "usage: .options",
+            ),
+        ];
+        for (text, want_line, want_msg) in cases {
+            let err = parse_deck(text).unwrap_err();
+            match err {
+                NetlistError::Parse { line, message } => {
+                    assert_eq!(line, *want_line, "text: {text:?}: {message}");
+                    assert!(
+                        message.contains(want_msg),
+                        "text: {text:?}: message {message:?} missing {want_msg:?}"
+                    );
+                }
+                other => panic!("unexpected error {other} for {text:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn step_keys_parse_into_specs() {
+        let deck = parse_deck(&format!(
+            "{VCO_CARDS}.tran 1m dt=2u integrator=bdf2\n\
+             .tran 1m integrator=be rtol=1e-4 atol=1e-10 dt_min=1n dt_max=10u\n\
+             .wampde 6u harmonics=5 dt=20n integrator=trap\n\
+             .mpde 1meg 2m rtol=2e-4 dt=5u\n"
+        ))
+        .unwrap();
+        match &deck.analyses[0] {
+            AnalysisSpec::Tran(t) => {
+                assert_eq!(t.integrator, Scheme::Bdf2);
+                assert!((t.dt - 2e-6).abs() < 1e-18);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &deck.analyses[1] {
+            AnalysisSpec::Tran(t) => {
+                assert_eq!(t.integrator, Scheme::BackwardEuler);
+                assert_eq!(t.dt, 0.0); // adaptive
+                assert!((t.rtol - 1e-4).abs() < 1e-18);
+                assert!((t.atol - 1e-10).abs() < 1e-22);
+                assert!((t.dt_min - 1e-9).abs() < 1e-21);
+                assert!((t.dt_max - 1e-5).abs() < 1e-17);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &deck.analyses[2] {
+            AnalysisSpec::Wampde(w) => {
+                assert_eq!(w.integrator, Scheme::Trapezoidal);
+                assert!((w.dt - 20e-9).abs() < 1e-21);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &deck.analyses[3] {
+            AnalysisSpec::Mpde(m) => {
+                assert_eq!(m.integrator, Scheme::BackwardEuler);
+                assert!((m.rtol - 2e-4).abs() < 1e-18, "rtol enables adaptive");
+                assert!((m.dt - 5e-6).abs() < 1e-18);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Integrator getter/setters used by the CLI overrides.
+        let mut deck = deck;
+        assert_eq!(deck.analyses[0].integrator(), Some(Scheme::Bdf2));
+        deck.analyses[0].set_integrator(Scheme::Trapezoidal);
+        deck.analyses[0].set_rtol(3e-5);
+        match &deck.analyses[0] {
+            AnalysisSpec::Tran(t) => {
+                assert_eq!(t.integrator, Scheme::Trapezoidal);
+                assert!((t.rtol - 3e-5).abs() < 1e-19);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_key_errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.tran 1m integrator=rk4\n",
+                3,
+                "unknown integrator 'rk4'",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.wampde 1u rtol=-1\n",
+                3,
+                "rtol must be positive",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.mpde 1meg 1m atol=0\n",
+                3,
+                "atol must be positive",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.tran 1m dt_min=-1n\n",
+                3,
+                "dt_min must not be negative",
+            ),
+            ("R1 a 0 1k\nC1 a 0 1n\n.tran 1m dt=0\n", 3, "dt must be"),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.tran 1m dt_min=1u dt_max=1n\n",
+                3,
+                "dt_min 1e-6 exceeds dt_max 1e-9",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.wampde 1u dt_min=2n dt_max=1n\n",
+                3,
+                "exceeds dt_max",
             ),
         ];
         for (text, want_line, want_msg) in cases {

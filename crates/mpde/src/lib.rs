@@ -52,6 +52,7 @@ use hb::Colloc;
 use linsolve::{FactoredJacobian, JacobianParts, LinearSolverKind};
 use numkit::vecops::norm2;
 use std::fmt;
+use timekit::{History, Scheme, StepPolicy, StepVerdict};
 use transim::NewtonOptions;
 
 /// Errors from the MPDE envelope solver.
@@ -69,6 +70,13 @@ pub enum MpdeError {
         /// Slow time of the failure.
         at_t2: f64,
     },
+    /// Adaptive slow-time stepping underflowed its minimum step.
+    StepTooSmall {
+        /// Slow time of the failure.
+        at_t2: f64,
+        /// Rejected step.
+        step: f64,
+    },
     /// Invalid configuration.
     BadInput(String),
 }
@@ -83,6 +91,12 @@ impl fmt::Display for MpdeError {
                 )
             }
             MpdeError::Singular { at_t2 } => write!(f, "mpde jacobian singular at t2={at_t2:.6e}"),
+            MpdeError::StepTooSmall { at_t2, step } => {
+                write!(
+                    f,
+                    "mpde slow-time step {step:.3e} underflow at t2={at_t2:.6e}"
+                )
+            }
             MpdeError::BadInput(msg) => write!(f, "bad input: {msg}"),
         }
     }
@@ -124,8 +138,17 @@ impl BivariateForcing for AmForcing {
 pub struct MpdeOptions {
     /// Harmonics along the fast axis (`N0 = 2M+1` samples).
     pub harmonics: usize,
-    /// Fixed `t2` step (`0.0` = auto: 1/50 of the run).
+    /// Fixed `t2` step (`0.0` = auto: 1/50 of the run). Only consulted
+    /// when [`MpdeOptions::step`] is `None` (the legacy fixed-step
+    /// configuration path).
     pub dt2: f64,
+    /// Integration scheme along `t2` (shared `timekit` table). The
+    /// historical — and default — choice is Backward Euler.
+    pub integrator: Scheme,
+    /// Full step policy; `None` keeps the legacy fixed-step behaviour
+    /// driven by [`MpdeOptions::dt2`]. `Some(StepPolicy::Adaptive {..})`
+    /// switches the envelope to LTE-adaptive `t2` stepping.
+    pub step: Option<StepPolicy>,
     /// Inner Newton options.
     pub newton: NewtonOptions,
     /// Linear solver for the per-step collocation Jacobian.
@@ -137,10 +160,21 @@ impl Default for MpdeOptions {
         MpdeOptions {
             harmonics: 6,
             dt2: 0.0,
+            integrator: Scheme::BackwardEuler,
+            step: None,
             newton: NewtonOptions::default(),
             linear_solver: LinearSolverKind::default(),
         }
     }
+}
+
+/// Counters reported alongside an MPDE envelope run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MpdeStats {
+    /// Accepted `t2` steps (excluding the `t2 = 0` steady solve).
+    pub steps: usize,
+    /// Steps rejected by error control or Newton failure.
+    pub rejected: usize,
 }
 
 /// An MPDE envelope solution.
@@ -156,6 +190,8 @@ pub struct MpdeResult {
     pub t2: Vec<f64>,
     /// Stacked collocation states per `t2` point (sample-major).
     pub states: Vec<Vec<f64>>,
+    /// Run statistics.
+    pub stats: MpdeStats,
 }
 
 impl MpdeResult {
@@ -218,8 +254,10 @@ impl MpdeResult {
     }
 }
 
-/// Solves the MPDE by Backward-Euler envelope-following along `t2` with
-/// harmonic collocation along the fast axis.
+/// Solves the MPDE by envelope-following along `t2` (Backward Euler by
+/// default; any `timekit` scheme via [`MpdeOptions::integrator`], fixed
+/// or LTE-adaptive steps via [`MpdeOptions::step`]) with harmonic
+/// collocation along the fast axis.
 ///
 /// The initial condition is the forced periodic steady state at `t2 = 0`
 /// (an inner harmonic-balance-style Newton solve from the DC point).
@@ -246,11 +284,14 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
     let n = dae.dim();
     let colloc = Colloc::new(n, opts.harmonics);
     let len = colloc.len();
-    let h = if opts.dt2 > 0.0 {
+    let policy = opts.step.unwrap_or(StepPolicy::Fixed(if opts.dt2 > 0.0 {
         opts.dt2
     } else {
         t2_end / 50.0
-    };
+    }));
+    let mut ctl = policy
+        .resolve(t2_end, opts.integrator.order())
+        .map_err(MpdeError::BadInput)?;
 
     // Forcing at collocation phases, updated per step.
     let mut bgrid = vec![0.0; len];
@@ -263,17 +304,21 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
     };
 
     // Initial condition: periodic steady state at t2 = 0 (steady-envelope
-    // solve: f1·D·q + f = b̂(·, 0)).
+    // solve: f1·D·q + f = b̂(·, 0) — the general step residual with
+    // a0h = 0 and θ = 1).
     let dc = transim::dc_operating_point(dae, &opts.newton)
         .map_err(|e| MpdeError::BadInput(format!("dc operating point failed: {e}")))?;
     let mut x: Vec<f64> = (0..colloc.n0).flat_map(|_| dc.iter().copied()).collect();
     eval_forcing(0.0, &mut bgrid);
+    let zeros = vec![0.0; len];
     newton_mpde(
         dae,
         &colloc,
         &mut x,
-        None,
         0.0,
+        1.0,
+        &zeros,
+        &zeros,
         f1_hz,
         &bgrid,
         &opts.newton,
@@ -283,33 +328,110 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
 
     let mut t2s = vec![0.0];
     let mut states = vec![x.clone()];
-    let mut q_prev = vec![0.0; len];
-    colloc.eval_q_all(dae, &x, &mut q_prev);
+    let mut stats = MpdeStats::default();
+    let mut q_cur = vec![0.0; len];
+    let mut dq_buf = vec![0.0; len];
+    let mut fv_buf = vec![0.0; len];
+    colloc.eval_q_all(dae, &x, &mut q_cur);
+    // g_prev = f1·D·q + f − b̂ at the newest accepted point (the (1−θ)
+    // term of averaging schemes).
+    let mut g_prev = vec![0.0; len];
+    eval_g_mpde(
+        dae,
+        &colloc,
+        &x,
+        &q_cur,
+        f1_hz,
+        &bgrid,
+        &mut dq_buf,
+        &mut fv_buf,
+        &mut g_prev,
+    );
+
+    // Shared predictor/BDF2 history over the stacked collocation states.
+    let mut history = History::new(3);
+    history.push(0.0, x.clone(), q_cur.clone());
 
     let mut t2 = 0.0;
-    while t2 < t2_end - 1e-12 * t2_end {
-        let mut h_try = h.min(t2_end - t2);
-        if t2_end - (t2 + h_try) < 0.01 * h_try {
-            h_try = t2_end - t2;
+    let max_attempts = ctl.attempt_budget(t2_end);
+    let mut qlin = vec![0.0; len];
+
+    while t2 < t2_end - 1e-15 * t2_end {
+        if stats.steps + stats.rejected > max_attempts {
+            return Err(MpdeError::StepTooSmall {
+                at_t2: t2,
+                step: ctl.h(),
+            });
         }
+        let h_try = ctl.propose(t2, t2_end);
         let t_new = t2 + h_try;
         eval_forcing(t_new, &mut bgrid);
-        newton_mpde(
+
+        let coeffs = opts.integrator.step_coeffs(h_try, &history, &mut qlin);
+        let predicted = history.predict(t_new);
+        let mut x_new = predicted.clone().unwrap_or_else(|| x.clone());
+        let newton = newton_mpde(
             dae,
             &colloc,
-            &mut x,
-            Some((&q_prev, h_try)),
-            t_new,
+            &mut x_new,
+            coeffs.a0h,
+            coeffs.theta,
+            &qlin,
+            &g_prev,
             f1_hz,
             &bgrid,
             &opts.newton,
             opts.linear_solver,
             t_new,
-        )?;
-        colloc.eval_q_all(dae, &x, &mut q_prev);
-        t2 = t_new;
-        t2s.push(t2);
-        states.push(x.clone());
+        );
+
+        let newton_ok = newton.is_ok();
+        let accept = match newton {
+            Ok(()) => match &predicted {
+                Some(pred) if ctl.adaptive() => {
+                    let err = ctl.lte(&x_new, pred);
+                    ctl.evaluate(h_try, err) == StepVerdict::Accept
+                }
+                // Fixed step, or no history yet: accept the step.
+                _ => true,
+            },
+            Err(e) => {
+                if ctl.at_min(h_try) {
+                    return Err(e);
+                }
+                ctl.reject_failure(h_try);
+                false
+            }
+        };
+
+        if accept {
+            t2 = t_new;
+            x = x_new;
+            colloc.eval_q_all(dae, &x, &mut q_cur);
+            eval_g_mpde(
+                dae,
+                &colloc,
+                &x,
+                &q_cur,
+                f1_hz,
+                &bgrid,
+                &mut dq_buf,
+                &mut fv_buf,
+                &mut g_prev,
+            );
+            t2s.push(t2);
+            states.push(x.clone());
+            stats.steps += 1;
+            history.push(t2, x.clone(), q_cur.clone());
+        } else {
+            stats.rejected += 1;
+            if newton_ok && ctl.underflowed() {
+                return Err(MpdeError::StepTooSmall {
+                    at_t2: t2,
+                    step: ctl.h(),
+                });
+            }
+        }
     }
 
     Ok(MpdeResult {
@@ -318,19 +440,45 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
         f1_hz,
         t2: t2s,
         states,
+        stats,
     })
 }
 
+/// Evaluates the instantaneous MPDE operator
+/// `g = f1·D·q + f(x) − b̂` into `out`, reusing the caller's already
+/// computed charge vector `q` and scratch buffers (this runs once per
+/// accepted step in the envelope hot loop).
+#[allow(clippy::too_many_arguments)]
+fn eval_g_mpde<D: Dae + ?Sized>(
+    dae: &D,
+    colloc: &Colloc,
+    x: &[f64],
+    q: &[f64],
+    f1: f64,
+    bgrid: &[f64],
+    dq: &mut [f64],
+    fv: &mut [f64],
+    out: &mut [f64],
+) {
+    colloc.apply_diff(q, dq);
+    colloc.eval_f_all(dae, x, fv);
+    for k in 0..out.len() {
+        out[k] = f1 * dq[k] + fv[k] - bgrid[k];
+    }
+}
+
 /// Newton solve of one MPDE step (or the `t2 = 0` steady problem when
-/// `prev` is `None`):
-/// `r = [q(x) − q_prev]/h + f1·D·q(x) + f(x) − b̂`.
+/// `a0h = 0`):
+/// `r = a0h·q(x) + qlin + θ·(f1·D·q(x) + f(x) − b̂) + (1−θ)·g_prev`.
 #[allow(clippy::too_many_arguments)]
 fn newton_mpde<D: Dae + ?Sized>(
     dae: &D,
     colloc: &Colloc,
     x: &mut [f64],
-    prev: Option<(&[f64], f64)>,
-    _t_new: f64,
+    a0h: f64,
+    theta: f64,
+    qlin: &[f64],
+    g_prev: &[f64],
     f1: f64,
     bgrid: &[f64],
     newton: &NewtonOptions,
@@ -350,21 +498,18 @@ fn newton_mpde<D: Dae + ?Sized>(
             colloc.apply_diff(q, dq);
             colloc.eval_f_all(dae, x, fv);
             for k in 0..len {
-                r[k] = f1 * dq[k] + fv[k] - bgrid[k];
-                if let Some((qp, h)) = prev {
-                    r[k] += (q[k] - qp[k]) / h;
-                }
+                let g_inst = f1 * dq[k] + fv[k] - bgrid[k];
+                r[k] = a0h * q[k] + qlin[k] + theta * g_inst + (1.0 - theta) * g_prev[k];
             }
         };
 
     residual(x, &mut q, &mut dq, &mut fv, &mut r);
     let mut rnorm = norm2(&r);
-    let inv_h = prev.map_or(0.0, |(_, h)| 1.0 / h);
 
     for _iter in 1..=newton.max_iter {
-        // Step Jacobian δ(C/h + G) + f1·D⊗C through the shared solver
-        // layer (the MPDE is the `inv_h`-shifted, unbordered collocation
-        // form with ω pinned at the carrier fundamental f1).
+        // Step Jacobian δ(a0h·C + θ·G) + θ·f1·D⊗C through the shared
+        // solver layer (the MPDE is the `a0h`-shifted, unbordered
+        // collocation form with ω pinned at the carrier fundamental f1).
         let (cblocks, gblocks) = circuitdae::jac_blocks(dae, x);
         let parts = JacobianParts {
             n,
@@ -372,8 +517,8 @@ fn newton_mpde<D: Dae + ?Sized>(
             dmat: &colloc.dmat,
             cblocks: &cblocks,
             gblocks: &gblocks,
-            inv_h,
-            theta: 1.0,
+            inv_h: a0h,
+            theta,
             omega: f1,
             border: None,
         };
@@ -417,7 +562,9 @@ fn newton_mpde<D: Dae + ?Sized>(
 }
 
 /// Deck adapter: runs a `.mpde` directive. The spec's AM forcing fields
-/// map onto an [`AmForcing`] into the named KCL row.
+/// map onto an [`AmForcing`] into the named KCL row; its step keys pick
+/// fixed-step mode (the default, `dt=`) or — when `rtol` is positive —
+/// LTE-adaptive stepping with `dt` as the initial step.
 ///
 /// # Errors
 ///
@@ -440,6 +587,19 @@ pub fn run_mpde_spec<D: Dae + ?Sized>(
         mod_depth: spec.mod_depth,
         mod_freq_hz: spec.mod_freq_hz,
     };
+    let step = if spec.rtol > 0.0 {
+        Some(StepPolicy::Adaptive {
+            rtol: spec.rtol,
+            atol: spec.atol,
+            dt_init: spec.dt,
+            dt_min: spec.dt_min,
+            dt_max: spec.dt_max,
+        })
+    } else if spec.dt > 0.0 {
+        Some(StepPolicy::Fixed(spec.dt))
+    } else {
+        None
+    };
     solve_envelope_mpde(
         dae,
         &forcing,
@@ -448,6 +608,8 @@ pub fn run_mpde_spec<D: Dae + ?Sized>(
         &MpdeOptions {
             harmonics: spec.harmonics,
             linear_solver: spec.solver,
+            integrator: spec.integrator,
+            step,
             ..Default::default()
         },
     )

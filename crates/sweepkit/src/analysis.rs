@@ -176,6 +176,8 @@ impl Analysis for MpdeAnalysis {
             metrics: vec![
                 ("f1_hz".into(), res.f1_hz),
                 ("points".into(), res.t2.len() as f64),
+                ("steps".into(), res.stats.steps as f64),
+                ("rejected".into(), res.stats.rejected as f64),
             ],
         })
     }

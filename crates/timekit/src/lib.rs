@@ -1,0 +1,56 @@
+//! Shared adaptive time-integration engine.
+//!
+//! Every time-stepping loop in this workspace faces the same three
+//! problems: pick an implicit scheme and its (variable-step)
+//! coefficients, predict the next state from accepted history, and
+//! decide — from a local-truncation-error estimate — whether to accept
+//! the step and how large the next one should be. Before this crate
+//! those answers were copy-pasted three times (`transim`'s transient
+//! loop, the MPDE envelope, the WaMPDE envelope) with subtly different
+//! defaults and final-step handling; `timekit` owns them once, exactly
+//! as `linsolve` owns the inner linear solves.
+//!
+//! The pieces:
+//!
+//! * [`Scheme`] — the scheme table (Backward Euler / Trapezoidal /
+//!   BDF2) with order, error constants, deck-facing names, and the
+//!   step-residual coefficients `a0h`, `θ`, and the history term
+//!   ([`Scheme::step_coeffs`]); uniform cyclic stencils for periodic
+//!   boundary problems ([`Scheme::cyclic_stencil`]).
+//! * [`History`] — the ring of accepted points backing both the Newton
+//!   predictor and the predictor–corrector LTE estimate
+//!   ([`History::predict`]).
+//! * [`StepPolicy`] / [`StepController`] — fixed or LTE-adaptive step
+//!   selection with one canonical `dt_init`/`dt_min`/`dt_max`
+//!   auto-defaulting rule, the ≤1 % final-step stretch, and the
+//!   safety-factor accept/reject law shared by every solver.
+//!
+//! A caller's loop reads:
+//!
+//! ```
+//! use timekit::{History, Scheme, StepPolicy};
+//!
+//! # fn main() -> Result<(), String> {
+//! let scheme = Scheme::Trapezoidal;
+//! let policy = StepPolicy::default(); // adaptive, auto-resolved
+//! let mut ctl = policy.resolve(1.0, scheme.order())?;
+//! let mut hist = History::new(3);
+//! hist.push(0.0, vec![1.0], vec![1.0]);
+//! let (mut t, t_end) = (0.0, 1.0);
+//! while t < t_end {
+//!     let h_try = ctl.propose(t, t_end);
+//!     // ... build the step system from scheme.step_coeffs(...),
+//!     //     solve it, estimate the LTE, call ctl.accept(...) ...
+//! #   t = t_end;
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod controller;
+pub mod history;
+pub mod scheme;
+
+pub use controller::{StepController, StepPolicy, StepVerdict};
+pub use history::{History, HistoryPoint};
+pub use scheme::{Scheme, StepCoeffs};

@@ -1,0 +1,223 @@
+//! The implicit-scheme table and per-step coefficients.
+
+use crate::history::History;
+
+/// Implicit integration scheme along a (slow or ordinary) time axis.
+///
+/// All three schemes fit one step-residual shape: with `q` the charge
+/// term, `g` the instantaneous term (`f − b` for a transient,
+/// `ω·D·q + f − b` for an envelope), and `h` the step,
+///
+/// ```text
+/// r(x) = a0h·q(x) + qlin + θ·g(x, t_new) + (1 − θ)·g(x_prev, t_prev),
+/// ```
+///
+/// where `a0h` multiplies the new charge, `qlin` is the linear
+/// combination of *historical* charges written by
+/// [`Scheme::step_coeffs`], and `θ` weights the instantaneous term at
+/// the new time. The Jacobian of every such step is `a0h·C + θ·G` (plus
+/// whatever the instantaneous operator contributes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheme {
+    /// First order, L-stable, strongly damping. The safe choice for
+    /// stiff dynamics and for envelope systems with multiplier-like
+    /// unknowns.
+    BackwardEuler,
+    /// Second order, A-stable, no numerical damping — the standard
+    /// transient choice for oscillators (SPICE default). Averages the
+    /// instantaneous terms (`θ = ½`), which can ring on index-2-like
+    /// multipliers such as the WaMPDE's `ω(t2)`.
+    #[default]
+    Trapezoidal,
+    /// Second order, L-stable two-step BDF with variable-step
+    /// coefficients; self-starts with one Backward Euler step. Fully
+    /// implicit (`θ = 1`), so it is clean on multiplier unknowns.
+    Bdf2,
+}
+
+/// The per-step scalar coefficients returned by [`Scheme::step_coeffs`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepCoeffs {
+    /// Coefficient on the new charge `q(x_new)` (the `a0/h` of the
+    /// scheme); the step Jacobian is `a0h·C + θ·G`.
+    pub a0h: f64,
+    /// Weight of the instantaneous term at the new time; `1 − θ` weights
+    /// the previous instantaneous term (zero for the fully implicit
+    /// schemes).
+    pub theta: f64,
+}
+
+impl Scheme {
+    /// Classical order of accuracy (used by the step controller's
+    /// error exponent `−1/(order + 1)`).
+    pub fn order(&self) -> usize {
+        match self {
+            Scheme::BackwardEuler => 1,
+            Scheme::Trapezoidal | Scheme::Bdf2 => 2,
+        }
+    }
+
+    /// Principal local-error constant of the uniform-step scheme: the
+    /// LTE is `C·h^(order+1)·x^(order+1) + O(h^(order+2))`.
+    pub fn error_constant(&self) -> f64 {
+        match self {
+            Scheme::BackwardEuler => 0.5,
+            Scheme::Trapezoidal => -1.0 / 12.0,
+            Scheme::Bdf2 => -2.0 / 9.0,
+        }
+    }
+
+    /// Parses a deck/CLI scheme name: `be` (or `backward-euler`),
+    /// `trap` (or `trapezoidal`), `bdf2`.
+    pub fn parse(token: &str) -> Option<Self> {
+        match token.to_ascii_lowercase().as_str() {
+            "be" | "backward-euler" | "backwardeuler" => Some(Scheme::BackwardEuler),
+            "trap" | "trapezoidal" => Some(Scheme::Trapezoidal),
+            "bdf2" => Some(Scheme::Bdf2),
+            _ => None,
+        }
+    }
+
+    /// Short scheme name for deck directives, CLI flags, and artifact
+    /// records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::BackwardEuler => "be",
+            Scheme::Trapezoidal => "trap",
+            Scheme::Bdf2 => "bdf2",
+        }
+    }
+
+    /// The scheme table, in deck-name order.
+    pub fn all() -> &'static [Scheme] {
+        &[Scheme::BackwardEuler, Scheme::Trapezoidal, Scheme::Bdf2]
+    }
+
+    /// Computes the step coefficients for a step of size `h` from the
+    /// newest accepted point, writing the charge-history term
+    /// `qlin = Σᵢ aᵢ·q_histᵢ / h` into `qlin` (resized to match).
+    ///
+    /// BDF2 uses the true variable-step coefficients from the gap
+    /// between the two newest history points and self-starts with one
+    /// Backward Euler step while only one point exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the history is empty.
+    pub fn step_coeffs(&self, h: f64, hist: &History, qlin: &mut Vec<f64>) -> StepCoeffs {
+        let latest = hist.latest().expect("step_coeffs needs history");
+        qlin.resize(latest.q.len(), 0.0);
+        match self {
+            Scheme::BackwardEuler | Scheme::Trapezoidal => {
+                for (o, qv) in qlin.iter_mut().zip(&latest.q) {
+                    *o = -qv / h;
+                }
+                let theta = if *self == Scheme::Trapezoidal {
+                    0.5
+                } else {
+                    1.0
+                };
+                StepCoeffs {
+                    a0h: 1.0 / h,
+                    theta,
+                }
+            }
+            Scheme::Bdf2 => match hist.prev() {
+                // Self-start with one Backward Euler step.
+                None => {
+                    for (o, qv) in qlin.iter_mut().zip(&latest.q) {
+                        *o = -qv / h;
+                    }
+                    StepCoeffs {
+                        a0h: 1.0 / h,
+                        theta: 1.0,
+                    }
+                }
+                Some(prev) => {
+                    let h_prev = latest.t - prev.t;
+                    let rho = h / h_prev;
+                    let a0 = (1.0 + 2.0 * rho) / (1.0 + rho);
+                    let a1 = -(1.0 + rho);
+                    let a2 = rho * rho / (1.0 + rho);
+                    for (i, o) in qlin.iter_mut().enumerate() {
+                        *o = (a1 * latest.q[i] + a2 * prev.q[i]) / h;
+                    }
+                    StepCoeffs {
+                        a0h: a0 / h,
+                        theta: 1.0,
+                    }
+                }
+            },
+        }
+    }
+
+    /// Uniform-grid cyclic difference stencil for periodic boundary
+    /// problems: coefficients `(c0, c1, c2)` of `q_m`, `q_{m−1}`,
+    /// `q_{m−2}` (to be divided by `h`) and the instantaneous weight
+    /// `θ`. Used by the WaMPDE quasiperiodic solver, where every slice
+    /// has both neighbours and no self-start is needed.
+    pub fn cyclic_stencil(&self) -> (f64, f64, f64, f64) {
+        match self {
+            Scheme::BackwardEuler => (1.0, -1.0, 0.0, 1.0),
+            Scheme::Trapezoidal => (1.0, -1.0, 0.0, 0.5),
+            Scheme::Bdf2 => (1.5, -2.0, 0.5, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_consistent() {
+        for &s in Scheme::all() {
+            assert!(s.order() >= 1 && s.order() <= 2);
+            assert!(s.error_constant().abs() > 0.0);
+            assert_eq!(Scheme::parse(s.label()), Some(s));
+        }
+        assert_eq!(Scheme::parse("Trapezoidal"), Some(Scheme::Trapezoidal));
+        assert_eq!(Scheme::parse("backward-euler"), Some(Scheme::BackwardEuler));
+        assert_eq!(Scheme::parse("rk4"), None);
+        assert_eq!(Scheme::default(), Scheme::Trapezoidal);
+    }
+
+    #[test]
+    fn be_and_trap_coeffs() {
+        let mut hist = History::new(3);
+        hist.push(0.0, vec![1.0], vec![2.0]);
+        let mut qlin = Vec::new();
+        let c = Scheme::BackwardEuler.step_coeffs(0.5, &hist, &mut qlin);
+        assert_eq!(c.a0h, 2.0);
+        assert_eq!(c.theta, 1.0);
+        assert_eq!(qlin, vec![-4.0]); // -q_prev/h
+        let c = Scheme::Trapezoidal.step_coeffs(0.5, &hist, &mut qlin);
+        assert_eq!(c.theta, 0.5);
+        assert_eq!(qlin, vec![-4.0]);
+    }
+
+    #[test]
+    fn bdf2_self_starts_then_uses_variable_coeffs() {
+        let mut hist = History::new(3);
+        hist.push(0.0, vec![1.0], vec![1.0]);
+        let mut qlin = Vec::new();
+        let c = Scheme::Bdf2.step_coeffs(0.1, &hist, &mut qlin);
+        assert_eq!(c.a0h, 10.0); // BE start
+        hist.push(0.1, vec![1.0], vec![2.0]);
+        let c = Scheme::Bdf2.step_coeffs(0.1, &hist, &mut qlin);
+        // Uniform step: a0 = 3/2, a1 = -2, a2 = 1/2.
+        assert!((c.a0h - 15.0).abs() < 1e-12);
+        assert!((qlin[0] - (-2.0 * 2.0 + 0.5 * 1.0) / 0.1).abs() < 1e-12);
+        assert_eq!(c.theta, 1.0);
+    }
+
+    #[test]
+    fn cyclic_stencils_sum_to_zero() {
+        // A constant q must annihilate under every cyclic stencil.
+        for &s in Scheme::all() {
+            let (c0, c1, c2, theta) = s.cyclic_stencil();
+            assert!((c0 + c1 + c2).abs() < 1e-15);
+            assert!(theta > 0.0 && theta <= 1.0);
+        }
+    }
+}

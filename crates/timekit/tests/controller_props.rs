@@ -1,0 +1,109 @@
+//! Property tests of the step controller: whatever sequence of LTE
+//! verdicts and solver failures it sees, the working step must stay
+//! inside the resolved `[dt_min, dt_max]` bounds, rejections must
+//! shrink the step, and an accepted step implies the LTE estimate was
+//! within tolerance.
+
+use proptest::prelude::*;
+use timekit::{StepPolicy, StepVerdict};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Drive a resolved adaptive controller with a random mix of LTE
+    /// estimates and solver failures, checking the invariants after
+    /// every transition.
+    #[test]
+    fn controller_invariants_hold_under_random_driving(
+        span_exp in -9.0f64..3.0,
+        rtol_exp in -10.0f64..-2.0,
+        errs in prop::collection::vec(0.0f64..40.0, 1..60),
+        fail_every in 2usize..7,
+    ) {
+        let span = 10.0f64.powf(span_exp);
+        let policy = StepPolicy::adaptive(10.0f64.powf(rtol_exp), 1e-12);
+        let mut ctl = policy.resolve(span, 2).unwrap();
+        prop_assert!(ctl.h_min() > 0.0 && ctl.h_min() <= ctl.h_max());
+        prop_assert!(ctl.h() >= ctl.h_min() && ctl.h() <= ctl.h_max());
+
+        for (i, &err) in errs.iter().enumerate() {
+            let h_try = ctl.h();
+            if i % fail_every == 0 {
+                // A solver failure quarters the step (floored at dt_min).
+                if !ctl.at_min(h_try) {
+                    ctl.reject_failure(h_try);
+                    prop_assert!(ctl.h() < h_try || ctl.at_min(ctl.h()));
+                }
+            } else {
+                let verdict = ctl.evaluate(h_try, err);
+                match verdict {
+                    StepVerdict::Accept => {
+                        // Accepted steps had LTE within tolerance.
+                        prop_assert!(err <= 1.0, "accepted err {err}");
+                    }
+                    StepVerdict::Reject => {
+                        // Rejection shrinks the working step (unless
+                        // already pinned at the floor).
+                        prop_assert!(err > 1.0, "rejected err {err}");
+                        prop_assert!(
+                            ctl.h() < h_try || ctl.at_min(h_try),
+                            "reject did not shrink: {} -> {}",
+                            h_try,
+                            ctl.h()
+                        );
+                    }
+                }
+            }
+            // The bound invariant, always.
+            prop_assert!(
+                ctl.h() >= ctl.h_min() && ctl.h() <= ctl.h_max(),
+                "h {} outside [{}, {}]",
+                ctl.h(),
+                ctl.h_min(),
+                ctl.h_max()
+            );
+        }
+    }
+
+    /// The LTE estimate is exactly zero for a perfect prediction and
+    /// within tolerance (≤ 1) when the predictor–corrector difference
+    /// is below the weighted tolerance band.
+    #[test]
+    fn lte_estimate_is_scaled_wrms(
+        vals in prop::collection::vec(-5.0f64..5.0, 1..12),
+        rtol_exp in -8.0f64..-3.0,
+    ) {
+        let rtol = 10.0f64.powf(rtol_exp);
+        let ctl = StepPolicy::adaptive(rtol, 1e-12).resolve(1.0, 2).unwrap();
+        prop_assert_eq!(ctl.lte(&vals, &vals), 0.0);
+        // Perturb each entry by a tenth of its own tolerance band: the
+        // predictor–corrector estimate (which divides by 5) must accept.
+        let pred: Vec<f64> = vals
+            .iter()
+            .map(|v| v + 0.1 * (1e-12 + rtol * v.abs()))
+            .collect();
+        prop_assert!(ctl.lte(&vals, &pred) <= 1.0);
+    }
+
+    /// Proposals never overshoot the interval end and stretch (≤ 1 %)
+    /// rather than leave a trailing micro-step.
+    #[test]
+    fn propose_clips_and_stretches(
+        span_exp in -6.0f64..2.0,
+        frac in 0.0f64..1.0,
+    ) {
+        let span = 10.0f64.powf(span_exp);
+        let ctl = StepPolicy::adaptive(1e-6, 1e-12).resolve(span, 2).unwrap();
+        let t = frac * span;
+        let h = ctl.propose(t, span);
+        prop_assert!(h > 0.0 || t >= span);
+        // Never overshoots...
+        prop_assert!(t + h <= span * (1.0 + 1e-12));
+        // ...and never leaves a remainder smaller than 1 % of the step.
+        let remainder = span - (t + h);
+        prop_assert!(
+            remainder <= 0.0 || remainder >= 0.01 * h,
+            "micro-remainder {remainder:e} after step {h:e}"
+        );
+    }
+}

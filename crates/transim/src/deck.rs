@@ -2,13 +2,14 @@
 
 use crate::dcop::dc_operating_point;
 use crate::error::TransimError;
-use crate::integrate::{run_transient, Integrator, StepControl, TransientOptions, TransientResult};
+use crate::integrate::{run_transient, StepControl, TransientOptions, TransientResult};
 use crate::newton::NewtonOptions;
 use circuitdae::{Dae, TranSpec};
 
 /// Runs a `.tran` directive: DC operating point, then transient
-/// integration to `t_stop` with trapezoidal stepping (fixed `dt` when the
-/// spec gives one, LTE-adaptive at `rtol` otherwise).
+/// integration to `t_stop` with the spec's scheme (fixed `dt` when the
+/// spec gives one, LTE-adaptive at `rtol`/`atol` within
+/// `dt_min`/`dt_max` otherwise).
 ///
 /// # Errors
 ///
@@ -29,10 +30,10 @@ pub fn run_tran_spec<D: Dae + ?Sized>(
     } else {
         StepControl::Adaptive {
             rtol: spec.rtol,
-            atol: 1e-12,
+            atol: spec.atol,
             dt_init: 0.0,
-            dt_min: 0.0,
-            dt_max: 0.0,
+            dt_min: spec.dt_min,
+            dt_max: spec.dt_max,
         }
     };
     run_transient(
@@ -41,7 +42,7 @@ pub fn run_tran_spec<D: Dae + ?Sized>(
         0.0,
         spec.t_stop,
         &TransientOptions {
-            integrator: Integrator::Trapezoidal,
+            integrator: spec.integrator,
             step,
             newton,
         },
@@ -62,12 +63,7 @@ mod tests {
              C1 out 0 1u\n",
         )
         .unwrap();
-        let spec = TranSpec {
-            t_stop: 10e-3, // 10 time constants
-            dt: 0.0,
-            rtol: 1e-6,
-            solver: Default::default(),
-        };
+        let spec = TranSpec::new(10e-3); // 10 time constants
         let res = run_tran_spec(&dae, &spec).unwrap();
         let names = dae.var_names();
         let out = names.iter().position(|n| n == "v(out)").unwrap();
@@ -84,10 +80,8 @@ mod tests {
         )
         .unwrap();
         let spec = TranSpec {
-            t_stop: 1e-3,
             dt: 1e-5,
-            rtol: 1e-6,
-            solver: Default::default(),
+            ..TranSpec::new(1e-3)
         };
         let res = run_tran_spec(&dae, &spec).unwrap();
         assert_eq!(res.stats.steps, 100);
@@ -107,10 +101,9 @@ mod tests {
         )
         .unwrap();
         let mk = |solver| TranSpec {
-            t_stop: 1e-3,
             dt: 1e-5,
-            rtol: 1e-6,
             solver,
+            ..TranSpec::new(1e-3)
         };
         let dense = run_tran_spec(&dae, &mk(Default::default())).unwrap();
         let sparse = run_tran_spec(&dae, &mk(circuitdae::LinearSolverKind::SparseLu)).unwrap();

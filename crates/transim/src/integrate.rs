@@ -5,70 +5,34 @@
 //! abstraction, with fixed or LTE-adaptive step control. This engine is
 //! both the paper's "transient simulation" baseline and the inner
 //! integrator of the shooting and envelope methods.
+//!
+//! The scheme table, history predictor, LTE estimate, and step
+//! controller live in the shared `timekit` crate (the same engine steps
+//! the MPDE and WaMPDE envelopes along `t2`); this module wires them to
+//! the circuit-DAE step residual and the damped Newton solver.
 
 use crate::error::TransimError;
 use crate::newton::{newton_solve, NewtonOptions, NonlinearSystem};
 use circuitdae::Dae;
-use numkit::vecops::wrms_norm;
 use numkit::DMat;
 use sparsekit::Triplets;
+use timekit::{History, StepVerdict};
 
-/// Implicit integration scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Integrator {
-    /// First order, L-stable, strongly damping. The safe choice for stiff
-    /// MEMS dynamics.
-    BackwardEuler,
-    /// Second order, A-stable, no numerical damping — the standard choice
-    /// for oscillators (SPICE default).
-    #[default]
-    Trapezoidal,
-    /// Second order, L-stable two-step BDF (variable-step coefficients);
-    /// starts itself with one Backward Euler step.
-    Bdf2,
-}
+/// Implicit integration scheme (the shared `timekit` scheme table).
+///
+/// `Integrator::BackwardEuler` is first order, L-stable and strongly
+/// damping (the safe choice for stiff MEMS dynamics);
+/// `Integrator::Trapezoidal` (default) is second order, A-stable with no
+/// numerical damping — the standard choice for oscillators;
+/// `Integrator::Bdf2` is second order, L-stable, with variable-step
+/// coefficients and a Backward Euler self-start.
+pub use timekit::Scheme as Integrator;
 
-impl Integrator {
-    /// Classical order of accuracy.
-    pub fn order(&self) -> usize {
-        match self {
-            Integrator::BackwardEuler => 1,
-            Integrator::Trapezoidal | Integrator::Bdf2 => 2,
-        }
-    }
-}
-
-/// Step-size policy.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum StepControl {
-    /// Constant step (the paper's "N points per cycle" baseline mode).
-    Fixed(f64),
-    /// LTE-based adaptive control.
-    Adaptive {
-        /// Relative local-error tolerance.
-        rtol: f64,
-        /// Absolute local-error tolerance.
-        atol: f64,
-        /// Initial step (`0.0` = auto: span/1000).
-        dt_init: f64,
-        /// Smallest allowed step (`0.0` = auto: span·1e-12).
-        dt_min: f64,
-        /// Largest allowed step (`0.0` = auto: span/10).
-        dt_max: f64,
-    },
-}
-
-impl Default for StepControl {
-    fn default() -> Self {
-        StepControl::Adaptive {
-            rtol: 1e-6,
-            atol: 1e-12,
-            dt_init: 0.0,
-            dt_min: 0.0,
-            dt_max: 0.0,
-        }
-    }
-}
+/// Step-size policy (the shared `timekit` policy): `Fixed(dt)` or
+/// `Adaptive { rtol, atol, dt_init, dt_min, dt_max }` with the canonical
+/// `0.0 = auto` resolution (`dt_init = span/1000`, `dt_min = span·1e-12`,
+/// `dt_max = span/10`).
+pub use timekit::StepPolicy as StepControl;
 
 /// Options for [`run_transient`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -210,51 +174,6 @@ impl<D: Dae + ?Sized> NonlinearSystem for StepSystem<'_, D> {
     }
 }
 
-/// History ring used to build step residuals and LTE predictors.
-struct History {
-    /// (t, x, q(x)) of up to the last three accepted points, newest first.
-    entries: Vec<(f64, Vec<f64>, Vec<f64>)>,
-}
-
-impl History {
-    fn push(&mut self, t: f64, x: Vec<f64>, q: Vec<f64>) {
-        self.entries.insert(0, (t, x, q));
-        self.entries.truncate(3);
-    }
-
-    /// Polynomial extrapolation of the state to time `t` (order = #points-1,
-    /// capped at quadratic). Used as the LTE predictor.
-    fn predict(&self, t: f64) -> Option<Vec<f64>> {
-        match self.entries.len() {
-            0 | 1 => None,
-            2 => {
-                let (t1, x1, _) = &self.entries[0];
-                let (t0, x0, _) = &self.entries[1];
-                let w = (t - t0) / (t1 - t0);
-                Some(
-                    x0.iter()
-                        .zip(x1.iter())
-                        .map(|(a, b)| a * (1.0 - w) + b * w)
-                        .collect(),
-                )
-            }
-            _ => {
-                let (t2, x2, _) = &self.entries[0];
-                let (t1, x1, _) = &self.entries[1];
-                let (t0, x0, _) = &self.entries[2];
-                let l0 = (t - t1) * (t - t2) / ((t0 - t1) * (t0 - t2));
-                let l1 = (t - t0) * (t - t2) / ((t1 - t0) * (t1 - t2));
-                let l2 = (t - t0) * (t - t1) / ((t2 - t0) * (t2 - t1));
-                Some(
-                    (0..x0.len())
-                        .map(|i| x0[i] * l0 + x1[i] * l1 + x2[i] * l2)
-                        .collect(),
-                )
-            }
-        }
-    }
-}
-
 /// Integrates `d/dt q(x) + f(x) = b(t)` from `x0` over `[t0, t_end]`.
 ///
 /// `x0` must be a consistent initial state (e.g. from
@@ -287,30 +206,10 @@ pub fn run_transient<D: Dae + ?Sized>(
         return Err(TransimError::BadInput("t_end must exceed t0".into()));
     }
     let span = t_end - t0;
-    let (adaptive, rtol, atol, mut h, h_min, h_max) = match opts.step {
-        StepControl::Fixed(dt) => {
-            if dt.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-                return Err(TransimError::BadInput("fixed step must be positive".into()));
-            }
-            (false, 0.0, 0.0, dt, dt, dt)
-        }
-        StepControl::Adaptive {
-            rtol,
-            atol,
-            dt_init,
-            dt_min,
-            dt_max,
-        } => {
-            let h0 = if dt_init > 0.0 {
-                dt_init
-            } else {
-                span / 1000.0
-            };
-            let hmin = if dt_min > 0.0 { dt_min } else { span * 1e-12 };
-            let hmax = if dt_max > 0.0 { dt_max } else { span / 10.0 };
-            (true, rtol, atol, h0, hmin, hmax)
-        }
-    };
+    let mut ctl = opts
+        .step
+        .resolve(span, opts.integrator.order())
+        .map_err(TransimError::BadInput)?;
 
     let mut times = Vec::with_capacity(1024);
     let mut states: Vec<Vec<f64>> = Vec::with_capacity(1024);
@@ -323,108 +222,61 @@ pub fn run_transient<D: Dae + ?Sized>(
     times.push(t);
     states.push(x.clone());
 
-    let mut hist = History {
-        entries: vec![(t, x.clone(), q.clone())],
-    };
+    let mut hist = History::new(3);
+    hist.push(t, x.clone(), q.clone());
 
     let mut bbuf = vec![0.0; n];
     let mut fbuf = vec![0.0; n];
-    let order = opts.integrator.order();
+    let mut qlin = vec![0.0; n];
     // Hard cap prevents runaway loops if a caller passes absurd tolerances.
-    let max_steps =
-        200_000_000usize.min(((span / h_min).ceil() as usize).saturating_mul(2).max(1024));
+    let max_attempts = ctl.attempt_budget(span);
 
     while t < t_end - 1e-15 * span {
-        if stats.steps + stats.rejected > max_steps {
+        if stats.steps + stats.rejected > max_attempts {
             return Err(TransimError::StepTooSmall {
                 at_time: t,
-                step: h,
+                step: ctl.h(),
             });
         }
-        let h_try = h.min(t_end - t);
+        let h_try = ctl.propose(t, t_end);
         let t_new = t + h_try;
 
-        // Build the step residual constants.
-        let (a0h, theta, mut rconst) = match opts.integrator {
-            Integrator::BackwardEuler => {
-                let mut rc = vec![0.0; n];
-                for (r, qv) in rc.iter_mut().zip(&hist.entries[0].2) {
-                    *r = -qv / h_try;
-                }
-                (1.0 / h_try, 1.0, rc)
+        // Step-residual constants: the charge-history term from the
+        // scheme, plus (1−θ)·g_prev (trapezoidal only) and −θ·b(t_new).
+        let coeffs = opts.integrator.step_coeffs(h_try, &hist, &mut qlin);
+        let mut rconst = qlin.clone();
+        if coeffs.theta < 1.0 {
+            let prev = hist.latest().expect("history is seeded");
+            dae.eval_f(&prev.z, &mut fbuf);
+            dae.eval_b(prev.t, &mut bbuf);
+            for i in 0..n {
+                rconst[i] += (1.0 - coeffs.theta) * (fbuf[i] - bbuf[i]);
             }
-            Integrator::Trapezoidal => {
-                let mut rc = vec![0.0; n];
-                let (tp, xp, qp) = &hist.entries[0];
-                dae.eval_f(xp, &mut fbuf);
-                dae.eval_b(*tp, &mut bbuf);
-                for i in 0..n {
-                    rc[i] = -qp[i] / h_try + 0.5 * (fbuf[i] - bbuf[i]);
-                }
-                (1.0 / h_try, 0.5, rc)
-            }
-            Integrator::Bdf2 => {
-                if hist.entries.len() < 2 {
-                    // Self-start with one BE step.
-                    let mut rc = vec![0.0; n];
-                    for (r, qv) in rc.iter_mut().zip(&hist.entries[0].2) {
-                        *r = -qv / h_try;
-                    }
-                    (1.0 / h_try, 1.0, rc)
-                } else {
-                    let (t1, _, q1) = &hist.entries[0];
-                    let (t2, _, q2) = &hist.entries[1];
-                    let h_prev = t1 - t2;
-                    let rho = h_try / h_prev;
-                    let a0 = (1.0 + 2.0 * rho) / (1.0 + rho);
-                    let a1 = -(1.0 + rho);
-                    let a2 = rho * rho / (1.0 + rho);
-                    let mut rc = vec![0.0; n];
-                    for i in 0..n {
-                        rc[i] = (a1 * q1[i] + a2 * q2[i]) / h_try;
-                    }
-                    (a0 / h_try, 1.0, rc)
-                }
-            }
-        };
+        }
         dae.eval_b(t_new, &mut bbuf);
         for i in 0..n {
-            rconst[i] -= theta * bbuf[i];
+            rconst[i] -= coeffs.theta * bbuf[i];
         }
 
-        let sys = StepSystem::new(dae, a0h, theta, rconst);
-        let mut x_new = hist.predict(t_new).unwrap_or_else(|| x.clone());
+        let sys = StepSystem::new(dae, coeffs.a0h, coeffs.theta, rconst);
+        let predicted = hist.predict(t_new);
+        let mut x_new = predicted.clone().unwrap_or_else(|| x.clone());
         let newton_result = newton_solve(&sys, &mut x_new, &opts.newton);
 
         let accept = match &newton_result {
             Ok(rep) => {
                 stats.newton_iterations += rep.iterations;
-                if adaptive {
-                    match hist.predict(t_new) {
-                        Some(pred) => {
-                            let diff: Vec<f64> =
-                                x_new.iter().zip(pred.iter()).map(|(a, b)| a - b).collect();
-                            // Predictor-corrector difference over-estimates the
-                            // LTE; the 1/5 factor is the usual calibration.
-                            let err = wrms_norm(&diff, &x_new, atol, rtol) / 5.0;
-                            if err <= 1.0 {
-                                let grow = 0.9 * err.max(1e-10).powf(-1.0 / (order as f64 + 1.0));
-                                h = (h_try * grow.clamp(0.25, 2.5)).clamp(h_min, h_max);
-                                true
-                            } else {
-                                let shrink = 0.9 * err.powf(-1.0 / (order as f64 + 1.0));
-                                h = (h_try * shrink.clamp(0.1, 0.9)).max(h_min);
-                                false
-                            }
-                        }
-                        None => true, // no history yet: accept the first step
+                match &predicted {
+                    Some(pred) if ctl.adaptive() => {
+                        let err = ctl.lte(&x_new, pred);
+                        ctl.evaluate(h_try, err) == StepVerdict::Accept
                     }
-                } else {
-                    true
+                    // Fixed step, or no history yet: accept the step.
+                    _ => true,
                 }
             }
             Err(_) => {
-                if h_try <= h_min * 1.0000001 {
+                if ctl.at_min(h_try) {
                     return newton_result.map(|_| unreachable!()).map_err(|e| match e {
                         TransimError::NewtonFailed {
                             iterations,
@@ -441,7 +293,7 @@ pub fn run_transient<D: Dae + ?Sized>(
                         other => other,
                     });
                 }
-                h = (h_try * 0.25).max(h_min);
+                ctl.reject_failure(h_try);
                 false
             }
         };
@@ -456,11 +308,11 @@ pub fn run_transient<D: Dae + ?Sized>(
             stats.steps += 1;
         } else {
             stats.rejected += 1;
-            if adaptive && h <= h_min * 1.0000001 && newton_result.is_ok() {
+            if ctl.underflowed() && newton_result.is_ok() {
                 // Error control cannot be satisfied even at the minimum step.
                 return Err(TransimError::StepTooSmall {
                     at_time: t,
-                    step: h,
+                    step: ctl.h(),
                 });
             }
         }
@@ -672,6 +524,31 @@ mod tests {
             run_fixed_per_cycle(&osc, &[1.0, 0.0], 1.0, 2.0, 100, Integrator::Trapezoidal).unwrap();
         assert_eq!(res.stats.steps, 200);
         assert!((res.last()[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn final_step_is_stretched_not_micro() {
+        // A span that leaves a sub-1 % remainder after an integer number
+        // of fixed steps must absorb it into the final step instead of
+        // emitting a micro-step whose C/h dominates the Jacobian
+        // (regression: transim used to take the micro-step while the
+        // envelope solvers stretched).
+        let osc = LinearOscillator::undamped(1.0);
+        let opts = TransientOptions {
+            integrator: Integrator::Trapezoidal,
+            step: StepControl::Fixed(0.1),
+            ..Default::default()
+        };
+        let t_end = 1.0004; // 10 steps of 0.1 plus a 0.4 %-of-dt remainder
+        let res = run_transient(&osc, &[1.0, 0.0], 0.0, t_end, &opts).unwrap();
+        assert_eq!(res.stats.steps, 10, "times: {:?}", res.times);
+        let last = *res.times.last().unwrap();
+        assert!((last - t_end).abs() < 1e-12, "end {last}");
+        // Every step is within 1 % of the nominal dt.
+        for w in res.times.windows(2) {
+            let h = w[1] - w[0];
+            assert!(h > 0.099 && h < 0.102, "step {h}");
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::envelope::solve_envelope;
 use crate::error::WampdeError;
 use crate::init::WampdeInit;
-use crate::options::WampdeOptions;
+use crate::options::{T2StepControl, WampdeOptions};
 use crate::result::EnvelopeResult;
 use circuitdae::{CircuitDae, Dae, WampdeSpec};
 use shooting::{oscillator_steady_state, ShootingOptions};
@@ -41,10 +41,25 @@ pub fn run_wampde_spec(dae: &CircuitDae, spec: &WampdeSpec) -> Result<EnvelopeRe
         },
     )
     .map_err(|e| WampdeError::BadInput(format!("shooting initialisation failed: {e}")))?;
+    // The spec's step keys select fixed (`dt=`) or LTE-adaptive `t2`
+    // stepping; the scheme rides along from `integrator=`.
+    let step = if spec.dt > 0.0 {
+        T2StepControl::Fixed(spec.dt)
+    } else {
+        T2StepControl::Adaptive {
+            rtol: spec.rtol,
+            atol: spec.atol,
+            dt_init: 0.0,
+            dt_min: spec.dt_min,
+            dt_max: spec.dt_max,
+        }
+    };
     let opts = WampdeOptions {
         harmonics: spec.harmonics,
         phase_var: spec.phase_var,
         linear_solver: spec.solver,
+        integrator: spec.integrator,
+        step,
         ..Default::default()
     };
     let init = WampdeInit::from_orbit(&orbit, &opts);
@@ -62,11 +77,9 @@ mod tests {
         // unforced 0.75 MHz for the whole (short) run.
         let dae = circuits::mems_vco(MemsVcoConfig::constant(1.5));
         let spec = WampdeSpec {
-            t_stop: 1.0e-6,
             harmonics: 4,
-            phase_var: 0,
             shooting_steps: 256,
-            solver: Default::default(),
+            ..WampdeSpec::new(1.0e-6)
         };
         let env = run_wampde_spec(&dae, &spec).unwrap();
         assert!(env.stats.steps > 0);
@@ -79,11 +92,10 @@ mod tests {
     fn out_of_range_phase_var_rejected() {
         let dae = circuits::mems_vco(MemsVcoConfig::constant(1.5));
         let spec = WampdeSpec {
-            t_stop: 1.0e-6,
             harmonics: 4,
             phase_var: 9, // dim is 4
             shooting_steps: 256,
-            solver: Default::default(),
+            ..WampdeSpec::new(1.0e-6)
         };
         assert!(matches!(
             run_wampde_spec(&dae, &spec),

@@ -11,12 +11,13 @@
 use crate::error::WampdeError;
 use crate::init::WampdeInit;
 use crate::linsolve::colloc_parts;
-use crate::options::{OmegaMode, T2Integrator, T2StepControl, WampdeOptions};
+use crate::options::{OmegaMode, WampdeOptions};
 use crate::result::{EnvelopeResult, EnvelopeStats};
 use circuitdae::Dae;
 use hb::Colloc;
-use numkit::vecops::{norm2, wrms_norm, CompensatedSum};
+use numkit::vecops::{norm2, CompensatedSum};
 use numkit::DMat;
+use timekit::{History, StepVerdict};
 
 /// Weighted update norm with *block* scaling: collocation samples are
 /// weighted by the block's maximum magnitude (a per-entry weight would
@@ -89,12 +90,6 @@ fn eval_g<D: Dae + ?Sized>(
     }
 }
 
-/// One accepted envelope point used by the predictor.
-struct Accepted {
-    t2: f64,
-    z: Vec<f64>, // stacked X (+ ω in Free mode)
-}
-
 /// Solves the envelope (initial-value) WaMPDE from `t2 = 0` to `t2_end`.
 ///
 /// `init` supplies one warped period of samples and the starting local
@@ -164,43 +159,16 @@ pub fn solve_envelope<D: Dae + ?Sized>(
         None
     };
 
-    let order = opts.integrator.order();
-
-    let (adaptive, rtol, atol, mut h, h_min, h_max) = match opts.step {
-        T2StepControl::Fixed(dt) => {
-            if dt.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-                return Err(WampdeError::BadInput(
-                    "fixed t2 step must be positive".into(),
-                ));
-            }
-            (false, 0.0, 0.0, dt, dt, dt)
-        }
-        T2StepControl::Adaptive {
-            rtol,
-            atol,
-            dt_init,
-            dt_min,
-            dt_max,
-        } => {
-            let h0 = if dt_init > 0.0 {
-                dt_init
-            } else {
-                t2_end / 200.0
-            };
-            let hmin = if dt_min > 0.0 { dt_min } else { t2_end * 1e-9 };
-            let hmax = if dt_max > 0.0 { dt_max } else { t2_end / 20.0 };
-            (true, rtol, atol, h0, hmin, hmax)
-        }
-    };
+    let mut ctl = opts
+        .step
+        .resolve(t2_end, opts.integrator.order())
+        .map_err(WampdeError::BadInput)?;
 
     let mut work = Work::new(len, n);
-    let mut q_prev = vec![0.0; len];
-    colloc.eval_q_all(dae, &x, &mut q_prev);
+    let mut q_cur = vec![0.0; len];
+    colloc.eval_q_all(dae, &x, &mut q_cur);
     let mut g_prev = vec![0.0; len];
     eval_g(dae, &colloc, &x, omega, 0.0, &mut work, &mut g_prev);
-    // Two-step history for BDF2: (t, q) of the point before q_prev.
-    let mut q_prev2: Option<(f64, Vec<f64>)> = None;
-    let mut t_prev = 0.0_f64;
 
     // Result records.
     let mut t2s = vec![0.0];
@@ -210,34 +178,30 @@ pub fn solve_envelope<D: Dae + ?Sized>(
     let mut stats = EnvelopeStats::default();
     let mut phi_acc = CompensatedSum::new();
 
-    let mut history: Vec<Accepted> = vec![Accepted {
-        t2: 0.0,
-        z: pack(&x, omega, free_omega),
-    }];
+    // Shared predictor/BDF2 history: z is the stacked X (+ ω in Free
+    // mode), q the collocation charge vector.
+    let mut history = History::new(3);
+    history.push(0.0, pack(&x, omega, free_omega), q_cur.clone());
 
     let mut t2 = 0.0;
-    let max_attempts = 4_000_000usize;
-    let mut attempts = 0usize;
+    let max_attempts = ctl.attempt_budget(t2_end);
+    let mut qlin = vec![0.0; len];
 
     while t2 < t2_end - 1e-15 * t2_end {
-        attempts += 1;
-        if attempts > max_attempts {
-            return Err(WampdeError::StepTooSmall { at_t2: t2, step: h });
+        if stats.steps + stats.rejected > max_attempts {
+            return Err(WampdeError::StepTooSmall {
+                at_t2: t2,
+                step: ctl.h(),
+            });
         }
-        let mut h_try = h.min(t2_end - t2);
-        // Stretch the final step (≤1 %) to absorb the floating-point
-        // remainder: a micro-step makes C/h dominate the bordered Jacobian
-        // and the phase/ω border numerically singular.
-        if t2_end - (t2 + h_try) < 0.01 * h_try {
-            h_try = t2_end - t2;
-        }
+        let h_try = ctl.propose(t2, t2_end);
         let t_new = t2 + h_try;
 
         // --- Newton solve of the step system. ---
         let mut x_new = x.clone();
         let mut omega_new = omega;
         // Predictor from history (helps both Newton and LTE control).
-        let predicted = predict(&history, t_new);
+        let predicted = history.predict(t_new);
         if let Some(pred) = &predicted {
             x_new.copy_from_slice(&pred[..len]);
             if free_omega {
@@ -247,43 +211,14 @@ pub fn solve_envelope<D: Dae + ?Sized>(
 
         // Scheme coefficients for this step:
         //   r = a0h·q(X) + qlin + θ·g(X,ω,t_new) + (1−θ)·g_prev.
-        let (a0h, theta, qlin) = match opts.integrator {
-            T2Integrator::BackwardEuler => {
-                let qlin: Vec<f64> = q_prev.iter().map(|q| -q / h_try).collect();
-                (1.0 / h_try, 1.0, qlin)
-            }
-            T2Integrator::Trapezoidal => {
-                let qlin: Vec<f64> = q_prev.iter().map(|q| -q / h_try).collect();
-                (1.0 / h_try, 0.5, qlin)
-            }
-            T2Integrator::Bdf2 => match &q_prev2 {
-                None => {
-                    // Self-start with one Backward-Euler step.
-                    let qlin: Vec<f64> = q_prev.iter().map(|q| -q / h_try).collect();
-                    (1.0 / h_try, 1.0, qlin)
-                }
-                Some((t_pp, q_pp)) => {
-                    let h_prev = t_prev - t_pp;
-                    let rho = h_try / h_prev;
-                    let a0 = (1.0 + 2.0 * rho) / (1.0 + rho);
-                    let a1 = -(1.0 + rho);
-                    let a2 = rho * rho / (1.0 + rho);
-                    let qlin: Vec<f64> = q_prev
-                        .iter()
-                        .zip(q_pp.iter())
-                        .map(|(qp, qpp)| (a1 * qp + a2 * qpp) / h_try)
-                        .collect();
-                    (a0 / h_try, 1.0, qlin)
-                }
-            },
-        };
+        let coeffs = opts.integrator.step_coeffs(h_try, &history, &mut qlin);
 
         let newton = newton_step(
             dae,
             &colloc,
             opts,
-            a0h,
-            theta,
+            coeffs.a0h,
+            coeffs.theta,
             &qlin,
             t_new,
             &g_prev,
@@ -293,38 +228,25 @@ pub fn solve_envelope<D: Dae + ?Sized>(
             &mut work,
         );
 
+        let newton_ok = newton.is_ok();
         let accept = match newton {
             Ok(iters) => {
                 stats.newton_iterations += iters;
-                if adaptive {
-                    match &predicted {
-                        Some(pred) => {
-                            let z_new = pack(&x_new, omega_new, free_omega);
-                            let diff: Vec<f64> =
-                                z_new.iter().zip(pred.iter()).map(|(a, b)| a - b).collect();
-                            let err = wrms_norm(&diff, &z_new, atol, rtol) / 5.0;
-                            let exponent = -1.0 / (order as f64 + 1.0);
-                            if err <= 1.0 {
-                                let grow = 0.9 * err.max(1e-10).powf(exponent);
-                                h = (h_try * grow.clamp(0.25, 2.5)).clamp(h_min, h_max);
-                                true
-                            } else {
-                                let shrink = 0.9 * err.powf(exponent);
-                                h = (h_try * shrink.clamp(0.1, 0.9)).max(h_min);
-                                false
-                            }
-                        }
-                        None => true,
+                match &predicted {
+                    Some(pred) if ctl.adaptive() => {
+                        let z_new = pack(&x_new, omega_new, free_omega);
+                        let err = ctl.lte(&z_new, pred);
+                        ctl.evaluate(h_try, err) == StepVerdict::Accept
                     }
-                } else {
-                    true
+                    // Fixed step, or no history yet: accept the step.
+                    _ => true,
                 }
             }
             Err(e) => {
-                if h_try <= h_min * 1.0000001 {
+                if ctl.at_min(h_try) {
                     return Err(e);
                 }
-                h = (h_try * 0.25).max(h_min);
+                ctl.reject_failure(h_try);
                 false
             }
         };
@@ -332,29 +254,27 @@ pub fn solve_envelope<D: Dae + ?Sized>(
         if accept {
             // Warping-function quadrature: φ += h·(ω_old + ω_new)/2 (cycles).
             phi_acc.add(h_try * 0.5 * (omega + omega_new));
-            q_prev2 = Some((t_prev, q_prev.clone()));
-            t_prev = t_new;
             t2 = t_new;
             x = x_new;
             omega = omega_new;
-            colloc.eval_q_all(dae, &x, &mut q_prev);
+            colloc.eval_q_all(dae, &x, &mut q_cur);
             eval_g(dae, &colloc, &x, omega, t2, &mut work, &mut g_prev);
             t2s.push(t2);
             omegas.push(omega);
             phis.push(phi_acc.value());
             states.push(x.clone());
             stats.steps += 1;
-            history.push(Accepted {
-                t2,
-                z: pack(&x, omega, free_omega),
-            });
-            if history.len() > 3 {
-                history.remove(0);
-            }
+            history.push(t2, pack(&x, omega, free_omega), q_cur.clone());
         } else {
             stats.rejected += 1;
-            if adaptive && h <= h_min * 1.0000001 {
-                return Err(WampdeError::StepTooSmall { at_t2: t2, step: h });
+            // An LTE rejection that has already been driven to the
+            // minimum step cannot be satisfied; a Newton failure gets
+            // one retry *at* the minimum before its error propagates.
+            if newton_ok && ctl.underflowed() {
+                return Err(WampdeError::StepTooSmall {
+                    at_t2: t2,
+                    step: ctl.h(),
+                });
             }
         }
     }
@@ -376,40 +296,6 @@ fn pack(x: &[f64], omega: f64, free_omega: bool) -> Vec<f64> {
         z.push(omega);
     }
     z
-}
-
-/// Polynomial extrapolation of the envelope unknowns: quadratic through
-/// the last three accepted points when available (so the predictor is one
-/// order above BDF2 and the predictor–corrector difference estimates its
-/// LTE), linear through two otherwise.
-fn predict(history: &[Accepted], t: f64) -> Option<Vec<f64>> {
-    match history.len() {
-        0 | 1 => None,
-        2 => {
-            let a = &history[history.len() - 2];
-            let b = &history[history.len() - 1];
-            let w = (t - a.t2) / (b.t2 - a.t2);
-            Some(
-                a.z.iter()
-                    .zip(b.z.iter())
-                    .map(|(p, q)| p * (1.0 - w) + q * w)
-                    .collect(),
-            )
-        }
-        _ => {
-            let a = &history[history.len() - 3];
-            let b = &history[history.len() - 2];
-            let c = &history[history.len() - 1];
-            let la = (t - b.t2) * (t - c.t2) / ((a.t2 - b.t2) * (a.t2 - c.t2));
-            let lb = (t - a.t2) * (t - c.t2) / ((b.t2 - a.t2) * (b.t2 - c.t2));
-            let lc = (t - a.t2) * (t - b.t2) / ((c.t2 - a.t2) * (c.t2 - b.t2));
-            Some(
-                (0..a.z.len())
-                    .map(|i| a.z[i] * la + b.z[i] * lb + c.z[i] * lc)
-                    .collect(),
-            )
-        }
-    }
 }
 
 /// Newton iteration for one implicit `t2` step with residual

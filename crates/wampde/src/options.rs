@@ -2,69 +2,35 @@
 
 use transim::NewtonOptions;
 
-/// Implicit scheme used along the slow (unwarped) time axis `t2`.
+/// Implicit scheme used along the slow (unwarped) time axis `t2` — a
+/// re-export of the shared [`timekit::Scheme`] table (the same engine
+/// steps `transim` transients and the MPDE envelope).
 ///
 /// The envelope system is a semi-explicit DAE in which the local
 /// frequency `ω(t2)` acts as a Lagrange multiplier enforcing the phase
 /// constraint — an index-2-like structure. Methods that *average* the
 /// instantaneous terms (trapezoidal) are known to ring on such
-/// multipliers; fully implicit methods (BE, BDF2) are clean.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum T2Integrator {
-    /// First order, L-stable, fully implicit — the robust fallback.
-    BackwardEuler,
-    /// Second order, A-stable, but averages the instantaneous terms:
-    /// exhibits period-2 ringing (and at tight tolerances, step-control
-    /// collapse) of `ω(t2)`. Kept for the integrator ablation.
-    Trapezoidal,
-    /// Second order, fully implicit two-step BDF (variable-step
-    /// coefficients, Backward-Euler start) — the default: second-order
-    /// envelope accuracy without multiplier ringing.
-    #[default]
-    Bdf2,
-}
+/// multipliers; fully implicit methods (BE, BDF2) are clean, which is
+/// why [`WampdeOptions::default`] selects BDF2 rather than the scheme
+/// table's own transient-oriented default.
+///
+/// **Breaking note:** because the type is now shared,
+/// `T2Integrator::default()` follows the table's transient convention
+/// (Trapezoidal), *not* the historical wampde default (BDF2). Build
+/// envelope options through [`WampdeOptions::default`] — which pins
+/// BDF2 — rather than from `T2Integrator::default()` directly.
+pub use timekit::Scheme as T2Integrator;
 
-impl T2Integrator {
-    /// Classical order of accuracy (used by the step controller).
-    pub fn order(&self) -> usize {
-        match self {
-            T2Integrator::BackwardEuler => 1,
-            T2Integrator::Trapezoidal | T2Integrator::Bdf2 => 2,
-        }
-    }
-}
-
-/// Slow-time step policy.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum T2StepControl {
-    /// Constant `t2` step.
-    Fixed(f64),
-    /// Predictor–corrector LTE control on the envelope unknowns.
-    Adaptive {
-        /// Relative tolerance.
-        rtol: f64,
-        /// Absolute tolerance.
-        atol: f64,
-        /// Initial step (`0.0` = auto: span/200).
-        dt_init: f64,
-        /// Minimum step (`0.0` = auto: span·1e-9).
-        dt_min: f64,
-        /// Maximum step (`0.0` = auto: span/20).
-        dt_max: f64,
-    },
-}
-
-impl Default for T2StepControl {
-    fn default() -> Self {
-        T2StepControl::Adaptive {
-            rtol: 1e-4,
-            atol: 1e-9,
-            dt_init: 0.0,
-            dt_min: 0.0,
-            dt_max: 0.0,
-        }
-    }
-}
+/// Slow-time step policy — a re-export of the shared
+/// [`timekit::StepPolicy`]: `Fixed(dt)` or predictor–corrector LTE
+/// control with the canonical `0.0 = auto` bound resolution.
+///
+/// **Breaking note:** `T2StepControl::default()` now follows the
+/// shared transient convention (`rtol = 1e-6`, `atol = 1e-12`), *not*
+/// the historical wampde default. [`WampdeOptions::default`] pins the
+/// envelope-accuracy tolerances (`rtol = 1e-4`, `atol = 1e-9`) — build
+/// options through it, or with [`timekit::StepPolicy::adaptive`].
+pub use timekit::StepPolicy as T2StepControl;
 
 /// How the local frequency unknown is treated.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -112,8 +78,10 @@ impl Default for WampdeOptions {
     fn default() -> Self {
         WampdeOptions {
             harmonics: 8,
-            integrator: T2Integrator::default(),
-            step: T2StepControl::default(),
+            // BDF2: second-order envelope accuracy without multiplier
+            // ringing (see the T2Integrator re-export docs).
+            integrator: T2Integrator::Bdf2,
+            step: T2StepControl::adaptive(1e-4, 1e-9),
             newton: NewtonOptions::default(),
             phase_var: 0,
             phase_harmonic: 1,
@@ -141,5 +109,13 @@ mod tests {
         assert_eq!(o.phase_harmonic, 1);
         assert!(matches!(o.omega_mode, OmegaMode::Free));
         assert!(matches!(o.linear_solver, LinearSolverKind::Dense));
+        assert_eq!(o.integrator, T2Integrator::Bdf2);
+        match o.step {
+            T2StepControl::Adaptive { rtol, atol, .. } => {
+                assert_eq!(rtol, 1e-4);
+                assert_eq!(atol, 1e-9);
+            }
+            other => panic!("unexpected default step policy {other:?}"),
+        }
     }
 }

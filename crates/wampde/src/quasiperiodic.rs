@@ -16,7 +16,7 @@
 
 use crate::error::WampdeError;
 use crate::linsolve::{FactoredJacobian, LinearSolverKind, NewtonMatrix};
-use crate::options::{T2Integrator, WampdeOptions};
+use crate::options::WampdeOptions;
 use crate::result::EnvelopeResult;
 use circuitdae::Dae;
 use hb::Colloc;
@@ -232,12 +232,9 @@ pub fn solve_quasiperiodic<D: Dae + ?Sized>(
     }
 
     // Cyclic difference stencil (uniform h): coefficients (c0, c1, c2)
-    // of q_m, q_{m-1}, q_{m-2} and the instantaneous weight θ.
-    let (c0, c1, c2, theta) = match opts.integrator {
-        T2Integrator::BackwardEuler => (1.0, -1.0, 0.0, 1.0),
-        T2Integrator::Trapezoidal => (1.0, -1.0, 0.0, 0.5),
-        T2Integrator::Bdf2 => (1.5, -2.0, 0.5, 1.0),
-    };
+    // of q_m, q_{m-1}, q_{m-2} and the instantaneous weight θ, from the
+    // shared timekit scheme table.
+    let (c0, c1, c2, theta) = opts.integrator.cyclic_stencil();
     let h = t2_period / n1 as f64;
     let bw = len + 1; // unknowns per slice: X_m then ω_m
     let dim = n1 * bw;

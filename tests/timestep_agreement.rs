@@ -1,0 +1,189 @@
+//! Acceptance tests of the shared `timekit` time-integration layer:
+//! adaptive and tight-fixed-step runs of `transim` and `wampde` must
+//! agree on `ring_loaded_vco`, and every solver must reject a
+//! zero/negative step with the *same* canonical diagnostic (the
+//! controller is resolved in one place, so the old per-solver default
+//! asymmetries — `span·1e-12` vs `span·1e-9` floors — are gone).
+
+use circuitdae::{circuits, Dae};
+use shooting::{oscillator_steady_state, ShootingOptions};
+use transim::{run_transient, Integrator, StepControl, TransientOptions};
+use wampde::{solve_envelope, T2StepControl, WampdeInit, WampdeOptions};
+
+/// The canonical `timekit` rejection text every solver must surface.
+const FIXED_STEP_DIAGNOSTIC: &str = "fixed step must be positive";
+
+/// One warped period of oscillating samples (so the wampde phase
+/// condition is non-degenerate and the step policy is what gets judged).
+fn oscillating_init(n0: usize) -> WampdeInit {
+    let samples: Vec<Vec<f64>> = (0..n0)
+        .map(|s| {
+            let phase = 2.0 * std::f64::consts::PI * s as f64 / n0 as f64;
+            vec![phase.cos(), 0.1 * phase.sin()]
+        })
+        .collect();
+    WampdeInit::from_samples(samples, 0.75e6)
+}
+
+#[test]
+fn all_solvers_reject_bad_fixed_steps_identically() {
+    let dae = circuits::lc_vco();
+    for bad in [0.0, -1.0e-9, f64::NAN] {
+        // transim
+        let opts = TransientOptions {
+            step: StepControl::Fixed(bad),
+            ..Default::default()
+        };
+        let err = run_transient(&dae, &[1.0, 0.0], 0.0, 1.0e-6, &opts).unwrap_err();
+        assert!(
+            err.to_string().contains(FIXED_STEP_DIAGNOSTIC),
+            "transim({bad}): {err}"
+        );
+
+        // wampde
+        let wopts = WampdeOptions {
+            harmonics: 3,
+            step: T2StepControl::Fixed(bad),
+            ..Default::default()
+        };
+        let init = oscillating_init(wopts.n0());
+        let err = solve_envelope(&dae, &init, 1.0e-6, &wopts).unwrap_err();
+        assert!(
+            err.to_string().contains(FIXED_STEP_DIAGNOSTIC),
+            "wampde({bad}): {err}"
+        );
+
+        // mpde
+        let forcing = mpde::AmForcing {
+            node: 0,
+            carrier_amplitude: 1.0e-3,
+            mod_depth: 0.5,
+            mod_freq_hz: 1.0e3,
+        };
+        let mopts = mpde::MpdeOptions {
+            harmonics: 3,
+            step: Some(timekit::StepPolicy::Fixed(bad)),
+            ..Default::default()
+        };
+        let err = mpde::solve_envelope_mpde(&dae, &forcing, 1.0e6, 1.0e-3, &mopts).unwrap_err();
+        assert!(
+            err.to_string().contains(FIXED_STEP_DIAGNOSTIC),
+            "mpde({bad}): {err}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_tolerance_validation_is_shared() {
+    // A non-positive rtol is rejected with the same canonical text by
+    // transim and wampde (resolved by the same timekit policy).
+    let dae = circuits::lc_vco();
+    let opts = TransientOptions {
+        step: StepControl::adaptive(0.0, 1e-12),
+        ..Default::default()
+    };
+    let terr = run_transient(&dae, &[1.0, 0.0], 0.0, 1.0e-6, &opts)
+        .unwrap_err()
+        .to_string();
+    let wopts = WampdeOptions {
+        harmonics: 3,
+        step: T2StepControl::adaptive(0.0, 1e-9),
+        ..Default::default()
+    };
+    let init = oscillating_init(wopts.n0());
+    let werr = solve_envelope(&dae, &init, 1.0e-6, &wopts)
+        .unwrap_err()
+        .to_string();
+    assert!(terr.contains("rtol must be positive"), "{terr}");
+    assert!(werr.contains("rtol must be positive"), "{werr}");
+}
+
+#[test]
+fn transim_adaptive_agrees_with_tight_fixed_on_ring_vco() {
+    // Three carrier cycles of the ladder-loaded VCO: the LTE-adaptive
+    // run must land on the tight fixed-step trajectory.
+    let dae = circuits::ring_loaded_vco(4);
+    let period = circuits::nominal_period();
+    let t_end = 3.0 * period;
+    // Kick the tank so the oscillation develops.
+    let mut x0 = vec![0.0; dae.dim()];
+    x0[0] = 1.0;
+    let fixed = run_transient(
+        &dae,
+        &x0,
+        0.0,
+        t_end,
+        &TransientOptions {
+            integrator: Integrator::Trapezoidal,
+            step: StepControl::Fixed(period / 2000.0),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let adaptive = run_transient(
+        &dae,
+        &x0,
+        0.0,
+        t_end,
+        &TransientOptions {
+            integrator: Integrator::Trapezoidal,
+            step: StepControl::adaptive(1e-7, 1e-12),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        adaptive.stats.steps < fixed.stats.steps,
+        "adaptive {} vs fixed {}",
+        adaptive.stats.steps,
+        fixed.stats.steps
+    );
+    let amp = fixed.signal(0).iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    for k in 0..200 {
+        let t = k as f64 / 200.0 * t_end;
+        let a = adaptive.sample(0, t);
+        let b = fixed.sample(0, t);
+        assert!(
+            (a - b).abs() < 0.02 * amp,
+            "t={t:.3e}: adaptive {a} vs fixed {b} (amp {amp})"
+        );
+    }
+}
+
+#[test]
+fn wampde_adaptive_agrees_with_tight_fixed_on_ring_vco() {
+    // The envelope run of the same circuit: adaptive slow-time stepping
+    // must settle onto the same local frequency as a tight fixed step.
+    let dae = circuits::ring_loaded_vco(4);
+    let orbit = oscillator_steady_state(
+        &dae,
+        &ShootingOptions {
+            steps_per_period: 256,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let t2_end = 2.0e-6;
+    let base = WampdeOptions {
+        harmonics: 4,
+        ..Default::default()
+    };
+    let init = WampdeInit::from_orbit(&orbit, &base);
+    let fixed_opts = WampdeOptions {
+        step: T2StepControl::Fixed(t2_end / 100.0),
+        ..base
+    };
+    let fixed = solve_envelope(&dae, &init, t2_end, &fixed_opts).unwrap();
+    let adaptive = solve_envelope(&dae, &init, t2_end, &base).unwrap();
+    let f_fixed = *fixed.omega_hz.last().unwrap();
+    let f_adapt = *adaptive.omega_hz.last().unwrap();
+    let rel = (f_adapt - f_fixed).abs() / f_fixed;
+    assert!(
+        rel < 5e-3,
+        "settled omega: adaptive {f_adapt} vs fixed {f_fixed} (rel {rel:e})"
+    );
+    // Both sit near the shooting frequency.
+    let f0 = orbit.frequency();
+    assert!((f_adapt - f0).abs() / f0 < 0.05, "{f_adapt} vs {f0}");
+    assert!(adaptive.stats.steps > 0 && fixed.stats.steps == 100);
+}
