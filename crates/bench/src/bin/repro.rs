@@ -51,6 +51,10 @@ const TABLES: &[(&str, &str)] = &[
         "timestep",
         "adaptive vs fixed slow-time stepping per solver (BENCH_timestep.json)",
     ),
+    (
+        "newton",
+        "symbolic-reuse vs fresh factorisation per Newton iteration (BENCH_newton.json)",
+    ),
 ];
 
 fn print_targets() {
@@ -131,6 +135,9 @@ fn main() {
     }
     if want_table("timestep") {
         table_timestep();
+    }
+    if want_table("newton") {
+        table_newton();
     }
 }
 
@@ -359,6 +366,263 @@ fn table_timestep() {
         records.join(",\n")
     );
     let p = write_text_in(&repro_dir(), "BENCH_timestep.json", &json).expect("write json");
+    println!("  -> {}", p.display());
+}
+
+/// Machine-readable record of the shared Newton layer
+/// (`crates/newtonkit` + pattern-reusing `SparseLu` refactorisation):
+///
+/// * **kernel** — on the `ring_loaded_vco(128)` bordered step Jacobian
+///   (dim 1431), times a fresh sparse-LU factorisation (symbolic DFS +
+///   numeric) against the numeric-only refactorisation that every Newton
+///   iteration after the first performs, asserts the reuse path is
+///   faster *and* bitwise-identical, and records the speedup;
+/// * **per-solver rows** — deck-driven runs (using the per-directive
+///   `solver=sparselu` key) of transim/mpde/wampde with symbolic reuse
+///   on and off: Newton iterations, factorisations, reuse counts, wall.
+///
+/// Emits `target/repro/BENCH_newton.json`.
+fn table_newton() {
+    use sparsekit::SparseLu;
+    println!("=== table `newton`: pattern-reusing sparse refactorisation ===");
+    let mut records: Vec<String> = Vec::new();
+
+    // --- Kernel: fresh vs numeric-only refactorisation. ---
+    let jac = StepJacobian::build(128, 5);
+    let csc = jac.parts().assemble_triplets().to_csc();
+    let reps = 7;
+    let mut fresh_ns = u128::MAX;
+    let mut lu = SparseLu::factor(&csc).expect("step jacobian factors");
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        lu = SparseLu::factor(&csc).expect("step jacobian factors");
+        fresh_ns = fresh_ns.min(t0.elapsed().as_nanos());
+    }
+    let mut reuse_ns = u128::MAX;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        lu.refactor(&csc).expect("pattern unchanged");
+        reuse_ns = reuse_ns.min(t0.elapsed().as_nanos());
+    }
+    // The refactorisation replays the fresh elimination bit for bit.
+    let b = jac.rhs();
+    let x_fresh = SparseLu::factor(&csc)
+        .expect("step jacobian factors")
+        .solve(&b[..csc.nrows()])
+        .expect("solves");
+    let x_reuse = lu.solve(&b[..csc.nrows()]).expect("solves");
+    assert_eq!(
+        x_fresh, x_reuse,
+        "refactorisation must be bitwise-identical"
+    );
+    let speedup = fresh_ns as f64 / reuse_ns as f64;
+    // The acceptance bar of the Newton-layer extraction: numeric-only
+    // refactorisation beats fresh symbolic+numeric per iteration.
+    assert!(
+        speedup > 1.0,
+        "symbolic reuse must beat fresh factorisation ({fresh_ns} ns vs {reuse_ns} ns)"
+    );
+    println!(
+        "  kernel ring_loaded_vco(128), dim {}: fresh {:.2} ms, reuse {:.2} ms -> {speedup:.2}x",
+        csc.nrows(),
+        fresh_ns as f64 / 1e6,
+        reuse_ns as f64 / 1e6
+    );
+    records.push(format!(
+        "    {{\"row\": \"kernel\", \"workload\": \"ring_loaded_vco(128) step jacobian\", \
+         \"dim\": {}, \"fresh_ns\": {fresh_ns}, \"reuse_ns\": {reuse_ns}, \
+         \"speedup\": {speedup:.3}}}",
+        csc.nrows()
+    ));
+
+    // --- Per-solver rows: reuse on vs off. ---
+    println!("  solver   reuse  iterations  factorisations  reused   wall (ms)");
+    let mut solver_row = |solver: &str,
+                          reuse: bool,
+                          iterations: usize,
+                          factorisations: usize,
+                          reused: usize,
+                          wall_ns: u128| {
+        println!(
+            "  {solver:<8} {reuse:<6} {iterations:>10} {factorisations:>15} {reused:>7} {:>11.2}",
+            wall_ns as f64 / 1e6
+        );
+        records.push(format!(
+            "    {{\"row\": \"solver\", \"solver\": \"{solver}\", \"reuse\": {reuse}, \
+             \"iterations\": {iterations}, \"factorisations\": {factorisations}, \
+             \"symbolic_reuses\": {reused}, \"wall_ns\": {wall_ns}}}"
+        ));
+    };
+
+    // transim: deck-driven (per-directive `solver=sparselu` key) pulse
+    // transient on the ladder.
+    {
+        let cards = ring_ladder_cards(16);
+        let deck = circuitdae::parse_deck(&format!("{cards}.tran 2u dt=10n solver=sparselu\n"))
+            .expect("newton deck parses");
+        let dae = deck.base_circuit().expect("newton deck instantiates");
+        let circuitdae::AnalysisSpec::Tran(t) = &deck.analyses[0] else {
+            unreachable!("deck has one .tran directive")
+        };
+        assert_eq!(
+            t.solver,
+            wampde::LinearSolverKind::SparseLu,
+            "per-directive solver= key must reach the spec"
+        );
+        for reuse in [true, false] {
+            let newton = transim::NewtonOptions {
+                linear_solver: t.solver,
+                reuse_symbolic: reuse,
+                ..Default::default()
+            };
+            let x0 = transim::dc_operating_point(&dae, &newton).expect("dc");
+            let t0 = std::time::Instant::now();
+            let res = transim::run_transient(
+                &dae,
+                &x0,
+                0.0,
+                t.t_stop,
+                &transim::TransientOptions {
+                    integrator: t.integrator,
+                    step: transim::StepControl::Fixed(t.dt),
+                    newton,
+                },
+            )
+            .expect("transient converges");
+            let wall = t0.elapsed().as_nanos();
+            if reuse {
+                assert_eq!(
+                    res.stats.symbolic_reuses,
+                    res.stats.factorisations - 1,
+                    "constant pattern: one symbolic analysis per run"
+                );
+            } else {
+                assert_eq!(res.stats.symbolic_reuses, 0);
+            }
+            solver_row(
+                "transim",
+                reuse,
+                res.stats.newton_iterations,
+                res.stats.factorisations,
+                res.stats.symbolic_reuses,
+                wall,
+            );
+        }
+    }
+
+    // mpde: AM envelope on the RC low-pass (deck-driven spec, solver=
+    // pinned per directive).
+    {
+        let deck = circuitdae::parse_deck(
+            "R1 out 0 1k\n\
+             C1 out 0 1n\n\
+             .mpde 1meg 2m amp=1m depth=0.5 fmod=1k dt=20u solver=sparselu\n",
+        )
+        .expect("mpde newton deck parses");
+        let dae = deck.base_circuit().expect("deck instantiates");
+        let circuitdae::AnalysisSpec::Mpde(m) = &deck.analyses[0] else {
+            unreachable!("deck has one .mpde directive")
+        };
+        for reuse in [true, false] {
+            let spec = *m;
+            let t0 = std::time::Instant::now();
+            // Route through the adapter for the reuse-on row (the
+            // default policy), and through the API with the ablation
+            // knob for the off row.
+            let res = if reuse {
+                mpde::run_mpde_spec(&dae, &spec).expect("mpde converges")
+            } else {
+                let forcing = mpde::AmForcing {
+                    node: spec.node,
+                    carrier_amplitude: spec.amplitude,
+                    mod_depth: spec.mod_depth,
+                    mod_freq_hz: spec.mod_freq_hz,
+                };
+                mpde::solve_envelope_mpde(
+                    &dae,
+                    &forcing,
+                    spec.f1_hz,
+                    spec.t_stop,
+                    &mpde::MpdeOptions {
+                        harmonics: spec.harmonics,
+                        dt2: spec.dt,
+                        linear_solver: spec.solver,
+                        newton: transim::NewtonOptions {
+                            reuse_symbolic: false,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    },
+                )
+                .expect("mpde converges")
+            };
+            let wall = t0.elapsed().as_nanos();
+            solver_row(
+                "mpde",
+                reuse,
+                res.stats.newton_iterations,
+                res.stats.factorisations,
+                res.stats.symbolic_reuses,
+                wall,
+            );
+        }
+    }
+
+    // wampde: envelope of the ring-loaded VCO (orbit shot once, shared).
+    {
+        let dae = circuitdae::circuits::ring_loaded_vco(8);
+        let orbit = shooting::oscillator_steady_state(
+            &dae,
+            &shooting::ShootingOptions {
+                steps_per_period: 256,
+                linear_solver: wampde::LinearSolverKind::SparseLu,
+                ..Default::default()
+            },
+        )
+        .expect("ring VCO oscillates");
+        for reuse in [true, false] {
+            let opts = wampde::WampdeOptions {
+                harmonics: 5,
+                step: wampde::T2StepControl::Fixed(2.0e-7),
+                linear_solver: wampde::LinearSolverKind::SparseLu,
+                newton: transim::NewtonOptions {
+                    reuse_symbolic: reuse,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let init = wampde::WampdeInit::from_orbit(&orbit, &opts);
+            let t0 = std::time::Instant::now();
+            let env = wampde::solve_envelope(&dae, &init, 4.0e-6, &opts).expect("envelope");
+            let wall = t0.elapsed().as_nanos();
+            if reuse {
+                assert!(
+                    env.stats.symbolic_reuses > 0,
+                    "envelope must reuse symbolic analysis: {:?}",
+                    env.stats
+                );
+            } else {
+                assert_eq!(env.stats.symbolic_reuses, 0);
+            }
+            solver_row(
+                "wampde",
+                reuse,
+                env.stats.newton_iterations,
+                env.stats.factorisations,
+                env.stats.symbolic_reuses,
+                wall,
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"newton\",\n  \"workload\": \"pattern-reusing symbolic \
+         refactorisation (newtonkit + SparseLu::refactor): kernel fresh-vs-reuse on \
+         ring_loaded_vco(128), per-solver Newton counters with reuse on/off\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    let p = write_text_in(&repro_dir(), "BENCH_newton.json", &json).expect("write json");
     println!("  -> {}", p.display());
 }
 

@@ -18,12 +18,13 @@
 //! for any `--jobs` value. `--list` prints the expanded job plan without
 //! running anything.
 //!
-//! `--solver dense|sparselu|gmres` overrides the deck's `.options` choice
-//! of linear-solver backend for every analysis; `--integrator
-//! be|trap|bdf2` and `--rtol V` likewise override the time-stepping
-//! scheme and adaptive tolerance of every time-stepping analysis (for
-//! `.mpde`, a positive `--rtol` switches the envelope from fixed-step to
-//! LTE-adaptive mode).
+//! `--solver dense|sparselu|gmres` overrides the linear-solver backend
+//! for every analysis — beating both the deck-wide `.options` choice and
+//! any per-directive `solver=` key (the command line is the outermost
+//! layer); `--integrator be|trap|bdf2` and `--rtol V` likewise override
+//! the time-stepping scheme and adaptive tolerance of every
+//! time-stepping analysis (for `.mpde`, a positive `--rtol` switches the
+//! envelope from fixed-step to LTE-adaptive mode).
 
 use circuitdae::{parse_deck, LinearSolverKind, Scheme};
 use std::path::{Path, PathBuf};
@@ -157,22 +158,14 @@ fn real_main(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(&args.deck_path)
         .map_err(|e| format!("cannot read {}: {e}", args.deck_path.display()))?;
     let mut deck = parse_deck(&text)?;
+    wampde_bench::apply_deck_overrides(&mut deck, args.solver, args.integrator, args.rtol);
     if let Some(kind) = args.solver {
-        for a in &mut deck.analyses {
-            a.set_solver(kind);
-        }
         println!("linear solver override: {}", kind.label());
     }
     if let Some(scheme) = args.integrator {
-        for a in &mut deck.analyses {
-            a.set_integrator(scheme);
-        }
         println!("integrator override: {}", scheme.label());
     }
     if let Some(rtol) = args.rtol {
-        for a in &mut deck.analyses {
-            a.set_rtol(rtol);
-        }
         println!("rtol override: {rtol:e}");
     }
     let deck = deck;

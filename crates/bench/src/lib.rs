@@ -134,6 +134,31 @@ pub fn univariate_x0(run: &EnvelopeRun) -> Vec<f64> {
     run.env.states[0][0..run.dae.dim()].to_vec()
 }
 
+/// Applies `wampde-cli`-style overrides to a parsed deck.
+///
+/// Precedence, outermost first: CLI flags (these) beat every deck-level
+/// choice — both the deck-wide `.options solver=` line and any
+/// per-directive `solver=`/step keys, which the parser has already
+/// resolved into the specs by the time this runs.
+pub fn apply_deck_overrides(
+    deck: &mut circuitdae::Deck,
+    solver: Option<circuitdae::LinearSolverKind>,
+    integrator: Option<circuitdae::Scheme>,
+    rtol: Option<f64>,
+) {
+    for a in &mut deck.analyses {
+        if let Some(kind) = solver {
+            a.set_solver(kind);
+        }
+        if let Some(scheme) = integrator {
+            a.set_integrator(scheme);
+        }
+        if let Some(r) = rtol {
+            a.set_rtol(r);
+        }
+    }
+}
+
 /// An owned bordered WaMPDE step Jacobian for `ring_loaded_vco(stages)`
 /// at a smooth synthetic oscillation state — the shared workload of the
 /// linear-solver ablation bench and the `repro --table linsolve` emitter.
@@ -239,6 +264,50 @@ mod tests {
             assert!((dense[i] - sparse[i]).abs() < 1e-9 * scale, "sparse at {i}");
             assert!((dense[i] - gm[i]).abs() < 1e-6 * scale, "gmres at {i}");
         }
+    }
+
+    #[test]
+    fn cli_solver_override_beats_per_directive_and_options_keys() {
+        // The deck pins three different layers: a per-directive
+        // `solver=sparselu`, a deck-wide `.options solver=gmres`, and a
+        // directive with no key at all. The CLI override (outermost
+        // layer) must win everywhere; without it, the parser's
+        // per-directive > .options precedence must hold.
+        const DECK: &str = "C1 tank 0 4.503n\n\
+                            L1 tank 0 10u\n\
+                            GN1 tank 0 5m 1.667m\n\
+                            .wampde 6u harmonics=5 solver=sparselu\n\
+                            .shooting steps=128\n\
+                            .options solver=gmres\n";
+        let mut deck = circuitdae::parse_deck(DECK).unwrap();
+        assert_eq!(
+            deck.analyses[0].solver(),
+            circuitdae::LinearSolverKind::SparseLu
+        );
+        assert!(matches!(
+            deck.analyses[1].solver(),
+            circuitdae::LinearSolverKind::GmresIlu0 { .. }
+        ));
+        apply_deck_overrides(
+            &mut deck,
+            Some(circuitdae::LinearSolverKind::Dense),
+            None,
+            None,
+        );
+        for a in &deck.analyses {
+            assert_eq!(a.solver(), circuitdae::LinearSolverKind::Dense);
+        }
+        // Integrator/rtol overrides ride the same helper.
+        apply_deck_overrides(
+            &mut deck,
+            None,
+            Some(circuitdae::Scheme::BackwardEuler),
+            Some(3e-5),
+        );
+        assert_eq!(
+            deck.analyses[0].integrator(),
+            Some(circuitdae::Scheme::BackwardEuler)
+        );
     }
 
     #[test]

@@ -24,10 +24,10 @@
 //! analysis cards), producing a typed [`Deck`]:
 //!
 //! ```text
-//! .tran     <tstop> [dt=<v>] [STEP KEYS]
-//! .shooting [steps=<n>] [phase_var=<k>]
-//! .mpde     <f1> <tstop> [harmonics=<n>] [node=<k>] [amp=<v>] [depth=<v>] [fmod=<v>] [dt=<v>] [STEP KEYS]
-//! .wampde   <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>] [dt=<v>] [STEP KEYS]
+//! .tran     <tstop> [dt=<v>] [solver=<s>] [STEP KEYS]
+//! .shooting [steps=<n>] [phase_var=<k>] [solver=<s>]
+//! .mpde     <f1> <tstop> [harmonics=<n>] [node=<k>] [amp=<v>] [depth=<v>] [fmod=<v>] [dt=<v>] [solver=<s>] [STEP KEYS]
+//! .wampde   <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>] [dt=<v>] [solver=<s>] [STEP KEYS]
 //! .sweep    <param> <from> <to> <points> [log]
 //! .options  solver=dense|sparselu|gmres [gmres_tol=<v>] [gmres_restart=<n>]
 //! ```
@@ -43,6 +43,10 @@
 //! the deck (position-independent; a later `.options` line wins). The
 //! default is dense LU; `sparselu` and `gmres` route each solver's inner
 //! factorisations through the shared `linsolve` layer's sparse backends.
+//! Every analysis directive additionally accepts its own
+//! `solver=dense|sparselu|gmres` key, which takes precedence over the
+//! deck-wide `.options` choice for that analysis alone (and is itself
+//! overridden by the `wampde-cli --solver` flag).
 //!
 //! `<param>` in `.sweep` is a device card name (`R1`) or a dotted field
 //! (`M1.control`); see [`Device::set_param`] for the field tables.
@@ -225,7 +229,10 @@ pub fn parse_deck(text: &str) -> Result<Deck, NetlistError> {
 fn parse_impl(text: &str, allow_directives: bool) -> Result<Deck, NetlistError> {
     let mut ckt = Circuit::new();
     let mut names: Vec<String> = Vec::new();
-    let mut analyses: Vec<AnalysisSpec> = Vec::new();
+    // Each analysis remembers whether its directive carried an explicit
+    // per-analysis `solver=` key (which then beats the deck-wide
+    // `.options` choice).
+    let mut analyses: Vec<(AnalysisSpec, bool)> = Vec::new();
     let mut sweeps: Vec<(usize, SweepSpec)> = Vec::new();
     let mut solver: Option<LinearSolverKind> = None;
     let mut nodes: HashMap<String, Node> = HashMap::new();
@@ -259,7 +266,10 @@ fn parse_impl(text: &str, allow_directives: bool) -> Result<Deck, NetlistError> 
                 });
             }
             match parse_directive(&tokens) {
-                Ok(Directive::Analysis(a)) => analyses.push(a),
+                Ok(Directive::Analysis {
+                    spec,
+                    solver_explicit,
+                }) => analyses.push((spec, solver_explicit)),
                 Ok(Directive::Sweep(s)) => sweeps.push((line, s)),
                 Ok(Directive::Options(kind)) => solver = Some(kind),
                 Err(message) => return Err(NetlistError::Parse { line, message }),
@@ -396,26 +406,41 @@ fn parse_impl(text: &str, allow_directives: bool) -> Result<Deck, NetlistError> 
     }
 
     // `.options` applies deck-wide: stamp the chosen backend into every
-    // analysis spec (each carries it so sweep jobs stay self-contained).
+    // analysis spec (each carries it so sweep jobs stay self-contained) —
+    // except those whose directive pinned its own `solver=` key.
     if let Some(kind) = solver {
-        for a in &mut analyses {
-            a.set_solver(kind);
+        for (a, explicit) in &mut analyses {
+            if !*explicit {
+                a.set_solver(kind);
+            }
         }
     }
 
     Ok(Deck {
         circuit: ckt,
         names,
-        analyses,
+        analyses: analyses.into_iter().map(|(a, _)| a).collect(),
         sweeps: sweeps.into_iter().map(|(_, s)| s).collect(),
     })
 }
 
 /// A parsed directive line.
 enum Directive {
-    Analysis(AnalysisSpec),
+    Analysis {
+        spec: AnalysisSpec,
+        /// The directive carried its own `solver=` key, which beats the
+        /// deck-wide `.options` choice.
+        solver_explicit: bool,
+    },
     Sweep(SweepSpec),
     Options(LinearSolverKind),
+}
+
+/// Parses a per-directive `solver=` value, naming the directive in the
+/// error message.
+fn parse_solver_key(v: &str, directive: &str) -> Result<LinearSolverKind, String> {
+    LinearSolverKind::parse(v)
+        .ok_or_else(|| format!("{directive}: unknown solver '{v}' (dense, sparselu, gmres)"))
 }
 
 /// Positional tokens and `key=value` options of one directive line.
@@ -517,11 +542,12 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
             let [t_stop] = pos[..] else {
                 return Err(
                     "usage: .tran <tstop> [dt=<v>] [integrator=<s>] [rtol=<v>] [atol=<v>] \
-                     [dt_min=<v>] [dt_max=<v>]"
+                     [dt_min=<v>] [dt_max=<v>] [solver=<s>]"
                         .into(),
                 );
             };
             let mut spec = TranSpec::new(parse_value(t_stop)?);
+            let mut solver_explicit = false;
             for (k, v) in opts {
                 let consumed = StepKeys {
                     dt: &mut spec.dt,
@@ -533,9 +559,16 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
                 }
                 .apply(k, v)
                 .map_err(|e| format!(".tran: {e}"))?;
-                if !consumed {
+                if consumed {
+                    continue;
+                }
+                if k == "solver" {
+                    spec.solver = parse_solver_key(v, ".tran")?;
+                    solver_explicit = true;
+                } else {
                     return Err(format!(
-                        ".tran: unknown option '{k}' (dt, integrator, rtol, atol, dt_min, dt_max)"
+                        ".tran: unknown option '{k}' (dt, integrator, rtol, atol, dt_min, \
+                         dt_max, solver)"
                     ));
                 }
             }
@@ -552,37 +585,48 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
             if spec.t_stop <= 0.0 {
                 return Err(".tran: tstop must be positive".into());
             }
-            Ok(Directive::Analysis(AnalysisSpec::Tran(spec)))
+            Ok(Directive::Analysis {
+                spec: AnalysisSpec::Tran(spec),
+                solver_explicit,
+            })
         }
         ".shooting" => {
             let (pos, opts) = split_args(args)?;
             if !pos.is_empty() {
-                return Err("usage: .shooting [steps=<n>] [phase_var=<k>]".into());
+                return Err("usage: .shooting [steps=<n>] [phase_var=<k>] [solver=<s>]".into());
             }
             let mut spec = ShootingSpec {
                 steps_per_period: 512,
                 phase_var: 0,
                 solver: LinearSolverKind::default(),
             };
+            let mut solver_explicit = false;
             for (k, v) in opts {
                 match k {
                     "steps" => spec.steps_per_period = parse_usize(v, "steps")?,
                     "phase_var" => spec.phase_var = parse_usize(v, "phase_var")?,
+                    "solver" => {
+                        spec.solver = parse_solver_key(v, ".shooting")?;
+                        solver_explicit = true;
+                    }
                     other => {
                         return Err(format!(
-                            ".shooting: unknown option '{other}' (steps, phase_var)"
+                            ".shooting: unknown option '{other}' (steps, phase_var, solver)"
                         ))
                     }
                 }
             }
-            Ok(Directive::Analysis(AnalysisSpec::Shooting(spec)))
+            Ok(Directive::Analysis {
+                spec: AnalysisSpec::Shooting(spec),
+                solver_explicit,
+            })
         }
         ".mpde" => {
             let (pos, opts) = split_args(args)?;
             let [f1, t_stop] = pos[..] else {
                 return Err("usage: .mpde <f1> <tstop> [harmonics=<n>] [node=<k>] \
                      [amp=<v>] [depth=<v>] [fmod=<v>] [dt=<v>] [integrator=<s>] \
-                     [rtol=<v>] [atol=<v>] [dt_min=<v>] [dt_max=<v>]"
+                     [rtol=<v>] [atol=<v>] [dt_min=<v>] [dt_max=<v>] [solver=<s>]"
                     .into());
             };
             let f1_hz = parse_value(f1)?;
@@ -590,6 +634,7 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
                 return Err(".mpde: carrier frequency must be positive".into());
             }
             let mut spec = MpdeSpec::new(f1_hz, parse_value(t_stop)?);
+            let mut solver_explicit = false;
             for (k, v) in opts {
                 let consumed = StepKeys {
                     dt: &mut spec.dt,
@@ -610,10 +655,14 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
                     "amp" => spec.amplitude = parse_value(v)?,
                     "depth" => spec.mod_depth = parse_value(v)?,
                     "fmod" => spec.mod_freq_hz = parse_value(v)?,
+                    "solver" => {
+                        spec.solver = parse_solver_key(v, ".mpde")?;
+                        solver_explicit = true;
+                    }
                     other => {
                         return Err(format!(
                             ".mpde: unknown option '{other}' (harmonics, node, amp, depth, \
-                             fmod, dt, integrator, rtol, atol, dt_min, dt_max)"
+                             fmod, dt, integrator, rtol, atol, dt_min, dt_max, solver)"
                         ))
                     }
                 }
@@ -635,18 +684,23 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
                 // N0 = 2M+1 = 1 sample cannot represent the carrier.
                 return Err(".mpde: harmonics must be at least 1".into());
             }
-            Ok(Directive::Analysis(AnalysisSpec::Mpde(spec)))
+            Ok(Directive::Analysis {
+                spec: AnalysisSpec::Mpde(spec),
+                solver_explicit,
+            })
         }
         ".wampde" => {
             let (pos, opts) = split_args(args)?;
             let [t_stop] = pos[..] else {
                 return Err(
                     "usage: .wampde <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>] \
-                     [dt=<v>] [integrator=<s>] [rtol=<v>] [atol=<v>] [dt_min=<v>] [dt_max=<v>]"
+                     [dt=<v>] [integrator=<s>] [rtol=<v>] [atol=<v>] [dt_min=<v>] [dt_max=<v>] \
+                     [solver=<s>]"
                         .into(),
                 );
             };
             let mut spec = WampdeSpec::new(parse_value(t_stop)?);
+            let mut solver_explicit = false;
             for (k, v) in opts {
                 let consumed = StepKeys {
                     dt: &mut spec.dt,
@@ -665,10 +719,14 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
                     "harmonics" => spec.harmonics = parse_usize(v, "harmonics")?,
                     "phase_var" => spec.phase_var = parse_usize(v, "phase_var")?,
                     "steps" => spec.shooting_steps = parse_usize(v, "steps")?,
+                    "solver" => {
+                        spec.solver = parse_solver_key(v, ".wampde")?;
+                        solver_explicit = true;
+                    }
                     other => {
                         return Err(format!(
                             ".wampde: unknown option '{other}' (harmonics, phase_var, steps, \
-                             dt, integrator, rtol, atol, dt_min, dt_max)"
+                             dt, integrator, rtol, atol, dt_min, dt_max, solver)"
                         ))
                     }
                 }
@@ -689,7 +747,10 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
             if spec.harmonics == 0 {
                 return Err(".wampde: harmonics must be at least 1".into());
             }
-            Ok(Directive::Analysis(AnalysisSpec::Wampde(spec)))
+            Ok(Directive::Analysis {
+                spec: AnalysisSpec::Wampde(spec),
+                solver_explicit,
+            })
         }
         ".sweep" => {
             let (pos, opts) = split_args(args)?;
@@ -1207,6 +1268,92 @@ mod tests {
                     assert!((rtol - 1e-8).abs() < 1e-20);
                 }
                 other => panic!("unexpected solver {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn per_directive_solver_key_parses_on_every_analysis() {
+        let deck = parse_deck(&format!(
+            "{VCO_CARDS}.tran 1m dt=2u solver=sparselu\n\
+             .shooting steps=128 solver=gmres\n\
+             .mpde 1meg 2m solver=sparselu\n\
+             .wampde 6u harmonics=5 solver=dense\n"
+        ))
+        .unwrap();
+        assert_eq!(deck.analyses[0].solver(), LinearSolverKind::SparseLu);
+        assert!(matches!(
+            deck.analyses[1].solver(),
+            LinearSolverKind::GmresIlu0 { .. }
+        ));
+        assert_eq!(deck.analyses[2].solver(), LinearSolverKind::SparseLu);
+        assert_eq!(deck.analyses[3].solver(), LinearSolverKind::Dense);
+    }
+
+    #[test]
+    fn per_directive_solver_key_beats_options_in_both_orders() {
+        // `.options` after the directive must not clobber the explicit
+        // per-analysis key...
+        let deck = parse_deck(&format!(
+            "{VCO_CARDS}.wampde 6u harmonics=5 solver=sparselu\n\
+             .shooting steps=128\n\
+             .options solver=gmres\n"
+        ))
+        .unwrap();
+        assert_eq!(deck.analyses[0].solver(), LinearSolverKind::SparseLu);
+        assert!(matches!(
+            deck.analyses[1].solver(),
+            LinearSolverKind::GmresIlu0 { .. }
+        ));
+        // ...nor when it comes first.
+        let deck = parse_deck(&format!(
+            "{VCO_CARDS}.options solver=gmres\n\
+             .wampde 6u harmonics=5 solver=dense\n\
+             .shooting steps=128\n"
+        ))
+        .unwrap();
+        assert_eq!(deck.analyses[0].solver(), LinearSolverKind::Dense);
+        assert!(matches!(
+            deck.analyses[1].solver(),
+            LinearSolverKind::GmresIlu0 { .. }
+        ));
+    }
+
+    #[test]
+    fn per_directive_solver_key_errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.tran 1m solver=qr\n",
+                3,
+                ".tran: unknown solver 'qr'",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.shooting solver=lu\n",
+                3,
+                ".shooting: unknown solver 'lu'",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.mpde 1meg 1m solver=cholesky\n",
+                3,
+                ".mpde: unknown solver 'cholesky'",
+            ),
+            (
+                "R1 a 0 1k\nC1 a 0 1n\n.wampde 1u solver=qr\n",
+                3,
+                ".wampde: unknown solver 'qr'",
+            ),
+        ];
+        for (text, want_line, want_msg) in cases {
+            let err = parse_deck(text).unwrap_err();
+            match err {
+                NetlistError::Parse { line, message } => {
+                    assert_eq!(line, *want_line, "text: {text:?}: {message}");
+                    assert!(
+                        message.contains(want_msg),
+                        "text: {text:?}: message {message:?} missing {want_msg:?}"
+                    );
+                }
+                other => panic!("unexpected error {other} for {text:?}"),
             }
         }
     }

@@ -164,9 +164,24 @@ impl JacobianParts<'_> {
 
     /// Assembles the full dense matrix.
     pub fn assemble_dense(&self) -> DMat {
+        let mut jac = DMat::zeros(self.dim(), self.dim());
+        self.assemble_dense_into(&mut jac);
+        jac
+    }
+
+    /// Assembles into a caller-provided `dim() × dim()` buffer (zeroed
+    /// first) — the allocation-free path for Newton engines that stamp
+    /// the same system every iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `jac` has the wrong shape.
+    pub fn assemble_dense_into(&self, jac: &mut DMat) {
+        assert_eq!(jac.nrows(), self.dim(), "assemble_dense_into: shape");
+        assert_eq!(jac.ncols(), self.dim(), "assemble_dense_into: shape");
+        jac.fill_zero();
         let len = self.len();
         let n = self.n;
-        let mut jac = DMat::zeros(self.dim(), self.dim());
         for s in 0..self.n0 {
             let g = &self.gblocks[s];
             let c = &self.cblocks[s];
@@ -197,7 +212,6 @@ impl JacobianParts<'_> {
                 jac[(k, len)] = col[k];
             }
         }
-        jac
     }
 
     /// Pushes the nonzero entries into a triplet buffer (duplicates sum on
@@ -512,6 +526,120 @@ impl FactoredJacobian {
     }
 }
 
+/// Counters accumulated by a [`FactorCache`] across factorisations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FactorStats {
+    /// Total factorisations performed (any backend).
+    pub factorisations: usize,
+    /// Factorisations that reused the cached symbolic analysis
+    /// (sparse-LU numeric-only refactorisation).
+    pub symbolic_reuses: usize,
+    /// Sparse factorisations that had to redo symbolic analysis because
+    /// the sparsity pattern changed or the cached pivots went stale.
+    pub pattern_rebuilds: usize,
+}
+
+/// A stateful factor-then-solve cache for Newton-style iterations.
+///
+/// Newton re-factors the same sparsity pattern every iteration (and, in
+/// time-stepping solvers, every step), so on the [`LinearSolverKind::SparseLu`]
+/// backend the cache keeps the previous [`SparseLu`] and performs a
+/// numeric-only [`SparseLu::refactor`] whenever the incoming pattern
+/// matches — skipping the symbolic reachability analysis. A pattern
+/// change (or a stale-pivot failure) transparently falls back to a fresh
+/// factorisation and is counted in [`FactorStats::pattern_rebuilds`].
+///
+/// Dense LU and GMRES+ILU(0) have no symbolic phase worth caching; they
+/// factor fresh each call (still counted in
+/// [`FactorStats::factorisations`]).
+#[derive(Debug)]
+pub struct FactorCache {
+    kind: LinearSolverKind,
+    reuse: bool,
+    factored: Option<FactoredJacobian>,
+    stats: FactorStats,
+}
+
+impl FactorCache {
+    /// A cache factoring through `kind`, with symbolic reuse enabled.
+    pub fn new(kind: LinearSolverKind) -> Self {
+        FactorCache {
+            kind,
+            reuse: true,
+            factored: None,
+            stats: FactorStats::default(),
+        }
+    }
+
+    /// Enables/disables symbolic reuse (ablation knob; on by default).
+    pub fn set_reuse(&mut self, reuse: bool) {
+        self.reuse = reuse;
+    }
+
+    /// The configured backend.
+    pub fn kind(&self) -> LinearSolverKind {
+        self.kind
+    }
+
+    /// Switches the backend, dropping any cached factorisation state.
+    pub fn set_kind(&mut self, kind: LinearSolverKind) {
+        if kind != self.kind {
+            self.kind = kind;
+            self.factored = None;
+        }
+    }
+
+    /// Cumulative counters since construction.
+    pub fn stats(&self) -> FactorStats {
+        self.stats
+    }
+
+    /// Factors the described matrix, reusing cached symbolic analysis on
+    /// the sparse-LU backend when the pattern is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`LinSolveError`] when the factorisation fails.
+    pub fn factor_matrix(&mut self, matrix: &NewtonMatrix<'_>) -> Result<(), LinSolveError> {
+        self.stats.factorisations += 1;
+        if let LinearSolverKind::SparseLu = self.kind {
+            // Convert without cloning the triplet buffer: this runs once
+            // per Newton iteration on the hot path.
+            let csc = match matrix {
+                NewtonMatrix::Triplets(t) => t.to_csc(),
+                NewtonMatrix::Dense(_) => matrix.to_triplets().to_csc(),
+            };
+            if self.reuse {
+                if let Some(FactoredJacobian::Sparse(lu)) = &mut self.factored {
+                    if lu.refactor(&csc).is_ok() {
+                        self.stats.symbolic_reuses += 1;
+                        return Ok(());
+                    }
+                    self.stats.pattern_rebuilds += 1;
+                }
+            }
+            let lu = SparseLu::factor(&csc).map_err(LinSolveError::new)?;
+            self.factored = Some(FactoredJacobian::Sparse(lu));
+            return Ok(());
+        }
+        self.factored = Some(FactoredJacobian::factor_matrix(matrix, self.kind)?);
+        Ok(())
+    }
+
+    /// Solves `J·x = rhs` in place against the most recent factorisation.
+    ///
+    /// # Errors
+    ///
+    /// [`LinSolveError`] when nothing has been factored yet or the
+    /// backend fails (e.g. GMRES stagnates).
+    pub fn solve_in_place(&self, rhs: &mut [f64]) -> Result<(), LinSolveError> {
+        match &self.factored {
+            Some(f) => f.solve_in_place(rhs),
+            None => Err(LinSolveError::new("no factorisation cached")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -737,6 +865,114 @@ mod tests {
                 .unwrap_err();
         assert!(!err.cause.is_empty());
         assert!(err.to_string().contains("linear solve failed"));
+    }
+
+    #[test]
+    fn factor_cache_reuses_symbolic_on_same_pattern() {
+        // Same pattern, shifting values: one symbolic analysis, then
+        // numeric-only refactorisations — each solving correctly.
+        let mut cache = FactorCache::new(LinearSolverKind::SparseLu);
+        for iter in 0..4 {
+            let shift = iter as f64;
+            let mut t = Triplets::new(3, 3);
+            t.push(0, 0, 4.0 + shift);
+            t.push(1, 1, 3.0 + shift);
+            t.push(2, 2, 5.0 + shift);
+            t.push(0, 1, 1.0);
+            t.push(2, 0, 0.5);
+            cache.factor_matrix(&NewtonMatrix::Triplets(&t)).unwrap();
+            let mut x = vec![1.0, 2.0, 3.0];
+            cache.solve_in_place(&mut x).unwrap();
+            let mut reference = vec![1.0, 2.0, 3.0];
+            FactoredJacobian::factor_matrix(
+                &NewtonMatrix::Triplets(&t),
+                LinearSolverKind::SparseLu,
+            )
+            .unwrap()
+            .solve_in_place(&mut reference)
+            .unwrap();
+            assert_eq!(x, reference, "iteration {iter}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.factorisations, 4);
+        assert_eq!(stats.symbolic_reuses, 3);
+        assert_eq!(stats.pattern_rebuilds, 0);
+    }
+
+    #[test]
+    fn factor_cache_rebuilds_on_pattern_change() {
+        let mut cache = FactorCache::new(LinearSolverKind::SparseLu);
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 3.0);
+        cache.factor_matrix(&NewtonMatrix::Triplets(&t)).unwrap();
+        // New pattern: off-diagonal appears.
+        let mut t2 = Triplets::new(2, 2);
+        t2.push(0, 0, 2.0);
+        t2.push(1, 1, 3.0);
+        t2.push(0, 1, 1.0);
+        cache.factor_matrix(&NewtonMatrix::Triplets(&t2)).unwrap();
+        let mut x = vec![3.0, 3.0];
+        cache.solve_in_place(&mut x).unwrap();
+        assert!((x[1] - 1.0).abs() < 1e-12 && (x[0] - 1.0).abs() < 1e-12);
+        let stats = cache.stats();
+        assert_eq!(stats.factorisations, 2);
+        assert_eq!(stats.symbolic_reuses, 0);
+        assert_eq!(stats.pattern_rebuilds, 1);
+    }
+
+    #[test]
+    fn factor_cache_reuse_can_be_disabled() {
+        let mut cache = FactorCache::new(LinearSolverKind::SparseLu);
+        cache.set_reuse(false);
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 3.0);
+        cache.factor_matrix(&NewtonMatrix::Triplets(&t)).unwrap();
+        cache.factor_matrix(&NewtonMatrix::Triplets(&t)).unwrap();
+        assert_eq!(cache.stats().symbolic_reuses, 0);
+        assert_eq!(cache.stats().factorisations, 2);
+    }
+
+    #[test]
+    fn factor_cache_dense_and_gmres_paths() {
+        let m = DMat::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        for kind in [LinearSolverKind::Dense, LinearSolverKind::gmres_default()] {
+            let mut cache = FactorCache::new(kind);
+            assert!(cache.solve_in_place(&mut [1.0, 1.0]).is_err(), "unfactored");
+            cache.factor_matrix(&NewtonMatrix::Dense(&m)).unwrap();
+            let mut x = vec![5.0, 4.0];
+            cache.solve_in_place(&mut x).unwrap();
+            assert!((x[0] - 1.0).abs() < 1e-8, "{}", kind.label());
+            assert!((x[1] - 1.0).abs() < 1e-8, "{}", kind.label());
+            assert_eq!(cache.stats().symbolic_reuses, 0);
+        }
+    }
+
+    #[test]
+    fn factor_cache_set_kind_resets_state() {
+        let mut cache = FactorCache::new(LinearSolverKind::SparseLu);
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 3.0);
+        cache.factor_matrix(&NewtonMatrix::Triplets(&t)).unwrap();
+        cache.set_kind(LinearSolverKind::Dense);
+        assert!(cache.solve_in_place(&mut [1.0, 1.0]).is_err());
+        assert_eq!(cache.kind(), LinearSolverKind::Dense);
+    }
+
+    #[test]
+    fn assemble_dense_into_matches_allocating_path() {
+        let (dmat, cblocks, gblocks) = synthetic_blocks();
+        let parts = synthetic_parts(&dmat, &cblocks, &gblocks);
+        let a = parts.assemble_dense();
+        let mut b = DMat::from_fn(parts.dim(), parts.dim(), |_, _| 7.0); // pre-dirty
+        parts.assemble_dense_into(&mut b);
+        for i in 0..parts.dim() {
+            for j in 0..parts.dim() {
+                assert_eq!(a[(i, j)], b[(i, j)], "({i},{j})");
+            }
+        }
     }
 
     #[test]

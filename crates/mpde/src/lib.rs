@@ -49,8 +49,9 @@
 
 use circuitdae::Dae;
 use hb::Colloc;
-use linsolve::{FactoredJacobian, JacobianParts, LinearSolverKind};
-use numkit::vecops::norm2;
+use linsolve::{JacobianParts, LinearSolverKind};
+use newtonkit::{NewtonEngine, NewtonError, NewtonPolicy, NewtonSystem};
+use std::cell::RefCell;
 use std::fmt;
 use timekit::{History, Scheme, StepPolicy, StepVerdict};
 use transim::NewtonOptions;
@@ -175,6 +176,13 @@ pub struct MpdeStats {
     pub steps: usize,
     /// Steps rejected by error control or Newton failure.
     pub rejected: usize,
+    /// Total Newton iterations (including the `t2 = 0` steady solve).
+    pub newton_iterations: usize,
+    /// Jacobian factorisations across all Newton solves.
+    pub factorisations: usize,
+    /// Factorisations that reused cached symbolic analysis (sparse-LU
+    /// backend only).
+    pub symbolic_reuses: usize,
 }
 
 /// An MPDE envelope solution.
@@ -303,6 +311,12 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
         }
     };
 
+    // One Newton engine for the whole envelope: the step Jacobian's
+    // sparsity pattern is stable along t2, so the sparse-LU backend pays
+    // for symbolic analysis once and refactors numerically thereafter.
+    let mut engine = NewtonEngine::new();
+    let mut stats = MpdeStats::default();
+
     // Initial condition: periodic steady state at t2 = 0 (steady-envelope
     // solve: f1·D·q + f = b̂(·, 0) — the general step residual with
     // a0h = 0 and θ = 1).
@@ -312,6 +326,8 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
     eval_forcing(0.0, &mut bgrid);
     let zeros = vec![0.0; len];
     newton_mpde(
+        &mut engine,
+        &mut stats,
         dae,
         &colloc,
         &mut x,
@@ -328,7 +344,6 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
 
     let mut t2s = vec![0.0];
     let mut states = vec![x.clone()];
-    let mut stats = MpdeStats::default();
     let mut q_cur = vec![0.0; len];
     let mut dq_buf = vec![0.0; len];
     let mut fv_buf = vec![0.0; len];
@@ -371,6 +386,8 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
         let predicted = history.predict(t_new);
         let mut x_new = predicted.clone().unwrap_or_else(|| x.clone());
         let newton = newton_mpde(
+            &mut engine,
+            &mut stats,
             dae,
             &colloc,
             &mut x_new,
@@ -467,11 +484,114 @@ fn eval_g_mpde<D: Dae + ?Sized>(
     }
 }
 
-/// Newton solve of one MPDE step (or the `t2 = 0` steady problem when
-/// `a0h = 0`):
-/// `r = a0h·q(x) + qlin + θ·(f1·D·q(x) + f(x) − b̂) + (1−θ)·g_prev`.
+/// One MPDE step (or the `t2 = 0` steady problem when `a0h = 0`) as a
+/// shared-engine Newton system:
+/// `r = a0h·q(x) + qlin + θ·(f1·D·q(x) + f(x) − b̂) + (1−θ)·g_prev`,
+/// Jacobian `δ(a0h·C + θ·G) + θ·f1·D⊗C` — the `a0h`-shifted, unbordered
+/// collocation form with ω pinned at the carrier fundamental `f1`.
+struct MpdeStepSystem<'a, D: Dae + ?Sized> {
+    dae: &'a D,
+    colloc: &'a Colloc,
+    a0h: f64,
+    theta: f64,
+    qlin: &'a [f64],
+    g_prev: &'a [f64],
+    f1: f64,
+    bgrid: &'a [f64],
+    /// (q, dq, fv) residual scratch.
+    work: RefCell<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+}
+
+impl<'a, D: Dae + ?Sized> MpdeStepSystem<'a, D> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        dae: &'a D,
+        colloc: &'a Colloc,
+        a0h: f64,
+        theta: f64,
+        qlin: &'a [f64],
+        g_prev: &'a [f64],
+        f1: f64,
+        bgrid: &'a [f64],
+    ) -> Self {
+        let len = colloc.len();
+        MpdeStepSystem {
+            dae,
+            colloc,
+            a0h,
+            theta,
+            qlin,
+            g_prev,
+            f1,
+            bgrid,
+            work: RefCell::new((vec![0.0; len], vec![0.0; len], vec![0.0; len])),
+        }
+    }
+
+    fn parts<'b>(
+        &'b self,
+        cblocks: &'b [numkit::DMat],
+        gblocks: &'b [numkit::DMat],
+    ) -> JacobianParts<'b> {
+        JacobianParts {
+            n: self.colloc.n,
+            n0: self.colloc.n0,
+            dmat: &self.colloc.dmat,
+            cblocks,
+            gblocks,
+            inv_h: self.a0h,
+            theta: self.theta,
+            omega: self.f1,
+            border: None,
+        }
+    }
+}
+
+impl<D: Dae + ?Sized> NewtonSystem for MpdeStepSystem<'_, D> {
+    fn dim(&self) -> usize {
+        self.colloc.len()
+    }
+
+    fn residual(&self, x: &[f64], out: &mut [f64]) {
+        let (q, dq, fv) = &mut *self.work.borrow_mut();
+        self.colloc.eval_q_all(self.dae, x, q);
+        self.colloc.apply_diff(q, dq);
+        self.colloc.eval_f_all(self.dae, x, fv);
+        for k in 0..out.len() {
+            let g_inst = self.f1 * dq[k] + fv[k] - self.bgrid[k];
+            out[k] = self.a0h * q[k]
+                + self.qlin[k]
+                + self.theta * g_inst
+                + (1.0 - self.theta) * self.g_prev[k];
+        }
+    }
+
+    fn jacobian(&self, x: &[f64], out: &mut numkit::DMat) {
+        let (cblocks, gblocks) = circuitdae::jac_blocks(self.dae, x);
+        self.parts(&cblocks, &gblocks).assemble_dense_into(out);
+    }
+
+    fn jacobian_triplets(&self, x: &[f64], out: &mut sparsekit::Triplets) -> bool {
+        let (cblocks, gblocks) = circuitdae::jac_blocks(self.dae, x);
+        self.parts(&cblocks, &gblocks).push_triplets(out);
+        true
+    }
+
+    /// Block-scaled convergence (cf. `wampde::envelope`): every
+    /// collocation sample weighted by the global sample magnitude.
+    fn update_norm(&self, dx_scaled: &[f64], x: &[f64], abstol: f64, reltol: f64) -> f64 {
+        let x_scale = x.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
+        let w = abstol + reltol * x_scale;
+        (dx_scaled.iter().map(|d| (d / w).powi(2)).sum::<f64>() / dx_scaled.len() as f64).sqrt()
+    }
+}
+
+/// Newton solve of one MPDE step through the shared engine, mapping the
+/// solver-agnostic errors and accumulating run statistics.
 #[allow(clippy::too_many_arguments)]
 fn newton_mpde<D: Dae + ?Sized>(
+    engine: &mut NewtonEngine,
+    stats: &mut MpdeStats,
     dae: &D,
     colloc: &Colloc,
     x: &mut [f64],
@@ -485,80 +605,24 @@ fn newton_mpde<D: Dae + ?Sized>(
     solver: LinearSolverKind,
     at_t2: f64,
 ) -> Result<(), MpdeError> {
-    let n = colloc.n;
-    let len = colloc.len();
-    let mut q = vec![0.0; len];
-    let mut dq = vec![0.0; len];
-    let mut fv = vec![0.0; len];
-    let mut r = vec![0.0; len];
-
-    let residual =
-        |x: &[f64], q: &mut Vec<f64>, dq: &mut Vec<f64>, fv: &mut Vec<f64>, r: &mut Vec<f64>| {
-            colloc.eval_q_all(dae, x, q);
-            colloc.apply_diff(q, dq);
-            colloc.eval_f_all(dae, x, fv);
-            for k in 0..len {
-                let g_inst = f1 * dq[k] + fv[k] - bgrid[k];
-                r[k] = a0h * q[k] + qlin[k] + theta * g_inst + (1.0 - theta) * g_prev[k];
-            }
-        };
-
-    residual(x, &mut q, &mut dq, &mut fv, &mut r);
-    let mut rnorm = norm2(&r);
-
-    for _iter in 1..=newton.max_iter {
-        // Step Jacobian δ(a0h·C + θ·G) + θ·f1·D⊗C through the shared
-        // solver layer (the MPDE is the `a0h`-shifted, unbordered
-        // collocation form with ω pinned at the carrier fundamental f1).
-        let (cblocks, gblocks) = circuitdae::jac_blocks(dae, x);
-        let parts = JacobianParts {
-            n,
-            n0: colloc.n0,
-            dmat: &colloc.dmat,
-            cblocks: &cblocks,
-            gblocks: &gblocks,
-            inv_h: a0h,
-            theta,
-            omega: f1,
-            border: None,
-        };
-        let factored =
-            FactoredJacobian::factor(&parts, solver).map_err(|_| MpdeError::Singular { at_t2 })?;
-        let mut dx = r.clone();
-        factored
-            .solve_in_place(&mut dx)
-            .map_err(|_| MpdeError::Singular { at_t2 })?;
-
-        let mut lambda = 1.0_f64;
-        let mut x_trial = vec![0.0; len];
-        let mut r_trial = vec![0.0; len];
-        loop {
-            for k in 0..len {
-                x_trial[k] = x[k] - lambda * dx[k];
-            }
-            residual(&x_trial, &mut q, &mut dq, &mut fv, &mut r_trial);
-            let rt = norm2(&r_trial);
-            if rt.is_finite() && (rt <= rnorm || lambda <= newton.min_damping) {
-                x.copy_from_slice(&x_trial);
-                r.clone_from(&r_trial);
-                rnorm = rt;
-                break;
-            }
-            lambda *= 0.5;
+    let sys = MpdeStepSystem::new(dae, colloc, a0h, theta, qlin, g_prev, f1, bgrid);
+    let policy = NewtonPolicy {
+        linear_solver: solver,
+        ..*newton
+    };
+    let result = engine.solve(&sys, x, &policy);
+    let s = engine.stats();
+    stats.newton_iterations += s.iterations;
+    stats.factorisations += s.factorisations;
+    stats.symbolic_reuses += s.symbolic_reuses;
+    match result {
+        Ok(_) => Ok(()),
+        Err(NewtonError::Singular { .. }) => Err(MpdeError::Singular { at_t2 }),
+        Err(NewtonError::NoConvergence { residual, .. }) => {
+            Err(MpdeError::NewtonFailed { at_t2, residual })
         }
-
-        // Block-scaled convergence (cf. wampde::envelope).
-        let x_scale = x.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
-        let w = newton.abstol + newton.reltol * x_scale;
-        let update = (dx.iter().map(|d| (lambda * d / w).powi(2)).sum::<f64>() / len as f64).sqrt();
-        if update <= 1.0 {
-            return Ok(());
-        }
+        Err(NewtonError::BadInput(msg)) => Err(MpdeError::BadInput(msg)),
     }
-    Err(MpdeError::NewtonFailed {
-        at_t2,
-        residual: rnorm,
-    })
 }
 
 /// Deck adapter: runs a `.mpde` directive. The spec's AM forcing fields

@@ -30,9 +30,12 @@
 //! ```
 
 use circuitdae::Dae;
-use linsolve::{FactoredJacobian, LinearSolverKind, NewtonMatrix};
+use linsolve::{FactorCache, FactoredJacobian, LinearSolverKind, NewtonMatrix};
+use newtonkit::{Damping, NewtonEngine, NewtonError, NewtonPolicy, NewtonSystem};
 use numkit::vecops::norm2;
 use numkit::DMat;
+use sparsekit::Triplets;
+use std::cell::RefCell;
 use std::fmt;
 use transim::{
     run_transient, Integrator, NewtonOptions, StepControl, TransientOptions, TransientResult,
@@ -224,6 +227,10 @@ fn flow_with_monodromy<D: Dae + ?Sized>(
     let mut g_cur = DMat::zeros(n, n);
     dae.jac_q(&states[0], &mut c_prev);
     dae.jac_f(&states[0], &mut g_prev);
+    // One factor cache for the whole chain: every step's sensitivity
+    // matrix A shares the C/G sparsity pattern, so the sparse backends
+    // redo only numeric factorisation after the first step.
+    let mut factors = FactorCache::new(solver);
 
     for (i, state) in states.iter().enumerate().skip(1) {
         // Use the actual step taken (the final step may be a float-rounding
@@ -240,8 +247,9 @@ fn flow_with_monodromy<D: Dae + ?Sized>(
         if theta < 1.0 {
             bmat.axpy(-(1.0 - theta), &g_prev);
         }
-        let lu =
-            FactoredJacobian::factor_matrix(&NewtonMatrix::Dense(&a), solver).map_err(|_| {
+        factors
+            .factor_matrix(&NewtonMatrix::Dense(&a))
+            .map_err(|_| {
                 ShootingError::Transient(transim::TransimError::SingularJacobian {
                     at_time: i as f64 * h,
                 })
@@ -254,7 +262,7 @@ fn flow_with_monodromy<D: Dae + ?Sized>(
             for i2 in 0..n {
                 col[i2] = bm[(i2, j)];
             }
-            lu.solve_in_place(&mut col).expect("factored system");
+            factors.solve_in_place(&mut col).expect("factored system");
             for i2 in 0..n {
                 m_new[(i2, j)] = col[i2];
             }
@@ -291,7 +299,180 @@ fn state_derivative<D: Dae + ?Sized>(dae: &D, x: &[f64]) -> Result<Vec<f64>, Sho
     Ok(rhs)
 }
 
+/// One flow evaluation memoised at the current iterate `(x0, T)`: the
+/// residual and the Jacobian of the cycle system share it, so routing
+/// shooting through the shared Newton engine costs exactly one flow
+/// integration per iteration — the same as the historical loop.
+struct FlowMemo {
+    z: Vec<f64>,
+    x_end: Vec<f64>,
+    monodromy: DMat,
+    samples: Vec<Vec<f64>>,
+}
+
+/// The shooting boundary-value problem `(x(T) − x0, (b − f)_k(x0)) = 0`
+/// over the unknowns `z = [x0, T]`, as a [`NewtonSystem`] with
+/// trust-region damping hooks: the state move is capped at a fraction of
+/// the orbit amplitude and the period unknown is kept within a factor of
+/// 2 per step (a full line search would cost one flow integration per
+/// trial — not worth it here).
+struct CycleSystem<'a, D: Dae + ?Sized> {
+    dae: &'a D,
+    n: usize,
+    k: usize,
+    b0: Vec<f64>,
+    scale: f64,
+    steps: usize,
+    integrator: Integrator,
+    solver: LinearSolverKind,
+    flow: RefCell<Option<FlowMemo>>,
+    /// First underlying failure (transient blow-up, singular mass
+    /// matrix); reported instead of the generic engine error.
+    error: RefCell<Option<ShootingError>>,
+}
+
+impl<D: Dae + ?Sized> CycleSystem<'_, D> {
+    /// Ensures the memoised flow matches `z`, recomputing if needed.
+    /// Returns `false` (and records the error) when the flow fails.
+    fn ensure_flow(&self, z: &[f64]) -> bool {
+        if let Some(memo) = self.flow.borrow().as_ref() {
+            if memo.z == z {
+                return true;
+            }
+        }
+        match flow_with_monodromy(
+            self.dae,
+            &z[..self.n],
+            z[self.n],
+            self.steps,
+            self.integrator,
+            self.solver,
+        ) {
+            Ok((x_end, monodromy, samples)) => {
+                *self.flow.borrow_mut() = Some(FlowMemo {
+                    z: z.to_vec(),
+                    x_end,
+                    monodromy,
+                    samples,
+                });
+                true
+            }
+            Err(e) => {
+                self.error.borrow_mut().get_or_insert(e);
+                false
+            }
+        }
+    }
+}
+
+impl<D: Dae + ?Sized> NewtonSystem for CycleSystem<'_, D> {
+    fn dim(&self) -> usize {
+        self.n + 1
+    }
+
+    fn residual(&self, z: &[f64], out: &mut [f64]) {
+        if !self.ensure_flow(z) {
+            // Poison the residual: the engine reports NoConvergence and
+            // the caller surfaces the recorded underlying error.
+            out.fill(f64::NAN);
+            return;
+        }
+        let flow = self.flow.borrow();
+        let memo = flow.as_ref().expect("flow memoised");
+        let mut fvec = vec![0.0; self.n];
+        self.dae.eval_f(&z[..self.n], &mut fvec);
+        for i in 0..self.n {
+            out[i] = memo.x_end[i] - z[i];
+        }
+        out[self.n] = self.b0[self.k] - fvec[self.k];
+    }
+
+    fn jacobian(&self, z: &[f64], out: &mut DMat) {
+        // Bordered Jacobian:
+        //   [ M − I        ẋ(T) ]
+        //   [ −G_k(x0)      0   ]
+        // The engine always evaluates the residual at `z` first, so the
+        // monodromy rides along from the memoised flow.
+        if !self.ensure_flow(z) {
+            out.fill_zero();
+            return;
+        }
+        let flow = self.flow.borrow();
+        let memo = flow.as_ref().expect("flow memoised");
+        let n = self.n;
+        let xdot_end = match state_derivative(self.dae, &memo.x_end) {
+            Ok(v) => v,
+            Err(e) => {
+                self.error.borrow_mut().get_or_insert(e);
+                out.fill_zero();
+                return;
+            }
+        };
+        let mut g0 = DMat::zeros(n, n);
+        self.dae.jac_f(&z[..n], &mut g0);
+        out.fill_zero();
+        for i in 0..n {
+            for j in 0..n {
+                out[(i, j)] = memo.monodromy[(i, j)] - if i == j { 1.0 } else { 0.0 };
+            }
+            out[(i, n)] = xdot_end[i];
+            out[(n, i)] = -g0[(self.k, i)];
+        }
+    }
+
+    fn jacobian_triplets(&self, z: &[f64], out: &mut Triplets) -> bool {
+        // The bordered cycle Jacobian is dense (the monodromy couples
+        // everything); stamp it once and convert so sparse backends
+        // still work.
+        let mut jac = DMat::zeros(self.n + 1, self.n + 1);
+        self.jacobian(z, &mut jac);
+        for i in 0..=self.n {
+            for j in 0..=self.n {
+                out.push(i, j, jac[(i, j)]);
+            }
+        }
+        true
+    }
+
+    fn residual_scale(&self) -> f64 {
+        self.scale
+    }
+
+    fn damp_limit(&self, _z: &[f64], dx: &[f64]) -> f64 {
+        let orbit_amp = self
+            .flow
+            .borrow()
+            .as_ref()
+            .map(|memo| {
+                memo.samples
+                    .iter()
+                    .flat_map(|s| s.iter())
+                    .fold(0.0_f64, |m, v| m.max(v.abs()))
+            })
+            .unwrap_or(0.0)
+            .max(1e-12);
+        let dx_norm = norm2(&dx[..self.n]);
+        if dx_norm > 0.3 * orbit_amp {
+            0.3 * orbit_amp / dx_norm
+        } else {
+            1.0
+        }
+    }
+
+    fn step_allowed(&self, z: &[f64], dx: &[f64], lambda: f64) -> bool {
+        let period_new = z[self.n] + lambda * dx[self.n];
+        period_new > 0.5 * z[self.n] && period_new < 2.0 * z[self.n]
+    }
+}
+
 /// Solves for a periodic orbit from an initial guess `(x0, period)`.
+///
+/// The iteration runs on the shared `newtonkit` engine with trust-region
+/// damping and the relative-residual convergence law
+/// (`‖F‖₂ / max(‖x0_guess‖, 1) < tol`), matching the historical
+/// behaviour: one flow integration per iteration, state moves capped at
+/// 30 % of the orbit amplitude, the period kept within a factor of 2 per
+/// step.
 ///
 /// # Errors
 ///
@@ -317,109 +498,71 @@ pub fn find_periodic_orbit<D: Dae + ?Sized>(
         return Err(ShootingError::BadInput("phase_var out of range".into()));
     }
 
-    let mut x0 = x0_guess.to_vec();
-    let mut period = period_guess;
-    let scale = norm2(x0_guess).max(1.0);
-    let k = opts.phase_var;
-
     let mut b0 = vec![0.0; n];
     dae.eval_b(0.0, &mut b0);
+    let sys = CycleSystem {
+        dae,
+        n,
+        k: opts.phase_var,
+        b0,
+        scale: norm2(x0_guess).max(1.0),
+        steps: opts.steps_per_period,
+        integrator: opts.integrator,
+        solver: opts.linear_solver,
+        flow: RefCell::new(None),
+        error: RefCell::new(None),
+    };
 
-    for iter in 1..=opts.max_iter {
-        let (x_end, monodromy, samples) = flow_with_monodromy(
-            dae,
-            &x0,
-            period,
-            opts.steps_per_period,
-            opts.integrator,
-            opts.linear_solver,
-        )?;
-
-        // Residual F = [x(T) − x0 ; (b − f)_k(x0)].
-        let mut fvec = vec![0.0; n];
-        dae.eval_f(&x0, &mut fvec);
-        let mut resid = vec![0.0; n + 1];
-        for i in 0..n {
-            resid[i] = x_end[i] - x0[i];
-        }
-        resid[n] = b0[k] - fvec[k];
-
-        let rnorm = norm2(&resid) / scale;
-        if rnorm < opts.tol {
-            return Ok(PeriodicOrbit {
-                x0,
+    let mut z = x0_guess.to_vec();
+    z.push(period_guess);
+    let policy = NewtonPolicy {
+        max_iter: opts.max_iter,
+        residual_tol: Some(opts.tol),
+        damping: Damping::TrustRegion {
+            min_lambda: 1.0 / 1024.0,
+        },
+        linear_solver: opts.linear_solver,
+        ..Default::default()
+    };
+    let mut engine = NewtonEngine::new();
+    match engine.solve(&sys, &mut z, &policy) {
+        Ok(stats) => {
+            let memo = sys
+                .flow
+                .into_inner()
+                .expect("converged solve memoises its final flow");
+            let period = z[n];
+            z.truncate(n);
+            Ok(PeriodicOrbit {
+                x0: z,
                 period,
-                samples,
-                monodromy,
-                iterations: iter,
-            });
+                samples: memo.samples,
+                monodromy: memo.monodromy,
+                // Historical meaning: flow evaluations until convergence
+                // (= Newton steps + the converged evaluation).
+                iterations: stats.residual_evals,
+            })
         }
-
-        // Bordered Jacobian:
-        //   [ M − I        ẋ(T) ]
-        //   [ −G_k(x0)      0   ]
-        let xdot_end = state_derivative(dae, &x_end)?;
-        let mut g0 = DMat::zeros(n, n);
-        dae.jac_f(&x0, &mut g0);
-        let mut jac = DMat::zeros(n + 1, n + 1);
-        for i in 0..n {
-            for j in 0..n {
-                jac[(i, j)] = monodromy[(i, j)] - if i == j { 1.0 } else { 0.0 };
+        Err(engine_err) => {
+            if let Some(e) = sys.error.into_inner() {
+                return Err(e);
             }
-            jac[(i, n)] = xdot_end[i];
-            jac[(n, i)] = -g0[(k, i)];
+            Err(match engine_err {
+                NewtonError::NoConvergence {
+                    iterations,
+                    residual,
+                } => ShootingError::NoConvergence {
+                    iterations,
+                    residual: residual / sys.scale,
+                },
+                NewtonError::Singular { .. } => ShootingError::NoConvergence {
+                    iterations: engine.stats().iterations,
+                    residual: engine.stats().residual_norm / sys.scale,
+                },
+                NewtonError::BadInput(msg) => ShootingError::BadInput(msg),
+            })
         }
-
-        let lu = FactoredJacobian::factor_matrix(&NewtonMatrix::Dense(&jac), opts.linear_solver)
-            .map_err(|_| ShootingError::NoConvergence {
-                iterations: iter,
-                residual: rnorm,
-            })?;
-        let mut dz = resid.clone();
-        lu.solve_in_place(&mut dz)
-            .map_err(|_| ShootingError::NoConvergence {
-                iterations: iter,
-                residual: rnorm,
-            })?;
-
-        // Trust-region damping: the shooting Newton linearises a map that
-        // is strongly nonlinear around the orbit, so cap the state move at
-        // a fraction of the orbit amplitude and keep the period within
-        // a factor of 2. (A full line search would cost one flow
-        // integration per trial — not worth it here.)
-        let orbit_amp = samples
-            .iter()
-            .flat_map(|s| s.iter())
-            .fold(0.0_f64, |m, v| m.max(v.abs()))
-            .max(1e-12);
-        let dx_norm = norm2(&dz[..n]);
-        let mut lambda: f64 = 1.0;
-        if dx_norm > 0.3 * orbit_amp {
-            lambda = lambda.min(0.3 * orbit_amp / dx_norm);
-        }
-        loop {
-            let period_new = period - lambda * dz[n];
-            if period_new > 0.5 * period && period_new < 2.0 * period {
-                break;
-            }
-            lambda *= 0.5;
-            if lambda < 1.0 / 1024.0 {
-                return Err(ShootingError::NoConvergence {
-                    iterations: iter,
-                    residual: rnorm,
-                });
-            }
-        }
-        for i in 0..n {
-            x0[i] -= lambda * dz[i];
-        }
-        period -= lambda * dz[n];
     }
-
-    Err(ShootingError::NoConvergence {
-        iterations: opts.max_iter,
-        residual: f64::NAN,
-    })
 }
 
 /// Estimates the period from the tail of a transient by averaging the last

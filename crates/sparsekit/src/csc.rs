@@ -69,6 +69,25 @@ impl Csc {
         (&self.indices[lo..hi], &self.data[lo..hi])
     }
 
+    /// Column pointer array (length `ncols + 1`).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Row indices, column-major (the sparsity pattern together with
+    /// [`Csc::indptr`]).
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Stored values, column-major.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Value at `(i, j)`, or `0.0` when not stored.
     pub fn get(&self, i: usize, j: usize) -> f64 {
         let (rows, vals) = self.col(j);

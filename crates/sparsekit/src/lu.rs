@@ -4,6 +4,17 @@
 //! This is the direct solver used for circuit Jacobians: unsymmetric,
 //! structurally stable under threshold pivoting, and fast for the
 //! moderately sized, very sparse matrices MNA produces.
+//!
+//! Newton iterations re-factor the *same sparsity pattern* with new
+//! values every iteration, so the factorisation keeps its symbolic
+//! by-products (column preorder, pivot order, factor patterns, the input
+//! pattern itself) and offers [`SparseLu::refactor`]: a numeric-only
+//! re-elimination along the cached structure that skips the per-column
+//! reachability DFS and pivot search entirely. The numeric phase
+//! eliminates pivots in ascending pivot-position order — a canonical
+//! topological order that `refactor` replays exactly, so refactorised
+//! factors are bitwise identical to a fresh factorisation that selects
+//! the same pivots.
 
 use crate::csc::Csc;
 use crate::error::SparseError;
@@ -48,14 +59,25 @@ const UNPIVOTED: usize = usize::MAX;
 pub struct SparseLu {
     n: usize,
     /// L columns: (original row, multiplier), unit diagonal implicit.
+    /// Structurally reached entries are kept even when numerically zero so
+    /// the pattern stays valid for [`SparseLu::refactor`].
     l_cols: Vec<Vec<(usize, f64)>>,
-    /// U columns: (pivot position, value), diagonal stored separately.
+    /// U columns: (pivot position, value) in ascending pivot order — the
+    /// canonical elimination sequence replayed by [`SparseLu::refactor`].
+    /// The diagonal is stored separately.
     u_cols: Vec<Vec<(usize, f64)>>,
     u_diag: Vec<f64>,
     /// perm_r[k] = original row pivoted at position k.
     perm_r: Vec<usize>,
     /// perm_c[j] = original column factored at position j.
     perm_c: Vec<usize>,
+    /// Sparsity pattern of the factored input (CSC arrays), kept so
+    /// [`SparseLu::refactor`] can verify the new matrix matches.
+    a_indptr: Vec<usize>,
+    a_indices: Vec<usize>,
+    /// Pivot threshold of the original factorisation, replayed by
+    /// [`SparseLu::refactor`]'s pivot-stability guard.
+    pivot_threshold: f64,
 }
 
 impl SparseLu {
@@ -116,6 +138,7 @@ impl SparseLu {
         let mut x = vec![0.0_f64; n];
         let mut mark = vec![false; n];
         let mut topo: Vec<usize> = Vec::with_capacity(n);
+        let mut elim: Vec<usize> = Vec::with_capacity(n);
         let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
 
         for j in 0..n {
@@ -147,16 +170,22 @@ impl SparseLu {
                 }
             }
 
-            // --- Numeric: scatter A(:,col), then eliminate in topo order. ---
+            // --- Numeric: scatter A(:,col), then eliminate pivots in
+            // ascending pivot-position order — a valid topological order
+            // (every l_cols[k] row sits at a later pivot position), and
+            // the canonical sequence `refactor` replays bit for bit. ---
             for (r, v) in rows.iter().zip(vals.iter()) {
                 x[*r] = *v;
             }
-            for &node in topo.iter().rev() {
-                let pk = pinv[node];
-                if pk == UNPIVOTED {
-                    continue;
+            elim.clear();
+            for &node in &topo {
+                if pinv[node] != UNPIVOTED {
+                    elim.push(pinv[node]);
                 }
-                let xk = x[node];
+            }
+            elim.sort_unstable();
+            for &pk in &elim {
+                let xk = x[perm_r[pk]];
                 if xk != 0.0 {
                     for &(r, l) in &l_cols[pk] {
                         x[r] -= l * xk;
@@ -199,23 +228,28 @@ impl SparseLu {
             perm_r[j] = pivot_row;
             u_diag[j] = pivot_val;
 
-            // --- Emit factors and reset work arrays. ---
-            for &node in &topo {
-                let p = pinv[node];
-                if node == pivot_row {
-                    // diagonal handled above
-                } else if p != UNPIVOTED && p < j {
-                    if x[node] != 0.0 {
-                        u_cols[j].push((p, x[node]));
-                    }
-                } else if p == UNPIVOTED {
-                    let l = x[node] / pivot_val;
-                    if l != 0.0 {
-                        l_cols[j].push((node, l));
-                    }
-                }
+            // --- Emit factors and reset work arrays. Numerically zero
+            // entries are kept: they pin the structural pattern so a
+            // later `refactor` stays correct when new values flow into
+            // the same positions. U entries land in ascending pivot
+            // order (the elimination sequence). ---
+            for &pk in &elim {
+                let node = perm_r[pk];
+                u_cols[j].push((pk, x[node]));
                 x[node] = 0.0;
                 mark[node] = false;
+            }
+            for &node in &topo {
+                if pinv[node] == UNPIVOTED {
+                    l_cols[j].push((node, x[node] / pivot_val));
+                    x[node] = 0.0;
+                    mark[node] = false;
+                } else if pinv[node] == j {
+                    // The pivot itself; value already captured in u_diag.
+                    x[node] = 0.0;
+                    mark[node] = false;
+                }
+                // pinv[node] < j entries were reset in the elim loop.
             }
         }
 
@@ -226,7 +260,111 @@ impl SparseLu {
             u_diag,
             perm_r,
             perm_c,
+            a_indptr: a.indptr().to_vec(),
+            a_indices: a.indices().to_vec(),
+            pivot_threshold,
         })
+    }
+
+    /// Numeric-only refactorisation: re-eliminates a matrix with the
+    /// *same sparsity pattern* as the originally factored one along the
+    /// cached structure (column preorder, pivot order, factor patterns),
+    /// skipping the symbolic reachability analysis and pivot search.
+    ///
+    /// The replayed elimination performs the identical floating-point
+    /// operation sequence as a fresh factorisation that selects the same
+    /// pivots, so the resulting factors are bitwise identical to it.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::DimensionMismatch`] for a different shape;
+    /// * [`SparseError::InvalidArgument`] when the sparsity pattern
+    ///   differs from the factored one;
+    /// * [`SparseError::Singular`] when the new values would make the
+    ///   original factorisation's pivot-selection rule choose a
+    ///   different pivot row (the values have drifted too far for the
+    ///   frozen pivot order) — the factors are left invalid and the
+    ///   caller must factor afresh.
+    pub fn refactor(&mut self, a: &Csc) -> Result<(), SparseError> {
+        if a.nrows() != self.n || a.ncols() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                expected: format!("{0}x{0} matrix", self.n),
+                found: format!("{}x{}", a.nrows(), a.ncols()),
+            });
+        }
+        if a.indptr() != &self.a_indptr[..] || a.indices() != &self.a_indices[..] {
+            return Err(SparseError::InvalidArgument(
+                "refactor requires the originally factored sparsity pattern".into(),
+            ));
+        }
+        let n = self.n;
+        let mut x = vec![0.0_f64; n];
+        for j in 0..n {
+            let col = self.perm_c[j];
+            let (rows, vals) = a.col(col);
+            for (r, v) in rows.iter().zip(vals.iter()) {
+                x[*r] = *v;
+            }
+            // Replay the canonical elimination sequence (ascending pivot
+            // order, as stored in u_cols[j]).
+            for &(pk, _) in &self.u_cols[j] {
+                let xk = x[self.perm_r[pk]];
+                if xk != 0.0 {
+                    for &(r, l) in &self.l_cols[pk] {
+                        x[r] -= l * xk;
+                    }
+                }
+            }
+            let pivot_row = self.perm_r[j];
+            let pivot_val = x[pivot_row];
+            // Pivot-stability guard: accept the frozen pivot only when
+            // the original pivot-selection rule (threshold partial
+            // pivoting with diagonal preference) still selects the same
+            // row for the new values — this is what keeps refactorised
+            // factors bitwise identical to fresh ones. The candidate set
+            // is frozen with the structure: the pivot row plus the
+            // stored L rows (the rows that were unpivoted when this
+            // column was factored). Exact-magnitude ties keep the frozen
+            // pivot, exactly as the fresh scan kept its first maximum
+            // (symmetric circuit stamps tie routinely). A failed guard
+            // invalidates the factors and callers fall back to a fresh
+            // factorisation.
+            let pivot_abs = pivot_val.abs();
+            let mut other_max = 0.0_f64;
+            let mut diag_abs = if pivot_row == col { pivot_abs } else { 0.0 };
+            for &(node, _) in &self.l_cols[j] {
+                let v = x[node].abs();
+                other_max = other_max.max(v);
+                if node == col {
+                    diag_abs = v;
+                }
+            }
+            let same_pivot = if pivot_row == col {
+                // The diagonal stays preferred while it clears the
+                // threshold against the column maximum.
+                pivot_abs >= self.pivot_threshold * other_max
+            } else {
+                // An off-diagonal pivot was the column maximum with the
+                // diagonal below threshold; require the same.
+                pivot_abs >= other_max && diag_abs < self.pivot_threshold * pivot_abs
+            };
+            if !pivot_val.is_finite() || pivot_abs == 0.0 || !same_pivot {
+                return Err(SparseError::Singular { column: col });
+            }
+            self.u_diag[j] = pivot_val;
+            for k in 0..self.u_cols[j].len() {
+                let node = self.perm_r[self.u_cols[j][k].0];
+                self.u_cols[j][k].1 = x[node];
+                x[node] = 0.0;
+            }
+            x[pivot_row] = 0.0;
+            for k in 0..self.l_cols[j].len() {
+                let node = self.l_cols[j][k].0;
+                self.l_cols[j][k].1 = x[node] / pivot_val;
+                x[node] = 0.0;
+            }
+        }
+        Ok(())
     }
 
     /// Dimension of the factored system.
@@ -434,5 +572,144 @@ mod tests {
         t.push(1, 1, 1.0);
         let lu = SparseLu::factor(&t.to_csc()).unwrap();
         assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    /// Two diagonally dominant matrices with the *same* pattern but
+    /// different values (so both fresh factorisations pick the same —
+    /// diagonal — pivots).
+    fn same_pattern_pair(n: usize, seed: u64) -> (Csc, Csc) {
+        let mut s1 = seed;
+        let mut s2 = seed.wrapping_mul(31).wrapping_add(7);
+        let mut t1 = Triplets::new(n, n);
+        let mut t2 = Triplets::new(n, n);
+        for i in 0..n {
+            t1.push(i, i, 10.0 + lcg(&mut s1));
+            t2.push(i, i, 10.0 + lcg(&mut s2));
+            for _ in 0..3 {
+                let j = ((lcg(&mut s1) + 0.5) * n as f64) as usize % n;
+                t1.push(i, j, lcg(&mut s1));
+                t2.push(i, j, lcg(&mut s2));
+            }
+        }
+        (t1.to_csc(), t2.to_csc())
+    }
+
+    #[test]
+    fn refactor_is_bitwise_identical_to_fresh() {
+        for seed in 1..4u64 {
+            let (a1, a2) = same_pattern_pair(40, seed);
+            // Fresh factors of both matrices.
+            let lu1 = SparseLu::factor(&a1).unwrap();
+            let fresh2 = SparseLu::factor(&a2).unwrap();
+            // Numeric-only refactorisation of a2 on a1's symbolic state.
+            let mut reuse2 = lu1.clone();
+            reuse2.refactor(&a2).unwrap();
+            // Identical pivot orders and bitwise-identical factor values.
+            assert_eq!(fresh2.perm_r, reuse2.perm_r, "seed {seed}");
+            assert_eq!(fresh2.perm_c, reuse2.perm_c, "seed {seed}");
+            assert_eq!(fresh2.u_diag, reuse2.u_diag, "seed {seed}");
+            assert_eq!(fresh2.u_cols, reuse2.u_cols, "seed {seed}");
+            assert_eq!(fresh2.l_cols, reuse2.l_cols, "seed {seed}");
+            // And bitwise-identical solutions.
+            let b: Vec<f64> = (0..40).map(|i| (i as f64 * 0.29).sin()).collect();
+            let xf = fresh2.solve(&b).unwrap();
+            let xr = reuse2.solve(&b).unwrap();
+            assert_eq!(xf, xr, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn refactor_same_matrix_is_identity() {
+        let a = random_sparse(30, 3, 11);
+        let lu = SparseLu::factor(&a).unwrap();
+        let mut re = lu.clone();
+        re.refactor(&a).unwrap();
+        assert_eq!(lu.u_diag, re.u_diag);
+        assert_eq!(lu.u_cols, re.u_cols);
+        assert_eq!(lu.l_cols, re.l_cols);
+    }
+
+    #[test]
+    fn refactor_rejects_different_pattern() {
+        let a = random_sparse(10, 2, 1);
+        let mut lu = SparseLu::factor(&a).unwrap();
+        // Same size, different pattern (pure diagonal).
+        let mut t = Triplets::new(10, 10);
+        for i in 0..10 {
+            t.push(i, i, 1.0);
+        }
+        assert!(matches!(
+            lu.refactor(&t.to_csc()),
+            Err(SparseError::InvalidArgument(_))
+        ));
+        // Different size.
+        let mut t = Triplets::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 1.0);
+        }
+        assert!(matches!(
+            lu.refactor(&t.to_csc()),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_rejects_pivot_order_drift() {
+        // Values drift so far that fresh factorisation would repivot:
+        // column 0's diagonal (the frozen pivot) falls below the 0.1
+        // threshold against the grown off-diagonal, so the guard must
+        // reject instead of silently reusing the stale pivot order.
+        let mut t1 = Triplets::new(2, 2);
+        t1.push(0, 0, 4.0);
+        t1.push(1, 0, 1.0);
+        t1.push(0, 1, 1.0);
+        t1.push(1, 1, 4.0);
+        let lu = SparseLu::factor(&t1.to_csc()).unwrap();
+        let mut t2 = Triplets::new(2, 2);
+        t2.push(0, 0, 0.05);
+        t2.push(1, 0, 5.0); // dominates: fresh would pivot row 1 first
+        t2.push(0, 1, 1.0);
+        t2.push(1, 1, 4.0);
+        let a2 = t2.to_csc();
+        let mut reuse = lu.clone();
+        assert!(matches!(
+            reuse.refactor(&a2),
+            Err(SparseError::Singular { .. })
+        ));
+        // A fresh factorisation of the drifted matrix still works (the
+        // FactorCache fallback path).
+        let fresh = SparseLu::factor(&a2).unwrap();
+        let x = fresh.solve(&[1.0, 1.0]).unwrap();
+        let r = residual_inf(&a2, &x, &[1.0, 1.0]);
+        assert!(r < 1e-12, "residual {r}");
+    }
+
+    #[test]
+    fn refactor_rejects_degenerate_pivot() {
+        // Same pattern, but the new values zero out a pivot.
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 3.0);
+        let mut lu = SparseLu::factor(&t.to_csc()).unwrap();
+        let mut t2 = Triplets::new(2, 2);
+        t2.push(0, 0, 2.0);
+        t2.push(1, 1, 0.0);
+        assert!(matches!(
+            lu.refactor(&t2.to_csc()),
+            Err(SparseError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_then_solve_matches_dense() {
+        let (a1, a2) = same_pattern_pair(25, 9);
+        let mut lu = SparseLu::factor(&a1).unwrap();
+        lu.refactor(&a2).unwrap();
+        let b: Vec<f64> = (0..25).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let xs = lu.solve(&b).unwrap();
+        let xd = numkit::lu::solve_dense(&a2.to_dense(), &b).unwrap();
+        for (s, d) in xs.iter().zip(xd.iter()) {
+            assert!((s - d).abs() < 1e-9);
+        }
     }
 }

@@ -100,6 +100,8 @@ impl Analysis for TranAnalysis {
                     "newton_iterations".into(),
                     res.stats.newton_iterations as f64,
                 ),
+                ("factorisations".into(), res.stats.factorisations as f64),
+                ("symbolic_reuses".into(), res.stats.symbolic_reuses as f64),
             ],
         })
     }
@@ -178,6 +180,12 @@ impl Analysis for MpdeAnalysis {
                 ("points".into(), res.t2.len() as f64),
                 ("steps".into(), res.stats.steps as f64),
                 ("rejected".into(), res.stats.rejected as f64),
+                (
+                    "newton_iterations".into(),
+                    res.stats.newton_iterations as f64,
+                ),
+                ("factorisations".into(), res.stats.factorisations as f64),
+                ("symbolic_reuses".into(), res.stats.symbolic_reuses as f64),
             ],
         })
     }
@@ -229,6 +237,8 @@ impl Analysis for WampdeAnalysis {
                     "newton_iterations".into(),
                     env.stats.newton_iterations as f64,
                 ),
+                ("factorisations".into(), env.stats.factorisations as f64),
+                ("symbolic_reuses".into(), env.stats.symbolic_reuses as f64),
             ],
         })
     }
@@ -317,6 +327,32 @@ mod tests {
                 assert!((x - y).abs() < 1e-9, "{x} vs {y}");
             }
         }
+    }
+
+    #[test]
+    fn newton_reuse_metrics_reported() {
+        // The per-directive `solver=sparselu` key routes the transient
+        // through the sparse backend; the shared Newton engine then
+        // reuses the symbolic analysis on every factorisation after the
+        // first, and the counters surface as sweep metrics.
+        let deck = parse_deck(
+            "V1 in 0 SIN(0 5 1k)\n\
+             R1 in out 1k\n\
+             C1 out 0 1u\n\
+             .tran 1m dt=20u solver=sparselu\n\
+             .tran 1m dt=20u solver=dense\n",
+        )
+        .unwrap();
+        let dae = deck.base_circuit().unwrap();
+        let sparse = analysis_for(&deck.analyses[0]).run(&dae).unwrap();
+        let fact = sparse.metric("factorisations").unwrap();
+        let reuse = sparse.metric("symbolic_reuses").unwrap();
+        assert!(fact > 0.0);
+        assert_eq!(reuse, fact - 1.0, "one symbolic analysis for the run");
+        // Dense LU has no symbolic phase to reuse.
+        let dense = analysis_for(&deck.analyses[1]).run(&dae).unwrap();
+        assert!(dense.metric("factorisations").unwrap() > 0.0);
+        assert_eq!(dense.metric("symbolic_reuses").unwrap(), 0.0);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! DC operating-point analysis with gmin continuation.
 
 use crate::error::TransimError;
-use crate::newton::{newton_solve, NewtonOptions, NonlinearSystem};
+use crate::newton::{map_newton_err, NewtonOptions, NonlinearSystem};
 use circuitdae::Dae;
+use newtonkit::NewtonEngine;
 use numkit::DMat;
 
 /// Wraps a DAE as the static system `f(x) + gmin·x − b(0) = 0`.
@@ -61,9 +62,13 @@ pub fn dc_operating_point<D: Dae + ?Sized>(
     let mut x = vec![0.0; n];
 
     // Continuation ladder: each gmin stage may fail without aborting; only
-    // the last (gmin = 0, or smallest working gmin) must succeed.
+    // the last (gmin = 0, or smallest working gmin) must succeed. One
+    // engine spans the whole ladder — every stage shares the Jacobian
+    // pattern (the gmin shunt only shifts the diagonal), so all stages
+    // after the first reuse the symbolic analysis on sparse backends.
     let mut ladder: Vec<f64> = (0..=10).map(|k| 1e-2 / 10f64.powi(k)).collect();
     ladder.push(0.0);
+    let mut engine = NewtonEngine::new();
 
     let mut last_err = None;
     for &gmin in &ladder {
@@ -73,13 +78,13 @@ pub fn dc_operating_point<D: Dae + ?Sized>(
             b0: b0.clone(),
         };
         let mut trial = x.clone();
-        match newton_solve(&sys, &mut trial, opts) {
+        match engine.solve(&sys, &mut trial, opts) {
             Ok(_) => {
                 x = trial;
                 last_err = None;
             }
             Err(e) => {
-                last_err = Some(e);
+                last_err = Some(map_newton_err(e));
             }
         }
     }

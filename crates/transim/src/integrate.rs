@@ -12,8 +12,9 @@
 //! the circuit-DAE step residual and the damped Newton solver.
 
 use crate::error::TransimError;
-use crate::newton::{newton_solve, NewtonOptions, NonlinearSystem};
+use crate::newton::{map_newton_err, NewtonOptions, NonlinearSystem};
 use circuitdae::Dae;
+use newtonkit::NewtonEngine;
 use numkit::DMat;
 use sparsekit::Triplets;
 use timekit::{History, StepVerdict};
@@ -54,6 +55,11 @@ pub struct TransientStats {
     pub rejected: usize,
     /// Total Newton iterations.
     pub newton_iterations: usize,
+    /// Jacobian factorisations across all Newton solves.
+    pub factorisations: usize,
+    /// Factorisations that reused cached symbolic analysis (sparse-LU
+    /// numeric-only refactorisation; 0 on the dense and GMRES backends).
+    pub symbolic_reuses: usize,
 }
 
 /// A transient waveform: accepted time points and states.
@@ -228,6 +234,11 @@ pub fn run_transient<D: Dae + ?Sized>(
     let mut bbuf = vec![0.0; n];
     let mut fbuf = vec![0.0; n];
     let mut qlin = vec![0.0; n];
+    // One Newton engine for the whole run: its factorisation cache spans
+    // every step, so on the sparse-LU backend only the very first
+    // iteration pays for symbolic analysis — the step Jacobian's pattern
+    // never changes along a transient.
+    let mut newton = NewtonEngine::new();
     // Hard cap prevents runaway loops if a caller passes absurd tolerances.
     let max_attempts = ctl.attempt_budget(span);
 
@@ -261,7 +272,12 @@ pub fn run_transient<D: Dae + ?Sized>(
         let sys = StepSystem::new(dae, coeffs.a0h, coeffs.theta, rconst);
         let predicted = hist.predict(t_new);
         let mut x_new = predicted.clone().unwrap_or_else(|| x.clone());
-        let newton_result = newton_solve(&sys, &mut x_new, &opts.newton);
+        let newton_result = newton
+            .solve(&sys, &mut x_new, &opts.newton)
+            .map_err(map_newton_err);
+        let nstats = newton.stats();
+        stats.factorisations += nstats.factorisations;
+        stats.symbolic_reuses += nstats.symbolic_reuses;
 
         let accept = match &newton_result {
             Ok(rep) => {

@@ -2,8 +2,8 @@
 //!
 //! This crate is the "conventional methods" substrate of the reproduction:
 //!
-//! * [`newton`] — damped Newton–Raphson over dense Jacobians, the inner
-//!   solver of every engine in the workspace;
+//! * [`newton`] — damped Newton–Raphson, re-exported from the shared
+//!   `newtonkit` engine (with pattern-reusing sparse refactorisation);
 //! * [`dcop`] — DC operating point with gmin continuation;
 //! * [`integrate`] — transient integration of
 //!   `d/dt q(x) + f(x) = b(t)` with Backward Euler, Trapezoidal and BDF2
@@ -42,4 +42,4 @@ pub use error::TransimError;
 pub use integrate::{
     run_fixed_per_cycle, run_transient, Integrator, StepControl, TransientOptions, TransientResult,
 };
-pub use newton::{newton_solve, NewtonOptions, NewtonReport, NonlinearSystem};
+pub use newton::{newton_solve, Damping, NewtonOptions, NewtonReport, NonlinearSystem};

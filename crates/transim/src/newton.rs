@@ -1,79 +1,61 @@
-//! Damped Newton–Raphson for nonlinear systems with a pluggable
-//! dense/sparse linear-solver backend (the shared `linsolve` layer).
+//! Damped Newton–Raphson — a thin adapter over the shared
+//! `crates/newtonkit` engine.
+//!
+//! The hand-rolled loop that used to live here (and its siblings in the
+//! MPDE, WaMPDE, and shooting crates) is now one implementation:
+//! [`newtonkit::NewtonEngine`]. This module keeps the historical
+//! `transim` surface as re-exports plus the [`TransimError`] mapping:
+//!
+//! * [`NonlinearSystem`] *is* [`newtonkit::NewtonSystem`] — same
+//!   `dim`/`residual`/`jacobian`/`jacobian_triplets` shape, now with
+//!   optional scaling/damping hooks (neutral defaults).
+//! * [`NewtonOptions`] *is* [`newtonkit::NewtonPolicy`].
+//!   **Breaking note:** the old `min_damping: f64` field became the
+//!   [`newtonkit::Damping::LineSearch`] variant's `min_lambda` (same
+//!   default, 1/64) under the new `damping` field; the policy also gains
+//!   `residual_tol` (None), and `reuse_symbolic` (true) — with
+//!   `..Default::default()` struct updates, existing call sites keep
+//!   compiling and keep their historical defaults
+//!   (`max_iter = 50`, `abstol = 1e-12`, `reltol = 1e-9`).
+//! * [`NewtonReport`] *is* [`newtonkit::NewtonStats`] — `iterations` and
+//!   `residual_norm` as before, plus factorisation/reuse counters.
+//!
+//! [`newton_solve`] remains the one-shot entry point. Loop-heavy callers
+//! (`run_transient`, `dc_operating_point`) hold a
+//! [`newtonkit::NewtonEngine`] across steps instead, so sparse-LU
+//! factorisations reuse the cached symbolic analysis across the whole
+//! run, not just within one solve.
 
 use crate::error::TransimError;
-use linsolve::{FactoredJacobian, LinearSolverKind, NewtonMatrix};
-use numkit::vecops::{norm2, wrms_norm};
-use numkit::DMat;
-use sparsekit::Triplets;
 
-/// A square nonlinear system `r(x) = 0`.
-///
-/// The dense [`NonlinearSystem::jacobian`] is mandatory; systems that can
-/// assemble their Jacobian sparsely (circuit DAE steps, collocation
-/// blocks) additionally implement [`NonlinearSystem::jacobian_triplets`]
-/// so the sparse backends skip the `O(dim²)` dense stamp.
-pub trait NonlinearSystem {
-    /// Number of unknowns.
-    fn dim(&self) -> usize;
-    /// Residual `r(x)` into `out`.
-    fn residual(&self, x: &[f64], out: &mut [f64]);
-    /// Jacobian `∂r/∂x` into `out` (`dim × dim`).
-    fn jacobian(&self, x: &[f64], out: &mut DMat);
-    /// Sparse Jacobian pushed as triplets into `out` (a cleared
-    /// `dim × dim` buffer; duplicates sum). Returns `false` when the
-    /// system has no sparse assembly — the solver then stamps densely and
-    /// converts.
-    fn jacobian_triplets(&self, _x: &[f64], _out: &mut Triplets) -> bool {
-        false
-    }
-}
+pub use newtonkit::{
+    Damping, NewtonPolicy as NewtonOptions, NewtonStats as NewtonReport,
+    NewtonSystem as NonlinearSystem,
+};
 
-/// Options for [`newton_solve`].
-#[derive(Debug, Clone, Copy)]
-pub struct NewtonOptions {
-    /// Maximum Newton iterations.
-    pub max_iter: usize,
-    /// Absolute tolerance on the update (per component).
-    pub abstol: f64,
-    /// Relative tolerance on the update (per component).
-    pub reltol: f64,
-    /// Smallest damping factor tried before declaring failure.
-    pub min_damping: f64,
-    /// Linear-solver backend for the per-iteration factorisation.
-    pub linear_solver: LinearSolverKind,
-}
-
-impl Default for NewtonOptions {
-    fn default() -> Self {
-        NewtonOptions {
-            max_iter: 50,
-            abstol: 1e-12,
-            reltol: 1e-9,
-            min_damping: 1.0 / 64.0,
-            linear_solver: LinearSolverKind::default(),
+/// Maps the solver-agnostic engine failure into [`TransimError`] (time
+/// tag NaN; time-stepping callers re-tag with the failing step time).
+pub(crate) fn map_newton_err(e: newtonkit::NewtonError) -> TransimError {
+    match e {
+        newtonkit::NewtonError::Singular { .. } => {
+            TransimError::SingularJacobian { at_time: f64::NAN }
         }
+        newtonkit::NewtonError::NoConvergence {
+            iterations,
+            residual,
+        } => TransimError::NewtonFailed {
+            iterations,
+            residual,
+            at_time: f64::NAN,
+        },
+        newtonkit::NewtonError::BadInput(msg) => TransimError::BadInput(msg),
     }
 }
 
-/// Convergence report from [`newton_solve`].
-#[derive(Debug, Clone, Copy)]
-pub struct NewtonReport {
-    /// Newton iterations used.
-    pub iterations: usize,
-    /// Final residual 2-norm.
-    pub residual_norm: f64,
-}
-
-/// Solves `r(x) = 0` by damped Newton, updating `x` in place.
-///
-/// Damping: when a full step does not reduce `‖r‖₂`, the step is halved
-/// (down to [`NewtonOptions::min_damping`]) before being accepted anyway —
-/// the standard SPICE-style heuristic that tolerates mild residual growth
-/// far from the solution while preventing divergence.
-///
-/// Convergence is declared when the weighted update norm
-/// `wrms(Δx; atol, rtol)` drops below 1.
+/// Solves `r(x) = 0` by damped Newton, updating `x` in place — the
+/// historical `transim` entry point, now delegating to the shared
+/// [`newtonkit`] engine (symbolic reuse spans the iterations of this
+/// solve; hold a [`newtonkit::NewtonEngine`] yourself to span more).
 ///
 /// # Errors
 ///
@@ -84,87 +66,16 @@ pub fn newton_solve<S: NonlinearSystem + ?Sized>(
     x: &mut [f64],
     opts: &NewtonOptions,
 ) -> Result<NewtonReport, TransimError> {
-    let n = sys.dim();
-    assert_eq!(x.len(), n, "newton: x length mismatch");
-    let mut r = vec![0.0; n];
-    // The dense stamp buffer is allocated lazily: on the sparse path of a
-    // large system (the very case the sparse backends exist for) the
-    // O(n²) matrix is never touched.
-    let mut jac: Option<DMat> = None;
-    let mut trip = Triplets::new(n, n);
-    let mut trial = vec![0.0; n];
-    let mut r_trial = vec![0.0; n];
-
-    sys.residual(x, &mut r);
-    let mut rnorm = norm2(&r);
-
-    for iter in 1..=opts.max_iter {
-        // Sparse backends prefer a triplet-assembled Jacobian; dense (or
-        // systems without sparse assembly) stamp the full matrix.
-        let use_triplets = !matches!(opts.linear_solver, LinearSolverKind::Dense) && {
-            trip.clear();
-            sys.jacobian_triplets(x, &mut trip)
-        };
-        let factored = if use_triplets {
-            FactoredJacobian::factor_matrix(&NewtonMatrix::Triplets(&trip), opts.linear_solver)
-        } else {
-            let jac = jac.get_or_insert_with(|| DMat::zeros(n, n));
-            sys.jacobian(x, jac);
-            FactoredJacobian::factor_matrix(&NewtonMatrix::Dense(jac), opts.linear_solver)
-        }
-        .map_err(|_| TransimError::SingularJacobian { at_time: f64::NAN })?;
-        // dx = -J⁻¹ r
-        let mut dx = r.clone();
-        factored
-            .solve_in_place(&mut dx)
-            .map_err(|_| TransimError::SingularJacobian { at_time: f64::NAN })?;
-        for v in dx.iter_mut() {
-            *v = -*v;
-        }
-
-        // Damped line search on ‖r‖₂.
-        let mut lambda = 1.0;
-        loop {
-            for i in 0..n {
-                trial[i] = x[i] + lambda * dx[i];
-            }
-            sys.residual(&trial, &mut r_trial);
-            let rt = norm2(&r_trial);
-            if rt.is_finite() && (rt <= rnorm || lambda <= opts.min_damping) {
-                x.copy_from_slice(&trial);
-                r.copy_from_slice(&r_trial);
-                rnorm = rt;
-                break;
-            }
-            lambda *= 0.5;
-        }
-
-        let update_norm = wrms_norm(
-            &dx.iter().map(|v| v * lambda).collect::<Vec<_>>(),
-            x,
-            opts.abstol,
-            opts.reltol,
-        );
-        if update_norm <= 1.0 && rnorm.is_finite() {
-            return Ok(NewtonReport {
-                iterations: iter,
-                residual_norm: rnorm,
-            });
-        }
-    }
-
-    Err(TransimError::NewtonFailed {
-        iterations: opts.max_iter,
-        residual: rnorm,
-        at_time: f64::NAN,
-    })
+    newtonkit::newton_solve(sys, x, opts).map_err(map_newton_err)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use numkit::DMat;
 
-    /// r(x) = x² − 4 (root at ±2).
+    /// r(x) = x² − 4 (root at ±2) — the historical smoke test, now
+    /// exercising the re-exported engine and the error mapping.
     struct Quadratic;
 
     impl NonlinearSystem for Quadratic {
@@ -179,27 +90,8 @@ mod tests {
         }
     }
 
-    /// 2-d Rosenbrock-style system with root (1, 1).
-    struct TwoDim;
-
-    impl NonlinearSystem for TwoDim {
-        fn dim(&self) -> usize {
-            2
-        }
-        fn residual(&self, x: &[f64], out: &mut [f64]) {
-            out[0] = x[0] * x[0] + x[1] * x[1] - 2.0;
-            out[1] = x[0] - x[1];
-        }
-        fn jacobian(&self, x: &[f64], out: &mut DMat) {
-            out[(0, 0)] = 2.0 * x[0];
-            out[(0, 1)] = 2.0 * x[1];
-            out[(1, 0)] = 1.0;
-            out[(1, 1)] = -1.0;
-        }
-    }
-
     #[test]
-    fn scalar_quadratic_converges() {
+    fn re_exported_engine_converges() {
         let mut x = vec![3.0];
         let rep = newton_solve(&Quadratic, &mut x, &NewtonOptions::default()).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-9);
@@ -207,108 +99,29 @@ mod tests {
     }
 
     #[test]
-    fn negative_start_finds_negative_root() {
-        let mut x = vec![-5.0];
-        newton_solve(&Quadratic, &mut x, &NewtonOptions::default()).unwrap();
-        assert!((x[0] + 2.0).abs() < 1e-9);
+    fn historical_defaults_preserved() {
+        let o = NewtonOptions::default();
+        assert_eq!(o.max_iter, 50);
+        assert_eq!(o.abstol, 1e-12);
+        assert_eq!(o.reltol, 1e-9);
+        assert_eq!(
+            o.damping,
+            Damping::LineSearch {
+                min_lambda: 1.0 / 64.0
+            }
+        );
+        assert!(o.reuse_symbolic);
     }
 
     #[test]
-    fn two_dim_system() {
-        let mut x = vec![2.0, 0.5];
-        newton_solve(&TwoDim, &mut x, &NewtonOptions::default()).unwrap();
-        assert!((x[0] - 1.0).abs() < 1e-9);
-        assert!((x[1] - 1.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn sparse_backends_reach_the_same_root() {
-        for kind in [
-            LinearSolverKind::SparseLu,
-            LinearSolverKind::gmres_default(),
-        ] {
-            let mut x = vec![2.0, 0.5];
-            let opts = NewtonOptions {
-                linear_solver: kind,
-                ..Default::default()
-            };
-            newton_solve(&TwoDim, &mut x, &opts).unwrap();
-            assert!((x[0] - 1.0).abs() < 1e-9, "{}", kind.label());
-            assert!((x[1] - 1.0).abs() < 1e-9, "{}", kind.label());
-        }
-    }
-
-    #[test]
-    fn triplet_jacobian_path_is_used_when_offered() {
-        use std::cell::Cell;
-        /// TwoDim with a sparse Jacobian and a call counter proving the
-        /// sparse path ran instead of the dense stamp.
-        struct SparseTwoDim {
-            triplet_calls: Cell<usize>,
-        }
-        impl NonlinearSystem for SparseTwoDim {
-            fn dim(&self) -> usize {
-                2
-            }
-            fn residual(&self, x: &[f64], out: &mut [f64]) {
-                TwoDim.residual(x, out);
-            }
-            fn jacobian(&self, _x: &[f64], _out: &mut DMat) {
-                panic!("dense jacobian must not be called on the sparse path");
-            }
-            fn jacobian_triplets(&self, x: &[f64], out: &mut Triplets) -> bool {
-                self.triplet_calls.set(self.triplet_calls.get() + 1);
-                out.push(0, 0, 2.0 * x[0]);
-                out.push(0, 1, 2.0 * x[1]);
-                out.push(1, 0, 1.0);
-                out.push(1, 1, -1.0);
-                true
-            }
-        }
-        let sys = SparseTwoDim {
-            triplet_calls: Cell::new(0),
-        };
-        let mut x = vec![2.0, 0.5];
-        let opts = NewtonOptions {
-            linear_solver: LinearSolverKind::SparseLu,
-            ..Default::default()
-        };
-        newton_solve(&sys, &mut x, &opts).unwrap();
-        assert!((x[0] - 1.0).abs() < 1e-9);
-        assert!(sys.triplet_calls.get() > 0);
-    }
-
-    #[test]
-    fn singular_jacobian_detected() {
-        struct Flat;
-        impl NonlinearSystem for Flat {
-            fn dim(&self) -> usize {
-                1
-            }
-            fn residual(&self, _x: &[f64], out: &mut [f64]) {
-                out[0] = 1.0;
-            }
-            fn jacobian(&self, _x: &[f64], out: &mut DMat) {
-                out[(0, 0)] = 0.0;
-            }
-        }
-        let mut x = vec![0.0];
-        assert!(matches!(
-            newton_solve(&Flat, &mut x, &NewtonOptions::default()),
-            Err(TransimError::SingularJacobian { .. })
-        ));
-    }
-
-    #[test]
-    fn iteration_budget_respected() {
-        // A system whose Newton steps cycle: r = atan-like flat tail.
+    fn budget_error_maps_to_newton_failed() {
         struct Hard;
         impl NonlinearSystem for Hard {
             fn dim(&self) -> usize {
                 1
             }
             fn residual(&self, x: &[f64], out: &mut [f64]) {
-                out[0] = x[0].atan() + 2.0; // no root: atan ∈ (-π/2, π/2)
+                out[0] = x[0].atan() + 2.0; // no root
             }
             fn jacobian(&self, x: &[f64], out: &mut DMat) {
                 out[(0, 0)] = 1.0 / (1.0 + x[0] * x[0]);
@@ -326,22 +139,23 @@ mod tests {
     }
 
     #[test]
-    fn damping_rescues_overshoot() {
-        // Start far away where full Newton overshoots on x³-1.
-        struct Cubic;
-        impl NonlinearSystem for Cubic {
+    fn singular_maps_to_singular_jacobian() {
+        struct Flat;
+        impl NonlinearSystem for Flat {
             fn dim(&self) -> usize {
                 1
             }
-            fn residual(&self, x: &[f64], out: &mut [f64]) {
-                out[0] = x[0].powi(3) - 1.0;
+            fn residual(&self, _x: &[f64], out: &mut [f64]) {
+                out[0] = 1.0;
             }
-            fn jacobian(&self, x: &[f64], out: &mut DMat) {
-                out[(0, 0)] = 3.0 * x[0] * x[0];
+            fn jacobian(&self, _x: &[f64], out: &mut DMat) {
+                out[(0, 0)] = 0.0;
             }
         }
-        let mut x = vec![0.01];
-        newton_solve(&Cubic, &mut x, &NewtonOptions::default()).unwrap();
-        assert!((x[0] - 1.0).abs() < 1e-9);
+        let mut x = vec![0.0];
+        assert!(matches!(
+            newton_solve(&Flat, &mut x, &NewtonOptions::default()),
+            Err(TransimError::SingularJacobian { .. })
+        ));
     }
 }

@@ -15,8 +15,10 @@ use crate::options::{OmegaMode, WampdeOptions};
 use crate::result::{EnvelopeResult, EnvelopeStats};
 use circuitdae::Dae;
 use hb::Colloc;
-use numkit::vecops::{norm2, CompensatedSum};
+use newtonkit::{NewtonEngine, NewtonError, NewtonPolicy, NewtonStats, NewtonSystem};
+use numkit::vecops::CompensatedSum;
 use numkit::DMat;
+use std::cell::RefCell;
 use timekit::{History, StepVerdict};
 
 /// Weighted update norm with *block* scaling: collocation samples are
@@ -170,6 +172,11 @@ pub fn solve_envelope<D: Dae + ?Sized>(
     let mut g_prev = vec![0.0; len];
     eval_g(dae, &colloc, &x, omega, 0.0, &mut work, &mut g_prev);
 
+    // One Newton engine for the whole envelope: the bordered step
+    // Jacobian keeps its sparsity pattern along t2, so sparse-LU pays
+    // for symbolic analysis once and refactors numerically thereafter.
+    let mut newton_engine = NewtonEngine::new();
+
     // Result records.
     let mut t2s = vec![0.0];
     let mut omegas = vec![omega];
@@ -214,6 +221,7 @@ pub fn solve_envelope<D: Dae + ?Sized>(
         let coeffs = opts.integrator.step_coeffs(h_try, &history, &mut qlin);
 
         let newton = newton_step(
+            &mut newton_engine,
             dae,
             &colloc,
             opts,
@@ -225,13 +233,15 @@ pub fn solve_envelope<D: Dae + ?Sized>(
             phase_row.as_deref(),
             &mut x_new,
             &mut omega_new,
-            &mut work,
         );
+        let nstats = newton_engine.stats();
+        stats.factorisations += nstats.factorisations;
+        stats.symbolic_reuses += nstats.symbolic_reuses;
 
         let newton_ok = newton.is_ok();
         let accept = match newton {
-            Ok(iters) => {
-                stats.newton_iterations += iters;
+            Ok(rep) => {
+                stats.newton_iterations += rep.iterations;
                 match &predicted {
                     Some(pred) if ctl.adaptive() => {
                         let z_new = pack(&x_new, omega_new, free_omega);
@@ -298,11 +308,139 @@ fn pack(x: &[f64], omega: f64, free_omega: bool) -> Vec<f64> {
     z
 }
 
-/// Newton iteration for one implicit `t2` step with residual
-/// `r = a0h·q(X) + qlin + θ·g(X,ω,t_new) + (1−θ)·g_prev`.
-/// Returns iterations used.
+/// One implicit `t2` step — the bordered collocation system over
+/// `z = [X (, ω)]` with residual
+/// `r = a0h·q(X) + qlin + θ·g(X,ω,t_new) + (1−θ)·g_prev` (plus the phase
+/// row in Free mode) — as a shared-engine [`NewtonSystem`] with the
+/// historical block-scaled update norm.
+struct EnvelopeStepSystem<'a, D: Dae + ?Sized> {
+    dae: &'a D,
+    colloc: &'a Colloc,
+    a0h: f64,
+    theta: f64,
+    qlin: &'a [f64],
+    t_new: f64,
+    g_prev: &'a [f64],
+    phase_row: Option<&'a [f64]>,
+    /// ω when the frequency is frozen (ignored in Free mode, where ω is
+    /// the last unknown of `z`).
+    frozen_omega: f64,
+    work: RefCell<Work>,
+    /// (cblocks, gblocks, omega_col) Jacobian scratch.
+    jac_work: RefCell<(Vec<DMat>, Vec<DMat>, Vec<f64>)>,
+}
+
+impl<D: Dae + ?Sized> EnvelopeStepSystem<'_, D> {
+    fn omega_of(&self, z: &[f64]) -> f64 {
+        match self.phase_row {
+            Some(_) => z[self.colloc.len()],
+            None => self.frozen_omega,
+        }
+    }
+
+    /// Fills the Jacobian scratch (per-sample C/G blocks and the θ·D·q
+    /// frequency column) at the iterate.
+    fn fill_jac_work(&self, z: &[f64]) {
+        let n = self.colloc.n;
+        let (cblocks, gblocks, omega_col) = &mut *self.jac_work.borrow_mut();
+        if cblocks.len() != self.colloc.n0 {
+            *cblocks = (0..self.colloc.n0).map(|_| DMat::zeros(n, n)).collect();
+            *gblocks = (0..self.colloc.n0).map(|_| DMat::zeros(n, n)).collect();
+        }
+        for s in 0..self.colloc.n0 {
+            let xs = &z[s * n..(s + 1) * n];
+            self.dae.jac_q(xs, &mut cblocks[s]);
+            self.dae.jac_f(xs, &mut gblocks[s]);
+        }
+        let work = &mut *self.work.borrow_mut();
+        self.colloc
+            .eval_q_all(self.dae, &z[..self.colloc.len()], &mut work.q);
+        self.colloc.apply_diff(&work.q, &mut work.dq);
+        omega_col.resize(self.colloc.len(), 0.0);
+        for (slot, v) in omega_col.iter_mut().zip(work.dq.iter()) {
+            *slot = self.theta * v;
+        }
+    }
+}
+
+impl<D: Dae + ?Sized> NewtonSystem for EnvelopeStepSystem<'_, D> {
+    fn dim(&self) -> usize {
+        self.colloc.len() + usize::from(self.phase_row.is_some())
+    }
+
+    fn residual(&self, z: &[f64], out: &mut [f64]) {
+        let (len, n) = (self.colloc.len(), self.colloc.n);
+        let omega = self.omega_of(z);
+        let work = &mut *self.work.borrow_mut();
+        self.colloc.eval_q_all(self.dae, &z[..len], &mut work.q);
+        self.colloc.apply_diff(&work.q, &mut work.dq);
+        self.colloc.eval_f_all(self.dae, &z[..len], &mut work.f);
+        self.dae.eval_b(self.t_new, &mut work.b);
+        for s in 0..self.colloc.n0 {
+            for i in 0..n {
+                let k = self.colloc.idx(s, i);
+                let g_inst = omega * work.dq[k] + work.f[k] - work.b[i];
+                out[k] = self.a0h * work.q[k]
+                    + self.qlin[k]
+                    + self.theta * g_inst
+                    + (1.0 - self.theta) * self.g_prev[k];
+            }
+        }
+        if let Some(row) = self.phase_row {
+            out[len] = row.iter().zip(z.iter()).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    fn jacobian(&self, z: &[f64], out: &mut DMat) {
+        self.fill_jac_work(z);
+        let jw = self.jac_work.borrow();
+        let (cblocks, gblocks, omega_col) = &*jw;
+        colloc_parts(
+            self.colloc,
+            cblocks,
+            gblocks,
+            self.a0h,
+            self.theta,
+            self.omega_of(z),
+            self.phase_row.map(|row| (row, omega_col.as_slice())),
+        )
+        .assemble_dense_into(out);
+    }
+
+    fn jacobian_triplets(&self, z: &[f64], out: &mut sparsekit::Triplets) -> bool {
+        self.fill_jac_work(z);
+        let jw = self.jac_work.borrow();
+        let (cblocks, gblocks, omega_col) = &*jw;
+        colloc_parts(
+            self.colloc,
+            cblocks,
+            gblocks,
+            self.a0h,
+            self.theta,
+            self.omega_of(z),
+            self.phase_row.map(|row| (row, omega_col.as_slice())),
+        )
+        .push_triplets(out);
+        true
+    }
+
+    fn update_norm(&self, dx_scaled: &[f64], z: &[f64], abstol: f64, reltol: f64) -> f64 {
+        let len = self.colloc.len();
+        block_update_norm(
+            dx_scaled,
+            &z[..len],
+            self.phase_row.is_some().then(|| z[len]),
+            abstol,
+            reltol,
+        )
+    }
+}
+
+/// Newton iteration for one implicit `t2` step through the shared
+/// engine. Returns the per-solve stats on success.
 #[allow(clippy::too_many_arguments)]
 fn newton_step<D: Dae + ?Sized>(
+    engine: &mut NewtonEngine,
     dae: &D,
     colloc: &Colloc,
     opts: &WampdeOptions,
@@ -314,108 +452,50 @@ fn newton_step<D: Dae + ?Sized>(
     phase_row: Option<&[f64]>,
     x: &mut [f64],
     omega: &mut f64,
-    work: &mut Work,
-) -> Result<usize, WampdeError> {
+) -> Result<NewtonStats, WampdeError> {
     let len = colloc.len();
-    let n = colloc.n;
     let free_omega = phase_row.is_some();
-    let dim = len + usize::from(free_omega);
-
-    let residual = |x: &[f64], omega: f64, work: &mut Work, out: &mut Vec<f64>| {
-        out.resize(dim, 0.0);
-        colloc.eval_q_all(dae, x, &mut work.q);
-        colloc.apply_diff(&work.q, &mut work.dq);
-        colloc.eval_f_all(dae, x, &mut work.f);
-        dae.eval_b(t_new, &mut work.b);
-        for s in 0..colloc.n0 {
-            for i in 0..n {
-                let k = colloc.idx(s, i);
-                let g_inst = omega * work.dq[k] + work.f[k] - work.b[i];
-                out[k] = a0h * work.q[k] + qlin[k] + theta * g_inst + (1.0 - theta) * g_prev[k];
-            }
-        }
-        if let Some(row) = phase_row {
-            out[len] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
-        }
+    let sys = EnvelopeStepSystem {
+        dae,
+        colloc,
+        a0h,
+        theta,
+        qlin,
+        t_new,
+        g_prev,
+        phase_row,
+        frozen_omega: *omega,
+        work: RefCell::new(Work::new(len, colloc.n)),
+        jac_work: RefCell::new((Vec::new(), Vec::new(), Vec::new())),
     };
-
-    let mut r = Vec::with_capacity(dim);
-    residual(x, *omega, work, &mut r);
-    let mut rnorm = norm2(&r);
-
-    let mut cblocks: Vec<DMat> = (0..colloc.n0).map(|_| DMat::zeros(n, n)).collect();
-    let mut gblocks: Vec<DMat> = (0..colloc.n0).map(|_| DMat::zeros(n, n)).collect();
-
-    for iter in 1..=opts.newton.max_iter {
-        // Assemble Jacobian parts at the current iterate.
-        for s in 0..colloc.n0 {
-            let xs = &x[s * n..(s + 1) * n];
-            dae.jac_q(xs, &mut cblocks[s]);
-            dae.jac_f(xs, &mut gblocks[s]);
-        }
-        // ∂r/∂ω column = θ·(D·q)(s): recompute dq at the iterate.
-        colloc.eval_q_all(dae, x, &mut work.q);
-        colloc.apply_diff(&work.q, &mut work.dq);
-        let omega_col: Vec<f64> = work.dq.iter().map(|v| theta * v).collect();
-
-        let parts = colloc_parts(
-            colloc,
-            &cblocks,
-            &gblocks,
-            a0h,
-            theta,
-            *omega,
-            phase_row.map(|row| (row, omega_col.as_slice())),
-        );
-        let factored = crate::linsolve::factor(&parts, opts.linear_solver, t_new)?;
-        let mut dz = r.clone();
-        crate::linsolve::solve_in_place(&factored, &mut dz, t_new)?;
-        for v in dz.iter_mut() {
-            *v = -*v;
-        }
-
-        // Damped update on the true residual norm.
-        let mut lambda = 1.0_f64;
-        let mut x_trial = vec![0.0; len];
-        let mut r_trial = Vec::with_capacity(dim);
-        loop {
-            for i in 0..len {
-                x_trial[i] = x[i] + lambda * dz[i];
-            }
-            let omega_trial = if free_omega {
-                *omega + lambda * dz[len]
-            } else {
-                *omega
-            };
-            residual(&x_trial, omega_trial, work, &mut r_trial);
-            let rt = norm2(&r_trial);
-            if rt.is_finite() && (rt <= rnorm || lambda <= opts.newton.min_damping) {
-                x.copy_from_slice(&x_trial);
-                *omega = omega_trial;
-                r.clone_from(&r_trial);
-                rnorm = rt;
-                break;
-            }
-            lambda *= 0.5;
-        }
-
-        let dz_scaled: Vec<f64> = dz.iter().map(|v| v * lambda).collect();
-        let update = block_update_norm(
-            &dz_scaled,
-            x,
-            free_omega.then_some(*omega),
-            opts.newton.abstol,
-            opts.newton.reltol,
-        );
-        if update <= 1.0 {
-            return Ok(iter);
-        }
+    let mut z = Vec::with_capacity(len + 1);
+    z.extend_from_slice(x);
+    if free_omega {
+        z.push(*omega);
     }
-
-    Err(WampdeError::NewtonFailed {
-        at_t2: t_new,
-        iterations: opts.newton.max_iter,
-        residual: rnorm,
+    let policy = NewtonPolicy {
+        linear_solver: opts.linear_solver,
+        ..opts.newton
+    };
+    let result = engine.solve(&sys, &mut z, &policy);
+    x.copy_from_slice(&z[..len]);
+    if free_omega {
+        *omega = z[len];
+    }
+    result.map_err(|e| match e {
+        NewtonError::Singular { cause } => WampdeError::LinearSolve {
+            at_t2: t_new,
+            cause,
+        },
+        NewtonError::NoConvergence {
+            iterations,
+            residual,
+        } => WampdeError::NewtonFailed {
+            at_t2: t_new,
+            iterations,
+            residual,
+        },
+        NewtonError::BadInput(msg) => WampdeError::BadInput(msg),
     })
 }
 

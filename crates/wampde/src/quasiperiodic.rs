@@ -15,14 +15,15 @@
 //! `GmresIlu0` is honored as-is.
 
 use crate::error::WampdeError;
-use crate::linsolve::{FactoredJacobian, LinearSolverKind, NewtonMatrix};
+use crate::linsolve::LinearSolverKind;
 use crate::options::WampdeOptions;
 use crate::result::EnvelopeResult;
 use circuitdae::Dae;
 use hb::Colloc;
-use numkit::vecops::norm2;
+use newtonkit::{NewtonEngine, NewtonError, NewtonPolicy, NewtonSystem};
 use numkit::DMat;
 use sparsekit::Triplets;
+use std::cell::RefCell;
 
 /// Initial guess for the quasiperiodic solve: `N1` slices of stacked
 /// samples plus per-slice frequencies.
@@ -254,20 +255,111 @@ pub fn solve_quasiperiodic<D: Dae + ?Sized>(
         dae.eval_b(h * m as f64, b);
     }
 
-    // Residual buffers.
-    let mut qs = vec![vec![0.0; len]; n1];
-    let mut dqs = vec![vec![0.0; len]; n1];
-    let mut fs = vec![vec![0.0; len]; n1];
+    let sys = QpSystem {
+        dae,
+        colloc: &colloc,
+        n1,
+        h,
+        c0,
+        c1,
+        c2,
+        theta,
+        b_slices: &b_slices,
+        phase_row: &phase_row,
+        work: RefCell::new(QpWork {
+            qs: vec![vec![0.0; len]; n1],
+            dqs: vec![vec![0.0; len]; n1],
+            fs: vec![vec![0.0; len]; n1],
+        }),
+    };
 
-    let residual = |z: &[f64],
-                    qs: &mut Vec<Vec<f64>>,
-                    dqs: &mut Vec<Vec<f64>>,
-                    fs: &mut Vec<Vec<f64>>,
-                    out: &mut [f64]| {
+    // The cyclic system is never dense-solved: `Dense` (the global
+    // default) selects sparse LU; sparse backends pass through. One
+    // global Newton solve — symbolic reuse spans its iterations.
+    let kind = match opts.linear_solver {
+        LinearSolverKind::Dense | LinearSolverKind::SparseLu => LinearSolverKind::SparseLu,
+        gm @ LinearSolverKind::GmresIlu0 { .. } => gm,
+    };
+    let policy = NewtonPolicy {
+        linear_solver: kind,
+        ..opts.newton
+    };
+    let mut engine = NewtonEngine::new();
+    match engine.solve(&sys, &mut z, &policy) {
+        Ok(stats) => {
+            let mut slices = Vec::with_capacity(n1);
+            let mut omegas = Vec::with_capacity(n1);
+            for m in 0..n1 {
+                slices.push(z[m * bw..m * bw + len].to_vec());
+                omegas.push(z[m * bw + len]);
+            }
+            Ok(QuasiPeriodicSolution {
+                n,
+                n0: colloc.n0,
+                n1,
+                t2_period,
+                slices,
+                omegas,
+                iterations: stats.iterations,
+            })
+        }
+        Err(NewtonError::Singular { cause }) => Err(WampdeError::LinearSolve { at_t2: 0.0, cause }),
+        Err(NewtonError::NoConvergence {
+            iterations,
+            residual,
+        }) => Err(WampdeError::NewtonFailed {
+            at_t2: 0.0,
+            iterations,
+            residual,
+        }),
+        Err(NewtonError::BadInput(msg)) => Err(WampdeError::BadInput(msg)),
+    }
+}
+
+/// Residual scratch of the quasiperiodic system.
+struct QpWork {
+    qs: Vec<Vec<f64>>,
+    dqs: Vec<Vec<f64>>,
+    fs: Vec<Vec<f64>>,
+}
+
+/// The global quasiperiodic boundary-value problem over
+/// `z = [X_0, ω_0, X_1, ω_1, …]` (`len + 1` unknowns per slice, `n1`
+/// slices closed cyclically by the `t2` stencil) as a shared-engine
+/// [`NewtonSystem`] with the historical per-slice block-scaled update
+/// norm.
+struct QpSystem<'a, D: Dae + ?Sized> {
+    dae: &'a D,
+    colloc: &'a Colloc,
+    n1: usize,
+    h: f64,
+    c0: f64,
+    c1: f64,
+    c2: f64,
+    theta: f64,
+    b_slices: &'a [Vec<f64>],
+    phase_row: &'a [f64],
+    work: RefCell<QpWork>,
+}
+
+impl<D: Dae + ?Sized> QpSystem<'_, D> {
+    fn bw(&self) -> usize {
+        self.colloc.len() + 1
+    }
+}
+
+impl<D: Dae + ?Sized> NewtonSystem for QpSystem<'_, D> {
+    fn dim(&self) -> usize {
+        self.n1 * self.bw()
+    }
+
+    fn residual(&self, z: &[f64], out: &mut [f64]) {
+        let (colloc, n1, bw, len) = (self.colloc, self.n1, self.bw(), self.colloc.len());
+        let QpWork { qs, dqs, fs } = &mut *self.work.borrow_mut();
         for m in 0..n1 {
             let x = &z[m * bw..m * bw + len];
-            colloc.eval_q_all(dae, x, &mut qs[m]);
-            colloc.eval_f_all(dae, x, &mut fs[m]);
+            colloc.eval_q_all(self.dae, x, &mut qs[m]);
+            colloc.eval_f_all(self.dae, x, &mut fs[m]);
         }
         for m in 0..n1 {
             let q = std::mem::take(&mut qs[m]);
@@ -280,56 +372,78 @@ pub fn solve_quasiperiodic<D: Dae + ?Sized>(
             let om = z[m * bw + len];
             let om_prev = z[prev * bw + len];
             for s in 0..colloc.n0 {
-                for (i, (bm, bp)) in b_slices[m].iter().zip(b_slices[prev].iter()).enumerate() {
+                for (i, (bm, bp)) in self.b_slices[m]
+                    .iter()
+                    .zip(self.b_slices[prev].iter())
+                    .enumerate()
+                {
                     let k = colloc.idx(s, i);
                     let g_m = om * dqs[m][k] + fs[m][k] - bm;
                     let g_p = om_prev * dqs[prev][k] + fs[prev][k] - bp;
-                    out[m * bw + k] = (c0 * qs[m][k] + c1 * qs[prev][k] + c2 * qs[prev2][k]) / h
-                        + theta * g_m
-                        + (1.0 - theta) * g_p;
+                    out[m * bw + k] =
+                        (self.c0 * qs[m][k] + self.c1 * qs[prev][k] + self.c2 * qs[prev2][k])
+                            / self.h
+                            + self.theta * g_m
+                            + (1.0 - self.theta) * g_p;
                 }
             }
             let x = &z[m * bw..m * bw + len];
-            out[m * bw + len] = phase_row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+            out[m * bw + len] = self
+                .phase_row
+                .iter()
+                .zip(x.iter())
+                .map(|(a, b)| a * b)
+                .sum();
         }
-    };
+    }
 
-    let mut r = vec![0.0; dim];
-    residual(&z, &mut qs, &mut dqs, &mut fs, &mut r);
-    let mut rnorm = norm2(&r);
+    fn jacobian(&self, z: &[f64], out: &mut DMat) {
+        // The cyclic solve always runs a sparse backend; the dense stamp
+        // exists for API completeness only.
+        let mut trip = Triplets::new(self.dim(), self.dim());
+        self.jacobian_triplets(z, &mut trip);
+        let dense = trip.to_csc().to_dense();
+        out.fill_zero();
+        for i in 0..self.dim() {
+            for j in 0..self.dim() {
+                out[(i, j)] = dense[(i, j)];
+            }
+        }
+    }
 
-    let mut cblocks: Vec<Vec<DMat>> = vec![Vec::new(); n1];
-    let mut gblocks: Vec<Vec<DMat>> = vec![Vec::new(); n1];
-    let mut iterations = 0;
-
-    for iter in 1..=opts.newton.max_iter {
-        iterations = iter;
-        // Per-slice Jacobian blocks.
+    fn jacobian_triplets(&self, z: &[f64], trip: &mut Triplets) -> bool {
+        let (colloc, n1, bw, len, n) = (
+            self.colloc,
+            self.n1,
+            self.bw(),
+            self.colloc.len(),
+            self.colloc.n,
+        );
+        // Per-slice Jacobian blocks and dq at the iterate (for the ω
+        // columns).
+        let mut cblocks: Vec<Vec<DMat>> = vec![Vec::new(); n1];
+        let mut gblocks: Vec<Vec<DMat>> = vec![Vec::new(); n1];
         for m in 0..n1 {
             let x = &z[m * bw..m * bw + len];
-            cblocks[m].clear();
-            gblocks[m].clear();
             for s in 0..colloc.n0 {
                 let xs = &x[s * n..(s + 1) * n];
                 let mut c = DMat::zeros(n, n);
                 let mut g = DMat::zeros(n, n);
-                dae.jac_q(xs, &mut c);
-                dae.jac_f(xs, &mut g);
+                self.dae.jac_q(xs, &mut c);
+                self.dae.jac_f(xs, &mut g);
                 cblocks[m].push(c);
                 gblocks[m].push(g);
             }
         }
-        // dq at current iterate (for the ω columns).
+        let QpWork { qs, dqs, .. } = &mut *self.work.borrow_mut();
         for m in 0..n1 {
             let x = &z[m * bw..m * bw + len];
-            colloc.eval_q_all(dae, x, &mut qs[m]);
+            colloc.eval_q_all(self.dae, x, &mut qs[m]);
             let q = std::mem::take(&mut qs[m]);
             colloc.apply_diff(&q, &mut dqs[m]);
             qs[m] = q;
         }
 
-        let mut trip =
-            Triplets::with_capacity(dim, dim, n1 * (colloc.n0 * colloc.n0 * n + 4 * len));
         for m in 0..n1 {
             let prev = (m + n1 - 1) % n1;
             let prev2 = (m + n1 - 2) % n1;
@@ -338,145 +452,84 @@ pub fn solve_quasiperiodic<D: Dae + ?Sized>(
             let row0 = m * bw;
             // ∂/∂X_m: c0·C_m/h + θ(ω_m D⊗C_m + G_m).
             add_slice_block(
-                &mut trip,
-                &colloc,
+                trip,
+                colloc,
                 row0,
                 m * bw,
                 &cblocks[m],
                 &gblocks[m],
-                c0 / h,
-                theta,
+                self.c0 / self.h,
+                self.theta,
                 om,
             );
             // ∂/∂X_prev: c1·C_prev/h + (1−θ)(ω_prev D⊗C_prev + G_prev).
             add_slice_block(
-                &mut trip,
-                &colloc,
+                trip,
+                colloc,
                 row0,
                 prev * bw,
                 &cblocks[prev],
                 &gblocks[prev],
-                c1 / h,
-                1.0 - theta,
+                self.c1 / self.h,
+                1.0 - self.theta,
                 om_prev,
             );
             // ∂/∂X_prev2: c2·C_prev2/h (BDF2 only).
-            if c2 != 0.0 {
+            if self.c2 != 0.0 {
                 add_slice_block(
-                    &mut trip,
-                    &colloc,
+                    trip,
+                    colloc,
                     row0,
                     prev2 * bw,
                     &cblocks[prev2],
                     &gblocks[prev2],
-                    c2 / h,
+                    self.c2 / self.h,
                     0.0,
                     0.0,
                 );
             }
             // ω columns.
             for (k, (dm, dp)) in dqs[m].iter().zip(dqs[prev].iter()).enumerate() {
-                let v = theta * dm;
+                let v = self.theta * dm;
                 if v != 0.0 {
                     trip.push(row0 + k, m * bw + len, v);
                 }
-                let vp = (1.0 - theta) * dp;
+                let vp = (1.0 - self.theta) * dp;
                 if vp != 0.0 {
                     trip.push(row0 + k, prev * bw + len, vp);
                 }
             }
             // Phase row.
-            for (k, &c) in phase_row.iter().enumerate() {
+            for (k, &c) in self.phase_row.iter().enumerate() {
                 if c != 0.0 {
                     trip.push(row0 + len, m * bw + k, c);
                 }
             }
         }
+        true
+    }
 
-        // The cyclic system is never dense-solved: `Dense` (the global
-        // default) selects sparse LU; sparse backends pass through.
-        let kind = match opts.linear_solver {
-            LinearSolverKind::Dense | LinearSolverKind::SparseLu => LinearSolverKind::SparseLu,
-            gm @ LinearSolverKind::GmresIlu0 { .. } => gm,
-        };
-        let factored = FactoredJacobian::factor_matrix(&NewtonMatrix::Triplets(&trip), kind)
-            .map_err(|e| WampdeError::LinearSolve {
-                at_t2: 0.0,
-                cause: e.cause,
-            })?;
-        let mut dz = r.clone();
-        factored
-            .solve_in_place(&mut dz)
-            .map_err(|e| WampdeError::LinearSolve {
-                at_t2: 0.0,
-                cause: e.cause,
-            })?;
-        for v in dz.iter_mut() {
-            *v = -*v;
-        }
-
-        // Damped update.
-        let mut lambda = 1.0_f64;
-        let mut z_trial = vec![0.0; dim];
-        let mut r_trial = vec![0.0; dim];
-        loop {
-            for i in 0..dim {
-                z_trial[i] = z[i] + lambda * dz[i];
-            }
-            residual(&z_trial, &mut qs, &mut dqs, &mut fs, &mut r_trial);
-            let rt = norm2(&r_trial);
-            if rt.is_finite() && (rt <= rnorm || lambda <= opts.newton.min_damping) {
-                z.copy_from_slice(&z_trial);
-                r.copy_from_slice(&r_trial);
-                rnorm = rt;
-                break;
-            }
-            lambda *= 0.5;
-        }
-
-        // Block-scaled update norm: samples weighted by the global sample
-        // magnitude, each ω by its own (see envelope::block_update_norm).
+    /// Block-scaled update norm: samples weighted by the global sample
+    /// magnitude, each ω by its own (see `envelope::block_update_norm`).
+    fn update_norm(&self, dx_scaled: &[f64], z: &[f64], abstol: f64, reltol: f64) -> f64 {
+        let (n1, bw, len) = (self.n1, self.bw(), self.colloc.len());
         let x_scale = (0..n1)
             .flat_map(|m| z[m * bw..m * bw + len].iter())
             .fold(0.0_f64, |mx, v| mx.max(v.abs()))
             .max(1e-300);
-        let wx = opts.newton.abstol + opts.newton.reltol * x_scale;
+        let wx = abstol + reltol * x_scale;
         let mut acc = 0.0;
         for m in 0..n1 {
             for k in 0..len {
-                let e = lambda * dz[m * bw + k] / wx;
+                let e = dx_scaled[m * bw + k] / wx;
                 acc += e * e;
             }
-            let womega =
-                opts.newton.abstol + opts.newton.reltol * z[m * bw + len].abs().max(1e-300);
-            let e = lambda * dz[m * bw + len] / womega;
+            let womega = abstol + reltol * z[m * bw + len].abs().max(1e-300);
+            let e = dx_scaled[m * bw + len] / womega;
             acc += e * e;
         }
-        let update = (acc / dim as f64).sqrt();
-        if update <= 1.0 {
-            let mut slices = Vec::with_capacity(n1);
-            let mut omegas = Vec::with_capacity(n1);
-            for m in 0..n1 {
-                slices.push(z[m * bw..m * bw + len].to_vec());
-                omegas.push(z[m * bw + len]);
-            }
-            return Ok(QuasiPeriodicSolution {
-                n,
-                n0: colloc.n0,
-                n1,
-                t2_period,
-                slices,
-                omegas,
-                iterations,
-            });
-        }
+        (acc / self.dim() as f64).sqrt()
     }
-
-    Err(WampdeError::NewtonFailed {
-        at_t2: 0.0,
-        iterations,
-        residual: rnorm,
-    })
 }
 
 /// Adds `coef_c·C_s + w·(ω·D[s,s']·C_{s'} + δ·G_s)` block rows for one

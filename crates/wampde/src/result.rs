@@ -10,6 +10,12 @@ pub struct EnvelopeStats {
     pub rejected: usize,
     /// Total Newton iterations across steps.
     pub newton_iterations: usize,
+    /// Jacobian factorisations across all Newton solves (accepted and
+    /// rejected steps).
+    pub factorisations: usize,
+    /// Factorisations that reused cached symbolic analysis (sparse-LU
+    /// numeric-only refactorisation; 0 on the dense and GMRES backends).
+    pub symbolic_reuses: usize,
 }
 
 /// Result of [`crate::solve_envelope`]: the bivariate solution

@@ -13,6 +13,7 @@
 //! | [`sparsekit`] | sparse matrices, sparse LU, GMRES + ILU(0) |
 //! | [`fourier`] | FFTs, Fourier series, spectral differentiation |
 //! | [`circuitdae`] | the DAE trait, MNA circuit builder, the paper's VCOs |
+//! | [`newtonkit`] | the shared damped-Newton engine (pattern-reusing refactorisation) |
 //! | [`transim`] | Newton, DC operating point, transient integration |
 //! | [`shooting`] | periodic steady state of free-running oscillators |
 //! | [`hb`] | harmonic balance + the collocation core |

@@ -1,0 +1,238 @@
+//! Acceptance tests of the shared `newtonkit` Newton layer: every
+//! solver's Newton iteration now runs on one engine, so
+//!
+//! * converged solutions agree across linear-solver backends on
+//!   `ring_loaded_vco` (and the pattern-reusing sparse refactorisation
+//!   changes *nothing* — reuse-on and reuse-off runs are bitwise
+//!   identical, because numeric refactorisation replays the exact
+//!   floating-point sequence of a fresh factorisation);
+//! * an exhausted iteration budget surfaces the *same* canonical
+//!   diagnostic (the configured budget in the error, the engine's
+//!   "did not converge after N iterations" wording) from every solver;
+//! * the new reuse counters are consistent wherever stats surface.
+
+use circuitdae::circuits;
+use linsolve::LinearSolverKind;
+use mpde::{solve_envelope_mpde, AmForcing, MpdeOptions};
+use shooting::{oscillator_steady_state, ShootingOptions};
+use transim::{
+    dc_operating_point, run_transient, Integrator, NewtonOptions, StepControl, TransientOptions,
+    TransimError,
+};
+use wampde::{solve_envelope, T2StepControl, WampdeError, WampdeInit, WampdeOptions};
+
+#[test]
+fn dc_backends_agree_on_ring_vco() {
+    let dae = circuits::ring_loaded_vco(6);
+    let dense = dc_operating_point(&dae, &NewtonOptions::default()).unwrap();
+    for kind in [
+        LinearSolverKind::SparseLu,
+        LinearSolverKind::gmres_default(),
+    ] {
+        let opts = NewtonOptions {
+            linear_solver: kind,
+            ..Default::default()
+        };
+        let x = dc_operating_point(&dae, &opts).unwrap();
+        for (a, b) in dense.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-9, "{}: {a} vs {b}", kind.label());
+        }
+    }
+}
+
+#[test]
+fn symbolic_reuse_is_bitwise_invisible_on_ring_vco_transient() {
+    // Same fixed-step sparse-LU transient with reuse on and off: the
+    // refactorisation path must reproduce fresh factors bit for bit, so
+    // the trajectories are *identical*, not merely close.
+    let dae = circuits::ring_loaded_vco(6);
+    let dc = dc_operating_point(&dae, &NewtonOptions::default()).unwrap();
+    let mut x0 = dc;
+    x0[0] += 0.5; // kick the tank
+    let run = |reuse: bool| {
+        let opts = TransientOptions {
+            integrator: Integrator::Trapezoidal,
+            step: StepControl::Fixed(2.0e-8),
+            newton: NewtonOptions {
+                linear_solver: LinearSolverKind::SparseLu,
+                reuse_symbolic: reuse,
+                ..Default::default()
+            },
+        };
+        run_transient(&dae, &x0, 0.0, 2.0e-6, &opts).unwrap()
+    };
+    let with = run(true);
+    let without = run(false);
+    assert_eq!(with.times, without.times);
+    for (a, b) in with.states.iter().zip(without.states.iter()) {
+        assert_eq!(a, b, "bitwise-identical trajectories expected");
+    }
+    // The counters tell the two runs apart: one symbolic analysis for
+    // the whole run vs none reused at all.
+    assert_eq!(with.stats.factorisations, without.stats.factorisations);
+    assert_eq!(with.stats.symbolic_reuses, with.stats.factorisations - 1);
+    assert_eq!(without.stats.symbolic_reuses, 0);
+}
+
+#[test]
+fn wampde_envelope_backends_agree_and_reuse_on_ring_vco() {
+    let dae = circuits::ring_loaded_vco(4);
+    let orbit = oscillator_steady_state(&dae, &ShootingOptions::default()).unwrap();
+    let base = WampdeOptions {
+        harmonics: 4,
+        step: T2StepControl::Fixed(2.0e-6),
+        ..Default::default()
+    };
+    let init = WampdeInit::from_orbit(&orbit, &base);
+    let dense = solve_envelope(&dae, &init, 1.0e-5, &base).unwrap();
+    let sparse_opts = WampdeOptions {
+        linear_solver: LinearSolverKind::SparseLu,
+        ..base
+    };
+    let sparse = solve_envelope(&dae, &init, 1.0e-5, &sparse_opts).unwrap();
+    assert_eq!(dense.omega_hz.len(), sparse.omega_hz.len());
+    for (a, b) in dense.omega_hz.iter().zip(sparse.omega_hz.iter()) {
+        assert!((a - b).abs() / a < 1e-9, "{a} vs {b}");
+    }
+    // The envelope's bordered Jacobian keeps its pattern along t2, so
+    // the sparse run reuses symbolic analysis across (nearly) every
+    // factorisation; dense has nothing to reuse.
+    assert!(sparse.stats.factorisations > 0);
+    assert!(
+        sparse.stats.symbolic_reuses >= sparse.stats.factorisations / 2,
+        "expected widespread reuse: {:?}",
+        sparse.stats
+    );
+    assert_eq!(dense.stats.symbolic_reuses, 0);
+    assert_eq!(
+        dense.stats.newton_iterations,
+        sparse.stats.newton_iterations
+    );
+}
+
+#[test]
+fn exhausted_budgets_surface_identical_diagnostics() {
+    // Give every solver an impossible one-iteration budget at a tight
+    // tolerance: each must report the *configured* budget in its error,
+    // through the same engine wording.
+    let budget = 1;
+    let tight = NewtonOptions {
+        max_iter: budget,
+        abstol: 1e-300,
+        reltol: 1e-300,
+        ..Default::default()
+    };
+
+    // transim (DC path: the ladder's final stage propagates the error).
+    // A nonlinear circuit whose operating point is away from the zero
+    // start, so the one-iteration budget genuinely cannot converge.
+    let mut ckt = circuitdae::Circuit::new();
+    let a = ckt.node("a");
+    ckt.add(circuitdae::Device::current_source(
+        circuitdae::Circuit::GND,
+        a,
+        circuitdae::Waveform::Dc(1e-3),
+    ));
+    ckt.add(circuitdae::Device::tanh_conductor(
+        a,
+        circuitdae::Circuit::GND,
+        -2e-3,
+        0.5,
+        1e-3,
+    ));
+    let dae = ckt.build().unwrap();
+    let terr = dc_operating_point(&dae, &tight).unwrap_err();
+    let TransimError::NewtonFailed { iterations, .. } = terr else {
+        panic!("unexpected transim error {terr}");
+    };
+    assert_eq!(iterations, budget);
+
+    // mpde (the t2 = 0 steady solve fails first).
+    let mut ckt = circuitdae::Circuit::new();
+    let n = ckt.node("out");
+    ckt.add(circuitdae::Device::resistor(
+        n,
+        circuitdae::Circuit::GND,
+        1.0e3,
+    ));
+    ckt.add(circuitdae::Device::capacitor(
+        n,
+        circuitdae::Circuit::GND,
+        1.0e-9,
+    ));
+    ckt.add(circuitdae::Device::current_source(
+        circuitdae::Circuit::GND,
+        n,
+        circuitdae::Waveform::Dc(0.0),
+    ));
+    let rc = ckt.build().unwrap();
+    let forcing = AmForcing {
+        node: 0,
+        carrier_amplitude: 1.0e-3,
+        mod_depth: 0.5,
+        mod_freq_hz: 1.0e3,
+    };
+    let merr = solve_envelope_mpde(
+        &rc,
+        &forcing,
+        1.0e6,
+        1.0e-3,
+        &MpdeOptions {
+            harmonics: 3,
+            newton: tight,
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(merr, mpde::MpdeError::NewtonFailed { at_t2, .. } if at_t2 == 0.0),
+        "unexpected mpde error {merr}"
+    );
+
+    // wampde (first fixed step cannot converge; budget reported).
+    let orbit = oscillator_steady_state(&circuits::lc_vco(), &ShootingOptions::default()).unwrap();
+    let wopts = WampdeOptions {
+        harmonics: 3,
+        step: T2StepControl::Fixed(1.0e-6),
+        newton: tight,
+        ..Default::default()
+    };
+    let init = WampdeInit::from_orbit(&orbit, &wopts);
+    let werr = solve_envelope(&circuits::lc_vco(), &init, 1.0e-5, &wopts).unwrap_err();
+    let WampdeError::NewtonFailed { iterations, .. } = werr else {
+        panic!("unexpected wampde error {werr}");
+    };
+    assert_eq!(iterations, budget);
+}
+
+#[test]
+fn hb_runs_on_the_shared_engine_with_reuse() {
+    // Autonomous HB on the ring VCO: the bordered collocation solve
+    // reaches the shooting frequency through the re-exported engine,
+    // dense and sparse alike.
+    let dae = circuits::ring_loaded_vco(4);
+    let orbit = oscillator_steady_state(&dae, &ShootingOptions::default()).unwrap();
+    let opts = hb::HbOptions {
+        harmonics: 6,
+        ..Default::default()
+    };
+    let init = orbit.resample_uniform(2 * opts.harmonics + 1);
+    let dense = hb::solve_autonomous(&dae, &init, orbit.frequency(), &opts).unwrap();
+    let sparse_opts = hb::HbOptions {
+        newton: NewtonOptions {
+            linear_solver: LinearSolverKind::SparseLu,
+            ..Default::default()
+        },
+        ..opts
+    };
+    let sparse = hb::solve_autonomous(&dae, &init, orbit.frequency(), &sparse_opts).unwrap();
+    let rel = (dense.freq_hz - sparse.freq_hz).abs() / dense.freq_hz;
+    assert!(rel < 1e-9, "{} vs {}", dense.freq_hz, sparse.freq_hz);
+    let rel_shoot = (dense.freq_hz - orbit.frequency()).abs() / orbit.frequency();
+    assert!(
+        rel_shoot < 1e-3,
+        "hb {} vs shooting {}",
+        dense.freq_hz,
+        orbit.frequency()
+    );
+}
