@@ -55,6 +55,10 @@ const TABLES: &[(&str, &str)] = &[
         "newton",
         "symbolic-reuse vs fresh factorisation per Newton iteration (BENCH_newton.json)",
     ),
+    (
+        "sweep",
+        "cold vs warm-cache sweep throughput on vco_sweep (BENCH_sweep.json)",
+    ),
 ];
 
 fn print_targets() {
@@ -138,6 +142,9 @@ fn main() {
     }
     if want_table("newton") {
         table_newton();
+    }
+    if want_table("sweep") {
+        table_sweep();
     }
 }
 
@@ -623,6 +630,95 @@ fn table_newton() {
         records.join(",\n")
     );
     let p = write_text_in(&repro_dir(), "BENCH_newton.json", &json).expect("write json");
+    println!("  -> {}", p.display());
+}
+
+/// Cold vs warm-cache sweep throughput on the committed `vco_sweep`
+/// deck (8 jobs: shooting + WaMPDE envelope at 4 control voltages) —
+/// the machine-readable record of the sweep-service cache layer:
+///
+/// * **cold** — empty cache directory, every job computed by a solver
+///   and stored;
+/// * **warm** — identical rerun, every job answered from the cache.
+///
+/// Asserts the two outcomes render to byte-identical CSV (the cache
+/// changes *when*, never *what*) and that the warm rerun is at least
+/// 5× faster than the cold run, then emits
+/// `target/repro/BENCH_sweep.json`.
+fn table_sweep() {
+    use sweepkit::{run_deck_with, ResultCache, SweepConfig};
+    println!("=== table `sweep`: cold vs warm-cache sweep on vco_sweep ===");
+    let deck_text = include_str!("../../../../examples/decks/vco_sweep.ckt");
+    let deck = circuitdae::parse_deck(deck_text).expect("vco_sweep deck parses");
+
+    let cache_dir = repro_dir().join("sweep-cache-bench");
+    std::fs::remove_dir_all(&cache_dir).ok();
+    let config = SweepConfig {
+        jobs: 2,
+        cache: Some(ResultCache::open(&cache_dir).expect("open cache dir")),
+        ..SweepConfig::default()
+    };
+
+    let t0 = std::time::Instant::now();
+    let cold = run_deck_with(&deck, &config, None).expect("cold sweep converges");
+    let cold_ns = t0.elapsed().as_nanos();
+    let t0 = std::time::Instant::now();
+    let warm = run_deck_with(&deck, &config, None).expect("warm sweep converges");
+    let warm_ns = t0.elapsed().as_nanos();
+
+    assert_eq!(cold.stats.cache_hits, 0, "cold run must start empty");
+    assert_eq!(
+        cold.stats.executed, cold.stats.jobs_total,
+        "cold run computes everything"
+    );
+    assert_eq!(
+        warm.stats.cache_hits, warm.stats.jobs_total,
+        "warm run must be served entirely from the cache"
+    );
+    // The determinism invariant: the cache changes when the answer
+    // arrives, never which answer — down to rendered artifact bytes.
+    for ai in 0..cold.outcome.analysis_labels.len() {
+        let (h, r) = cold.outcome.waveform_table(ai);
+        let (hw, rw) = warm.outcome.waveform_table(ai);
+        let h_refs: Vec<&str> = h.iter().map(String::as_str).collect();
+        let hw_refs: Vec<&str> = hw.iter().map(String::as_str).collect();
+        assert_eq!(
+            wampde_bench::out::csv_string(&h_refs, &r).as_bytes(),
+            wampde_bench::out::csv_string(&hw_refs, &rw).as_bytes(),
+            "analysis {ai}: warm CSV differs from cold"
+        );
+    }
+
+    let speedup = cold_ns as f64 / warm_ns as f64;
+    println!(
+        "  {} job(s): cold {:.1} ms, warm {:.2} ms -> {speedup:.0}x",
+        cold.stats.jobs_total,
+        cold_ns as f64 / 1e6,
+        warm_ns as f64 / 1e6
+    );
+    // The acceptance bar of the cache layer. Solver jobs run for
+    // hundreds of milliseconds; a cache hit is a file read, so 5x is a
+    // conservative floor even on loaded CI machines.
+    assert!(
+        speedup >= 5.0,
+        "warm-cache rerun must be at least 5x faster than cold \
+         ({cold_ns} ns vs {warm_ns} ns = {speedup:.1}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"workload\": \"vco_sweep.ckt ({} jobs: \
+         shooting + wampde at 4 control voltages), cold vs warm content-hashed \
+         result cache\",\n  \"results\": [\n    {{\"mode\": \"cold\", \"wall_ns\": {cold_ns}, \
+         \"executed\": {}, \"cache_hits\": {}}},\n    {{\"mode\": \"warm\", \
+         \"wall_ns\": {warm_ns}, \"executed\": {}, \"cache_hits\": {}}}\n  ],\n  \
+         \"speedup\": {speedup:.3}\n}}\n",
+        cold.stats.jobs_total,
+        cold.stats.executed,
+        cold.stats.cache_hits,
+        warm.stats.executed,
+        warm.stats.cache_hits,
+    );
+    let p = write_text_in(&repro_dir(), "BENCH_sweep.json", &json).expect("write json");
     println!("  -> {}", p.display());
 }
 

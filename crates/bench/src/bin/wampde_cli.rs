@@ -1,22 +1,39 @@
-//! `wampde-cli` — deck-driven, parallel experiment runs.
+//! `wampde-cli` — deck-driven, parallel, shardable experiment runs.
 //!
 //! ```text
 //! wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--solver KIND]
 //!            [--integrator SCHEME] [--rtol V] [--list]
+//!            [--shards M] [--shard-index K]
+//!            [--cache-dir DIR] [--no-cache]
+//! wampde-cli merge <shard_manifest.json>... [--out DIR]
 //! ```
 //!
 //! Loads a scenario deck (circuit cards + `.tran`/`.shooting`/`.mpde`/
-//! `.wampde`/`.sweep` directives), expands the sweep grid, runs every
-//! (grid point × analysis) job on `N` worker threads, and writes CSV and
-//! JSON artifacts into `DIR` (default `target/sweep/<deck stem>`):
+//! `.wampde`/`.sweep` directives, see `docs/DECKS.md`), expands the
+//! sweep grid, runs every (grid point × analysis) job on `N` worker
+//! threads, and writes artifacts into `DIR` (default
+//! `target/sweep/<deck stem>`):
 //!
 //! * `<stem>_<analysis>_summary.csv` — one metric row per grid point;
 //! * `<stem>_<analysis>_waveforms.csv` — long-format waveform table;
-//! * `<stem>_manifest.json` — parameters, grid, and artifact index.
+//! * `<stem>_manifest.json` — parameters, grid, and artifact index;
+//! * `<stem>_shard<K>of<M>.jsonl` — one JSON line per completed job,
+//!   streamed in completion order while the sweep runs;
+//! * `<stem>_shard<K>of<M>_manifest.json` — the shard's
+//!   self-description, input to `merge`.
 //!
-//! Results are aggregated in grid order, so artifacts are byte-identical
-//! for any `--jobs` value. `--list` prints the expanded job plan without
-//! running anything.
+//! With `--shards M --shard-index K` only the jobs with
+//! `id % M == K` run and only the two shard artifacts are written; the
+//! `merge` subcommand reassembles the aggregate CSV/JSON from any
+//! complete set of shard manifests. Results are cached on disk
+//! (`target/sweep-cache` unless `--cache-dir`/`--no-cache` says
+//! otherwise), keyed by a content hash of the deck, grid point, and
+//! every solver option, so an interrupted or repeated sweep recomputes
+//! only missing jobs. `docs/SWEEP_SERVICE.md` is the operator guide.
+//!
+//! Determinism invariant: aggregate artifacts are byte-identical for
+//! any `--jobs` value, any shard layout (after `merge`), and cold vs.
+//! warm cache. Only the JSONL stream order varies between runs.
 //!
 //! `--solver dense|sparselu|gmres` overrides the linear-solver backend
 //! for every analysis — beating both the deck-wide `.options` choice and
@@ -27,15 +44,21 @@
 //! envelope from fixed-step to LTE-adaptive mode).
 
 use circuitdae::{parse_deck, LinearSolverKind, Scheme};
+use std::io::Write;
 use std::path::{Path, PathBuf};
-use sweepkit::{expand_grid, run_deck};
+use sweepkit::{
+    deck_hash, expand_grid, merge_shards, parse_record, parse_shard_manifest,
+    render_shard_manifest, run_deck_with, ResultCache, ShardManifest, SweepConfig, SweepOutcome,
+};
 use wampde_bench::out::{json_escape, write_csv_in, write_text_in};
 
 fn usage() -> ! {
     eprintln!(
         "usage: wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--solver KIND] \
-         [--integrator SCHEME] [--rtol V] [--list]"
+         [--integrator SCHEME] [--rtol V] [--list] \
+         [--shards M] [--shard-index K] [--cache-dir DIR] [--no-cache]"
     );
+    eprintln!("       wampde-cli merge <shard_manifest.json>... [--out DIR]");
     eprintln!("  KIND: dense | sparselu | gmres");
     eprintln!("  SCHEME: be | trap | bdf2");
     std::process::exit(2);
@@ -49,10 +72,13 @@ struct Args {
     integrator: Option<Scheme>,
     rtol: Option<f64>,
     list: bool,
+    shards: usize,
+    shard_index: usize,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
 }
 
-fn parse_args() -> Args {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+fn parse_args(argv: &[String]) -> Args {
     let mut deck_path: Option<PathBuf> = None;
     let mut jobs = 1usize;
     let mut out_dir: Option<PathBuf> = None;
@@ -60,6 +86,10 @@ fn parse_args() -> Args {
     let mut integrator: Option<Scheme> = None;
     let mut rtol: Option<f64> = None;
     let mut list = false;
+    let mut shards = 1usize;
+    let mut shard_index = 0usize;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut no_cache = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -106,6 +136,35 @@ fn parse_args() -> Args {
                         std::process::exit(2);
                     });
             }
+            "--shards" => {
+                i += 1;
+                shards = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--shards requires a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--shard-index" => {
+                i += 1;
+                shard_index = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--shard-index requires a non-negative integer");
+                    std::process::exit(2);
+                });
+            }
+            "--cache-dir" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(dir) => cache_dir = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--cache-dir requires a directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--no-cache" => no_cache = true,
             "--out" => {
                 i += 1;
                 match argv.get(i) {
@@ -132,6 +191,10 @@ fn parse_args() -> Args {
         i += 1;
     }
     let Some(deck_path) = deck_path else { usage() };
+    if shard_index >= shards {
+        eprintln!("--shard-index {shard_index} out of range for --shards {shards}");
+        std::process::exit(2);
+    }
     Args {
         deck_path,
         jobs,
@@ -140,12 +203,58 @@ fn parse_args() -> Args {
         integrator,
         rtol,
         list,
+        shards,
+        shard_index,
+        cache_dir,
+        no_cache,
     }
 }
 
+struct MergeArgs {
+    manifests: Vec<PathBuf>,
+    out_dir: Option<PathBuf>,
+}
+
+fn parse_merge_args(argv: &[String]) -> MergeArgs {
+    let mut manifests = Vec::new();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--out requires a directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+            other => manifests.push(PathBuf::from(other)),
+        }
+        i += 1;
+    }
+    if manifests.is_empty() {
+        eprintln!("merge needs at least one shard manifest");
+        usage();
+    }
+    MergeArgs { manifests, out_dir }
+}
+
 fn main() {
-    let args = parse_args();
-    if let Err(e) = real_main(&args) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = if argv.first().map(String::as_str) == Some("merge") {
+        merge_main(&parse_merge_args(&argv[1..]))
+    } else {
+        real_main(&parse_args(&argv))
+    };
+    if let Err(e) = result {
         eprintln!("wampde-cli: {e}");
         std::process::exit(1);
     }
@@ -210,29 +319,150 @@ fn real_main(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         .clone()
         .unwrap_or_else(|| Path::new("target/sweep").join(&stem));
 
+    let cache = if args.no_cache {
+        None
+    } else {
+        let dir = args
+            .cache_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("target/sweep-cache"));
+        Some(ResultCache::open(&dir)?)
+    };
+    if let Some(cache) = &cache {
+        println!("result cache: {}", cache.dir().display());
+    }
+
+    // The JSONL stream is written while jobs complete (observability in
+    // flight); its line order is completion order, never relied upon.
+    std::fs::create_dir_all(&out_dir)?;
+    let jsonl_name = format!("{stem}_shard{}of{}.jsonl", args.shard_index, args.shards);
+    let jsonl_path = out_dir.join(&jsonl_name);
+    let mut jsonl = std::io::BufWriter::new(std::fs::File::create(&jsonl_path)?);
+
+    let config = SweepConfig {
+        jobs: args.jobs,
+        shards: args.shards,
+        shard_index: args.shard_index,
+        cache,
+    };
     let t0 = std::time::Instant::now();
-    let outcome = run_deck(&deck, args.jobs)?;
+    let run = run_deck_with(&deck, &config, Some(&mut jsonl))?;
+    jsonl.flush()?;
     let wall = t0.elapsed();
     println!(
-        "{} job(s) on {} worker(s) in {:.2} s",
-        n_jobs,
+        "shard {}/{}: {} of {} job(s) ({} computed, {} cached) on {} worker(s) in {:.2} s",
+        args.shard_index,
+        args.shards,
+        run.stats.jobs_here,
+        run.stats.jobs_total,
+        run.stats.executed,
+        run.stats.cache_hits,
         args.jobs,
         wall.as_secs_f64()
     );
+    println!(
+        "  {} ({} record(s))",
+        jsonl_path.display(),
+        run.stats.jobs_here
+    );
 
+    let outcome = run.outcome;
+    let shard_manifest = ShardManifest {
+        deck: args.deck_path.display().to_string(),
+        deck_hash: deck_hash(&deck),
+        shards: args.shards,
+        shard_index: args.shard_index,
+        jobs_total: n_jobs,
+        param_labels: params.clone(),
+        analysis_labels: outcome.analysis_labels.clone(),
+        grid: outcome.grid.clone(),
+        results: jsonl_name,
+    };
+    let p = write_text_in(
+        &out_dir,
+        &format!(
+            "{stem}_shard{}of{}_manifest.json",
+            args.shard_index, args.shards
+        ),
+        &render_shard_manifest(&shard_manifest),
+    )?;
+    println!("  {}", p.display());
+
+    if args.shards == 1 {
+        write_aggregates(&out_dir, &stem, &shard_manifest.deck, &outcome)?;
+    } else {
+        println!("  (sharded run: merge the shard manifests for aggregate CSVs)");
+    }
+    Ok(())
+}
+
+fn merge_main(args: &MergeArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let mut shards = Vec::new();
+    for path in &args.manifests {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let manifest =
+            parse_shard_manifest(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let base = path.parent().unwrap_or(Path::new("."));
+        let results_path = base.join(&manifest.results);
+        let records_text = std::fs::read_to_string(&results_path)
+            .map_err(|e| format!("cannot read {}: {e}", results_path.display()))?;
+        let records = records_text
+            .lines()
+            .map(|line| parse_record(line).map_err(|e| format!("{}: {e}", results_path.display())))
+            .collect::<Result<Vec<_>, _>>()?;
+        println!(
+            "shard {}/{} ({}): {} record(s)",
+            manifest.shard_index,
+            manifest.shards,
+            path.display(),
+            records.len()
+        );
+        shards.push((manifest, records));
+    }
+    let outcome = merge_shards(&shards)?;
+    let deck_name = shards[0].0.deck.clone();
+    let stem = Path::new(&deck_name)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("deck")
+        .to_string();
+    let out_dir = args
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| Path::new("target/sweep").join(&stem));
+    println!(
+        "merged {} job(s) from {} shard manifest(s)",
+        outcome.runs.len(),
+        shards.len()
+    );
+    write_aggregates(&out_dir, &stem, &deck_name, &outcome)?;
+    Ok(())
+}
+
+/// Writes the aggregate artifacts (per-analysis CSVs + run manifest).
+/// Shared by the unsharded run path and `merge`, so both produce the
+/// same bytes from the same outcome.
+fn write_aggregates(
+    out_dir: &Path,
+    stem: &str,
+    deck_name: &str,
+    outcome: &SweepOutcome,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let params = &outcome.param_labels;
     let mut artifacts: Vec<String> = Vec::new();
     for (ai, label) in outcome.analysis_labels.iter().enumerate() {
         let (sh, sr) = outcome.summary_table(ai);
         let sh_refs: Vec<&str> = sh.iter().map(String::as_str).collect();
         let name = format!("{stem}_{label}_summary.csv");
-        let p = write_csv_in(&out_dir, &name, &sh_refs, &sr)?;
+        let p = write_csv_in(out_dir, &name, &sh_refs, &sr)?;
         println!("  {}", p.display());
         artifacts.push(name);
 
         let (wh, wr) = outcome.waveform_table(ai);
         let wh_refs: Vec<&str> = wh.iter().map(String::as_str).collect();
         let name = format!("{stem}_{label}_waveforms.csv");
-        let p = write_csv_in(&out_dir, &name, &wh_refs, &wr)?;
+        let p = write_csv_in(out_dir, &name, &wh_refs, &wr)?;
         println!("  {} ({} rows)", p.display(), wr.len());
         artifacts.push(name);
 
@@ -258,21 +488,14 @@ fn real_main(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let manifest = render_manifest(
-        &args.deck_path,
-        args.jobs,
-        &params,
-        &outcome.grid,
-        &artifacts,
-    );
-    let p = write_text_in(&out_dir, &format!("{stem}_manifest.json"), &manifest)?;
+    let manifest = render_manifest(deck_name, params, &outcome.grid, &artifacts);
+    let p = write_text_in(out_dir, &format!("{stem}_manifest.json"), &manifest)?;
     println!("  {}", p.display());
     Ok(())
 }
 
 fn render_manifest(
-    deck_path: &Path,
-    jobs: usize,
+    deck_name: &str,
     params: &[String],
     grid: &[Vec<f64>],
     artifacts: &[String],
@@ -288,10 +511,9 @@ fn render_manifest(
         .collect::<Vec<_>>()
         .join(", ");
     format!(
-        "{{\n  \"deck\": {},\n  \"jobs\": {},\n  \"params\": [{}],\n  \
+        "{{\n  \"deck\": {},\n  \"params\": [{}],\n  \
          \"points\": [{}],\n  \"artifacts\": [{}]\n}}\n",
-        quote(&deck_path.display().to_string()),
-        jobs,
+        quote(deck_name),
         str_list(params),
         points,
         str_list(artifacts),

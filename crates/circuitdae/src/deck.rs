@@ -272,6 +272,70 @@ impl AnalysisSpec {
             AnalysisSpec::Wampde(s) => s.rtol = rtol,
         }
     }
+
+    /// Stable, exhaustive serialisation of the *resolved* analysis for
+    /// content-hashing (the sweep service's cache keys). Every field of
+    /// the spec appears — including options merged in from `.options`
+    /// lines or CLI overrides — with floats rendered as the hex of
+    /// their IEEE-754 bit pattern, so two specs fingerprint equal iff
+    /// they run identically.
+    pub fn fingerprint(&self) -> String {
+        let b = |v: f64| format!("{:016x}", v.to_bits());
+        match self {
+            AnalysisSpec::Tran(s) => format!(
+                "tran t_stop={} dt={} rtol={} atol={} dt_min={} dt_max={} \
+                 integrator={} solver={}",
+                b(s.t_stop),
+                b(s.dt),
+                b(s.rtol),
+                b(s.atol),
+                b(s.dt_min),
+                b(s.dt_max),
+                s.integrator.label(),
+                s.solver.fingerprint(),
+            ),
+            AnalysisSpec::Shooting(s) => format!(
+                "shooting steps={} phase_var={} solver={}",
+                s.steps_per_period,
+                s.phase_var,
+                s.solver.fingerprint(),
+            ),
+            AnalysisSpec::Mpde(s) => format!(
+                "mpde f1={} t_stop={} harmonics={} node={} amp={} depth={} \
+                 fmod={} dt={} rtol={} atol={} dt_min={} dt_max={} \
+                 integrator={} solver={}",
+                b(s.f1_hz),
+                b(s.t_stop),
+                s.harmonics,
+                s.node,
+                b(s.amplitude),
+                b(s.mod_depth),
+                b(s.mod_freq_hz),
+                b(s.dt),
+                b(s.rtol),
+                b(s.atol),
+                b(s.dt_min),
+                b(s.dt_max),
+                s.integrator.label(),
+                s.solver.fingerprint(),
+            ),
+            AnalysisSpec::Wampde(s) => format!(
+                "wampde t_stop={} harmonics={} phase_var={} steps={} dt={} \
+                 rtol={} atol={} dt_min={} dt_max={} integrator={} solver={}",
+                b(s.t_stop),
+                s.harmonics,
+                s.phase_var,
+                s.shooting_steps,
+                b(s.dt),
+                b(s.rtol),
+                b(s.atol),
+                b(s.dt_min),
+                b(s.dt_max),
+                s.integrator.label(),
+                s.solver.fingerprint(),
+            ),
+        }
+    }
 }
 
 /// `.sweep <param> <from> <to> <points> [log]` — one swept parameter.
@@ -340,6 +404,22 @@ impl Deck {
     /// Device card names, uppercase, in deck order.
     pub fn device_names(&self) -> &[String] {
         &self.names
+    }
+
+    /// Stable serialisation of everything a sweep job's circuit depends
+    /// on: the device cards (with every parameter) and the sweep
+    /// directives (which decide what the grid-point values bind to).
+    /// Analysis directives are *not* included — each job hashes its own
+    /// resolved [`AnalysisSpec::fingerprint`] separately, so editing one
+    /// directive does not invalidate cached results of the others.
+    ///
+    /// The rendering leans on `Debug` formatting, whose shortest
+    /// round-trip float output is exact: two decks fingerprint equal iff
+    /// their circuits and sweep bindings are identical. Cache keys also
+    /// mix in a code-version salt, so a formatting change across
+    /// toolchains can only cause cache misses, never false hits.
+    pub fn fingerprint(&self) -> String {
+        format!("{:?}|{:?}|{:?}", self.circuit, self.names, self.sweeps)
     }
 
     /// Builds the circuit with no overrides applied.
@@ -417,6 +497,59 @@ mod tests {
         assert!((v[1] - 10.0).abs() < 1e-12, "{v:?}");
         sw.points = 1;
         assert_eq!(sw.values(), vec![1.0]);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive() {
+        let a = AnalysisSpec::Tran(TranSpec::new(1e-3));
+        let b = AnalysisSpec::Tran(TranSpec::new(1e-3));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // Every option perturbation must change the fingerprint.
+        let mut c = TranSpec::new(1e-3);
+        c.rtol = 2e-6;
+        assert_ne!(a.fingerprint(), AnalysisSpec::Tran(c).fingerprint());
+        let mut d = TranSpec::new(1e-3);
+        d.solver = LinearSolverKind::SparseLu;
+        assert_ne!(a.fingerprint(), AnalysisSpec::Tran(d).fingerprint());
+        let mut e = TranSpec::new(1e-3);
+        e.integrator = Scheme::BackwardEuler;
+        assert_ne!(a.fingerprint(), AnalysisSpec::Tran(e).fingerprint());
+
+        // GMRES parameters are part of the solver fingerprint.
+        let mut f = TranSpec::new(1e-3);
+        f.solver = LinearSolverKind::gmres_default();
+        let mut g = TranSpec::new(1e-3);
+        g.solver = LinearSolverKind::GmresIlu0 {
+            restart: 30,
+            max_iters: 1000,
+            rtol: 1e-10,
+        };
+        assert_ne!(
+            AnalysisSpec::Tran(f).fingerprint(),
+            AnalysisSpec::Tran(g).fingerprint()
+        );
+    }
+
+    #[test]
+    fn deck_fingerprint_tracks_circuit_and_sweeps() {
+        let base = "V1 in 0 DC(5)\nR1 in out 1k\nC1 out 0 1u\n.tran 1m\n";
+        let d1 = crate::parse_deck(base).unwrap();
+        let d2 = crate::parse_deck(base).unwrap();
+        assert_eq!(d1.fingerprint(), d2.fingerprint());
+
+        // A different device value changes it.
+        let d3 = crate::parse_deck("V1 in 0 DC(5)\nR1 in out 2k\nC1 out 0 1u\n.tran 1m\n").unwrap();
+        assert_ne!(d1.fingerprint(), d3.fingerprint());
+
+        // A different sweep binding changes it even at equal values.
+        let s1 = crate::parse_deck(&format!("{base}.sweep R1 1k 3k 3\n")).unwrap();
+        let s2 = crate::parse_deck(&format!("{base}.sweep C1 1k 3k 3\n")).unwrap();
+        assert_ne!(s1.fingerprint(), s2.fingerprint());
+
+        // Analysis directives are intentionally excluded.
+        let a1 = crate::parse_deck(&format!("{base}.tran 2m\n")).unwrap();
+        assert_eq!(d1.fingerprint(), a1.fingerprint());
     }
 
     #[test]

@@ -24,6 +24,31 @@
 //! For GMRES, structurally zero diagonal entries (bordered corners, phase
 //! rows) are regularised *in the ILU(0) preconditioner only*; the true
 //! operator is never modified.
+//!
+//! # Example
+//!
+//! Factor a triplet-assembled matrix with the backend of your choice and
+//! back-substitute — the same two calls work for `Dense`, `SparseLu`, and
+//! `GmresIlu0`:
+//!
+//! ```
+//! use linsolve::{FactoredJacobian, LinearSolverKind, NewtonMatrix};
+//! use sparsekit::Triplets;
+//!
+//! # fn main() -> Result<(), linsolve::LinSolveError> {
+//! // [[4, 1], [0, 2]] · x = [10, 4] has the solution x = (2, 2).
+//! let mut t = Triplets::new(2, 2);
+//! t.push(0, 0, 4.0);
+//! t.push(0, 1, 1.0);
+//! t.push(1, 1, 2.0);
+//! let matrix = NewtonMatrix::Triplets(&t);
+//! let lu = FactoredJacobian::factor_matrix(&matrix, LinearSolverKind::SparseLu)?;
+//! let mut x = vec![10.0, 4.0];
+//! lu.solve_in_place(&mut x)?;
+//! assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
 
 use numkit::{DMat, DenseLu};
 use sparsekit::{gmres, Csr, CsrOp, GmresOptions, Ilu0, SparseLu, Triplets};
@@ -102,6 +127,25 @@ impl LinearSolverKind {
             LinearSolverKind::Dense => "dense",
             LinearSolverKind::SparseLu => "sparselu",
             LinearSolverKind::GmresIlu0 { .. } => "gmres",
+        }
+    }
+
+    /// Exhaustive, bit-exact serialisation of the backend choice, used
+    /// by the sweep service's content-hashed cache keys. Numeric fields
+    /// are rendered as the hex of their IEEE-754 bit pattern, so two
+    /// kinds fingerprint equal iff they solve identically.
+    pub fn fingerprint(&self) -> String {
+        match self {
+            LinearSolverKind::Dense => "dense".into(),
+            LinearSolverKind::SparseLu => "sparselu".into(),
+            LinearSolverKind::GmresIlu0 {
+                restart,
+                max_iters,
+                rtol,
+            } => format!(
+                "gmres(restart={restart},max_iters={max_iters},rtol={:016x})",
+                rtol.to_bits()
+            ),
         }
     }
 }

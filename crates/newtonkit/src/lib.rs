@@ -40,6 +40,38 @@
 //!   `‖r‖₂ / `[`NewtonSystem::residual_scale`]` < tol`, checked *before*
 //!   factoring (shooting's law, where each residual costs a full flow
 //!   integration and the Jacobian rides along with it).
+//!
+//! # Example
+//!
+//! Implement [`NewtonSystem`] for your residual and hand it to an engine
+//! — here `r(x) = x² − 2` from the starting guess `x = 1`:
+//!
+//! ```
+//! use newtonkit::{NewtonEngine, NewtonPolicy, NewtonSystem};
+//! use numkit::DMat;
+//!
+//! struct Sqrt2;
+//!
+//! impl NewtonSystem for Sqrt2 {
+//!     fn dim(&self) -> usize {
+//!         1
+//!     }
+//!     fn residual(&self, x: &[f64], out: &mut [f64]) {
+//!         out[0] = x[0] * x[0] - 2.0;
+//!     }
+//!     fn jacobian(&self, x: &[f64], out: &mut DMat) {
+//!         out[(0, 0)] = 2.0 * x[0];
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), newtonkit::NewtonError> {
+//! let mut x = vec![1.0];
+//! let stats = NewtonEngine::new().solve(&Sqrt2, &mut x, &NewtonPolicy::default())?;
+//! assert!((x[0] - 2.0_f64.sqrt()).abs() < 1e-10);
+//! assert!(stats.iterations > 0);
+//! # Ok(())
+//! # }
+//! ```
 
 use linsolve::{FactorCache, FactorStats, LinearSolverKind, NewtonMatrix};
 use numkit::vecops::{norm2, wrms_norm};

@@ -1,0 +1,299 @@
+//! Content-hashed, persistent on-disk result cache for sweep jobs.
+//!
+//! Every (deck, grid-point, analysis) job is identified by a 128-bit
+//! content hash over four ingredients ([`job_hash`]):
+//!
+//! 1. the deck fingerprint ([`circuitdae::Deck::fingerprint`] — device
+//!    cards and sweep bindings),
+//! 2. the grid-point values (raw IEEE-754 bits),
+//! 3. the resolved analysis spec
+//!    ([`circuitdae::AnalysisSpec::fingerprint`] — every option,
+//!    including `.options`/CLI overrides), and
+//! 4. a code-version salt ([`CACHE_SALT`]) so results computed by an
+//!    older solver build are recomputed, never trusted.
+//!
+//! [`ResultCache`] keeps one file per job (`<hash>.sweepres`) in a flat
+//! directory. Writes are write-then-rename, so a killed sweep can never
+//! leave a readable-but-wrong entry: a torn temporary file is simply an
+//! unreadable name the next run ignores. Reads treat *any* malformed
+//! file as a miss and recompute — the cache can only change how fast an
+//! answer arrives, never which answer.
+//!
+//! The stored [`ScenarioResult`] round-trips bit-exactly: floats are
+//! serialised as the hex of their bit patterns, which is what makes the
+//! determinism invariant (cold run bytes == warm run bytes) testable at
+//! all.
+
+use crate::analysis::ScenarioResult;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Code-version salt mixed into every job hash. Bump the format suffix
+/// whenever the cache file layout or any solver numeric behaviour
+/// changes in a way the spec fingerprints cannot see.
+pub const CACHE_SALT: &str = concat!("sweepkit-", env!("CARGO_PKG_VERSION"), "-fmt1");
+
+/// FNV-1a, 128-bit: tiny, dependency-free, and plenty for cache keys
+/// (collision odds are negligible below ~2^60 distinct jobs).
+fn fnv1a128(chunks: &[&[u8]]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= u128::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        // Explicit chunk separator so ("ab", "c") != ("a", "bc").
+        h ^= 0xff;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Content hash of one sweep job, as 32 lowercase hex characters.
+///
+/// `deck_fingerprint` and `spec_fingerprint` are the stable
+/// serialisations from `circuitdae`; `values` are this grid point's
+/// swept parameter values (hashed as raw bits, so `0.1 + 0.2` and
+/// `0.3` are — correctly — different jobs).
+pub fn job_hash(deck_fingerprint: &str, values: &[f64], spec_fingerprint: &str) -> String {
+    let mut value_bits = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        value_bits.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    let h = fnv1a128(&[
+        CACHE_SALT.as_bytes(),
+        deck_fingerprint.as_bytes(),
+        &value_bits,
+        spec_fingerprint.as_bytes(),
+    ]);
+    format!("{h:032x}")
+}
+
+/// A flat-directory result cache, one file per job hash.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (and creates, if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path of one job's entry.
+    pub fn entry_path(&self, hash: &str) -> PathBuf {
+        self.dir.join(format!("{hash}.sweepres"))
+    }
+
+    /// Loads a cached result, or `None` on a miss. A malformed or torn
+    /// file is a miss (the job is recomputed and the entry rewritten),
+    /// never an error.
+    pub fn load(&self, hash: &str) -> Option<ScenarioResult> {
+        let text = fs::read_to_string(self.entry_path(hash)).ok()?;
+        parse_result(&text)
+    }
+
+    /// Stores one job's result atomically: the serialisation is written
+    /// to a process-unique temporary name in the same directory, then
+    /// renamed over the final entry, so concurrent or interrupted
+    /// writers can never produce a readable half-entry.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure writing or renaming the entry.
+    pub fn store(&self, hash: &str, result: &ScenarioResult) -> io::Result<()> {
+        let final_path = self.entry_path(hash);
+        let tmp_path = self.dir.join(format!("{hash}.tmp.{}", std::process::id()));
+        fs::write(&tmp_path, render_result(result))?;
+        match fs::rename(&tmp_path, &final_path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp_path);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Maps a stored analysis keyword back to the `'static` labels
+/// [`ScenarioResult`] carries.
+pub(crate) fn static_analysis(name: &str) -> Option<&'static str> {
+    match name {
+        "tran" => Some("tran"),
+        "shooting" => Some("shooting"),
+        "mpde" => Some("mpde"),
+        "wampde" => Some("wampde"),
+        _ => None,
+    }
+}
+
+/// Serialises a result bit-exactly. Line-oriented, versioned, with a
+/// trailing `end` marker so truncation is detectable.
+fn render_result(r: &ScenarioResult) -> String {
+    let ncols = r.rows.first().map_or(0, Vec::len);
+    let mut s = String::new();
+    s.push_str("sweepres 1\n");
+    s.push_str(&format!("analysis {}\n", r.analysis));
+    s.push_str(&format!("columns {}\n", r.columns.len()));
+    for c in &r.columns {
+        s.push_str(c);
+        s.push('\n');
+    }
+    s.push_str(&format!("metrics {}\n", r.metrics.len()));
+    for (name, v) in &r.metrics {
+        s.push_str(&format!("{name} {:016x}\n", v.to_bits()));
+    }
+    s.push_str(&format!("rows {} {}\n", r.rows.len(), ncols));
+    for row in &r.rows {
+        let words: Vec<String> = row
+            .iter()
+            .map(|v| format!("{:016x}", v.to_bits()))
+            .collect();
+        s.push_str(&words.join(" "));
+        s.push('\n');
+    }
+    s.push_str("end\n");
+    s
+}
+
+fn parse_bits(word: &str) -> Option<f64> {
+    u64::from_str_radix(word, 16).ok().map(f64::from_bits)
+}
+
+/// Strict inverse of [`render_result`]; any deviation returns `None`.
+fn parse_result(text: &str) -> Option<ScenarioResult> {
+    let mut lines = text.lines();
+    if lines.next()? != "sweepres 1" {
+        return None;
+    }
+    let analysis = static_analysis(lines.next()?.strip_prefix("analysis ")?)?;
+
+    let ncolumns: usize = lines.next()?.strip_prefix("columns ")?.parse().ok()?;
+    let mut columns = Vec::with_capacity(ncolumns);
+    for _ in 0..ncolumns {
+        columns.push(lines.next()?.to_string());
+    }
+
+    let nmetrics: usize = lines.next()?.strip_prefix("metrics ")?.parse().ok()?;
+    let mut metrics = Vec::with_capacity(nmetrics);
+    for _ in 0..nmetrics {
+        let line = lines.next()?;
+        let (name, bits) = line.rsplit_once(' ')?;
+        metrics.push((name.to_string(), parse_bits(bits)?));
+    }
+
+    let shape = lines.next()?.strip_prefix("rows ")?;
+    let (nrows, ncols) = shape.split_once(' ')?;
+    let nrows: usize = nrows.parse().ok()?;
+    let ncols: usize = ncols.parse().ok()?;
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let line = lines.next()?;
+        let row: Option<Vec<f64>> = line.split(' ').map(parse_bits).collect();
+        let row = row?;
+        if row.len() != ncols {
+            return None;
+        }
+        rows.push(row);
+    }
+
+    if lines.next()? != "end" || lines.next().is_some() {
+        return None;
+    }
+    Some(ScenarioResult {
+        analysis,
+        columns,
+        rows,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static N: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "sweepkit-cache-test-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample_result() -> ScenarioResult {
+        ScenarioResult {
+            analysis: "wampde",
+            columns: vec!["t2".into(), "amp(v(out))".into()],
+            rows: vec![vec![0.0, 0.1 + 0.2], vec![1e-6, -3.5e10]],
+            metrics: vec![("steps".into(), 131.0), ("omega_min_hz".into(), 7.5e5)],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let r = sample_result();
+        let back = parse_result(&render_result(&r)).unwrap();
+        assert_eq!(r, back);
+        // PartialEq on f64 misses -0.0 vs 0.0 and NaN subtleties; check
+        // actual bits too.
+        for (a, b) in r.rows.iter().flatten().zip(back.rows.iter().flatten()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_or_corrupt_entries_are_misses() {
+        let full = render_result(&sample_result());
+        for cut in [0, 10, full.len() / 2, full.len() - 2] {
+            assert!(parse_result(&full[..cut]).is_none(), "cut at {cut}");
+        }
+        assert!(parse_result(&full.replace("wampde", "bogus")).is_none());
+        assert!(parse_result(&(full.clone() + "trailing\n")).is_none());
+    }
+
+    #[test]
+    fn store_load_and_miss() {
+        let dir = unique_dir("store");
+        let cache = ResultCache::open(&dir).unwrap();
+        let r = sample_result();
+        let h = job_hash("deck", &[1.5], "wampde t_stop=...");
+        assert!(cache.load(&h).is_none());
+        cache.store(&h, &r).unwrap();
+        assert_eq!(cache.load(&h).unwrap(), r);
+        // A torn (garbage) entry reads as a miss, not an error.
+        fs::write(cache.entry_path(&h), "sweepres 1\nanalysis wam").unwrap();
+        assert!(cache.load(&h).is_none());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn job_hash_sensitivity() {
+        let h = job_hash("deck", &[1.5], "spec");
+        assert_eq!(h.len(), 32);
+        assert_eq!(h, job_hash("deck", &[1.5], "spec"));
+        assert_ne!(h, job_hash("deck2", &[1.5], "spec"));
+        assert_ne!(h, job_hash("deck", &[1.5000000001], "spec"));
+        assert_ne!(h, job_hash("deck", &[1.5, 2.0], "spec"));
+        assert_ne!(h, job_hash("deck", &[1.5], "spec2"));
+        // Chunk boundaries matter: moving a byte across the separator
+        // must change the hash.
+        assert_ne!(job_hash("ab", &[], "c"), job_hash("a", &[], "bc"));
+    }
+}

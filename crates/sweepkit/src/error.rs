@@ -29,6 +29,8 @@ pub enum SweepError {
     },
     /// Invalid configuration.
     BadInput(String),
+    /// An I/O failure on a result stream, cache, or shard artifact.
+    Io(String),
 }
 
 impl fmt::Display for SweepError {
@@ -45,6 +47,7 @@ impl fmt::Display for SweepError {
                 cause,
             } => write!(f, "sweep point {point}, analysis {analysis}: {cause}"),
             SweepError::BadInput(msg) => write!(f, "bad input: {msg}"),
+            SweepError::Io(msg) => write!(f, "i/o: {msg}"),
         }
     }
 }
@@ -58,7 +61,7 @@ impl std::error::Error for SweepError {
             SweepError::Mpde(e) => Some(e),
             SweepError::Wampde(e) => Some(e),
             SweepError::Job { cause, .. } => Some(cause),
-            SweepError::BadInput(_) => None,
+            SweepError::BadInput(_) | SweepError::Io(_) => None,
         }
     }
 }

@@ -7,11 +7,27 @@
 //! channels, and results are slotted back by job index, so the aggregated
 //! output is **identical for any worker count** — `--jobs 1` and
 //! `--jobs 8` produce byte-identical artifacts.
+//!
+//! [`run_deck_with`] adds the sweep-service layers on top of the pool —
+//! all three preserve that byte-identity:
+//!
+//! * an optional content-hashed [`ResultCache`], so repeated or
+//!   interrupted sweeps recompute only missing jobs (cold and warm runs
+//!   produce the same bytes, warm runs just produce them faster);
+//! * deterministic sharding (`job % shards == shard_index`), so a grid
+//!   splits over independent processes with no coordination;
+//! * an optional JSON-lines sink receiving one [`JobRecord`] per
+//!   completed job in completion order, making long sweeps observable
+//!   in flight without perturbing the index-ordered aggregate.
 
 use crate::analysis::{analysis_for, Analysis, ScenarioResult};
+use crate::cache::{job_hash, ResultCache};
 use crate::error::SweepError;
 use crate::grid::expand_grid;
+use crate::shard::shard_owns;
+use crate::stream::{render_record, JobRecord};
 use circuitdae::Deck;
+use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
@@ -100,6 +116,43 @@ impl SweepOutcome {
     }
 }
 
+/// Configuration for [`run_deck_with`]: worker count, shard layout, and
+/// the optional on-disk result cache.
+#[derive(Debug, Default)]
+pub struct SweepConfig {
+    /// Worker thread count (clamped to `[1, job count]`; 0 means 1).
+    pub jobs: usize,
+    /// Total shard count of the layout (0 or 1 means unsharded).
+    pub shards: usize,
+    /// This process's shard index in `0..shards`.
+    pub shard_index: usize,
+    /// Content-hashed result cache; `None` recomputes everything.
+    pub cache: Option<ResultCache>,
+}
+
+/// Observability counters for one sweep run. Cache hits change these,
+/// never the [`SweepOutcome`] itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Job count of the whole sweep (all shards).
+    pub jobs_total: usize,
+    /// Jobs owned by this shard.
+    pub jobs_here: usize,
+    /// Jobs answered from the cache.
+    pub cache_hits: usize,
+    /// Jobs actually computed by a solver.
+    pub executed: usize,
+}
+
+/// A completed sweep: the deterministic outcome plus run counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRun {
+    /// The index-ordered, worker-count-independent result.
+    pub outcome: SweepOutcome,
+    /// How the work was served (cache hits vs. solver runs).
+    pub stats: SweepStats,
+}
+
 /// Expands a deck's sweep grid and runs every (point × analysis) job on a
 /// pool of `jobs` worker threads (clamped to `[1, job count]`).
 ///
@@ -109,16 +162,67 @@ impl SweepOutcome {
 /// queued jobs above the failure are skipped rather than run to
 /// completion.
 ///
+/// Equivalent to [`run_deck_with`] with no cache, no sharding, and no
+/// stream sink.
+///
 /// # Errors
 ///
 /// [`SweepError::BadInput`] for a deck without analyses, otherwise the
 /// first failing job's error wrapped in [`SweepError::Job`].
 pub fn run_deck(deck: &Deck, jobs: usize) -> Result<SweepOutcome, SweepError> {
+    run_deck_with(
+        deck,
+        &SweepConfig {
+            jobs,
+            ..SweepConfig::default()
+        },
+        None,
+    )
+    .map(|run| run.outcome)
+}
+
+/// The full sweep-service entry point: worker pool plus content-hashed
+/// caching, deterministic sharding, and JSON-lines streaming.
+///
+/// With a [`SweepConfig::cache`], each job's content hash (deck
+/// fingerprint, grid-point values, analysis-spec fingerprint,
+/// code-version salt) is looked up before running a solver; hits are
+/// returned as-is and misses are computed and stored atomically, so an
+/// interrupted or repeated sweep recomputes only what is missing. With
+/// `shards > 1`, only jobs with `id % shards == shard_index` run and
+/// the outcome contains exactly those runs (feed the shard outputs to
+/// [`crate::shard::merge_shards`]). With a `sink`, one JSON line per
+/// completed job ([`JobRecord`]) is written in completion order —
+/// nondeterministic on the wire, while the returned outcome stays
+/// index-ordered.
+///
+/// None of the three layers changes a single result bit: outputs are
+/// identical for any worker count, any shard layout (after merge), and
+/// cold vs. warm cache.
+///
+/// # Errors
+///
+/// [`SweepError::BadInput`] for a deck without analyses or an invalid
+/// shard layout, [`SweepError::Io`] if the sink rejects a write,
+/// otherwise the lowest-indexed failing job's error wrapped in
+/// [`SweepError::Job`]. Failed jobs are never cached.
+pub fn run_deck_with(
+    deck: &Deck,
+    config: &SweepConfig,
+    mut sink: Option<&mut dyn io::Write>,
+) -> Result<SweepRun, SweepError> {
     let analyses: Vec<Box<dyn Analysis>> = deck.analyses.iter().map(analysis_for).collect();
     if analyses.is_empty() {
         return Err(SweepError::BadInput(
             "deck has no analysis directive (.tran/.shooting/.mpde/.wampde)".into(),
         ));
+    }
+    let shards = config.shards.max(1);
+    if config.shard_index >= shards {
+        return Err(SweepError::BadInput(format!(
+            "shard index {} out of range for {} shards",
+            config.shard_index, shards
+        )));
     }
     let analysis_labels: Vec<String> = analyses
         .iter()
@@ -127,20 +231,34 @@ pub fn run_deck(deck: &Deck, jobs: usize) -> Result<SweepOutcome, SweepError> {
         .collect();
     let grid = expand_grid(&deck.sweeps);
     let n_jobs = grid.len() * analyses.len();
-    let workers = jobs.max(1).min(n_jobs);
+    let owned: Vec<usize> = (0..n_jobs)
+        .filter(|&id| shard_owns(id, shards, config.shard_index))
+        .collect();
+    let workers = config.jobs.max(1).min(owned.len().max(1));
+
+    // The hash inputs are computed once; workers only concatenate.
+    let deck_fp = deck.fingerprint();
+    let spec_fps: Vec<String> = deck.analyses.iter().map(|a| a.fingerprint()).collect();
 
     // Job dispatch and result return both ride std channels; the single
     // consumed receiver is shared behind a mutex (std-only work queue).
     let (job_tx, job_rx) = mpsc::channel::<usize>();
-    for id in 0..n_jobs {
+    for &id in &owned {
         job_tx.send(id).expect("queue jobs");
     }
     drop(job_tx);
     let job_rx = Mutex::new(job_rx);
-    let (res_tx, res_rx) = mpsc::channel::<(usize, Result<ScenarioResult, SweepError>)>();
+    type JobOutcome = Result<(ScenarioResult, bool), SweepError>;
+    let (res_tx, res_rx) = mpsc::channel::<(usize, JobOutcome)>();
 
     let mut slots: Vec<Option<ScenarioResult>> = vec![None; n_jobs];
     let mut first_failure: Option<(usize, SweepError)> = None;
+    let mut stats = SweepStats {
+        jobs_total: n_jobs,
+        jobs_here: owned.len(),
+        ..SweepStats::default()
+    };
+    let mut sink_error: Option<io::Error> = None;
 
     // Lowest failing job index seen so far; jobs above it are skipped so
     // a failing grid does not burn the whole remaining budget. Jobs
@@ -155,6 +273,9 @@ pub fn run_deck(deck: &Deck, jobs: usize) -> Result<SweepOutcome, SweepError> {
             let grid = &grid;
             let analyses = &analyses;
             let cancel_above = &cancel_above;
+            let cache = config.cache.as_ref();
+            let deck_fp = &deck_fp;
+            let spec_fps = &spec_fps;
             scope.spawn(move || loop {
                 let id = match job_rx.lock().expect("job queue lock").recv() {
                     Ok(id) => id,
@@ -165,9 +286,22 @@ pub fn run_deck(deck: &Deck, jobs: usize) -> Result<SweepOutcome, SweepError> {
                 }
                 let point = id / analyses.len();
                 let a = id % analyses.len();
-                let run_one = || -> Result<ScenarioResult, SweepError> {
+                let run_one = || -> JobOutcome {
+                    let hash = cache.map(|_| job_hash(deck_fp, &grid[point], &spec_fps[a]));
+                    if let (Some(cache), Some(hash)) = (cache, hash.as_ref()) {
+                        if let Some(result) = cache.load(hash) {
+                            return Ok((result, true));
+                        }
+                    }
                     let dae = deck.instantiate(&grid[point])?;
-                    analyses[a].run(&dae)
+                    let result = analyses[a].run(&dae)?;
+                    if let (Some(cache), Some(hash)) = (cache, hash.as_ref()) {
+                        // Best-effort: a read-only or full cache
+                        // directory slows future runs, it must not fail
+                        // this one.
+                        let _ = cache.store(hash, &result);
+                    }
+                    Ok((result, false))
                 };
                 if res_tx.send((id, run_one())).is_err() {
                     break; // main thread gave up
@@ -177,7 +311,32 @@ pub fn run_deck(deck: &Deck, jobs: usize) -> Result<SweepOutcome, SweepError> {
         drop(res_tx);
         for (id, res) in res_rx {
             match res {
-                Ok(result) => slots[id] = Some(result),
+                Ok((result, cached)) => {
+                    if cached {
+                        stats.cache_hits += 1;
+                    } else {
+                        stats.executed += 1;
+                    }
+                    if let Some(sink) = sink.as_deref_mut() {
+                        if sink_error.is_none() {
+                            let point = id / analyses.len();
+                            let a = id % analyses.len();
+                            let rec = JobRecord {
+                                job: id,
+                                point,
+                                analysis_index: a,
+                                analysis: analysis_labels[a].clone(),
+                                cached,
+                                values: grid[point].clone(),
+                                result: result.clone(),
+                            };
+                            if let Err(e) = writeln!(sink, "{}", render_record(&rec)) {
+                                sink_error = Some(e);
+                            }
+                        }
+                    }
+                    slots[id] = Some(result);
+                }
                 Err(e) => {
                     cancel_above.fetch_min(id, Ordering::Relaxed);
                     // Keep the lowest-indexed failure so the reported
@@ -197,11 +356,13 @@ pub fn run_deck(deck: &Deck, jobs: usize) -> Result<SweepOutcome, SweepError> {
             cause: Box::new(cause),
         });
     }
+    if let Some(e) = sink_error {
+        return Err(SweepError::Io(format!("result stream: {e}")));
+    }
 
-    let runs = slots
-        .into_iter()
-        .enumerate()
-        .map(|(id, slot)| {
+    let runs = owned
+        .iter()
+        .map(|&id| {
             let point = id / analyses.len();
             let a = id % analyses.len();
             RunRecord {
@@ -209,16 +370,19 @@ pub fn run_deck(deck: &Deck, jobs: usize) -> Result<SweepOutcome, SweepError> {
                 values: grid[point].clone(),
                 analysis_index: a,
                 analysis: analysis_labels[a].clone(),
-                result: slot.expect("every job completed"),
+                result: slots[id].take().expect("every owned job completed"),
             }
         })
         .collect();
 
-    Ok(SweepOutcome {
-        param_labels: deck.sweeps.iter().map(|s| s.label()).collect(),
-        grid,
-        analysis_labels,
-        runs,
+    Ok(SweepRun {
+        outcome: SweepOutcome {
+            param_labels: deck.sweeps.iter().map(|s| s.label()).collect(),
+            grid,
+            analysis_labels,
+            runs,
+        },
+        stats,
     })
 }
 
@@ -328,6 +492,99 @@ mod tests {
     fn no_analysis_is_rejected() {
         let deck = parse_deck("R1 a 0 1k\nC1 a 0 1n\n").unwrap();
         assert!(matches!(run_deck(&deck, 1), Err(SweepError::BadInput(_))));
+    }
+
+    #[test]
+    fn warm_cache_returns_identical_outcome() {
+        let deck = parse_deck(RC_DECK).unwrap();
+        let dir = std::env::temp_dir().join(format!("sweepkit-exec-warm-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = SweepConfig {
+            jobs: 2,
+            cache: Some(ResultCache::open(&dir).unwrap()),
+            ..SweepConfig::default()
+        };
+        let cold = run_deck_with(&deck, &config, None).unwrap();
+        assert_eq!(cold.stats.executed, 3);
+        assert_eq!(cold.stats.cache_hits, 0);
+        let warm = run_deck_with(&deck, &config, None).unwrap();
+        assert_eq!(warm.stats.executed, 0);
+        assert_eq!(warm.stats.cache_hits, 3);
+        assert_eq!(cold.outcome, warm.outcome);
+        // And both equal the cache-free path.
+        assert_eq!(cold.outcome, run_deck(&deck, 1).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shards_partition_the_grid_and_merge_back() {
+        let deck = parse_deck(RC_DECK).unwrap();
+        let full = run_deck(&deck, 2).unwrap();
+        let mut shard_runs = Vec::new();
+        for k in 0..2 {
+            let config = SweepConfig {
+                jobs: 2,
+                shards: 2,
+                shard_index: k,
+                cache: None,
+            };
+            let run = run_deck_with(&deck, &config, None).unwrap();
+            assert_eq!(run.stats.jobs_total, 3);
+            shard_runs.push(run.outcome);
+        }
+        assert_eq!(shard_runs[0].runs.len(), 2); // jobs 0, 2
+        assert_eq!(shard_runs[1].runs.len(), 1); // job 1
+        let mut merged: Vec<&RunRecord> = shard_runs.iter().flat_map(|o| o.runs.iter()).collect();
+        merged.sort_by_key(|r| r.point * full.analysis_labels.len() + r.analysis_index);
+        assert_eq!(merged.len(), full.runs.len());
+        for (a, b) in merged.iter().zip(full.runs.iter()) {
+            assert_eq!(**a, *b);
+        }
+    }
+
+    #[test]
+    fn sink_streams_one_parseable_line_per_job() {
+        let deck = parse_deck(RC_DECK).unwrap();
+        let mut buf = Vec::new();
+        let run = run_deck_with(
+            &deck,
+            &SweepConfig {
+                jobs: 2,
+                ..SweepConfig::default()
+            },
+            Some(&mut buf),
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut records: Vec<crate::stream::JobRecord> = text
+            .lines()
+            .map(|l| crate::stream::parse_record(l).unwrap())
+            .collect();
+        assert_eq!(records.len(), 3);
+        // Wire order is completion order; index order must reconstruct
+        // the outcome exactly.
+        records.sort_by_key(|r| r.job);
+        for (rec, run) in records.iter().zip(run.outcome.runs.iter()) {
+            assert_eq!(rec.point, run.point);
+            assert_eq!(rec.analysis, run.analysis);
+            assert!(!rec.cached);
+            assert_eq!(rec.result, run.result);
+        }
+    }
+
+    #[test]
+    fn bad_shard_layout_is_rejected() {
+        let deck = parse_deck(RC_DECK).unwrap();
+        let config = SweepConfig {
+            jobs: 1,
+            shards: 2,
+            shard_index: 2,
+            cache: None,
+        };
+        assert!(matches!(
+            run_deck_with(&deck, &config, None),
+            Err(SweepError::BadInput(_))
+        ));
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //!   becomes a job on a std-only worker pool (`std::thread` + mpsc
 //!   channels), with results aggregated in job-index order so the outcome
 //!   is **byte-identical for any `--jobs` count**;
+//! * [`run_deck_with`] — the sweep *service* layer on top: a
+//!   content-hashed on-disk [`ResultCache`] (interrupted or repeated
+//!   sweeps recompute only missing jobs), deterministic sharding
+//!   (`job % shards == shard_index`, reassembled by [`merge_shards`]),
+//!   and JSON-lines streaming of per-job results — none of which
+//!   changes a single output bit;
 //! * [`SweepError`] — one error type the whole stack converts into, so
 //!   deck-driven code composes with `?`.
 //!
@@ -42,11 +48,22 @@
 //! ```
 
 pub mod analysis;
+pub mod cache;
 pub mod error;
 pub mod executor;
 pub mod grid;
+pub mod shard;
+pub mod stream;
 
 pub use analysis::{analysis_for, Analysis, ScenarioResult};
+pub use cache::{job_hash, ResultCache, CACHE_SALT};
 pub use error::SweepError;
-pub use executor::{run_deck, RunRecord, SweepOutcome};
+pub use executor::{
+    run_deck, run_deck_with, RunRecord, SweepConfig, SweepOutcome, SweepRun, SweepStats,
+};
 pub use grid::expand_grid;
+pub use shard::{
+    deck_hash, merge_shards, parse_shard_manifest, render_shard_manifest, shard_owns,
+    ShardManifest, SHARD_MANIFEST_FORMAT,
+};
+pub use stream::{parse_json, parse_record, render_record, JobRecord, Json};

@@ -1,0 +1,400 @@
+//! Deterministic grid sharding and shard-merge.
+//!
+//! A sweep's job grid can be split across `M` independent processes (or
+//! machines): shard `k` of `M` runs exactly the jobs with
+//! `job_id % M == k` ([`shard_owns`]) — a static, deterministic
+//! assignment that needs no coordination. Each shard writes its results
+//! as JSON-lines ([`crate::stream`]) plus a [`ShardManifest`] describing
+//! the deck, the layout, and the exact grid. [`merge_shards`] then
+//! reassembles the full, index-ordered [`SweepOutcome`] from any
+//! complete set of shards — 1-shard and 4-shard layouts produce
+//! byte-identical aggregates, because floats ride the wire exactly and
+//! ordering is by job id, never by arrival.
+
+use crate::cache::job_hash;
+use crate::error::SweepError;
+use crate::executor::{RunRecord, SweepOutcome};
+use crate::stream::{parse_json, JobRecord, Json};
+use circuitdae::Deck;
+
+/// Shard-manifest format version (bump on schema change).
+pub const SHARD_MANIFEST_FORMAT: u32 = 1;
+
+/// Does shard `shard_index` of `shards` own job `job`?
+pub fn shard_owns(job: usize, shards: usize, shard_index: usize) -> bool {
+    job % shards.max(1) == shard_index
+}
+
+/// A stable identity for "the same sweep": circuit cards, sweep
+/// bindings, every analysis option, and the code-version salt. Two
+/// shards merge only if their deck hashes agree.
+pub fn deck_hash(deck: &Deck) -> String {
+    let specs: Vec<String> = deck.analyses.iter().map(|a| a.fingerprint()).collect();
+    job_hash(&deck.fingerprint(), &[], &specs.join(";"))
+}
+
+/// One shard's self-description, written next to its JSONL results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardManifest {
+    /// Deck path as given on the command line (informational; identity
+    /// is `deck_hash`).
+    pub deck: String,
+    /// [`deck_hash`] of the deck this shard ran.
+    pub deck_hash: String,
+    /// Total shard count of this layout.
+    pub shards: usize,
+    /// This shard's index in `0..shards`.
+    pub shard_index: usize,
+    /// Total job count of the whole sweep (all shards).
+    pub jobs_total: usize,
+    /// Labels of the swept parameters.
+    pub param_labels: Vec<String>,
+    /// Unique labels of the deck's analyses.
+    pub analysis_labels: Vec<String>,
+    /// The full expanded grid (exact values), one vector per point.
+    pub grid: Vec<Vec<f64>>,
+    /// File name of this shard's JSONL results, relative to the
+    /// manifest's own directory.
+    pub results: String,
+}
+
+impl ShardManifest {
+    /// The job ids this shard owns, ascending.
+    pub fn jobs_here(&self) -> Vec<usize> {
+        (0..self.jobs_total)
+            .filter(|&id| shard_owns(id, self.shards, self.shard_index))
+            .collect()
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn fmt_str_list(items: &[String]) -> String {
+    let words: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    words.join(", ")
+}
+
+/// Renders a shard manifest as pretty-printed JSON.
+pub fn render_shard_manifest(m: &ShardManifest) -> String {
+    let jobs_here: Vec<String> = m.jobs_here().iter().map(usize::to_string).collect();
+    let grid: Vec<String> = m
+        .grid
+        .iter()
+        .map(|p| {
+            let vals: Vec<String> = p.iter().map(|&v| fmt_f64(v)).collect();
+            format!("[{}]", vals.join(", "))
+        })
+        .collect();
+    format!(
+        "{{\n  \"format\": {format},\n  \"deck\": \"{deck}\",\n  \"deck_hash\": \"{hash}\",\n  \
+         \"shards\": {shards},\n  \"shard_index\": {index},\n  \"jobs_total\": {total},\n  \
+         \"jobs_here\": [{here}],\n  \"params\": [{params}],\n  \"analyses\": [{analyses}],\n  \
+         \"grid\": [{grid}],\n  \"results\": \"{results}\"\n}}\n",
+        format = SHARD_MANIFEST_FORMAT,
+        deck = m.deck.replace('\\', "\\\\").replace('"', "\\\""),
+        hash = m.deck_hash,
+        shards = m.shards,
+        index = m.shard_index,
+        total = m.jobs_total,
+        here = jobs_here.join(", "),
+        params = fmt_str_list(&m.param_labels),
+        analyses = fmt_str_list(&m.analysis_labels),
+        grid = grid.join(", "),
+        results = m.results.replace('\\', "\\\\").replace('"', "\\\""),
+    )
+}
+
+fn str_list(v: Option<&Json>, what: &str) -> Result<Vec<String>, String> {
+    v.and_then(Json::as_arr)
+        .ok_or(format!("missing {what}"))?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or(format!("non-string entry in {what}"))
+        })
+        .collect()
+}
+
+fn usize_field(v: Option<&Json>, what: &str) -> Result<usize, String> {
+    match v {
+        Some(Json::Num(x)) if *x >= 0.0 && x.fract() == 0.0 => Ok(*x as usize),
+        _ => Err(format!("missing or invalid {what}")),
+    }
+}
+
+/// Parses a shard manifest.
+///
+/// # Errors
+///
+/// A description of the first syntax or schema violation.
+pub fn parse_shard_manifest(text: &str) -> Result<ShardManifest, String> {
+    let v = parse_json(text)?;
+    if usize_field(v.get("format"), "format")? != SHARD_MANIFEST_FORMAT as usize {
+        return Err("unsupported shard manifest format".into());
+    }
+    let str_field = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or(format!("missing {key}"))
+    };
+    let grid = v
+        .get("grid")
+        .and_then(Json::as_arr)
+        .ok_or("missing grid")?
+        .iter()
+        .map(|p| {
+            p.as_arr()
+                .ok_or("grid point is not an array".to_string())?
+                .iter()
+                .map(|x| match x {
+                    Json::Num(f) => Ok(*f),
+                    Json::Null => Ok(f64::NAN),
+                    other => Err(format!("non-numeric grid value {other:?}")),
+                })
+                .collect::<Result<Vec<f64>, String>>()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let m = ShardManifest {
+        deck: str_field("deck")?,
+        deck_hash: str_field("deck_hash")?,
+        shards: usize_field(v.get("shards"), "shards")?,
+        shard_index: usize_field(v.get("shard_index"), "shard_index")?,
+        jobs_total: usize_field(v.get("jobs_total"), "jobs_total")?,
+        param_labels: str_list(v.get("params"), "params")?,
+        analysis_labels: str_list(v.get("analyses"), "analyses")?,
+        grid,
+        results: str_field("results")?,
+    };
+    if m.shards == 0 || m.shard_index >= m.shards {
+        return Err(format!(
+            "shard_index {} out of range for {} shards",
+            m.shard_index, m.shards
+        ));
+    }
+    Ok(m)
+}
+
+/// Merges a complete set of shards back into one index-ordered
+/// [`SweepOutcome`], validating that all shards describe the same sweep
+/// and that every job id in `0..jobs_total` arrives exactly once.
+///
+/// The shard *layouts* need not match — any combination whose records
+/// cover the grid merges, so a 1-shard run and a 4-shard run reassemble
+/// to identical outcomes.
+///
+/// # Errors
+///
+/// [`SweepError::BadInput`] on inconsistent manifests, duplicate jobs,
+/// or incomplete coverage.
+pub fn merge_shards(
+    shards: &[(ShardManifest, Vec<JobRecord>)],
+) -> Result<SweepOutcome, SweepError> {
+    let bad = |msg: String| SweepError::BadInput(format!("merge: {msg}"));
+    let (first, _) = shards
+        .first()
+        .ok_or_else(|| bad("no shards given".into()))?;
+    for (m, _) in shards {
+        if m.deck_hash != first.deck_hash {
+            return Err(bad(format!(
+                "shard '{}' ran a different deck/config (deck_hash mismatch)",
+                m.results
+            )));
+        }
+        if m.jobs_total != first.jobs_total
+            || m.param_labels != first.param_labels
+            || m.analysis_labels != first.analysis_labels
+            || m.grid.len() != first.grid.len()
+        {
+            return Err(bad(format!(
+                "shard '{}' disagrees on the sweep shape",
+                m.results
+            )));
+        }
+    }
+    let n_analyses = first.analysis_labels.len();
+    if first.grid.len() * n_analyses != first.jobs_total {
+        return Err(bad("jobs_total does not match grid × analyses".into()));
+    }
+
+    let mut slots: Vec<Option<RunRecord>> = vec![None; first.jobs_total];
+    for (m, records) in shards {
+        for rec in records {
+            if rec.job >= first.jobs_total {
+                return Err(bad(format!("job id {} out of range", rec.job)));
+            }
+            if !shard_owns(rec.job, m.shards, m.shard_index) {
+                return Err(bad(format!(
+                    "job {} does not belong to shard {}/{}",
+                    rec.job, m.shard_index, m.shards
+                )));
+            }
+            let point = rec.job / n_analyses;
+            let a = rec.job % n_analyses;
+            if rec.point != point || rec.analysis_index != a {
+                return Err(bad(format!("job {} has inconsistent indices", rec.job)));
+            }
+            if slots[rec.job].is_some() {
+                return Err(bad(format!("job {} appears twice", rec.job)));
+            }
+            slots[rec.job] = Some(RunRecord {
+                point,
+                values: rec.values.clone(),
+                analysis_index: a,
+                analysis: rec.analysis.clone(),
+                result: rec.result.clone(),
+            });
+        }
+    }
+    let missing: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(id, s)| s.is_none().then_some(id))
+        .collect();
+    if !missing.is_empty() {
+        return Err(bad(format!(
+            "{} of {} jobs missing (ids {:?}{}) — run the missing shards first",
+            missing.len(),
+            first.jobs_total,
+            &missing[..missing.len().min(8)],
+            if missing.len() > 8 { ", ..." } else { "" },
+        )));
+    }
+
+    Ok(SweepOutcome {
+        param_labels: first.param_labels.clone(),
+        grid: first.grid.clone(),
+        analysis_labels: first.analysis_labels.clone(),
+        runs: slots
+            .into_iter()
+            .map(|s| s.expect("coverage checked"))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ScenarioResult;
+
+    fn manifest(shards: usize, shard_index: usize) -> ShardManifest {
+        ShardManifest {
+            deck: "examples/decks/vco_sweep.ckt".into(),
+            deck_hash: "deadbeef".into(),
+            shards,
+            shard_index,
+            jobs_total: 4,
+            param_labels: vec!["M1.control".into()],
+            analysis_labels: vec!["shooting0".into(), "wampde0".into()],
+            grid: vec![vec![1.2], vec![0.1 + 0.2]],
+            results: format!("sweep_shard{shard_index}of{shards}.jsonl"),
+        }
+    }
+
+    fn record(job: usize, m: &ShardManifest) -> JobRecord {
+        let n = m.analysis_labels.len();
+        JobRecord {
+            job,
+            point: job / n,
+            analysis_index: job % n,
+            analysis: m.analysis_labels[job % n].clone(),
+            cached: false,
+            values: m.grid[job / n].clone(),
+            result: ScenarioResult {
+                analysis: if job.is_multiple_of(n) {
+                    "shooting"
+                } else {
+                    "wampde"
+                },
+                columns: vec!["t1".into()],
+                rows: vec![vec![job as f64]],
+                metrics: vec![("freq_hz".into(), 7.5e5 + job as f64)],
+            },
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrip_is_exact() {
+        let m = manifest(2, 1);
+        let back = parse_shard_manifest(&render_shard_manifest(&m)).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(back.grid[1][0].to_bits(), (0.1_f64 + 0.2).to_bits());
+        assert_eq!(m.jobs_here(), vec![1, 3]);
+    }
+
+    #[test]
+    fn merge_reassembles_any_layout() {
+        // 2-shard layout vs. trivial 1-shard layout: same outcome.
+        let two: Vec<(ShardManifest, Vec<JobRecord>)> = (0..2)
+            .map(|k| {
+                let m = manifest(2, k);
+                let recs = m.jobs_here().iter().map(|&j| record(j, &m)).collect();
+                (m, recs)
+            })
+            .collect();
+        let one_manifest = manifest(1, 0);
+        let one = vec![(
+            one_manifest.clone(),
+            (0..4).map(|j| record(j, &one_manifest)).collect::<Vec<_>>(),
+        )];
+        let a = merge_shards(&two).unwrap();
+        let b = merge_shards(&one).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.runs.len(), 4);
+        for (id, run) in a.runs.iter().enumerate() {
+            assert_eq!(run.point, id / 2);
+            assert_eq!(run.analysis_index, id % 2);
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_or_inconsistent_sets() {
+        let m0 = manifest(2, 0);
+        let recs0: Vec<JobRecord> = m0.jobs_here().iter().map(|&j| record(j, &m0)).collect();
+        // Missing shard 1.
+        let err = merge_shards(&[(m0.clone(), recs0.clone())]).unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+        // Mismatched deck hash.
+        let mut m1 = manifest(2, 1);
+        let recs1: Vec<JobRecord> = m1.jobs_here().iter().map(|&j| record(j, &m1)).collect();
+        m1.deck_hash = "0000".into();
+        let err = merge_shards(&[(m0.clone(), recs0.clone()), (m1, recs1.clone())]).unwrap_err();
+        assert!(err.to_string().contains("deck_hash"), "{err}");
+        // Duplicate job (same shard twice).
+        let err = merge_shards(&[(m0.clone(), recs0.clone()), (m0.clone(), recs0)]).unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+        // A record claiming a job its shard does not own.
+        let stray = vec![record(1, &manifest(1, 0))];
+        let err = merge_shards(&[(m0, stray)]).unwrap_err();
+        assert!(err.to_string().contains("belong"), "{err}");
+    }
+
+    #[test]
+    fn deck_hash_tracks_deck_and_analyses() {
+        let base = circuitdae::parse_deck(
+            "C1 tank 0 4.503n\nL1 tank 0 10u\nGN1 tank 0 5m 1.667m\n.shooting steps=128\n",
+        )
+        .unwrap();
+        let other_steps = circuitdae::parse_deck(
+            "C1 tank 0 4.503n\nL1 tank 0 10u\nGN1 tank 0 5m 1.667m\n.shooting steps=256\n",
+        )
+        .unwrap();
+        let other_circuit = circuitdae::parse_deck(
+            "C1 tank 0 4.6n\nL1 tank 0 10u\nGN1 tank 0 5m 1.667m\n.shooting steps=128\n",
+        )
+        .unwrap();
+        assert_eq!(deck_hash(&base), deck_hash(&base));
+        assert_ne!(deck_hash(&base), deck_hash(&other_steps));
+        assert_ne!(deck_hash(&base), deck_hash(&other_circuit));
+    }
+}

@@ -1,0 +1,516 @@
+//! JSON-lines streaming of per-job sweep results.
+//!
+//! Long sweeps should be observable in flight: the executor emits one
+//! [`JobRecord`] line the moment each job completes, in *completion*
+//! order (nondeterministic on the wire — workers race), while the final
+//! aggregation stays index-ordered and deterministic. The same records
+//! are the transport between shards and `merge`: floats are rendered
+//! with Rust's shortest-round-trip `Display`, which parses back to the
+//! exact same bits, so a merged aggregate is byte-identical to a
+//! single-process run.
+//!
+//! The crate is dependency-free, so this module carries a minimal JSON
+//! reader ([`parse_json`]) sufficient for the records and shard
+//! manifests it writes itself.
+
+use crate::analysis::ScenarioResult;
+use crate::cache::static_analysis;
+
+/// One completed job, as streamed on a JSON-lines channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Global job id (`point * n_analyses + analysis_index`).
+    pub job: usize,
+    /// Grid point index.
+    pub point: usize,
+    /// Index of the analysis directive in the deck.
+    pub analysis_index: usize,
+    /// Unique analysis label, e.g. `wampde0`.
+    pub analysis: String,
+    /// Whether the result came from the on-disk cache.
+    pub cached: bool,
+    /// Swept parameter values at this grid point.
+    pub values: Vec<f64>,
+    /// The full analysis result (exact float transport).
+    pub result: ScenarioResult,
+}
+
+/// Renders a finite float exactly (shortest round-trip), non-finite as
+/// `null` (JSON has no NaN/inf; [`json_to_f64`] maps it back to NaN).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// JSON string literal with the escapes the grammar requires.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64_array(vals: &[f64]) -> String {
+    let words: Vec<String> = vals.iter().map(|&v| json_f64(v)).collect();
+    format!("[{}]", words.join(","))
+}
+
+/// Renders one record as a single JSON line (no trailing newline).
+pub fn render_record(rec: &JobRecord) -> String {
+    let columns: Vec<String> = rec.result.columns.iter().map(|c| json_str(c)).collect();
+    let metrics: Vec<String> = rec
+        .result
+        .metrics
+        .iter()
+        .map(|(n, v)| format!("[{},{}]", json_str(n), json_f64(*v)))
+        .collect();
+    let rows: Vec<String> = rec.result.rows.iter().map(|r| json_f64_array(r)).collect();
+    format!(
+        "{{\"job\":{},\"point\":{},\"analysis_index\":{},\"analysis\":{},\"kind\":{},\
+         \"cached\":{},\"values\":{},\"columns\":[{}],\"metrics\":[{}],\"rows\":[{}]}}",
+        rec.job,
+        rec.point,
+        rec.analysis_index,
+        json_str(&rec.analysis),
+        json_str(rec.result.analysis),
+        rec.cached,
+        json_f64_array(&rec.values),
+        columns.join(","),
+        metrics.join(","),
+        rows.join(","),
+    )
+}
+
+/// Parses one JSON line back into a [`JobRecord`].
+///
+/// # Errors
+///
+/// A description of the first syntax or schema violation.
+pub fn parse_record(line: &str) -> Result<JobRecord, String> {
+    let v = parse_json(line)?;
+    let job = json_to_usize(v.get("job").ok_or("missing job")?)?;
+    let point = json_to_usize(v.get("point").ok_or("missing point")?)?;
+    let analysis_index = json_to_usize(v.get("analysis_index").ok_or("missing analysis_index")?)?;
+    let analysis = v
+        .get("analysis")
+        .and_then(Json::as_str)
+        .ok_or("missing analysis")?
+        .to_string();
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .and_then(static_analysis)
+        .ok_or("missing or unknown kind")?;
+    let cached = match v.get("cached") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err("missing cached".into()),
+    };
+    let values = json_to_f64_vec(v.get("values").ok_or("missing values")?)?;
+    let columns = v
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or("missing columns")?
+        .iter()
+        .map(|c| c.as_str().map(str::to_string).ok_or("non-string column"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let metrics = v
+        .get("metrics")
+        .and_then(Json::as_arr)
+        .ok_or("missing metrics")?
+        .iter()
+        .map(|m| {
+            let pair = m.as_arr().ok_or("metric is not a pair")?;
+            match pair {
+                [name, val] => Ok((
+                    name.as_str().ok_or("non-string metric name")?.to_string(),
+                    json_to_f64(val)?,
+                )),
+                _ => Err("metric is not a pair".to_string()),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing rows")?
+        .iter()
+        .map(json_to_f64_vec)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(JobRecord {
+        job,
+        point,
+        analysis_index,
+        analysis,
+        cached,
+        values,
+        result: ScenarioResult {
+            analysis: kind,
+            columns,
+            rows,
+            metrics,
+        },
+    })
+}
+
+/// A parsed JSON value. Minimal by design: just enough for the records
+/// and manifests this workspace writes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (always read as `f64`).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, with key order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Converts a number (or `null`, the NaN encoding) to `f64`.
+fn json_to_f64(v: &Json) -> Result<f64, String> {
+    match v {
+        Json::Num(x) => Ok(*x),
+        Json::Null => Ok(f64::NAN),
+        other => Err(format!("expected number, got {other:?}")),
+    }
+}
+
+fn json_to_usize(v: &Json) -> Result<usize, String> {
+    match v {
+        Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= usize::MAX as f64 => Ok(*x as usize),
+        other => Err(format!("expected non-negative integer, got {other:?}")),
+    }
+}
+
+fn json_to_f64_vec(v: &Json) -> Result<Vec<f64>, String> {
+    v.as_arr()
+        .ok_or("expected array")?
+        .iter()
+        .map(json_to_f64)
+        .collect()
+}
+
+/// Parses one complete JSON document (trailing whitespace allowed).
+///
+/// # Errors
+///
+/// A description of the first syntax error, with byte offset.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast-forward over the plain (unescaped, ASCII or UTF-8)
+            // run; str slicing keeps multi-byte characters intact.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid utf-8 at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| format!("dangling escape at byte {}", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u at byte {}", self.pos))?;
+                            self.pos += 4;
+                            // Surrogates are not emitted by this
+                            // workspace's writers; map them to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("unknown escape at byte {}", self.pos - 1)),
+                    }
+                }
+                _ => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number run");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> JobRecord {
+        JobRecord {
+            job: 5,
+            point: 2,
+            analysis_index: 1,
+            analysis: "wampde1".into(),
+            cached: true,
+            values: vec![1.2, 0.1 + 0.2],
+            result: ScenarioResult {
+                analysis: "wampde",
+                columns: vec!["t2".into(), "amp(v(\"tank\"))".into()],
+                rows: vec![vec![0.0, 1.5e-13], vec![2e-7, -0.25]],
+                metrics: vec![("omega_min_hz".into(), 7.49e5), ("steps".into(), 131.0)],
+            },
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_is_bit_exact() {
+        let rec = sample_record();
+        let line = render_record(&rec);
+        assert!(!line.contains('\n'));
+        let back = parse_record(&line).unwrap();
+        assert_eq!(rec, back);
+        for (a, b) in rec
+            .result
+            .rows
+            .iter()
+            .flatten()
+            .zip(back.result.rows.iter().flatten())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn parser_handles_plain_json() {
+        let v = parse_json(r#" {"a": [1, -2.5e3, true, null], "b": {"c": "x\ny"}} "#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 4);
+        assert_eq!(
+            v.get("b").unwrap().get("c").unwrap().as_str().unwrap(),
+            "x\ny"
+        );
+        assert_eq!(
+            json_to_f64(&v.get("a").unwrap().as_arr().unwrap()[1]).unwrap(),
+            -2500.0
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\":1} trailing",
+            "\"unterminated",
+            "01x",
+            "nul",
+        ] {
+            assert!(parse_json(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_ride_as_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert!(json_to_f64(&parse_json("null").unwrap()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn display_floats_roundtrip_exactly() {
+        for &v in &[
+            0.1_f64 + 0.2,
+            1.0 / 3.0,
+            -2.2250738585072014e-308,
+            1.7976931348623157e308,
+        ] {
+            let back: f64 = format!("{v}").parse().unwrap();
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+    }
+}

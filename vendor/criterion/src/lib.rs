@@ -89,7 +89,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Calls `routine` once as warm-up, then [`TIMED_ITERS`] times timed,
+    /// Calls `routine` once as warm-up, then `TIMED_ITERS` times timed,
     /// recording the best observed wall-clock duration.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
         black_box(routine());
