@@ -33,7 +33,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let env = solve_envelope(&dae, &init, black_box(5e-4), &opts)
                     .expect("fixed-step envelope");
-                black_box(env.stats.newton_iterations)
+                black_box(env.stats.newton_iters)
             })
         });
     }

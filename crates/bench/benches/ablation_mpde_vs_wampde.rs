@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
         let init = WampdeInit::from_orbit(&orbit, &base);
         b.iter(|| {
             let env = solve_envelope(&dae, &init, black_box(5e-6), &base).expect("free run");
-            black_box(env.stats.newton_iterations)
+            black_box(env.stats.newton_iters)
         })
     });
 
@@ -42,7 +42,7 @@ fn bench(c: &mut Criterion) {
             // The frozen run may fail outright — count that as the cost of
             // the attempt (the point of the ablation).
             match solve_envelope(&dae, &init, black_box(5e-6), &opts) {
-                Ok(env) => black_box(env.stats.newton_iterations),
+                Ok(env) => black_box(env.stats.newton_iters),
                 Err(_) => black_box(usize::MAX),
             }
         })

@@ -1,0 +1,227 @@
+//! Dependency-free schema checker for `obskit` trace artifacts.
+//!
+//!     obs-check <trace.json> <metrics.jsonl> [--require-span NAME]...
+//!
+//! Validates the two files a traced run produces (`wampde-cli --trace`)
+//! against the documented schemas (`docs/OBSERVABILITY.md`):
+//!
+//! * `trace.json` — a Chrome `trace_event` document: one object with a
+//!   `traceEvents` array of `"ph"`-tagged events (`M` metadata, `X`
+//!   complete span, `i` instant), every `X` carrying non-negative
+//!   `ts`/`dur` microsecond timestamps plus `span_id`/`parent_id`
+//!   under `args`.
+//! * `metrics.jsonl` — one JSON object per line, `kind` one of
+//!   `counter` | `histogram` | `point`, each with its fixed field set.
+//!
+//! `--require-span NAME` additionally asserts at least one `X` event
+//! with that name — CI uses it to prove the whole instrumented stack
+//! (sweep → job → analysis → time-step → newton → factor) actually
+//! fired, not just that the files parse.
+//!
+//! Exit status 0 on success (one summary line), 1 on the first schema
+//! violation (diagnostic on stderr). Parsing reuses `sweepkit`'s
+//! dependency-free JSON reader, so the checker cannot drift from the
+//! suite's own notion of valid JSON.
+
+use std::collections::BTreeSet;
+use sweepkit::{parse_json, Json};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obs-check: {msg}");
+    std::process::exit(1);
+}
+
+fn num(v: &Json) -> Option<f64> {
+    match v {
+        Json::Num(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// A required numeric field that must also be finite and non-negative
+/// (timestamps, durations, ids, counts).
+fn nonneg(event: &Json, key: &str, what: &str) -> f64 {
+    match event.get(key).and_then(num) {
+        Some(x) if x.is_finite() && x >= 0.0 => x,
+        Some(x) => fail(&format!(
+            "{what}: field `{key}` = {x} is not a non-negative finite number"
+        )),
+        None => fail(&format!("{what}: missing numeric field `{key}`")),
+    }
+}
+
+fn required_str<'a>(event: &'a Json, key: &str, what: &str) -> &'a str {
+    match event.get(key).and_then(Json::as_str) {
+        Some(s) => s,
+        None => fail(&format!("{what}: missing string field `{key}`")),
+    }
+}
+
+/// Checks one Chrome `trace_event` document; returns
+/// (span-event count, instant-event count, distinct span names).
+fn check_trace(text: &str) -> (usize, usize, BTreeSet<String>) {
+    let doc = match parse_json(text) {
+        Ok(v) => v,
+        Err(e) => fail(&format!("trace.json is not valid JSON: {e}")),
+    };
+    let events = match doc.get("traceEvents").and_then(Json::as_arr) {
+        Some(evs) => evs,
+        None => fail("trace.json: missing `traceEvents` array"),
+    };
+    let mut spans = 0usize;
+    let mut instants = 0usize;
+    let mut names = BTreeSet::new();
+    let mut ids = BTreeSet::new();
+    // First pass: collect span ids so parent links can be validated
+    // regardless of event order.
+    for (i, ev) in events.iter().enumerate() {
+        if ev.get("ph").and_then(Json::as_str) == Some("X") {
+            let what = format!("trace.json event {i}");
+            if let Some(args) = ev.get("args") {
+                ids.insert(nonneg(args, "span_id", &what).to_bits());
+            }
+        }
+    }
+    for (i, ev) in events.iter().enumerate() {
+        let what = format!("trace.json event {i}");
+        let ph = required_str(ev, "ph", &what);
+        match ph {
+            "M" => {
+                required_str(ev, "name", &what);
+            }
+            "X" => {
+                spans += 1;
+                names.insert(required_str(ev, "name", &what).to_string());
+                nonneg(ev, "ts", &what);
+                nonneg(ev, "dur", &what);
+                nonneg(ev, "pid", &what);
+                nonneg(ev, "tid", &what);
+                let args = ev
+                    .get("args")
+                    .unwrap_or_else(|| fail(&format!("{what}: missing `args`")));
+                let id = nonneg(args, "span_id", &what);
+                if id < 1.0 {
+                    fail(&format!(
+                        "{what}: span_id {id} is below 1 (0 is the reserved invalid id)"
+                    ));
+                }
+                // A root span has no parent_id; any present one must
+                // resolve to a span in this same trace.
+                if let Some(p) = args.get("parent_id") {
+                    let parent = match num(p) {
+                        Some(x) if x.is_finite() && x >= 1.0 => x,
+                        _ => fail(&format!("{what}: malformed parent_id {p:?}")),
+                    };
+                    if !ids.contains(&parent.to_bits()) {
+                        fail(&format!(
+                            "{what}: parent_id {parent} names no span in this trace"
+                        ));
+                    }
+                }
+            }
+            "i" => {
+                instants += 1;
+                required_str(ev, "name", &what);
+                nonneg(ev, "ts", &what);
+                required_str(ev, "s", &what);
+            }
+            other => fail(&format!("{what}: unknown phase `{other}`")),
+        }
+    }
+    if spans == 0 {
+        fail("trace.json: no `X` (complete span) events — the run was not instrumented");
+    }
+    (spans, instants, names)
+}
+
+/// Checks a metrics JSONL dump; returns (counter, histogram, point) counts.
+fn check_metrics(text: &str) -> (usize, usize, usize) {
+    let (mut counters, mut histograms, mut points) = (0usize, 0usize, 0usize);
+    for (lineno, line) in text.lines().enumerate() {
+        let what = format!("metrics.jsonl line {}", lineno + 1);
+        let row = match parse_json(line) {
+            Ok(v @ Json::Obj(_)) => v,
+            Ok(_) => fail(&format!("{what}: not a JSON object")),
+            Err(e) => fail(&format!("{what}: {e}")),
+        };
+        required_str(&row, "name", &what);
+        match required_str(&row, "kind", &what) {
+            "counter" => {
+                counters += 1;
+                let v = nonneg(&row, "value", &what);
+                if v.fract() != 0.0 {
+                    fail(&format!("{what}: counter value {v} is not an integer"));
+                }
+            }
+            "histogram" => {
+                histograms += 1;
+                nonneg(&row, "count", &what);
+                for key in ["sum", "min", "max"] {
+                    if row.get(key).and_then(num).is_none() {
+                        fail(&format!("{what}: missing numeric field `{key}`"));
+                    }
+                }
+            }
+            "point" => {
+                points += 1;
+                nonneg(&row, "t_us", &what);
+                nonneg(&row, "tid", &what);
+                match row.get("attrs") {
+                    Some(Json::Obj(_)) => {}
+                    _ => fail(&format!("{what}: missing `attrs` object")),
+                }
+            }
+            other => fail(&format!("{what}: unknown kind `{other}`")),
+        }
+    }
+    if counters == 0 {
+        fail("metrics.jsonl: no counter rows — the run was not instrumented");
+    }
+    (counters, histograms, points)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut required: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--require-span" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(name) => required.push(name.clone()),
+                    None => fail("--require-span needs a span name"),
+                }
+            }
+            flag if flag.starts_with("--") => fail(&format!("unknown flag `{flag}`")),
+            path => paths.push(path.to_string()),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: obs-check <trace.json> <metrics.jsonl> [--require-span NAME]...");
+        std::process::exit(2);
+    }
+
+    let trace_text = std::fs::read_to_string(&paths[0])
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", paths[0])));
+    let metrics_text = std::fs::read_to_string(&paths[1])
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", paths[1])));
+
+    let (spans, instants, names) = check_trace(&trace_text);
+    let (counters, histograms, points) = check_metrics(&metrics_text);
+    for name in &required {
+        if !names.contains(name) {
+            fail(&format!(
+                "trace.json: required span `{name}` never appears (saw: {})",
+                names.iter().cloned().collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
+    println!(
+        "obs-check: ok — {spans} span(s) across {{{}}}, {instants} instant(s); \
+         {counters} counter(s), {histograms} histogram(s), {points} point(s)",
+        names.iter().cloned().collect::<Vec<_>>().join(", ")
+    );
+}

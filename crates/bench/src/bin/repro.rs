@@ -59,6 +59,10 @@ const TABLES: &[(&str, &str)] = &[
         "sweep",
         "cold vs warm-cache sweep throughput on vco_sweep (BENCH_sweep.json)",
     ),
+    (
+        "obs",
+        "instrumentation coverage + overhead on ring_scaling (BENCH_obs.json)",
+    ),
 ];
 
 fn print_targets() {
@@ -145,6 +149,9 @@ fn main() {
     }
     if want_table("sweep") {
         table_sweep();
+    }
+    if want_table("obs") {
+        table_obs();
     }
 }
 
@@ -509,7 +516,7 @@ fn table_newton() {
             solver_row(
                 "transim",
                 reuse,
-                res.stats.newton_iterations,
+                res.stats.newton_iters,
                 res.stats.factorisations,
                 res.stats.symbolic_reuses,
                 wall,
@@ -567,7 +574,7 @@ fn table_newton() {
             solver_row(
                 "mpde",
                 reuse,
-                res.stats.newton_iterations,
+                res.stats.newton_iters,
                 res.stats.factorisations,
                 res.stats.symbolic_reuses,
                 wall,
@@ -614,7 +621,7 @@ fn table_newton() {
             solver_row(
                 "wampde",
                 reuse,
-                env.stats.newton_iterations,
+                env.stats.newton_iters,
                 env.stats.factorisations,
                 env.stats.symbolic_reuses,
                 wall,
@@ -719,6 +726,155 @@ fn table_sweep() {
         warm.stats.cache_hits,
     );
     let p = write_text_in(&repro_dir(), "BENCH_sweep.json", &json).expect("write json");
+    println!("  -> {}", p.display());
+}
+
+/// Instrumentation acceptance table: coverage and overhead.
+///
+/// One cold traced sweep of `ring_scaling.ckt` proves every level of
+/// the span hierarchy and every metric family actually fires; repeated
+/// warm (all-cache-hit) sweeps, traced vs untraced, bound the cost of
+/// leaving the instrumentation hooks compiled in (<5%) and re-prove the
+/// determinism invariant (identical artifact bytes either way). Emits
+/// `target/repro/BENCH_obs.json`.
+fn table_obs() {
+    use std::sync::Arc;
+    use sweepkit::{run_deck_with, ResultCache, SweepConfig};
+    println!("=== table `obs`: instrumentation coverage + overhead on ring_scaling ===");
+    let deck_text = include_str!("../../../../examples/decks/ring_scaling.ckt");
+    let deck = circuitdae::parse_deck(deck_text).expect("ring_scaling deck parses");
+
+    let cache_dir = repro_dir().join("obs-cache-bench");
+    std::fs::remove_dir_all(&cache_dir).ok();
+    let config = SweepConfig {
+        jobs: 2,
+        cache: Some(ResultCache::open(&cache_dir).expect("open cache dir")),
+        ..SweepConfig::default()
+    };
+
+    // Cold traced run: populates the cache and must light up the whole
+    // instrumented stack.
+    let rec = Arc::new(obskit::CollectingRecorder::new());
+    let t0 = std::time::Instant::now();
+    let cold = {
+        let _g = obskit::install(rec.clone() as Arc<dyn obskit::Recorder>);
+        run_deck_with(&deck, &config, None).expect("cold sweep converges")
+    };
+    let cold_ns = t0.elapsed().as_nanos();
+    assert_eq!(cold.stats.executed, cold.stats.jobs_total);
+    let span_names: std::collections::BTreeSet<&'static str> =
+        rec.spans().iter().map(|s| s.name).collect();
+    for level in [
+        "sweep",
+        "job",
+        "analysis",
+        "time-step",
+        "newton",
+        "newton-iter",
+        "factor",
+        "solve",
+        "shooting",
+    ] {
+        assert!(
+            span_names.contains(level),
+            "cold traced sweep recorded no `{level}` span (saw {span_names:?})"
+        );
+    }
+    for counter in [
+        "sweep.executed",
+        "newton.solves",
+        "newton.iters",
+        "factor.fresh",
+        "step.accepted",
+    ] {
+        assert!(
+            rec.counter(counter) > 0,
+            "cold traced sweep left counter `{counter}` at zero"
+        );
+    }
+    let cold_spans = rec.spans().len();
+    println!(
+        "  cold traced: {} job(s), {cold_spans} span(s), {} Newton iteration(s) in {:.1} ms",
+        cold.stats.jobs_total,
+        rec.counter("newton.iters"),
+        cold_ns as f64 / 1e6
+    );
+
+    // Warm overhead: min-of-N wall time, traced vs untraced,
+    // interleaved so machine drift hits both modes equally. A warm
+    // sweep is pure cache reads, so this is the worst case for relative
+    // recorder cost.
+    const REPS: usize = 9;
+    let mut untraced_ns = u128::MAX;
+    let mut traced_ns = u128::MAX;
+    let mut last_untraced = None;
+    let mut last_traced = None;
+    for _ in 0..REPS {
+        let t0 = std::time::Instant::now();
+        let plain = run_deck_with(&deck, &config, None).expect("warm sweep converges");
+        untraced_ns = untraced_ns.min(t0.elapsed().as_nanos());
+
+        let warm_rec = Arc::new(obskit::CollectingRecorder::new());
+        let t0 = std::time::Instant::now();
+        let traced = {
+            let _g = obskit::install(warm_rec.clone() as Arc<dyn obskit::Recorder>);
+            run_deck_with(&deck, &config, None).expect("warm traced sweep converges")
+        };
+        traced_ns = traced_ns.min(t0.elapsed().as_nanos());
+
+        assert_eq!(plain.stats.cache_hits, plain.stats.jobs_total);
+        assert_eq!(
+            warm_rec.counter("sweep.cache_hits"),
+            traced.stats.jobs_total as u64,
+            "traced warm sweep must count every cache hit"
+        );
+        last_untraced = Some(plain);
+        last_traced = Some(traced);
+    }
+    let (plain, traced) = (last_untraced.unwrap(), last_traced.unwrap());
+
+    // Determinism: tracing may never change a result bit.
+    for ai in 0..plain.outcome.analysis_labels.len() {
+        let (h, r) = plain.outcome.waveform_table(ai);
+        let (ht, rt) = traced.outcome.waveform_table(ai);
+        let h_refs: Vec<&str> = h.iter().map(String::as_str).collect();
+        let ht_refs: Vec<&str> = ht.iter().map(String::as_str).collect();
+        assert_eq!(
+            wampde_bench::out::csv_string(&h_refs, &r).as_bytes(),
+            wampde_bench::out::csv_string(&ht_refs, &rt).as_bytes(),
+            "analysis {ai}: traced waveform CSV differs from untraced"
+        );
+    }
+
+    let ratio = traced_ns as f64 / untraced_ns as f64;
+    println!(
+        "  warm x{REPS}: untraced {:.2} ms, traced {:.2} ms -> {:.1}% overhead",
+        untraced_ns as f64 / 1e6,
+        traced_ns as f64 / 1e6,
+        (ratio - 1.0) * 100.0
+    );
+    // The acceptance bar: recording spans and counters on an
+    // all-cache-hit sweep must cost under 5% wall time.
+    assert!(
+        ratio < 1.05,
+        "tracing overhead {:.1}% exceeds the 5% budget \
+         ({untraced_ns} ns untraced vs {traced_ns} ns traced)",
+        (ratio - 1.0) * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs\",\n  \"workload\": \"ring_scaling.ckt ({} jobs: \
+         shooting + wampde at 2 couplings); cold traced sweep for coverage, \
+         min-of-{REPS} warm sweeps for overhead\",\n  \"results\": [\n    \
+         {{\"mode\": \"cold_traced\", \"wall_ns\": {cold_ns}, \"spans\": {cold_spans}, \
+         \"newton_iters\": {}}},\n    \
+         {{\"mode\": \"warm_untraced\", \"wall_ns\": {untraced_ns}}},\n    \
+         {{\"mode\": \"warm_traced\", \"wall_ns\": {traced_ns}}}\n  ],\n  \
+         \"overhead_ratio\": {ratio:.4},\n  \"budget_ratio\": 1.05\n}}\n",
+        cold.stats.jobs_total,
+        rec.counter("newton.iters"),
+    );
+    let p = write_text_in(&repro_dir(), "BENCH_obs.json", &json).expect("write json");
     println!("  -> {}", p.display());
 }
 

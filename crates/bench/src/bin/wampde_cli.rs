@@ -5,6 +5,7 @@
 //!            [--integrator SCHEME] [--rtol V] [--list]
 //!            [--shards M] [--shard-index K]
 //!            [--cache-dir DIR] [--no-cache]
+//!            [--trace DIR] [--metrics]
 //! wampde-cli merge <shard_manifest.json>... [--out DIR]
 //! ```
 //!
@@ -34,6 +35,12 @@
 //! Determinism invariant: aggregate artifacts are byte-identical for
 //! any `--jobs` value, any shard layout (after `merge`), and cold vs.
 //! warm cache. Only the JSONL stream order varies between runs.
+//! Instrumentation preserves it too: `--trace DIR` records the run with
+//! an `obskit` recorder and writes `DIR/trace.json` (Chrome
+//! `trace_event`, open in Perfetto) plus `DIR/metrics.jsonl`
+//! (counters, histograms, convergence-trace rows); `--metrics` prints
+//! the counter summary after the run. Neither changes a result bit —
+//! see `docs/OBSERVABILITY.md`.
 //!
 //! `--solver dense|sparselu|gmres` overrides the linear-solver backend
 //! for every analysis — beating both the deck-wide `.options` choice and
@@ -56,7 +63,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--solver KIND] \
          [--integrator SCHEME] [--rtol V] [--list] \
-         [--shards M] [--shard-index K] [--cache-dir DIR] [--no-cache]"
+         [--shards M] [--shard-index K] [--cache-dir DIR] [--no-cache] \
+         [--trace DIR] [--metrics]"
     );
     eprintln!("       wampde-cli merge <shard_manifest.json>... [--out DIR]");
     eprintln!("  KIND: dense | sparselu | gmres");
@@ -76,6 +84,8 @@ struct Args {
     shard_index: usize,
     cache_dir: Option<PathBuf>,
     no_cache: bool,
+    trace_dir: Option<PathBuf>,
+    metrics: bool,
 }
 
 fn parse_args(argv: &[String]) -> Args {
@@ -90,6 +100,8 @@ fn parse_args(argv: &[String]) -> Args {
     let mut shard_index = 0usize;
     let mut cache_dir: Option<PathBuf> = None;
     let mut no_cache = false;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut metrics = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -165,6 +177,17 @@ fn parse_args(argv: &[String]) -> Args {
                 }
             }
             "--no-cache" => no_cache = true,
+            "--trace" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(dir) => trace_dir = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--trace requires a directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--metrics" => metrics = true,
             "--out" => {
                 i += 1;
                 match argv.get(i) {
@@ -207,6 +230,8 @@ fn parse_args(argv: &[String]) -> Args {
         shard_index,
         cache_dir,
         no_cache,
+        trace_dir,
+        metrics,
     }
 }
 
@@ -345,8 +370,21 @@ fn real_main(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         shard_index: args.shard_index,
         cache,
     };
+    // Instrumentation never touches results: the recorder only listens
+    // to spans/counters the solvers already emit, and the determinism
+    // tests hold traced and untraced artifacts byte-identical.
+    let recorder = if args.trace_dir.is_some() || args.metrics {
+        Some(std::sync::Arc::new(obskit::CollectingRecorder::new()))
+    } else {
+        None
+    };
     let t0 = std::time::Instant::now();
-    let run = run_deck_with(&deck, &config, Some(&mut jsonl))?;
+    let run = {
+        let _obs = recorder
+            .as_ref()
+            .map(|r| obskit::install(r.clone() as std::sync::Arc<dyn obskit::Recorder>));
+        run_deck_with(&deck, &config, Some(&mut jsonl))?
+    };
     jsonl.flush()?;
     let wall = t0.elapsed();
     println!(
@@ -365,6 +403,34 @@ fn real_main(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         jsonl_path.display(),
         run.stats.jobs_here
     );
+
+    if let Some(rec) = &recorder {
+        if let Some(dir) = &args.trace_dir {
+            std::fs::create_dir_all(dir)?;
+            let trace_path = dir.join("trace.json");
+            rec.write_chrome_trace(&trace_path)?;
+            println!("  {} ({} span(s))", trace_path.display(), rec.spans().len());
+            let metrics_path = dir.join("metrics.jsonl");
+            rec.write_metrics_jsonl(&metrics_path)?;
+            println!("  {}", metrics_path.display());
+        }
+        if args.metrics {
+            println!("metrics:");
+            let reg = rec.metrics();
+            for (name, value) in reg.counters() {
+                println!("  {name} = {value}");
+            }
+            for (name, h) in reg.histograms() {
+                println!(
+                    "  {name}: count={} mean={:.3e} min={:.3e} max={:.3e}",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                );
+            }
+        }
+    }
 
     let outcome = run.outcome;
     let shard_manifest = ShardManifest {
@@ -488,21 +554,51 @@ fn write_aggregates(
         }
     }
 
-    let manifest = render_manifest(deck_name, params, &outcome.grid, &artifacts);
+    let manifest = render_manifest(deck_name, outcome, &artifacts);
     let p = write_text_in(out_dir, &format!("{stem}_manifest.json"), &manifest)?;
     println!("  {}", p.display());
     Ok(())
 }
 
-fn render_manifest(
-    deck_name: &str,
-    params: &[String],
-    grid: &[Vec<f64>],
-    artifacts: &[String],
-) -> String {
+/// Solver run-stat metric names surfaced per analysis in the manifest.
+/// Every stepping solver reports the `obskit::RunStats` quintet;
+/// shooting reports its outer `iterations` instead.
+const STAT_KEYS: [&str; 6] = [
+    "steps",
+    "rejected",
+    "newton_iters",
+    "factorisations",
+    "symbolic_reuses",
+    "iterations",
+];
+
+/// Sums the run-stat metrics over every grid point of one analysis.
+/// Only keys at least one run reported are returned, so e.g. a
+/// shooting analysis never grows phantom zero-valued `steps`.
+fn analysis_stats(outcome: &SweepOutcome, ai: usize) -> Vec<(&'static str, f64)> {
+    let mut sums = [0.0_f64; STAT_KEYS.len()];
+    let mut present = [false; STAT_KEYS.len()];
+    for rec in outcome.runs_of(ai) {
+        for (name, value) in &rec.result.metrics {
+            if let Some(k) = STAT_KEYS.iter().position(|key| key == name) {
+                sums[k] += value;
+                present[k] = true;
+            }
+        }
+    }
+    STAT_KEYS
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| present[k])
+        .map(|(k, &key)| (key, sums[k]))
+        .collect()
+}
+
+fn render_manifest(deck_name: &str, outcome: &SweepOutcome, artifacts: &[String]) -> String {
     let quote = |s: &str| format!("\"{}\"", json_escape(s));
     let str_list = |xs: &[String]| xs.iter().map(|s| quote(s)).collect::<Vec<_>>().join(", ");
-    let points = grid
+    let points = outcome
+        .grid
         .iter()
         .map(|p| {
             let vals: Vec<String> = p.iter().map(|v| format!("{v:.9e}")).collect();
@@ -510,12 +606,34 @@ fn render_manifest(
         })
         .collect::<Vec<_>>()
         .join(", ");
+    // Aggregated per-analysis solver run stats. Derived from the merged
+    // outcome (never from shard-local state), so the unsharded path and
+    // `merge` emit byte-identical manifests. Counts are integral by
+    // construction; render them without a fractional part.
+    let stats = outcome
+        .analysis_labels
+        .iter()
+        .enumerate()
+        .map(|(ai, label)| {
+            let runs = outcome.runs_of(ai).count();
+            let mut fields = vec![format!("\"runs\": {runs}")];
+            fields.extend(
+                analysis_stats(outcome, ai)
+                    .iter()
+                    .map(|(key, v)| format!("\"{key}\": {}", *v as u64)),
+            );
+            format!("    {}: {{{}}}", quote(label), fields.join(", "))
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     format!(
         "{{\n  \"deck\": {},\n  \"params\": [{}],\n  \
-         \"points\": [{}],\n  \"artifacts\": [{}]\n}}\n",
+         \"points\": [{}],\n  \"solver_stats\": {{\n{}\n  }},\n  \
+         \"artifacts\": [{}]\n}}\n",
         quote(deck_name),
-        str_list(params),
+        str_list(&outcome.param_labels),
         points,
+        stats,
         str_list(artifacts),
     )
 }

@@ -262,6 +262,7 @@ pub fn solve_forced<D: Dae + ?Sized>(
     init: Option<&[f64]>,
     opts: &HbOptions,
 ) -> Result<HbSolution, HbError> {
+    let _sp = obskit::span_with("hb", &[("mode", obskit::AttrValue::Str("forced"))]);
     // `partial_cmp` keeps the NaN-rejecting behavior of `!(f > 0.0)`.
     if freq_hz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(HbError::BadInput(
@@ -334,6 +335,7 @@ pub fn solve_autonomous<D: Dae + ?Sized>(
     init_freq_hz: f64,
     opts: &HbOptions,
 ) -> Result<HbSolution, HbError> {
+    let _sp = obskit::span_with("hb", &[("mode", obskit::AttrValue::Str("autonomous"))]);
     let colloc = Colloc::new(dae.dim(), opts.harmonics);
     if init_samples.len() != colloc.n0 {
         return Err(HbError::BadInput(format!(

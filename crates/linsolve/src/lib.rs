@@ -645,6 +645,7 @@ impl FactorCache {
     ///
     /// [`LinSolveError`] when the factorisation fails.
     pub fn factor_matrix(&mut self, matrix: &NewtonMatrix<'_>) -> Result<(), LinSolveError> {
+        let sp = obskit::span("factor");
         self.stats.factorisations += 1;
         if let LinearSolverKind::SparseLu = self.kind {
             // Convert without cloning the triplet buffer: this runs once
@@ -657,16 +658,23 @@ impl FactorCache {
                 if let Some(FactoredJacobian::Sparse(lu)) = &mut self.factored {
                     if lu.refactor(&csc).is_ok() {
                         self.stats.symbolic_reuses += 1;
+                        sp.attr("mode", "reused");
+                        obskit::counter_add("factor.reused", 1);
                         return Ok(());
                     }
                     self.stats.pattern_rebuilds += 1;
+                    obskit::counter_add("factor.rebuilds", 1);
                 }
             }
             let lu = SparseLu::factor(&csc).map_err(LinSolveError::new)?;
             self.factored = Some(FactoredJacobian::Sparse(lu));
+            sp.attr("mode", "fresh");
+            obskit::counter_add("factor.fresh", 1);
             return Ok(());
         }
         self.factored = Some(FactoredJacobian::factor_matrix(matrix, self.kind)?);
+        sp.attr("mode", "fresh");
+        obskit::counter_add("factor.fresh", 1);
         Ok(())
     }
 
@@ -677,6 +685,7 @@ impl FactorCache {
     /// [`LinSolveError`] when nothing has been factored yet or the
     /// backend fails (e.g. GMRES stagnates).
     pub fn solve_in_place(&self, rhs: &mut [f64]) -> Result<(), LinSolveError> {
+        let _sp = obskit::span("solve");
         match &self.factored {
             Some(f) => f.solve_in_place(rhs),
             None => Err(LinSolveError::new("no factorisation cached")),

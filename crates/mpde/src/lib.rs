@@ -170,20 +170,13 @@ impl Default for MpdeOptions {
 }
 
 /// Counters reported alongside an MPDE envelope run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct MpdeStats {
-    /// Accepted `t2` steps (excluding the `t2 = 0` steady solve).
-    pub steps: usize,
-    /// Steps rejected by error control or Newton failure.
-    pub rejected: usize,
-    /// Total Newton iterations (including the `t2 = 0` steady solve).
-    pub newton_iterations: usize,
-    /// Jacobian factorisations across all Newton solves.
-    pub factorisations: usize,
-    /// Factorisations that reused cached symbolic analysis (sparse-LU
-    /// backend only).
-    pub symbolic_reuses: usize,
-}
+///
+/// This is the workspace-wide [`obskit::RunStats`] summary (shared with
+/// `transim::TransientStats` and `wampde::EnvelopeStats`); `steps`
+/// counts accepted `t2` steps and `newton_iters` includes the `t2 = 0`
+/// steady solve. The former `newton_iterations` field survives as a
+/// deprecated accessor method.
+pub type MpdeStats = obskit::RunStats;
 
 /// An MPDE envelope solution.
 #[derive(Debug, Clone)]
@@ -380,6 +373,9 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
         }
         let h_try = ctl.propose(t2, t2_end);
         let t_new = t2 + h_try;
+        let step_span = obskit::span("time-step");
+        step_span.attr("t2", t_new);
+        step_span.attr("h", h_try);
         eval_forcing(t_new, &mut bgrid);
 
         let coeffs = opts.integrator.step_coeffs(h_try, &history, &mut qlin);
@@ -421,6 +417,7 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
             }
         };
 
+        step_span.attr("accepted", accept);
         if accept {
             t2 = t_new;
             x = x_new;
@@ -612,7 +609,7 @@ fn newton_mpde<D: Dae + ?Sized>(
     };
     let result = engine.solve(&sys, x, &policy);
     let s = engine.stats();
-    stats.newton_iterations += s.iterations;
+    stats.newton_iters += s.iterations;
     stats.factorisations += s.factorisations;
     stats.symbolic_reuses += s.symbolic_reuses;
     match result {

@@ -346,6 +346,7 @@ impl NewtonEngine {
         };
         cache.set_reuse(policy.reuse_symbolic);
         let factor_base = cache.stats();
+        let nspan = obskit::span("newton");
 
         let mut stats = NewtonStats::default();
         self.r.resize(n, 0.0);
@@ -382,6 +383,10 @@ impl NewtonEngine {
                     });
                 }
 
+                let ispan = obskit::span("newton-iter");
+                ispan.attr("iter", iter);
+                let factor_pre = cache.stats();
+
                 // Factor the Jacobian: sparse backends prefer a
                 // triplet-assembled stamp; dense (or systems without
                 // sparse assembly) stamp the full matrix. The dense
@@ -401,6 +406,7 @@ impl NewtonEngine {
                 if let Err(e) = factored {
                     break 'solve Err(NewtonError::Singular { cause: e.cause });
                 }
+                let factor_reused = cache.stats().symbolic_reuses > factor_pre.symbolic_reuses;
 
                 // dx = -J⁻¹ r.
                 self.dx.copy_from_slice(&self.r);
@@ -491,6 +497,26 @@ impl NewtonEngine {
                 if lambda < 1.0 {
                     stats.damped_steps += 1;
                 }
+                if obskit::enabled() {
+                    ispan.attr("residual", rnorm);
+                    ispan.attr("lambda", lambda);
+                    obskit::point(
+                        "newton.iter",
+                        &[
+                            ("iter", obskit::AttrValue::U64(iter as u64)),
+                            ("residual", obskit::AttrValue::F64(rnorm)),
+                            ("lambda", obskit::AttrValue::F64(lambda)),
+                            (
+                                "factor",
+                                obskit::AttrValue::Str(if factor_reused {
+                                    "reused"
+                                } else {
+                                    "fresh"
+                                }),
+                            ),
+                        ],
+                    );
+                }
 
                 // Step-norm law: converged when the weighted damped
                 // update drops below 1 (and the residual is finite).
@@ -515,6 +541,15 @@ impl NewtonEngine {
         stats.factorisations = fs.factorisations - factor_base.factorisations;
         stats.symbolic_reuses = fs.symbolic_reuses - factor_base.symbolic_reuses;
         self.stats = stats;
+        if obskit::enabled() {
+            nspan.attr("iterations", stats.iterations);
+            nspan.attr("converged", outcome.is_ok());
+            obskit::counter_add("newton.solves", 1);
+            obskit::counter_add("newton.iters", stats.iterations as u64);
+            if outcome.is_err() {
+                obskit::counter_add("newton.failures", 1);
+            }
+        }
         outcome.map(|()| stats)
     }
 }

@@ -1,0 +1,106 @@
+//! Minimal JSON rendering helpers for the two sinks.
+//!
+//! obskit is dependency-free by design (it sits below every other
+//! crate in the workspace), so it carries its own tiny writers. The
+//! conventions match `sweepkit::stream`: `f64` renders via `Display`
+//! (shortest round-trip form) and non-finite values render as `null`.
+
+use crate::recorder::AttrValue;
+use std::fmt::Write as _;
+
+/// Escape `s` as the body of a JSON string (no surrounding quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render a quoted JSON string.
+pub fn string_into(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+/// Render an `f64` as a JSON number (`null` when non-finite).
+pub fn f64_into(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Render an [`AttrValue`] as a JSON value.
+pub fn attr_into(out: &mut String, v: &AttrValue) {
+    match *v {
+        AttrValue::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        AttrValue::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        AttrValue::F64(x) => f64_into(out, x),
+        AttrValue::Str(s) => string_into(out, s),
+        AttrValue::Bool(b) => {
+            out.push_str(if b { "true" } else { "false" });
+        }
+    }
+}
+
+/// Render an attribute list as a JSON object.
+pub fn attrs_into(out: &mut String, attrs: &[(&'static str, AttrValue)]) {
+    out.push('{');
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        string_into(out, k);
+        out.push(':');
+        attr_into(out, v);
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_numbers() {
+        let mut s = String::new();
+        string_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+
+        let mut n = String::new();
+        f64_into(&mut n, 0.1);
+        n.push(',');
+        f64_into(&mut n, f64::NAN);
+        assert_eq!(n, "0.1,null");
+    }
+
+    #[test]
+    fn attrs_render_as_object() {
+        let mut s = String::new();
+        attrs_into(
+            &mut s,
+            &[
+                ("h", AttrValue::F64(0.5)),
+                ("reason", AttrValue::Str("lte")),
+                ("ok", AttrValue::Bool(true)),
+                ("iter", AttrValue::U64(3)),
+            ],
+        );
+        assert_eq!(s, "{\"h\":0.5,\"reason\":\"lte\",\"ok\":true,\"iter\":3}");
+    }
+}

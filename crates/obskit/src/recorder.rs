@@ -1,0 +1,116 @@
+//! The [`Recorder`] trait and the value types that flow through it.
+
+/// Opaque span identifier handed out by a [`Recorder`].
+///
+/// `0` is reserved as "invalid"; [`CollectingRecorder`](crate::CollectingRecorder)
+/// numbers spans from 1 in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+/// A structured attribute value attached to spans and points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer (counts, indices).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (step sizes, residual norms, λ).
+    F64(f64),
+    /// Static string (rejection reason, factorisation kind, …).
+    Str(&'static str),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<&'static str> for AttrValue {
+    fn from(v: &'static str) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// Sink for instrumentation events.
+///
+/// Implementations stamp their own monotonic-clock times so that the
+/// hot path (the free functions [`crate::span`], [`crate::counter_add`],
+/// [`crate::observe`], [`crate::point`]) stays a plain
+/// virtual call with no allocation when nothing needs one.
+///
+/// All methods take `&self`: one recorder is shared across the worker
+/// threads of a sweep, so implementations synchronise internally.
+pub trait Recorder: Send + Sync {
+    /// Open a span. `parent` is the innermost live span on the calling
+    /// thread (threaded through [`crate::install_handle`] across thread
+    /// boundaries).
+    fn span_begin(&self, name: &'static str, parent: Option<SpanId>) -> SpanId;
+    /// Close a span previously returned by [`Recorder::span_begin`].
+    fn span_end(&self, id: SpanId);
+    /// Attach an attribute to a live span.
+    fn span_attr(&self, id: SpanId, key: &'static str, value: AttrValue);
+    /// Record an instant event with attributes (a convergence-trace row).
+    fn point(
+        &self,
+        name: &'static str,
+        parent: Option<SpanId>,
+        attrs: &[(&'static str, AttrValue)],
+    );
+    /// Add to a named monotonic counter.
+    fn counter_add(&self, name: &'static str, delta: u64);
+    /// Record one observation into a named histogram.
+    fn observe(&self, name: &'static str, value: f64);
+}
+
+/// A recorder that records nothing.
+///
+/// Useful to exercise instrumented code paths without any collection
+/// cost; the unit tests use it to prove the contract that a no-op sink
+/// observes no data.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn span_begin(&self, _name: &'static str, _parent: Option<SpanId>) -> SpanId {
+        SpanId(0)
+    }
+    #[inline]
+    fn span_end(&self, _id: SpanId) {}
+    #[inline]
+    fn span_attr(&self, _id: SpanId, _key: &'static str, _value: AttrValue) {}
+    #[inline]
+    fn point(
+        &self,
+        _name: &'static str,
+        _parent: Option<SpanId>,
+        _attrs: &[(&'static str, AttrValue)],
+    ) {
+    }
+    #[inline]
+    fn counter_add(&self, _name: &'static str, _delta: u64) {}
+    #[inline]
+    fn observe(&self, _name: &'static str, _value: f64) {}
+}

@@ -1,0 +1,221 @@
+//! Thread-local recorder plumbing: the zero-overhead-when-disabled
+//! entry points the rest of the workspace calls.
+//!
+//! The active recorder is a thread-local, not a global: parallel test
+//! threads and concurrent sweeps must never observe each other's
+//! instrumentation. Worker threads opt in explicitly by capturing
+//! [`current`] on the spawning thread and calling [`install_handle`]
+//! inside the worker, which also parents the worker's spans under the
+//! spawner's innermost span.
+
+use crate::recorder::{AttrValue, Recorder, SpanId};
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+struct ActiveTrace {
+    rec: Arc<dyn Recorder>,
+    /// Innermost-last stack of live spans on this thread. The bottom
+    /// entry may be a foreign parent seeded by [`install_handle`].
+    stack: Vec<SpanId>,
+    /// Number of seeded (foreign) entries at the bottom of `stack`
+    /// that this thread must not pop.
+    seeded: usize,
+}
+
+thread_local! {
+    // Separate enabled flag so the disabled hot path is one TLS load
+    // plus a branch, with no RefCell borrow.
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+/// Is a recorder installed on this thread?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// A clonable handle to the active recorder, for crossing thread
+/// boundaries. Captured with [`current`], consumed by [`install_handle`].
+#[derive(Clone)]
+pub struct TraceHandle {
+    rec: Arc<dyn Recorder>,
+    parent: Option<SpanId>,
+}
+
+/// Snapshot the calling thread's recorder (and innermost span, which
+/// becomes the parent of spans opened under [`install_handle`]).
+/// Returns `None` when no recorder is installed — pass that through
+/// unchanged and the worker side stays uninstrumented too.
+pub fn current() -> Option<TraceHandle> {
+    ACTIVE.with(|a| {
+        a.borrow().as_ref().map(|t| TraceHandle {
+            rec: Arc::clone(&t.rec),
+            parent: t.stack.last().copied(),
+        })
+    })
+}
+
+/// RAII guard returned by [`install`] / [`install_handle`]. Restores
+/// the previous thread-local state on drop. Not `Send`: it must drop
+/// on the thread that created it.
+pub struct InstallGuard {
+    prev: Option<ActiveTrace>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        ENABLED.with(|e| e.set(prev.is_some()));
+        ACTIVE.with(|a| *a.borrow_mut() = prev);
+    }
+}
+
+fn install_inner(trace: ActiveTrace) -> InstallGuard {
+    let prev = ACTIVE.with(|a| a.borrow_mut().replace(trace));
+    ENABLED.with(|e| e.set(true));
+    InstallGuard {
+        prev,
+        _not_send: PhantomData,
+    }
+}
+
+/// Install `rec` as this thread's recorder until the guard drops.
+pub fn install(rec: Arc<dyn Recorder>) -> InstallGuard {
+    install_inner(ActiveTrace {
+        rec,
+        stack: Vec::new(),
+        seeded: 0,
+    })
+}
+
+/// Install a handle captured on another thread (see [`current`]).
+/// Spans opened on this thread are parented under the span that was
+/// innermost when the handle was captured.
+pub fn install_handle(handle: TraceHandle) -> InstallGuard {
+    let (stack, seeded) = match handle.parent {
+        Some(p) => (vec![p], 1),
+        None => (Vec::new(), 0),
+    };
+    install_inner(ActiveTrace {
+        rec: handle.rec,
+        stack,
+        seeded,
+    })
+}
+
+/// RAII span guard: closes the span (and pops it from the thread's
+/// span stack) on drop. Inert — a plain `Option<SpanId>::None` — when
+/// no recorder is installed.
+#[must_use = "a span ends when dropped; binding it to `_` ends it immediately"]
+pub struct Span {
+    id: Option<SpanId>,
+}
+
+impl Span {
+    /// An inert span that records nothing.
+    #[inline]
+    pub const fn disabled() -> Self {
+        Span { id: None }
+    }
+
+    /// The recorder-assigned id, if live.
+    #[inline]
+    pub fn id(&self) -> Option<SpanId> {
+        self.id
+    }
+
+    /// Attach an attribute to this span.
+    #[inline]
+    pub fn attr(&self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(id) = self.id {
+            with_rec(|rec| rec.span_attr(id, key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(id) = self.id.take() {
+            ACTIVE.with(|a| {
+                if let Some(t) = a.borrow_mut().as_mut() {
+                    // Spans are strictly nested RAII guards, so the id
+                    // being closed is the innermost one — but guard
+                    // against misuse across install scopes.
+                    if t.stack.len() > t.seeded && t.stack.last() == Some(&id) {
+                        t.stack.pop();
+                    }
+                    t.rec.span_end(id);
+                }
+            });
+        }
+    }
+}
+
+#[inline]
+fn with_rec<R>(f: impl FnOnce(&dyn Recorder) -> R) -> Option<R> {
+    ACTIVE.with(|a| a.borrow().as_ref().map(|t| f(t.rec.as_ref())))
+}
+
+/// Open a span named `name` under the thread's innermost span.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span::disabled();
+    }
+    let id = ACTIVE.with(|a| {
+        a.borrow_mut().as_mut().map(|t| {
+            let id = t.rec.span_begin(name, t.stack.last().copied());
+            t.stack.push(id);
+            id
+        })
+    });
+    Span { id }
+}
+
+/// Open a span with initial attributes.
+#[inline]
+pub fn span_with(name: &'static str, attrs: &[(&'static str, AttrValue)]) -> Span {
+    let s = span(name);
+    if let Some(id) = s.id {
+        with_rec(|rec| {
+            for &(k, v) in attrs {
+                rec.span_attr(id, k, v);
+            }
+        });
+    }
+    s
+}
+
+/// Record an instant event (a convergence-trace row) with attributes.
+#[inline]
+pub fn point(name: &'static str, attrs: &[(&'static str, AttrValue)]) {
+    if !enabled() {
+        return;
+    }
+    ACTIVE.with(|a| {
+        if let Some(t) = a.borrow().as_ref() {
+            t.rec.point(name, t.stack.last().copied(), attrs);
+        }
+    });
+}
+
+/// Add `delta` to the named counter.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_rec(|rec| rec.counter_add(name, delta));
+}
+
+/// Record one observation into the named histogram.
+#[inline]
+pub fn observe(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_rec(|rec| rec.observe(name, value));
+}

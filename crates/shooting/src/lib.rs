@@ -484,6 +484,7 @@ pub fn find_periodic_orbit<D: Dae + ?Sized>(
     period_guess: f64,
     opts: &ShootingOptions,
 ) -> Result<PeriodicOrbit, ShootingError> {
+    let _sp = obskit::span_with("shooting", &[("phase", obskit::AttrValue::Str("orbit"))]);
     let n = dae.dim();
     if x0_guess.len() != n {
         return Err(ShootingError::BadInput("x0 guess has wrong length".into()));
@@ -602,6 +603,10 @@ pub fn oscillator_steady_state<D: Dae + ?Sized>(
     dae: &D,
     opts: &ShootingOptions,
 ) -> Result<PeriodicOrbit, ShootingError> {
+    let _sp = obskit::span_with(
+        "shooting",
+        &[("phase", obskit::AttrValue::Str("steady-state"))],
+    );
     let dc = transim::dc_operating_point(dae, &NewtonOptions::default())?;
 
     // Kick the phase variable off the (typically unstable) equilibrium.

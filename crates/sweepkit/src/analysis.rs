@@ -75,6 +75,7 @@ impl Analysis for TranAnalysis {
     }
 
     fn run(&self, dae: &CircuitDae) -> Result<ScenarioResult, SweepError> {
+        let _sp = obskit::span_with("analysis", &[("kind", obskit::AttrValue::Str("tran"))]);
         let res = transim::run_tran_spec(dae, &self.0)?;
         let mut columns = vec!["t".to_string()];
         columns.extend(dae.var_names());
@@ -96,10 +97,7 @@ impl Analysis for TranAnalysis {
             metrics: vec![
                 ("steps".into(), res.stats.steps as f64),
                 ("rejected".into(), res.stats.rejected as f64),
-                (
-                    "newton_iterations".into(),
-                    res.stats.newton_iterations as f64,
-                ),
+                ("newton_iters".into(), res.stats.newton_iters as f64),
                 ("factorisations".into(), res.stats.factorisations as f64),
                 ("symbolic_reuses".into(), res.stats.symbolic_reuses as f64),
             ],
@@ -116,6 +114,7 @@ impl Analysis for ShootingAnalysis {
     }
 
     fn run(&self, dae: &CircuitDae) -> Result<ScenarioResult, SweepError> {
+        let _sp = obskit::span_with("analysis", &[("kind", obskit::AttrValue::Str("shooting"))]);
         let orbit = shooting::run_shooting_spec(dae, &self.0)?;
         let mut columns = vec!["t1".to_string()];
         columns.extend(dae.var_names());
@@ -155,6 +154,7 @@ impl Analysis for MpdeAnalysis {
     }
 
     fn run(&self, dae: &CircuitDae) -> Result<ScenarioResult, SweepError> {
+        let _sp = obskit::span_with("analysis", &[("kind", obskit::AttrValue::Str("mpde"))]);
         let res = mpde::run_mpde_spec(dae, &self.0)?;
         let names = dae.var_names();
         let mut columns = vec!["t2".to_string()];
@@ -180,10 +180,7 @@ impl Analysis for MpdeAnalysis {
                 ("points".into(), res.t2.len() as f64),
                 ("steps".into(), res.stats.steps as f64),
                 ("rejected".into(), res.stats.rejected as f64),
-                (
-                    "newton_iterations".into(),
-                    res.stats.newton_iterations as f64,
-                ),
+                ("newton_iters".into(), res.stats.newton_iters as f64),
                 ("factorisations".into(), res.stats.factorisations as f64),
                 ("symbolic_reuses".into(), res.stats.symbolic_reuses as f64),
             ],
@@ -200,6 +197,7 @@ impl Analysis for WampdeAnalysis {
     }
 
     fn run(&self, dae: &CircuitDae) -> Result<ScenarioResult, SweepError> {
+        let _sp = obskit::span_with("analysis", &[("kind", obskit::AttrValue::Str("wampde"))]);
         let env = wampde::run_wampde_spec(dae, &self.0)?;
         let names = dae.var_names();
         let mut columns = vec![
@@ -233,10 +231,7 @@ impl Analysis for WampdeAnalysis {
                 ("omega_max_hz".into(), hi),
                 ("steps".into(), env.stats.steps as f64),
                 ("rejected".into(), env.stats.rejected as f64),
-                (
-                    "newton_iterations".into(),
-                    env.stats.newton_iterations as f64,
-                ),
+                ("newton_iters".into(), env.stats.newton_iters as f64),
                 ("factorisations".into(), env.stats.factorisations as f64),
                 ("symbolic_reuses".into(), env.stats.symbolic_reuses as f64),
             ],

@@ -32,7 +32,9 @@ use std::path::{Path, PathBuf};
 /// Code-version salt mixed into every job hash. Bump the format suffix
 /// whenever the cache file layout or any solver numeric behaviour
 /// changes in a way the spec fingerprints cannot see.
-pub const CACHE_SALT: &str = concat!("sweepkit-", env!("CARGO_PKG_VERSION"), "-fmt1");
+// fmt2: the `newton_iterations` metric was renamed `newton_iters`, which
+// changes the serialised ScenarioResult bytes.
+pub const CACHE_SALT: &str = concat!("sweepkit-", env!("CARGO_PKG_VERSION"), "-fmt2");
 
 /// FNV-1a, 128-bit: tiny, dependency-free, and plenty for cache keys
 /// (collision odds are negligible below ~2^60 distinct jobs).

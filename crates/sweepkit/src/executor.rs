@@ -266,6 +266,17 @@ pub fn run_deck_with(
     // lowest-indexed failure, independent of worker count.
     let cancel_above = AtomicUsize::new(usize::MAX);
 
+    // Instrumentation: the whole pool runs under one "sweep" span, and
+    // workers re-install the recorder handle so their "job" spans parent
+    // under it. Recording never touches results — traced and untraced
+    // sweeps are byte-identical.
+    let sweep_span = obskit::span("sweep");
+    sweep_span.attr("jobs_total", n_jobs);
+    sweep_span.attr("jobs_here", owned.len());
+    sweep_span.attr("workers", workers);
+    sweep_span.attr("shards", shards);
+    let obs_handle = obskit::current();
+
     thread::scope(|scope| {
         for _ in 0..workers {
             let job_rx = &job_rx;
@@ -276,35 +287,46 @@ pub fn run_deck_with(
             let cache = config.cache.as_ref();
             let deck_fp = &deck_fp;
             let spec_fps = &spec_fps;
-            scope.spawn(move || loop {
-                let id = match job_rx.lock().expect("job queue lock").recv() {
-                    Ok(id) => id,
-                    Err(_) => break, // queue drained
-                };
-                if id > cancel_above.load(Ordering::Relaxed) {
-                    continue; // a lower-indexed job already failed
-                }
-                let point = id / analyses.len();
-                let a = id % analyses.len();
-                let run_one = || -> JobOutcome {
-                    let hash = cache.map(|_| job_hash(deck_fp, &grid[point], &spec_fps[a]));
-                    if let (Some(cache), Some(hash)) = (cache, hash.as_ref()) {
-                        if let Some(result) = cache.load(hash) {
-                            return Ok((result, true));
+            let obs_handle = obs_handle.clone();
+            scope.spawn(move || {
+                let _obs = obs_handle.map(obskit::install_handle);
+                loop {
+                    let id = match job_rx.lock().expect("job queue lock").recv() {
+                        Ok(id) => id,
+                        Err(_) => break, // queue drained
+                    };
+                    if id > cancel_above.load(Ordering::Relaxed) {
+                        continue; // a lower-indexed job already failed
+                    }
+                    let point = id / analyses.len();
+                    let a = id % analyses.len();
+                    let run_one = || -> JobOutcome {
+                        let job_span = obskit::span("job");
+                        job_span.attr("job", id);
+                        job_span.attr("point", point);
+                        let hash = cache.map(|_| job_hash(deck_fp, &grid[point], &spec_fps[a]));
+                        if let (Some(cache), Some(hash)) = (cache, hash.as_ref()) {
+                            if let Some(result) = cache.load(hash) {
+                                job_span.attr("served", "cache");
+                                obskit::counter_add("sweep.cache_hits", 1);
+                                return Ok((result, true));
+                            }
                         }
+                        let dae = deck.instantiate(&grid[point])?;
+                        let result = analyses[a].run(&dae)?;
+                        if let (Some(cache), Some(hash)) = (cache, hash.as_ref()) {
+                            // Best-effort: a read-only or full cache
+                            // directory slows future runs, it must not fail
+                            // this one.
+                            let _ = cache.store(hash, &result);
+                        }
+                        job_span.attr("served", "solver");
+                        obskit::counter_add("sweep.executed", 1);
+                        Ok((result, false))
+                    };
+                    if res_tx.send((id, run_one())).is_err() {
+                        break; // main thread gave up
                     }
-                    let dae = deck.instantiate(&grid[point])?;
-                    let result = analyses[a].run(&dae)?;
-                    if let (Some(cache), Some(hash)) = (cache, hash.as_ref()) {
-                        // Best-effort: a read-only or full cache
-                        // directory slows future runs, it must not fail
-                        // this one.
-                        let _ = cache.store(hash, &result);
-                    }
-                    Ok((result, false))
-                };
-                if res_tx.send((id, run_one())).is_err() {
-                    break; // main thread gave up
                 }
             });
         }

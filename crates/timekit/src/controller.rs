@@ -214,12 +214,14 @@ impl StepController {
     /// A non-finite `err` is treated as a hard reject (maximum shrink).
     pub fn evaluate(&mut self, h_try: f64, err: f64) -> StepVerdict {
         if !self.adaptive {
+            self.record(StepVerdict::Accept, h_try, err, "fixed");
             return StepVerdict::Accept;
         }
         let exponent = -1.0 / (self.order as f64 + 1.0);
         if err <= 1.0 {
             let grow = 0.9 * err.max(1e-10).powf(exponent);
             self.h = (h_try * grow.clamp(0.25, 2.5)).clamp(self.h_min, self.h_max);
+            self.record(StepVerdict::Accept, h_try, err, "lte");
             StepVerdict::Accept
         } else {
             let shrink = if err.is_finite() {
@@ -228,7 +230,42 @@ impl StepController {
                 0.1
             };
             self.h = (h_try * shrink).max(self.h_min);
+            self.record(StepVerdict::Reject, h_try, err, "lte");
             StepVerdict::Reject
+        }
+    }
+
+    /// Emit the accept/reject convergence-trace row and counters for an
+    /// attempted step. Inert unless an `obskit` recorder is installed.
+    fn record(&self, verdict: StepVerdict, h_try: f64, err: f64, law: &'static str) {
+        if !obskit::enabled() {
+            return;
+        }
+        match verdict {
+            StepVerdict::Accept => {
+                obskit::counter_add("step.accepted", 1);
+                obskit::observe("step.h", h_try);
+                obskit::point(
+                    "step.accept",
+                    &[
+                        ("h", obskit::AttrValue::F64(h_try)),
+                        ("lte", obskit::AttrValue::F64(err)),
+                        ("law", obskit::AttrValue::Str(law)),
+                    ],
+                );
+            }
+            StepVerdict::Reject => {
+                obskit::counter_add("step.rejected", 1);
+                obskit::counter_add("step.rejected.lte", 1);
+                obskit::point(
+                    "step.reject",
+                    &[
+                        ("h", obskit::AttrValue::F64(h_try)),
+                        ("lte", obskit::AttrValue::F64(err)),
+                        ("reason", obskit::AttrValue::Str("lte")),
+                    ],
+                );
+            }
         }
     }
 
@@ -238,6 +275,17 @@ impl StepController {
     /// left to try and the solver's own error should propagate.
     pub fn reject_failure(&mut self, h_try: f64) {
         self.h = (h_try * 0.25).max(self.h_min);
+        if obskit::enabled() {
+            obskit::counter_add("step.rejected", 1);
+            obskit::counter_add("step.rejected.newton", 1);
+            obskit::point(
+                "step.reject",
+                &[
+                    ("h", obskit::AttrValue::F64(h_try)),
+                    ("reason", obskit::AttrValue::Str("newton")),
+                ],
+            );
+        }
     }
 
     /// Whether an attempt size is already at the minimum step (within

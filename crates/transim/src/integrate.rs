@@ -47,20 +47,12 @@ pub struct TransientOptions {
 }
 
 /// Counters reported alongside a transient run.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct TransientStats {
-    /// Accepted steps.
-    pub steps: usize,
-    /// Steps rejected by error control or Newton failure.
-    pub rejected: usize,
-    /// Total Newton iterations.
-    pub newton_iterations: usize,
-    /// Jacobian factorisations across all Newton solves.
-    pub factorisations: usize,
-    /// Factorisations that reused cached symbolic analysis (sparse-LU
-    /// numeric-only refactorisation; 0 on the dense and GMRES backends).
-    pub symbolic_reuses: usize,
-}
+///
+/// This is the workspace-wide [`obskit::RunStats`] summary (shared with
+/// `mpde::MpdeStats` and `wampde::EnvelopeStats`): `steps`, `rejected`,
+/// `newton_iters`, `factorisations`, `symbolic_reuses`. The former
+/// `newton_iterations` field survives as a deprecated accessor method.
+pub type TransientStats = obskit::RunStats;
 
 /// A transient waveform: accepted time points and states.
 #[derive(Debug, Clone)]
@@ -251,6 +243,9 @@ pub fn run_transient<D: Dae + ?Sized>(
         }
         let h_try = ctl.propose(t, t_end);
         let t_new = t + h_try;
+        let step_span = obskit::span("time-step");
+        step_span.attr("t", t_new);
+        step_span.attr("h", h_try);
 
         // Step-residual constants: the charge-history term from the
         // scheme, plus (1−θ)·g_prev (trapezoidal only) and −θ·b(t_new).
@@ -281,7 +276,7 @@ pub fn run_transient<D: Dae + ?Sized>(
 
         let accept = match &newton_result {
             Ok(rep) => {
-                stats.newton_iterations += rep.iterations;
+                stats.newton_iters += rep.iterations;
                 match &predicted {
                     Some(pred) if ctl.adaptive() => {
                         let err = ctl.lte(&x_new, pred);
@@ -314,6 +309,7 @@ pub fn run_transient<D: Dae + ?Sized>(
             }
         };
 
+        step_span.attr("accepted", accept);
         if accept {
             t = t_new;
             x = x_new;

@@ -24,7 +24,7 @@ fn main() {
     let (lo, hi) = env.frequency_range();
     println!(
         "WaMPDE: steps={} rejected={} newton={} time={:?}",
-        env.stats.steps, env.stats.rejected, env.stats.newton_iterations, wampde_time
+        env.stats.steps, env.stats.rejected, env.stats.newton_iters, wampde_time
     );
     println!(
         "frequency range: {:.3} - {:.3} MHz (ratio {:.2})",

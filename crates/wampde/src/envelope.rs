@@ -203,6 +203,9 @@ pub fn solve_envelope<D: Dae + ?Sized>(
         }
         let h_try = ctl.propose(t2, t2_end);
         let t_new = t2 + h_try;
+        let step_span = obskit::span("time-step");
+        step_span.attr("t2", t_new);
+        step_span.attr("h", h_try);
 
         // --- Newton solve of the step system. ---
         let mut x_new = x.clone();
@@ -241,7 +244,7 @@ pub fn solve_envelope<D: Dae + ?Sized>(
         let newton_ok = newton.is_ok();
         let accept = match newton {
             Ok(rep) => {
-                stats.newton_iterations += rep.iterations;
+                stats.newton_iters += rep.iterations;
                 match &predicted {
                     Some(pred) if ctl.adaptive() => {
                         let z_new = pack(&x_new, omega_new, free_omega);
@@ -261,6 +264,7 @@ pub fn solve_envelope<D: Dae + ?Sized>(
             }
         };
 
+        step_span.attr("accepted", accept);
         if accept {
             // Warping-function quadrature: φ += h·(ω_old + ω_new)/2 (cycles).
             phi_acc.add(h_try * 0.5 * (omega + omega_new));

@@ -2,21 +2,12 @@
 //! warping function and univariate reconstruction.
 
 /// Counters reported with an envelope run.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct EnvelopeStats {
-    /// Accepted `t2` steps.
-    pub steps: usize,
-    /// Rejected `t2` steps.
-    pub rejected: usize,
-    /// Total Newton iterations across steps.
-    pub newton_iterations: usize,
-    /// Jacobian factorisations across all Newton solves (accepted and
-    /// rejected steps).
-    pub factorisations: usize,
-    /// Factorisations that reused cached symbolic analysis (sparse-LU
-    /// numeric-only refactorisation; 0 on the dense and GMRES backends).
-    pub symbolic_reuses: usize,
-}
+///
+/// This is the workspace-wide [`obskit::RunStats`] summary (shared with
+/// `transim::TransientStats` and `mpde::MpdeStats`); `steps`/`rejected`
+/// count `t2` steps. The former `newton_iterations` field survives as a
+/// deprecated accessor method.
+pub type EnvelopeStats = obskit::RunStats;
 
 /// Result of [`crate::solve_envelope`]: the bivariate solution
 /// `x̂(t1, t2)` sampled along the envelope, the local frequency `ω(t2)`,

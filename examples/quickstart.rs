@@ -30,7 +30,7 @@ fn main() {
 
     println!(
         "envelope: {} t2 steps, {} Newton iterations",
-        env.stats.steps, env.stats.newton_iterations
+        env.stats.steps, env.stats.newton_iters
     );
     let (lo, hi) = env.frequency_range();
     println!(

@@ -104,10 +104,7 @@ fn wampde_envelope_backends_agree_and_reuse_on_ring_vco() {
         sparse.stats
     );
     assert_eq!(dense.stats.symbolic_reuses, 0);
-    assert_eq!(
-        dense.stats.newton_iterations,
-        sparse.stats.newton_iterations
-    );
+    assert_eq!(dense.stats.newton_iters, sparse.stats.newton_iters);
 }
 
 #[test]
