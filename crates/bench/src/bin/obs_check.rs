@@ -1,6 +1,7 @@
 //! Dependency-free schema checker for `obskit` trace artifacts.
 //!
 //!     obs-check <trace.json> <metrics.jsonl> [--require-span NAME]...
+//!               [--require-metric NAME]...
 //!
 //! Validates the two files a traced run produces (`wampde-cli --trace`)
 //! against the documented schemas (`docs/OBSERVABILITY.md`):
@@ -15,8 +16,10 @@
 //!
 //! `--require-span NAME` additionally asserts at least one `X` event
 //! with that name — CI uses it to prove the whole instrumented stack
-//! (sweep → job → analysis → time-step → newton → factor) actually
-//! fired, not just that the files parse.
+//! (sweep → job → analysis → time-step → newton → factor, and under
+//! the KLU backend factor.btf → factor.order) actually fired, not just
+//! that the files parse. `--require-metric NAME` does the same for a
+//! metrics row (e.g. the `lu.fill_ratio` histogram).
 //!
 //! Exit status 0 on success (one summary line), 1 on the first schema
 //! violation (diagnostic on stderr). Parsing reuses `sweepkit`'s
@@ -134,9 +137,11 @@ fn check_trace(text: &str) -> (usize, usize, BTreeSet<String>) {
     (spans, instants, names)
 }
 
-/// Checks a metrics JSONL dump; returns (counter, histogram, point) counts.
-fn check_metrics(text: &str) -> (usize, usize, usize) {
+/// Checks a metrics JSONL dump; returns (counter, histogram, point)
+/// counts plus the distinct metric names.
+fn check_metrics(text: &str) -> (usize, usize, usize, BTreeSet<String>) {
     let (mut counters, mut histograms, mut points) = (0usize, 0usize, 0usize);
+    let mut names = BTreeSet::new();
     for (lineno, line) in text.lines().enumerate() {
         let what = format!("metrics.jsonl line {}", lineno + 1);
         let row = match parse_json(line) {
@@ -144,7 +149,7 @@ fn check_metrics(text: &str) -> (usize, usize, usize) {
             Ok(_) => fail(&format!("{what}: not a JSON object")),
             Err(e) => fail(&format!("{what}: {e}")),
         };
-        required_str(&row, "name", &what);
+        names.insert(required_str(&row, "name", &what).to_string());
         match required_str(&row, "kind", &what) {
             "counter" => {
                 counters += 1;
@@ -177,13 +182,14 @@ fn check_metrics(text: &str) -> (usize, usize, usize) {
     if counters == 0 {
         fail("metrics.jsonl: no counter rows — the run was not instrumented");
     }
-    (counters, histograms, points)
+    (counters, histograms, points, names)
 }
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut required: Vec<String> = Vec::new();
+    let mut required_metrics: Vec<String> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -194,13 +200,23 @@ fn main() {
                     None => fail("--require-span needs a span name"),
                 }
             }
+            "--require-metric" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(name) => required_metrics.push(name.clone()),
+                    None => fail("--require-metric needs a metric name"),
+                }
+            }
             flag if flag.starts_with("--") => fail(&format!("unknown flag `{flag}`")),
             path => paths.push(path.to_string()),
         }
         i += 1;
     }
     if paths.len() != 2 {
-        eprintln!("usage: obs-check <trace.json> <metrics.jsonl> [--require-span NAME]...");
+        eprintln!(
+            "usage: obs-check <trace.json> <metrics.jsonl> [--require-span NAME]... \
+             [--require-metric NAME]..."
+        );
         std::process::exit(2);
     }
 
@@ -210,12 +226,20 @@ fn main() {
         .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", paths[1])));
 
     let (spans, instants, names) = check_trace(&trace_text);
-    let (counters, histograms, points) = check_metrics(&metrics_text);
+    let (counters, histograms, points, metric_names) = check_metrics(&metrics_text);
     for name in &required {
         if !names.contains(name) {
             fail(&format!(
                 "trace.json: required span `{name}` never appears (saw: {})",
                 names.iter().cloned().collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
+    for name in &required_metrics {
+        if !metric_names.contains(name) {
+            fail(&format!(
+                "metrics.jsonl: required metric `{name}` never appears (saw: {})",
+                metric_names.iter().cloned().collect::<Vec<_>>().join(", ")
             ));
         }
     }

@@ -42,8 +42,9 @@
 //! the counter summary after the run. Neither changes a result bit —
 //! see `docs/OBSERVABILITY.md`.
 //!
-//! `--solver dense|sparselu|gmres` overrides the linear-solver backend
-//! for every analysis — beating both the deck-wide `.options` choice and
+//! `--solver dense|sparselu|klu|gmres|gmres-circulant` overrides the
+//! linear-solver backend for every analysis — beating both the
+//! deck-wide `.options` choice and
 //! any per-directive `solver=` key (the command line is the outermost
 //! layer); `--integrator be|trap|bdf2` and `--rtol V` likewise override
 //! the time-stepping scheme and adaptive tolerance of every
@@ -67,7 +68,7 @@ fn usage() -> ! {
          [--trace DIR] [--metrics]"
     );
     eprintln!("       wampde-cli merge <shard_manifest.json>... [--out DIR]");
-    eprintln!("  KIND: dense | sparselu | gmres");
+    eprintln!("  KIND: dense | sparselu | klu | gmres | gmres-circulant");
     eprintln!("  SCHEME: be | trap | bdf2");
     std::process::exit(2);
 }
@@ -111,7 +112,10 @@ fn parse_args(argv: &[String]) -> Args {
                     argv.get(i)
                         .and_then(|v| LinearSolverKind::parse(v))
                         .unwrap_or_else(|| {
-                            eprintln!("--solver requires one of: dense, sparselu, gmres");
+                            eprintln!(
+                                "--solver requires one of: dense, sparselu, klu, gmres, \
+                                 gmres-circulant"
+                            );
                             std::process::exit(2);
                         }),
                 );

@@ -248,6 +248,147 @@ impl StepJacobian {
     }
 }
 
+/// An owned quasiperiodic *cyclic* Jacobian over `n1` slow-time slices —
+/// the workload of the block-circulant GMRES preconditioner ablation.
+///
+/// Each slice carries one bordered collocation system (a small
+/// [`StepJacobian`]) on the d=0 block diagonal, scaled by a smooth
+/// envelope wobble so the blocks vary per slice exactly as the real
+/// quasiperiodic system's do; the BDF2 cyclic stencil couples slice `m`
+/// to slices `m−1` and `m−2` (mod `n1`) through the charge blocks. The
+/// matrix is therefore block circulant *to envelope accuracy* — the
+/// structure [`wampde::linsolve::BlockCirculantPrecond`] exploits.
+pub struct CyclicJacobian {
+    trip: sparsekit::Triplets,
+    n1: usize,
+    bw: usize,
+}
+
+impl CyclicJacobian {
+    /// Builds the cyclic system with `n1` slices of the
+    /// `ring_loaded_vco(4)` collocation block (harmonics = 2).
+    pub fn build(n1: usize) -> Self {
+        let base = StepJacobian::build(4, 2);
+        let bw = base.dim();
+        let n = base.colloc.n;
+        let dim = n1 * bw;
+        // BDF2 cyclic stencil over the slice spacing h.
+        let h = 2.0e-6 / n1 as f64;
+        let (c0, c1, c2) = (1.5 / h, -2.0 / h, 0.5 / h);
+
+        let mut trip = sparsekit::Triplets::with_capacity(dim, dim, n1 * bw * bw / 4);
+        // d = 0 diagonal blocks: the bordered collocation system with
+        // inv_h = c0/h, wobbled per slice.
+        let mut local = sparsekit::Triplets::new(bw, bw);
+        let mut parts = base.parts();
+        parts.inv_h = c0;
+        parts.push_triplets(&mut local);
+        for m in 0..n1 {
+            let wob = 1.0 + 0.05 * (2.0 * std::f64::consts::PI * m as f64 / n1 as f64).sin();
+            let off = m * bw;
+            for (r, c, v) in local.iter() {
+                trip.push(off + r, off + c, v * wob);
+            }
+        }
+        // d = 1, 2 stencil couplings: c_d·C_s blocks, sample-diagonal.
+        for (d, cd) in [(1usize, c1), (2usize, c2)] {
+            for m in 0..n1 {
+                let src = (m + n1 - d) % n1;
+                for s in 0..base.colloc.n0 {
+                    let c = &base.cblocks[s];
+                    for i in 0..n {
+                        for j in 0..n {
+                            let v = cd * c[(i, j)];
+                            if v != 0.0 {
+                                trip.push(m * bw + s * n + i, src * bw + s * n + j, v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        CyclicJacobian { trip, n1, bw }
+    }
+
+    /// Total system dimension `n1·bw`.
+    pub fn dim(&self) -> usize {
+        self.n1 * self.bw
+    }
+
+    /// The block-cyclic structure hint for the circulant backend.
+    pub fn shape(&self) -> wampde::linsolve::CyclicShape {
+        wampde::linsolve::CyclicShape {
+            blocks: self.n1,
+            block_dim: self.bw,
+        }
+    }
+
+    /// The assembled triplets.
+    pub fn triplets(&self) -> &sparsekit::Triplets {
+        &self.trip
+    }
+
+    /// A smooth right-hand side of matching dimension.
+    pub fn rhs(&self) -> Vec<f64> {
+        (0..self.dim()).map(|i| (0.17 * i as f64).sin()).collect()
+    }
+
+    /// GMRES iterations to `rtol = 1e-8` with the block-circulant
+    /// preconditioner (`None` when GMRES fails to converge).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix disagrees with its own declared shape.
+    pub fn gmres_circulant_iterations(&self) -> Option<usize> {
+        let a = self.trip.to_csr();
+        let p = wampde::linsolve::BlockCirculantPrecond::from_csr(&a, self.shape())
+            .expect("cyclic jacobian matches its declared shape");
+        let op = sparsekit::CsrOp::new(&a);
+        let opts = sparsekit::GmresOptions {
+            restart: 60,
+            max_iters: 1000,
+            rtol: 1e-8,
+            atol: 1e-300,
+        };
+        sparsekit::gmres(&op, &p, &self.rhs(), None, &opts)
+            .ok()
+            .map(|r| r.iterations)
+    }
+
+    /// GMRES iterations to the same tolerance with the structure-blind
+    /// ILU(0) preconditioner (diagonal-regularised like the `gmres`
+    /// backend; `None` when GMRES fails to converge within the cap).
+    pub fn gmres_ilu0_iterations(&self) -> Option<usize> {
+        let a = self.trip.to_csr();
+        let n = a.nrows();
+        // Unit-regularise the structurally zero diagonals (phase-row /
+        // frequency-column corners), as linsolve's gmres backend does.
+        let mut reg = sparsekit::Triplets::with_capacity(n, n, a.nnz() + n);
+        for i in 0..n {
+            let (cols, vals) = a.row(i);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                reg.push(i, c, v);
+            }
+        }
+        for i in 0..n {
+            if a.get(i, i) == 0.0 {
+                reg.push(i, i, 1.0);
+            }
+        }
+        let ilu = sparsekit::Ilu0::factor(&reg.to_csr()).ok()?;
+        let op = sparsekit::CsrOp::new(&a);
+        let opts = sparsekit::GmresOptions {
+            restart: 60,
+            max_iters: 1000,
+            rtol: 1e-8,
+            atol: 1e-300,
+        };
+        sparsekit::gmres(&op, &ilu, &self.rhs(), None, &opts)
+            .ok()
+            .map(|r| r.iterations)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,7 +29,7 @@
 //! .mpde     <f1> <tstop> [harmonics=<n>] [node=<k>] [amp=<v>] [depth=<v>] [fmod=<v>] [dt=<v>] [solver=<s>] [STEP KEYS]
 //! .wampde   <tstop> [harmonics=<n>] [phase_var=<k>] [steps=<n>] [dt=<v>] [solver=<s>] [STEP KEYS]
 //! .sweep    <param> <from> <to> <points> [log]
-//! .options  solver=dense|sparselu|gmres [gmres_tol=<v>] [gmres_restart=<n>]
+//! .options  solver=dense|sparselu|klu|gmres|gmres-circulant [gmres_tol=<v>] [gmres_restart=<n>]
 //! ```
 //!
 //! The time-stepping analyses share one set of `STEP KEYS` plumbed into
@@ -41,12 +41,15 @@
 //!
 //! `.options` selects the linear-solver backend for *every* analysis in
 //! the deck (position-independent; a later `.options` line wins). The
-//! default is dense LU; `sparselu` and `gmres` route each solver's inner
+//! default is dense LU; `sparselu`, `klu` (BTF + AMD ordered sparse LU),
+//! `gmres`, and `gmres-circulant` (block-circulant preconditioning for
+//! the quasiperiodic cyclic system) route each solver's inner
 //! factorisations through the shared `linsolve` layer's sparse backends.
-//! Every analysis directive additionally accepts its own
-//! `solver=dense|sparselu|gmres` key, which takes precedence over the
-//! deck-wide `.options` choice for that analysis alone (and is itself
-//! overridden by the `wampde-cli --solver` flag).
+//! Every analysis directive additionally accepts its own `solver=<s>`
+//! key with the same values, which takes precedence over the deck-wide
+//! `.options` choice for that analysis alone (and is itself overridden
+//! by the `wampde-cli --solver` flag). The `gmres_tol`/`gmres_restart`
+//! knobs apply to both GMRES flavours.
 //!
 //! `<param>` in `.sweep` is a device card name (`R1`) or a dotted field
 //! (`M1.control`); see [`Device::set_param`] for the field tables.
@@ -439,8 +442,9 @@ enum Directive {
 /// Parses a per-directive `solver=` value, naming the directive in the
 /// error message.
 fn parse_solver_key(v: &str, directive: &str) -> Result<LinearSolverKind, String> {
-    LinearSolverKind::parse(v)
-        .ok_or_else(|| format!("{directive}: unknown solver '{v}' (dense, sparselu, gmres)"))
+    LinearSolverKind::parse(v).ok_or_else(|| {
+        format!("{directive}: unknown solver '{v}' (dense, sparselu, klu, gmres, gmres-circulant)")
+    })
 }
 
 /// Positional tokens and `key=value` options of one directive line.
@@ -790,8 +794,8 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
             let (pos, opts) = split_args(args)?;
             if !pos.is_empty() {
                 return Err(
-                    "usage: .options solver=dense|sparselu|gmres [gmres_tol=<v>] \
-                     [gmres_restart=<n>]"
+                    "usage: .options solver=dense|sparselu|klu|gmres|gmres-circulant \
+                     [gmres_tol=<v>] [gmres_restart=<n>]"
                         .into(),
                 );
             }
@@ -813,12 +817,20 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
                 }
             }
             let Some(tok) = solver_tok else {
-                return Err(".options requires solver=<dense|sparselu|gmres>".into());
+                return Err(
+                    ".options requires solver=<dense|sparselu|klu|gmres|gmres-circulant>".into(),
+                );
             };
             let mut kind = LinearSolverKind::parse(tok).ok_or_else(|| {
-                format!(".options: unknown solver '{tok}' (dense, sparselu, gmres)")
+                format!(
+                    ".options: unknown solver '{tok}' (dense, sparselu, klu, gmres, \
+                     gmres-circulant)"
+                )
             })?;
-            if let LinearSolverKind::GmresIlu0 { restart, rtol, .. } = &mut kind {
+            // Both GMRES flavours share the iteration knobs.
+            if let LinearSolverKind::GmresIlu0 { restart, rtol, .. }
+            | LinearSolverKind::GmresCirculant { restart, rtol, .. } = &mut kind
+            {
                 if let Some(tol) = gmres_tol {
                     if tol <= 0.0 {
                         return Err(".options: gmres_tol must be positive".into());
@@ -832,7 +844,7 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
                     *restart = r;
                 }
             } else if gmres_tol.is_some() || gmres_restart.is_some() {
-                return Err(".options: gmres_tol/gmres_restart require solver=gmres".into());
+                return Err(".options: gmres_tol/gmres_restart require a gmres solver".into());
             }
             Ok(Directive::Options(kind))
         }
@@ -1111,7 +1123,7 @@ mod tests {
             (
                 "R1 a 0 1k\nC1 a 0 1n\n.options solver=dense gmres_tol=1e-9\n",
                 3,
-                "require solver=gmres",
+                "require a gmres solver",
             ),
             (
                 "R1 a 0 1k\nC1 a 0 1n\n.options solver=gmres gmres_restart=0\n",
@@ -1288,6 +1300,37 @@ mod tests {
         ));
         assert_eq!(deck.analyses[2].solver(), LinearSolverKind::SparseLu);
         assert_eq!(deck.analyses[3].solver(), LinearSolverKind::Dense);
+    }
+
+    #[test]
+    fn klu_and_circulant_solver_keys_parse_everywhere() {
+        // The KLU backend per-directive and deck-wide...
+        let deck = parse_deck(&format!(
+            "{VCO_CARDS}.tran 1m dt=2u solver=klu\n\
+             .shooting steps=128 solver=gmres-circulant\n\
+             .options solver=klu\n\
+             .wampde 6u harmonics=5\n"
+        ))
+        .unwrap();
+        assert_eq!(deck.analyses[0].solver(), LinearSolverKind::Klu);
+        assert!(matches!(
+            deck.analyses[1].solver(),
+            LinearSolverKind::GmresCirculant { .. }
+        ));
+        assert_eq!(deck.analyses[2].solver(), LinearSolverKind::Klu);
+        // ...and the GMRES knobs tune the circulant flavour too.
+        let deck = parse_deck(&format!(
+            "{VCO_CARDS}.options solver=gmres-circulant gmres_tol=1e-8 gmres_restart=30\n\
+             .shooting\n"
+        ))
+        .unwrap();
+        match deck.analyses[0].solver() {
+            LinearSolverKind::GmresCirculant { restart, rtol, .. } => {
+                assert_eq!(restart, 30);
+                assert!((rtol - 1e-8).abs() < 1e-20);
+            }
+            other => panic!("unexpected solver {other:?}"),
+        }
     }
 
     #[test]

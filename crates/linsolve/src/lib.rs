@@ -51,8 +51,12 @@
 //! ```
 
 use numkit::{DMat, DenseLu};
-use sparsekit::{gmres, Csr, CsrOp, GmresOptions, Ilu0, SparseLu, Triplets};
+use sparsekit::{gmres, Csr, CsrOp, GmresOptions, Ilu0, OrderingPlan, SparseLu, Triplets};
 use std::fmt;
+
+pub mod circulant;
+
+pub use circulant::{BlockCirculantPrecond, CyclicShape};
 
 /// Solver-agnostic linear-solve failure (factorisation or back-solve).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,9 +89,27 @@ pub enum LinearSolverKind {
     Dense,
     /// Sparse LU (Gilbert–Peierls) on the assembled sparse Jacobian.
     SparseLu,
+    /// KLU-class sparse LU: BTF decomposition + per-block AMD ordering +
+    /// row equilibration on top of the Gilbert–Peierls kernel (Davis &
+    /// Palamadai Natarajan, ACM TOMS 2010) — the right direct solver for
+    /// large circuit Jacobians.
+    Klu,
     /// Restarted GMRES with ILU(0), per the paper's note on iterative
     /// methods for large systems.
     GmresIlu0 {
+        /// Restart length.
+        restart: usize,
+        /// Iteration cap.
+        max_iters: usize,
+        /// Relative residual target.
+        rtol: f64,
+    },
+    /// Restarted GMRES with the FFT-diagonalised block-circulant
+    /// preconditioner ([`BlockCirculantPrecond`]) — structure-exploiting
+    /// for the quasiperiodic cyclic Jacobian. Falls back to ILU(0) when
+    /// no [`CyclicShape`] is available (see
+    /// [`FactorCache::set_cyclic_shape`]).
+    GmresCirculant {
         /// Restart length.
         restart: usize,
         /// Iteration cap.
@@ -109,14 +131,27 @@ impl LinearSolverKind {
         }
     }
 
-    /// Parses a backend name (`dense`, `sparselu`, `gmres`), as used by
-    /// the `.options solver=` deck directive and `wampde-cli --solver`.
-    /// `gmres` selects [`LinearSolverKind::gmres_default`].
+    /// The circulant-preconditioned GMRES backend at the same defaults
+    /// as [`LinearSolverKind::gmres_default`].
+    pub fn gmres_circulant_default() -> Self {
+        LinearSolverKind::GmresCirculant {
+            restart: 60,
+            max_iters: 1000,
+            rtol: 1e-10,
+        }
+    }
+
+    /// Parses a backend name (`dense`, `sparselu`, `klu`, `gmres`,
+    /// `gmres-circulant`), as used by the `.options solver=` deck
+    /// directive and `wampde-cli --solver`. The GMRES names select their
+    /// recommended defaults.
     pub fn parse(token: &str) -> Option<Self> {
         match token.to_ascii_lowercase().as_str() {
             "dense" => Some(LinearSolverKind::Dense),
             "sparselu" => Some(LinearSolverKind::SparseLu),
+            "klu" => Some(LinearSolverKind::Klu),
             "gmres" => Some(LinearSolverKind::gmres_default()),
+            "gmres-circulant" => Some(LinearSolverKind::gmres_circulant_default()),
             _ => None,
         }
     }
@@ -126,7 +161,9 @@ impl LinearSolverKind {
         match self {
             LinearSolverKind::Dense => "dense",
             LinearSolverKind::SparseLu => "sparselu",
+            LinearSolverKind::Klu => "klu",
             LinearSolverKind::GmresIlu0 { .. } => "gmres",
+            LinearSolverKind::GmresCirculant { .. } => "gmres-circulant",
         }
     }
 
@@ -138,12 +175,21 @@ impl LinearSolverKind {
         match self {
             LinearSolverKind::Dense => "dense".into(),
             LinearSolverKind::SparseLu => "sparselu".into(),
+            LinearSolverKind::Klu => "klu".into(),
             LinearSolverKind::GmresIlu0 {
                 restart,
                 max_iters,
                 rtol,
             } => format!(
                 "gmres(restart={restart},max_iters={max_iters},rtol={:016x})",
+                rtol.to_bits()
+            ),
+            LinearSolverKind::GmresCirculant {
+                restart,
+                max_iters,
+                rtol,
+            } => format!(
+                "gmres-circulant(restart={restart},max_iters={max_iters},rtol={:016x})",
                 rtol.to_bits()
             ),
         }
@@ -380,6 +426,67 @@ pub enum FactoredJacobian {
         /// Iteration parameters.
         opts: GmresOptions,
     },
+    /// Raw CSR operator + block-circulant preconditioner for GMRES on
+    /// cyclic (quasiperiodic) Jacobians. No equilibration: the per-mode
+    /// solves are exact dense factorisations.
+    GmresCyclic {
+        /// Assembled matrix, unscaled.
+        a: Csr,
+        /// The FFT-diagonalised preconditioner.
+        precond: BlockCirculantPrecond,
+        /// Iteration parameters.
+        opts: GmresOptions,
+    },
+}
+
+/// Builds the structure-exploiting GMRES pair for a cyclic Jacobian:
+/// the raw CSR operator preconditioned by [`BlockCirculantPrecond`].
+///
+/// Falls back to [`factor_gmres`] (ILU(0)) when `shape` is `None` or
+/// disagrees with the matrix dimension — the circulant backend then
+/// behaves exactly like plain `gmres` rather than failing.
+fn factor_gmres_cyclic(
+    trip: &Triplets,
+    shape: Option<CyclicShape>,
+    restart: usize,
+    max_iters: usize,
+    rtol: f64,
+) -> Result<FactoredJacobian, LinSolveError> {
+    let a = trip.to_csr();
+    if let Some(s) = shape {
+        if let Some(precond) = BlockCirculantPrecond::from_csr(&a, s) {
+            return Ok(FactoredJacobian::GmresCyclic {
+                a,
+                precond,
+                opts: GmresOptions {
+                    restart,
+                    max_iters,
+                    rtol,
+                    atol: 1e-300,
+                },
+            });
+        }
+    }
+    factor_gmres(trip, restart, max_iters, rtol)
+}
+
+/// Runs the KLU symbolic pipeline (BTF + per-block AMD) under the
+/// `factor.btf` / `factor.order` spans, then factors through the
+/// equilibrated matched-pivot path.
+fn factor_klu(csc: &sparsekit::Csc) -> Result<SparseLu, LinSolveError> {
+    let form = {
+        let _sp = obskit::span("factor.btf");
+        sparsekit::btf(csc).map_err(LinSolveError::new)?
+    };
+    let plan = {
+        let _sp = obskit::span("factor.order");
+        OrderingPlan::from_btf(csc, &form)
+    };
+    let lu = SparseLu::factor_ordered(csc, &plan).map_err(LinSolveError::new)?;
+    if csc.nnz() > 0 {
+        obskit::observe("lu.fill_ratio", lu.factor_nnz() as f64 / csc.nnz() as f64);
+    }
+    Ok(lu)
 }
 
 /// Builds the GMRES operator + preconditioner pair from triplets.
@@ -489,7 +596,18 @@ impl FactoredJacobian {
                 let lu = SparseLu::factor(&csc).map_err(LinSolveError::new)?;
                 Ok(FactoredJacobian::Sparse(lu))
             }
+            LinearSolverKind::Klu => {
+                let csc = parts.assemble_triplets().to_csc();
+                Ok(FactoredJacobian::Sparse(factor_klu(&csc)?))
+            }
             LinearSolverKind::GmresIlu0 {
+                restart,
+                max_iters,
+                rtol,
+            } => factor_gmres(&parts.assemble_triplets(), restart, max_iters, rtol),
+            // The collocation Jacobian is not block cyclic; the circulant
+            // backend degrades to ILU(0) here (no shape available).
+            LinearSolverKind::GmresCirculant {
                 restart,
                 max_iters,
                 rtol,
@@ -521,7 +639,19 @@ impl FactoredJacobian {
                 let lu = SparseLu::factor(&csc).map_err(LinSolveError::new)?;
                 Ok(FactoredJacobian::Sparse(lu))
             }
+            LinearSolverKind::Klu => {
+                let csc = matrix.to_triplets().to_csc();
+                Ok(FactoredJacobian::Sparse(factor_klu(&csc)?))
+            }
             LinearSolverKind::GmresIlu0 {
+                restart,
+                max_iters,
+                rtol,
+            } => factor_gmres(&matrix.to_triplets(), restart, max_iters, rtol),
+            // No cyclic shape travels with a bare matrix; use
+            // [`FactorCache::set_cyclic_shape`] to engage the circulant
+            // preconditioner. Stateless calls degrade to ILU(0).
+            LinearSolverKind::GmresCirculant {
                 restart,
                 max_iters,
                 rtol,
@@ -535,6 +665,7 @@ impl FactoredJacobian {
             FactoredJacobian::Dense(lu) => lu.dim(),
             FactoredJacobian::Sparse(lu) => lu.dim(),
             FactoredJacobian::Gmres { a, .. } => a.nrows(),
+            FactoredJacobian::GmresCyclic { a, .. } => a.nrows(),
         }
     }
 
@@ -564,6 +695,12 @@ impl FactoredJacobian {
                 for (slot, (y, s)) in rhs.iter_mut().zip(result.x.iter().zip(col_scale.iter())) {
                     *slot = y * s;
                 }
+                Ok(())
+            }
+            FactoredJacobian::GmresCyclic { a, precond, opts } => {
+                let op = CsrOp::new(a);
+                let result = gmres(&op, precond, rhs, None, opts).map_err(LinSolveError::new)?;
+                rhs.copy_from_slice(&result.x);
                 Ok(())
             }
         }
@@ -601,6 +738,7 @@ pub struct FactorCache {
     kind: LinearSolverKind,
     reuse: bool,
     factored: Option<FactoredJacobian>,
+    cyclic: Option<CyclicShape>,
     stats: FactorStats,
 }
 
@@ -611,6 +749,7 @@ impl FactorCache {
             kind,
             reuse: true,
             factored: None,
+            cyclic: None,
             stats: FactorStats::default(),
         }
     }
@@ -618,6 +757,19 @@ impl FactorCache {
     /// Enables/disables symbolic reuse (ablation knob; on by default).
     pub fn set_reuse(&mut self, reuse: bool) {
         self.reuse = reuse;
+    }
+
+    /// Declares the block-cyclic structure of incoming matrices, letting
+    /// the [`LinearSolverKind::GmresCirculant`] backend build its
+    /// structure-exploiting preconditioner. `None` (the default) makes
+    /// that backend fall back to ILU(0). Other backends ignore the hint.
+    pub fn set_cyclic_shape(&mut self, shape: Option<CyclicShape>) {
+        self.cyclic = shape;
+    }
+
+    /// The currently declared cyclic structure hint.
+    pub fn cyclic_shape(&self) -> Option<CyclicShape> {
+        self.cyclic
     }
 
     /// The configured backend.
@@ -647,7 +799,10 @@ impl FactorCache {
     pub fn factor_matrix(&mut self, matrix: &NewtonMatrix<'_>) -> Result<(), LinSolveError> {
         let sp = obskit::span("factor");
         self.stats.factorisations += 1;
-        if let LinearSolverKind::SparseLu = self.kind {
+        if matches!(
+            self.kind,
+            LinearSolverKind::SparseLu | LinearSolverKind::Klu
+        ) {
             // Convert without cloning the triplet buffer: this runs once
             // per Newton iteration on the hot path.
             let csc = match matrix {
@@ -656,6 +811,9 @@ impl FactorCache {
             };
             if self.reuse {
                 if let Some(FactoredJacobian::Sparse(lu)) = &mut self.factored {
+                    // The ordering plan lives inside the cached factors,
+                    // so numeric-only refactorisation is identical for
+                    // the plain and KLU-ordered paths.
                     if lu.refactor(&csc).is_ok() {
                         self.stats.symbolic_reuses += 1;
                         sp.attr("mode", "reused");
@@ -666,8 +824,36 @@ impl FactorCache {
                     obskit::counter_add("factor.rebuilds", 1);
                 }
             }
-            let lu = SparseLu::factor(&csc).map_err(LinSolveError::new)?;
+            let lu = match self.kind {
+                LinearSolverKind::Klu => factor_klu(&csc)?,
+                _ => SparseLu::factor(&csc).map_err(LinSolveError::new)?,
+            };
             self.factored = Some(FactoredJacobian::Sparse(lu));
+            sp.attr("mode", "fresh");
+            obskit::counter_add("factor.fresh", 1);
+            return Ok(());
+        }
+        if let LinearSolverKind::GmresCirculant {
+            restart,
+            max_iters,
+            rtol,
+        } = self.kind
+        {
+            let trip;
+            let t = match matrix {
+                NewtonMatrix::Triplets(t) => *t,
+                NewtonMatrix::Dense(_) => {
+                    trip = matrix.to_triplets();
+                    &trip
+                }
+            };
+            self.factored = Some(factor_gmres_cyclic(
+                t,
+                self.cyclic,
+                restart,
+                max_iters,
+                rtol,
+            )?);
             sp.attr("mode", "fresh");
             obskit::counter_add("factor.fresh", 1);
             return Ok(());
@@ -1038,13 +1224,126 @@ mod tests {
             LinearSolverKind::parse("SPARSELU"),
             Some(LinearSolverKind::SparseLu)
         );
+        assert_eq!(LinearSolverKind::parse("klu"), Some(LinearSolverKind::Klu));
         assert!(matches!(
             LinearSolverKind::parse("gmres"),
             Some(LinearSolverKind::GmresIlu0 { .. })
+        ));
+        assert!(matches!(
+            LinearSolverKind::parse("gmres-circulant"),
+            Some(LinearSolverKind::GmresCirculant { .. })
         ));
         assert_eq!(LinearSolverKind::parse("bogus"), None);
         assert_eq!(LinearSolverKind::gmres_default().label(), "gmres");
         assert_eq!(LinearSolverKind::default().label(), "dense");
         assert_eq!(LinearSolverKind::SparseLu.label(), "sparselu");
+        assert_eq!(LinearSolverKind::Klu.label(), "klu");
+        assert_eq!(
+            LinearSolverKind::gmres_circulant_default().label(),
+            "gmres-circulant"
+        );
+        assert!(LinearSolverKind::gmres_circulant_default()
+            .fingerprint()
+            .starts_with("gmres-circulant("));
+    }
+
+    #[test]
+    fn klu_backend_agrees_with_dense() {
+        // Bordered collocation Jacobian — the shape KLU is for.
+        let (dmat, cblocks, gblocks) = synthetic_blocks();
+        let len = 10;
+        let row: Vec<f64> = (0..len)
+            .map(|k| if k % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let col: Vec<f64> = (0..len).map(|k| 0.1 + (k as f64 * 0.11).cos()).collect();
+        let mut parts = synthetic_parts(&dmat, &cblocks, &gblocks);
+        parts.border = Some((&row, &col));
+        let rhs: Vec<f64> = (0..parts.dim())
+            .map(|i| 1.0 + (i as f64 * 0.3).sin())
+            .collect();
+        let mut dense = rhs.clone();
+        FactoredJacobian::factor(&parts, LinearSolverKind::Dense)
+            .unwrap()
+            .solve_in_place(&mut dense)
+            .unwrap();
+        let mut klu = rhs.clone();
+        FactoredJacobian::factor(&parts, LinearSolverKind::Klu)
+            .unwrap()
+            .solve_in_place(&mut klu)
+            .unwrap();
+        for i in 0..rhs.len() {
+            assert!((dense[i] - klu[i]).abs() < 1e-9, "klu mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn factor_cache_klu_reuses_symbolic_on_same_pattern() {
+        let mut cache = FactorCache::new(LinearSolverKind::Klu);
+        for iter in 0..4 {
+            let shift = iter as f64;
+            let mut t = Triplets::new(3, 3);
+            t.push(0, 0, 4.0 + shift);
+            t.push(1, 1, 3.0 + shift);
+            t.push(2, 2, 5.0 + shift);
+            t.push(0, 1, 1.0);
+            t.push(2, 0, 0.5);
+            cache.factor_matrix(&NewtonMatrix::Triplets(&t)).unwrap();
+            let mut x = vec![1.0, 2.0, 3.0];
+            cache.solve_in_place(&mut x).unwrap();
+            let mut reference = vec![1.0, 2.0, 3.0];
+            FactoredJacobian::factor_matrix(&NewtonMatrix::Triplets(&t), LinearSolverKind::Dense)
+                .unwrap()
+                .solve_in_place(&mut reference)
+                .unwrap();
+            for i in 0..3 {
+                assert!((x[i] - reference[i]).abs() < 1e-12, "iteration {iter}, {i}");
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.factorisations, 4);
+        assert_eq!(stats.symbolic_reuses, 3);
+        assert_eq!(stats.pattern_rebuilds, 0);
+    }
+
+    #[test]
+    fn factor_cache_circulant_uses_shape_and_falls_back() {
+        // Block-cyclic system: 4 blocks of 2, diagonal + previous-block
+        // coupling — exactly the quasiperiodic stencil shape.
+        let (n1, bw) = (4, 2);
+        let mut t = Triplets::new(n1 * bw, n1 * bw);
+        for r in 0..n1 {
+            let prev = (r + n1 - 1) % n1;
+            for p in 0..bw {
+                t.push(r * bw + p, r * bw + p, 4.0);
+                t.push(r * bw + p, prev * bw + p, -1.0);
+            }
+        }
+        let rhs: Vec<f64> = (0..n1 * bw).map(|i| (0.3 * i as f64).cos()).collect();
+        let mut dense = rhs.clone();
+        FactoredJacobian::factor_matrix(&NewtonMatrix::Triplets(&t), LinearSolverKind::Dense)
+            .unwrap()
+            .solve_in_place(&mut dense)
+            .unwrap();
+
+        let mut cache = FactorCache::new(LinearSolverKind::gmres_circulant_default());
+        cache.set_cyclic_shape(Some(CyclicShape {
+            blocks: n1,
+            block_dim: bw,
+        }));
+        cache.factor_matrix(&NewtonMatrix::Triplets(&t)).unwrap();
+        let mut x = rhs.clone();
+        cache.solve_in_place(&mut x).unwrap();
+        for i in 0..rhs.len() {
+            assert!((x[i] - dense[i]).abs() < 1e-8, "cyclic mismatch at {i}");
+        }
+
+        // Without a shape hint the backend still solves (ILU0 fallback).
+        cache.set_cyclic_shape(None);
+        cache.factor_matrix(&NewtonMatrix::Triplets(&t)).unwrap();
+        let mut y = rhs.clone();
+        cache.solve_in_place(&mut y).unwrap();
+        for i in 0..rhs.len() {
+            assert!((y[i] - dense[i]).abs() < 1e-8, "fallback mismatch at {i}");
+        }
     }
 }

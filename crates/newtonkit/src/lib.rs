@@ -73,7 +73,7 @@
 //! # }
 //! ```
 
-use linsolve::{FactorCache, FactorStats, LinearSolverKind, NewtonMatrix};
+use linsolve::{CyclicShape, FactorCache, FactorStats, LinearSolverKind, NewtonMatrix};
 use numkit::vecops::{norm2, wrms_norm};
 use numkit::DMat;
 use sparsekit::Triplets;
@@ -126,6 +126,16 @@ pub trait NewtonSystem {
     /// of the orbit amplitude here.
     fn damp_limit(&self, _x: &[f64], _dx: &[f64]) -> f64 {
         1.0
+    }
+
+    /// Block-cyclic structure of the Jacobian, if the system has one
+    /// (the quasiperiodic cyclic system does). Forwarded to the
+    /// factorisation cache so the
+    /// [`linsolve::LinearSolverKind::GmresCirculant`] backend can build
+    /// its structure-exploiting preconditioner; `None` (the default)
+    /// makes that backend fall back to ILU(0).
+    fn cyclic_shape(&self) -> Option<CyclicShape> {
+        None
     }
 
     /// Hard admissibility check for a damped step
@@ -345,6 +355,7 @@ impl NewtonEngine {
             slot => slot.insert(FactorCache::new(policy.linear_solver)),
         };
         cache.set_reuse(policy.reuse_symbolic);
+        cache.set_cyclic_shape(sys.cyclic_shape());
         let factor_base = cache.stats();
         let nspan = obskit::span("newton");
 

@@ -1,0 +1,341 @@
+//! Approximate-minimum-degree (AMD) fill-reducing ordering.
+//!
+//! The Gilbert–Peierls kernel in [`crate::lu`] eliminates columns in a
+//! caller-chosen order; a bad order on circuit matrices (bordered,
+//! `D⊗C`-coupled collocation Jacobians) produces dense-class fill. This
+//! module implements the quotient-graph minimum-degree algorithm of the
+//! AMD family (Amestoy, Davis & Duff, "An approximate minimum degree
+//! ordering algorithm", SIMAX 1996) on the symmetrised pattern
+//! `A + Aᵀ`:
+//!
+//! * eliminated pivots become **elements** (cliques) instead of being
+//!   expanded edge-by-edge, so memory stays `O(nnz)`;
+//! * freshly covered adjacency entries are pruned and subsumed elements
+//!   are **absorbed** into the new element;
+//! * degrees are maintained with the AMD *approximate external degree*
+//!   bound `d̄_u = min(n−k, d_u + |Lp\u|, |A_u\u| + |Lp\u| +
+//!   Σ_e |Le\Lp|)`, computed with the one-pass `|Le\Lp|` counting trick
+//!   of the AMD paper.
+//!
+//! Supervariable (indistinguishable-node) detection is deliberately
+//! omitted — circuit Jacobians at this workspace's sizes (≲ 20k) order
+//! in milliseconds without it, and the simpler invariants keep the
+//! permutation-validity proptests readable.
+
+/// Computes an AMD elimination order for a symmetric sparsity pattern.
+///
+/// `pattern[i]` lists the neighbours of node `i` (self-loops are
+/// ignored; the pattern is symmetrised internally, so callers may pass
+/// an unsymmetric adjacency). Returns `order` with `order[k]` = the
+/// node eliminated at step `k` — i.e. a permutation of `0..n` suitable
+/// as a column (and, with matched pivoting, row) preorder.
+pub fn amd(pattern: &[Vec<usize>]) -> Vec<usize> {
+    let n = pattern.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Symmetrise A + Aᵀ without duplicates or self-loops.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, nbrs) in pattern.iter().enumerate() {
+        for &j in nbrs {
+            if j != i && j < n {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    for l in adj.iter_mut() {
+        l.sort_unstable();
+        l.dedup();
+    }
+
+    // Quotient-graph state. A node is a *variable* until eliminated,
+    // then an *element* whose boundary set lives in `evars`; an element
+    // absorbed into a later one is dead.
+    const DEAD: usize = usize::MAX;
+    let mut elems: Vec<Vec<usize>> = vec![Vec::new(); n]; // elements adjacent to a variable
+    let mut evars: Vec<Vec<usize>> = vec![Vec::new(); n]; // boundary variables of an element
+    let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut state: Vec<usize> = vec![0; n]; // 0 = variable, 1 = element, DEAD = absorbed
+    let mut mark: Vec<bool> = vec![false; n];
+    let mut wlen: Vec<usize> = vec![usize::MAX; n]; // |Le \ Lp| work counters
+    let mut touched: Vec<usize> = Vec::new();
+
+    // Min-degree extraction with lazy invalidation: stale heap entries
+    // (degree changed since push) are skipped on pop.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, usize)>> =
+        (0..n).map(|i| std::cmp::Reverse((degree[i], i))).collect();
+
+    let mut order = Vec::with_capacity(n);
+    let mut lp: Vec<usize> = Vec::new();
+
+    while order.len() < n {
+        let p = loop {
+            let std::cmp::Reverse((d, cand)) = heap.pop().expect("uneliminated variable remains");
+            if state[cand] == 0 && degree[cand] == d {
+                break cand;
+            }
+        };
+
+        // --- Form the new element Lp = (A_p ∪ ⋃ Le) \ eliminated. ---
+        lp.clear();
+        mark[p] = true;
+        for &u in &adj[p] {
+            if state[u] == 0 && !mark[u] {
+                mark[u] = true;
+                lp.push(u);
+            }
+        }
+        for &e in &elems[p] {
+            if state[e] != 1 {
+                continue; // absorbed earlier
+            }
+            for &u in &evars[e] {
+                if state[u] == 0 && !mark[u] && u != p {
+                    mark[u] = true;
+                    lp.push(u);
+                }
+            }
+            // e's clique is now covered by element p: absorb it.
+            state[e] = DEAD;
+            evars[e] = Vec::new();
+        }
+        lp.sort_unstable(); // canonical order keeps the run deterministic
+
+        // --- One-pass |Le \ Lp| counters over elements touching Lp. ---
+        touched.clear();
+        for &u in &lp {
+            for &e in &elems[u] {
+                if state[e] != 1 {
+                    continue;
+                }
+                if wlen[e] == usize::MAX {
+                    wlen[e] = evars[e].iter().filter(|&&v| state[v] == 0).count();
+                    touched.push(e);
+                }
+                wlen[e] -= 1; // u ∈ Le ∩ Lp
+            }
+        }
+
+        // --- Update every boundary variable of the new element. ---
+        let lp_size = lp.len();
+        for &u in &lp {
+            // Prune A_u: entries covered by element p (members of Lp, and
+            // p itself) are represented by the element from now on.
+            adj[u].retain(|&v| v != p && state[v] == 0 && !mark[v]);
+            // Drop absorbed elements, count Σ|Le\Lp| for the live rest.
+            let mut ext = 0usize;
+            elems[u].retain(|&e| {
+                if state[e] != 1 {
+                    return false;
+                }
+                // Aggressive absorption: Le ⊆ Lp ∪ {p} adds nothing.
+                if wlen[e] == 0 {
+                    state[e] = DEAD;
+                    evars[e] = Vec::new();
+                    return false;
+                }
+                ext += wlen[e];
+                true
+            });
+            elems[u].push(p);
+            let bound_old = degree[u] + lp_size - 1;
+            let bound_set = adj[u].len() + (lp_size - 1) + ext;
+            let d = (n - order.len() - 1).min(bound_old).min(bound_set);
+            degree[u] = d;
+            heap.push(std::cmp::Reverse((d, u)));
+        }
+
+        // --- Retire p as an element. ---
+        for &e in &touched {
+            wlen[e] = usize::MAX;
+        }
+        for &u in &lp {
+            mark[u] = false;
+        }
+        mark[p] = false;
+        state[p] = 1;
+        evars[p] = lp.clone();
+        adj[p] = Vec::new();
+        elems[p] = Vec::new();
+        order.push(p);
+    }
+    order
+}
+
+/// AMD order for the (symmetrised) pattern of a square CSC matrix.
+pub fn amd_csc(a: &crate::csc::Csc) -> Vec<usize> {
+    let n = a.ncols().max(a.nrows());
+    let mut pattern: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (j, col_pattern) in pattern.iter_mut().enumerate().take(a.ncols()) {
+        let (rows, _) = a.col(j);
+        col_pattern.extend_from_slice(rows);
+    }
+    amd(&pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplets::Triplets;
+
+    fn is_permutation(order: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        order.len() == n
+            && order.iter().all(|&v| {
+                if v >= n || seen[v] {
+                    false
+                } else {
+                    seen[v] = true;
+                    true
+                }
+            })
+    }
+
+    /// Dense Cholesky-style fill count under a given elimination order
+    /// on the symmetrised pattern (reference metric for small cases).
+    fn fill_count(pattern: &[Vec<usize>], order: &[usize]) -> usize {
+        let n = pattern.len();
+        let mut m = vec![vec![false; n]; n];
+        for (i, nbrs) in pattern.iter().enumerate() {
+            for &j in nbrs {
+                m[i][j] = true;
+                m[j][i] = true;
+            }
+        }
+        let mut pos = vec![0usize; n];
+        for (k, &v) in order.iter().enumerate() {
+            pos[v] = k;
+        }
+        let mut fill = 0;
+        for &p in order {
+            let nbrs: Vec<usize> = (0..n)
+                .filter(|&u| u != p && m[p][u] && pos[u] > pos[p])
+                .collect();
+            for (a, &u) in nbrs.iter().enumerate() {
+                for &v in nbrs.iter().skip(a + 1) {
+                    if !m[u][v] {
+                        m[u][v] = true;
+                        m[v][u] = true;
+                        fill += 1;
+                    }
+                }
+            }
+        }
+        fill
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(amd(&[]).is_empty());
+        assert_eq!(amd(&[vec![]]), vec![0]);
+    }
+
+    #[test]
+    fn path_graph_is_fill_free() {
+        // A path eliminated endpoints-inward has zero fill; AMD must
+        // find a zero-fill order (any order of degree-1 peeling works).
+        let n = 12;
+        let mut pattern: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, nbrs) in pattern.iter_mut().enumerate().take(n - 1) {
+            nbrs.push(i + 1);
+        }
+        let order = amd(&pattern);
+        assert!(is_permutation(&order, n));
+        assert_eq!(fill_count(&pattern, &order), 0);
+    }
+
+    #[test]
+    fn star_center_goes_last() {
+        // Star graph: eliminating the hub first creates a clique on all
+        // leaves; minimum degree must peel the leaves first.
+        let n = 9;
+        let pattern: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i == 0 { (1..n).collect() } else { vec![0] })
+            .collect();
+        let order = amd(&pattern);
+        assert!(is_permutation(&order, n));
+        // Once only one leaf remains the hub ties it at degree 1, so the
+        // hub may go second-to-last; never earlier.
+        let hub_pos = order.iter().position(|&v| v == 0).unwrap();
+        assert!(hub_pos >= n - 2, "hub eliminated at {hub_pos}");
+        assert_eq!(fill_count(&pattern, &order), 0);
+    }
+
+    #[test]
+    fn arrowhead_beats_natural_order() {
+        // Arrowhead with the dense row FIRST: natural order fills the
+        // whole matrix; AMD defers the hub and stays fill-free.
+        let n = 30;
+        let mut pattern: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 1..n {
+            pattern[0].push(i);
+        }
+        let order = amd(&pattern);
+        let natural: Vec<usize> = (0..n).collect();
+        let f_amd = fill_count(&pattern, &order);
+        let f_nat = fill_count(&pattern, &natural);
+        assert_eq!(f_amd, 0, "AMD order {order:?}");
+        assert!(f_nat > 100);
+    }
+
+    #[test]
+    fn grid_graph_low_fill() {
+        // 2-D grid: natural (row-major) order fills one bandwidth per
+        // node; AMD should do at least as well (nested-dissection-like
+        // orders do far better, but MD beats natural comfortably).
+        let k = 7;
+        let n = k * k;
+        let mut pattern: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for r in 0..k {
+            for c in 0..k {
+                let i = r * k + c;
+                if c + 1 < k {
+                    pattern[i].push(i + 1);
+                }
+                if r + 1 < k {
+                    pattern[i].push(i + k);
+                }
+            }
+        }
+        let order = amd(&pattern);
+        assert!(is_permutation(&order, n));
+        let natural: Vec<usize> = (0..n).collect();
+        assert!(fill_count(&pattern, &order) <= fill_count(&pattern, &natural));
+    }
+
+    #[test]
+    fn csc_wrapper_orders_unsymmetric_input() {
+        let mut t = Triplets::new(5, 5);
+        t.push(0, 4, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(2, 1, 1.0);
+        t.push(3, 2, 1.0);
+        t.push(4, 3, 1.0);
+        for i in 0..5 {
+            t.push(i, i, 1.0);
+        }
+        let order = amd_csc(&t.to_csc());
+        assert!(is_permutation(&order, 5));
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let n = 40;
+        let mut pattern: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut s = 12345u64;
+        for nbrs in pattern.iter_mut() {
+            for _ in 0..3 {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                nbrs.push(((s >> 33) as usize) % n);
+            }
+        }
+        let a = amd(&pattern);
+        let b = amd(&pattern);
+        assert_eq!(a, b);
+        assert!(is_permutation(&a, n));
+    }
+}

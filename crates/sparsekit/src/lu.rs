@@ -18,6 +18,7 @@
 
 use crate::csc::Csc;
 use crate::error::SparseError;
+use crate::klu::OrderingPlan;
 
 /// Column preordering strategies for [`SparseLu`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,6 +79,16 @@ pub struct SparseLu {
     /// Pivot threshold of the original factorisation, replayed by
     /// [`SparseLu::refactor`]'s pivot-stability guard.
     pivot_threshold: f64,
+    /// Preferred pivot row per original column. Identity for the plain
+    /// paths (diagonal preference); the maximum-transversal match for
+    /// [`SparseLu::factor_ordered`], which is what keeps elimination
+    /// inside the BTF diagonal blocks.
+    diag_row: Vec<usize>,
+    /// Row equilibration `s[r] = 1 / max|A[r,:]|` of the ordered path
+    /// (`None` for the plain paths). Recomputed from the new values on
+    /// every [`SparseLu::refactor`] with the identical operation
+    /// sequence, preserving the bitwise fresh-vs-refactor guarantee.
+    row_scale: Option<Vec<f64>>,
 }
 
 impl SparseLu {
@@ -113,11 +124,6 @@ impl SparseLu {
                 found: format!("{}x{}", a.nrows(), a.ncols()),
             });
         }
-        if !(pivot_threshold > 0.0 && pivot_threshold <= 1.0) {
-            return Err(SparseError::InvalidArgument(
-                "pivot threshold must lie in (0, 1]".into(),
-            ));
-        }
         let n = a.nrows();
         let perm_c: Vec<usize> = match ordering {
             ColumnOrdering::Natural => (0..n).collect(),
@@ -127,6 +133,84 @@ impl SparseLu {
                 order
             }
         };
+        let diag_row: Vec<usize> = (0..n).collect();
+        Self::factor_core(a, perm_c, diag_row, None, pivot_threshold)
+    }
+
+    /// Factors along a KLU-style [`OrderingPlan`] (BTF blocks, per-block
+    /// AMD column order, matched-diagonal pivot preference) with row
+    /// equilibration `s[r] = 1 / max|A[r,:]|`.
+    ///
+    /// Because the plan's block-upper-triangular structure confines
+    /// elimination to the diagonal blocks (as long as the matched pivot
+    /// passes the threshold test), fill cannot cross block boundaries.
+    /// The resulting factorisation supports [`SparseLu::refactor`] and
+    /// keeps its bitwise fresh-vs-refactor guarantee: scales are
+    /// recomputed from the new values with the same operation sequence.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::DimensionMismatch`] when the plan's dimensions
+    ///   disagree with the matrix;
+    /// * otherwise as [`SparseLu::factor`].
+    pub fn factor_ordered(a: &Csc, plan: &OrderingPlan) -> Result<Self, SparseError> {
+        if a.nrows() != a.ncols() || plan.col_order.len() != a.ncols() {
+            return Err(SparseError::DimensionMismatch {
+                expected: format!("square matrix of dim {}", plan.col_order.len()),
+                found: format!("{}x{}", a.nrows(), a.ncols()),
+            });
+        }
+        let scale = Self::compute_row_scales(a);
+        Self::factor_core(
+            a,
+            plan.col_order.clone(),
+            plan.diag_row.clone(),
+            Some(scale),
+            0.1,
+        )
+    }
+
+    /// Row equilibration factors `s[r] = 1 / max|A[r,:]|` (`1.0` for
+    /// empty or non-finite rows). One fixed traversal order — column
+    /// major — so refactorisation reproduces fresh scales bit for bit.
+    fn compute_row_scales(a: &Csc) -> Vec<f64> {
+        let mut max_abs = vec![0.0_f64; a.nrows()];
+        for j in 0..a.ncols() {
+            let (rows, vals) = a.col(j);
+            for (r, v) in rows.iter().zip(vals.iter()) {
+                let av = v.abs();
+                if av > max_abs[*r] {
+                    max_abs[*r] = av;
+                }
+            }
+        }
+        max_abs
+            .iter()
+            .map(|&m| {
+                if m > 0.0 && m.is_finite() {
+                    1.0 / m
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+
+    /// Shared Gilbert–Peierls elimination: column order `perm_c`,
+    /// preferred pivot rows `diag_row`, optional row scaling.
+    fn factor_core(
+        a: &Csc,
+        perm_c: Vec<usize>,
+        diag_row: Vec<usize>,
+        row_scale: Option<Vec<f64>>,
+        pivot_threshold: f64,
+    ) -> Result<Self, SparseError> {
+        if !(pivot_threshold > 0.0 && pivot_threshold <= 1.0) {
+            return Err(SparseError::InvalidArgument(
+                "pivot threshold must lie in (0, 1]".into(),
+            ));
+        }
+        let n = a.nrows();
 
         let mut l_cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
         let mut u_cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
@@ -143,6 +227,7 @@ impl SparseLu {
 
         for j in 0..n {
             let col = perm_c[j];
+            let dr = diag_row[col];
             let (rows, vals) = a.col(col);
 
             // --- Symbolic: reachability DFS through the L graph. ---
@@ -170,12 +255,22 @@ impl SparseLu {
                 }
             }
 
-            // --- Numeric: scatter A(:,col), then eliminate pivots in
-            // ascending pivot-position order — a valid topological order
-            // (every l_cols[k] row sits at a later pivot position), and
-            // the canonical sequence `refactor` replays bit for bit. ---
-            for (r, v) in rows.iter().zip(vals.iter()) {
-                x[*r] = *v;
+            // --- Numeric: scatter A(:,col) (row-scaled when
+            // equilibrating), then eliminate pivots in ascending
+            // pivot-position order — a valid topological order (every
+            // l_cols[k] row sits at a later pivot position), and the
+            // canonical sequence `refactor` replays bit for bit. ---
+            match &row_scale {
+                Some(s) => {
+                    for (r, v) in rows.iter().zip(vals.iter()) {
+                        x[*r] = *v * s[*r];
+                    }
+                }
+                None => {
+                    for (r, v) in rows.iter().zip(vals.iter()) {
+                        x[*r] = *v;
+                    }
+                }
             }
             elim.clear();
             for &node in &topo {
@@ -193,7 +288,9 @@ impl SparseLu {
                 }
             }
 
-            // --- Pivot selection among not-yet-pivoted rows. ---
+            // --- Pivot selection among not-yet-pivoted rows, preferring
+            // the designated diagonal row (the matrix diagonal for the
+            // plain paths, the transversal match for the ordered one). ---
             let mut max_abs = 0.0_f64;
             let mut max_row = UNPIVOTED;
             let mut diag_abs = 0.0_f64;
@@ -204,7 +301,7 @@ impl SparseLu {
                         max_abs = v;
                         max_row = node;
                     }
-                    if node == col {
+                    if node == dr {
                         diag_abs = v;
                     }
                 }
@@ -218,7 +315,7 @@ impl SparseLu {
                 return Err(SparseError::Singular { column: col });
             }
             let pivot_row = if diag_abs >= pivot_threshold * max_abs {
-                col
+                dr
             } else {
                 max_row
             };
@@ -263,6 +360,8 @@ impl SparseLu {
             a_indptr: a.indptr().to_vec(),
             a_indices: a.indices().to_vec(),
             pivot_threshold,
+            diag_row,
+            row_scale,
         })
     }
 
@@ -298,12 +397,27 @@ impl SparseLu {
             ));
         }
         let n = self.n;
+        // Scaled factorisations recompute the equilibration from the new
+        // values with the same traversal as the fresh path, so the
+        // replayed elimination sees bitwise-identical scaled entries.
+        if self.row_scale.is_some() {
+            self.row_scale = Some(Self::compute_row_scales(a));
+        }
         let mut x = vec![0.0_f64; n];
         for j in 0..n {
             let col = self.perm_c[j];
             let (rows, vals) = a.col(col);
-            for (r, v) in rows.iter().zip(vals.iter()) {
-                x[*r] = *v;
+            match &self.row_scale {
+                Some(s) => {
+                    for (r, v) in rows.iter().zip(vals.iter()) {
+                        x[*r] = *v * s[*r];
+                    }
+                }
+                None => {
+                    for (r, v) in rows.iter().zip(vals.iter()) {
+                        x[*r] = *v;
+                    }
+                }
             }
             // Replay the canonical elimination sequence (ascending pivot
             // order, as stored in u_cols[j]).
@@ -330,16 +444,17 @@ impl SparseLu {
             // invalidates the factors and callers fall back to a fresh
             // factorisation.
             let pivot_abs = pivot_val.abs();
+            let dr = self.diag_row[col];
             let mut other_max = 0.0_f64;
-            let mut diag_abs = if pivot_row == col { pivot_abs } else { 0.0 };
+            let mut diag_abs = if pivot_row == dr { pivot_abs } else { 0.0 };
             for &(node, _) in &self.l_cols[j] {
                 let v = x[node].abs();
                 other_max = other_max.max(v);
-                if node == col {
+                if node == dr {
                     diag_abs = v;
                 }
             }
-            let same_pivot = if pivot_row == col {
+            let same_pivot = if pivot_row == dr {
                 // The diagonal stays preferred while it clears the
                 // threshold against the column maximum.
                 pivot_abs >= self.pivot_threshold * other_max
@@ -403,8 +518,14 @@ impl SparseLu {
                 found: format!("{}", b.len()),
             });
         }
-        // Forward: L z = P b, with y kept in original row indexing.
+        // Forward: L z = P (S b), with y kept in original row indexing
+        // (S is the row equilibration of the ordered path, if any).
         let mut y = b.to_vec();
+        if let Some(s) = &self.row_scale {
+            for (yi, si) in y.iter_mut().zip(s.iter()) {
+                *yi *= si;
+            }
+        }
         let mut z = vec![0.0; self.n];
         for k in 0..self.n {
             let zk = y[self.perm_r[k]];
@@ -698,6 +819,125 @@ mod tests {
             lu.refactor(&t2.to_csc()),
             Err(SparseError::Singular { .. })
         ));
+    }
+
+    /// Same-pattern pair with a bordered-tridiagonal shape (the
+    /// collocation-Jacobian structure the ordered path targets).
+    fn bordered_pair(n: usize, seed: u64) -> (Csc, Csc) {
+        let mut s1 = seed;
+        let mut s2 = seed.wrapping_mul(131).wrapping_add(17);
+        let mut t1 = Triplets::new(n, n);
+        let mut t2 = Triplets::new(n, n);
+        let mut both = |i: usize, j: usize, base: f64, s1: &mut u64, s2: &mut u64| {
+            t1.push(i, j, base + lcg(s1));
+            t2.push(i, j, base + lcg(s2));
+        };
+        for i in 0..n - 1 {
+            both(i, i, 8.0, &mut s1, &mut s2);
+            if i > 0 {
+                both(i, i - 1, 0.0, &mut s1, &mut s2);
+            }
+            if i + 1 < n - 1 {
+                both(i, i + 1, 0.0, &mut s1, &mut s2);
+            }
+            both(i, n - 1, 0.0, &mut s1, &mut s2);
+            both(n - 1, i, 0.0, &mut s1, &mut s2);
+        }
+        both(n - 1, n - 1, 8.0, &mut s1, &mut s2);
+        (t1.to_csc(), t2.to_csc())
+    }
+
+    #[test]
+    fn ordered_factor_matches_dense() {
+        let (a, _) = bordered_pair(50, 5);
+        let plan = crate::klu::OrderingPlan::for_matrix(&a).unwrap();
+        let lu = SparseLu::factor_ordered(&a, &plan).unwrap();
+        let b: Vec<f64> = (0..50).map(|i| (0.17 * i as f64).cos()).collect();
+        let xs = lu.solve(&b).unwrap();
+        let xd = numkit::lu::solve_dense(&a.to_dense(), &b).unwrap();
+        for (s, d) in xs.iter().zip(xd.iter()) {
+            assert!((s - d).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ordered_refactor_is_bitwise_identical_to_fresh() {
+        for seed in 1..4u64 {
+            let (a1, a2) = bordered_pair(40, seed);
+            let plan = crate::klu::OrderingPlan::for_matrix(&a1).unwrap();
+            let lu1 = SparseLu::factor_ordered(&a1, &plan).unwrap();
+            let fresh2 = SparseLu::factor_ordered(&a2, &plan).unwrap();
+            let mut reuse2 = lu1.clone();
+            reuse2.refactor(&a2).unwrap();
+            assert_eq!(fresh2.perm_r, reuse2.perm_r, "seed {seed}");
+            assert_eq!(fresh2.perm_c, reuse2.perm_c, "seed {seed}");
+            assert_eq!(fresh2.row_scale, reuse2.row_scale, "seed {seed}");
+            assert_eq!(fresh2.u_diag, reuse2.u_diag, "seed {seed}");
+            assert_eq!(fresh2.u_cols, reuse2.u_cols, "seed {seed}");
+            assert_eq!(fresh2.l_cols, reuse2.l_cols, "seed {seed}");
+            let b: Vec<f64> = (0..40).map(|i| (i as f64 * 0.29).sin()).collect();
+            assert_eq!(
+                fresh2.solve(&b).unwrap(),
+                reuse2.solve(&b).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_factor_handles_badly_scaled_rows() {
+        // Rows spanning 12 decades: unscaled threshold pivoting will
+        // still solve it, but the equilibrated path must too, and the
+        // scales must be the recorded row maxima.
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 1e9);
+        t.push(0, 1, 2e9);
+        t.push(1, 0, 1e-3);
+        t.push(1, 1, 3e-3);
+        t.push(2, 2, 5.0);
+        let a = t.to_csc();
+        let plan = crate::klu::OrderingPlan::for_matrix(&a).unwrap();
+        let lu = SparseLu::factor_ordered(&a, &plan).unwrap();
+        let x = lu.solve(&[3e9, 4e-3, 5.0]).unwrap();
+        let r = residual_inf(&a, &x, &[3e9, 4e-3, 5.0]);
+        assert!(r < 1e-6, "residual {r}"); // |b| ~ 1e9, so 1e-6 ≈ 1e-15 rel
+        let s = lu.row_scale.as_ref().unwrap();
+        assert_eq!(s[0], 1.0 / 2e9);
+        assert_eq!(s[1], 1.0 / 3e-3);
+        assert_eq!(s[2], 1.0 / 5.0);
+    }
+
+    #[test]
+    fn ordered_refactor_rejects_drift_then_fresh_recovers() {
+        // Same drifted pair as `refactor_rejects_pivot_order_drift`, but
+        // through the ordered (equilibrated, matched-pivot) path: after
+        // row scaling the frozen diagonal pivot of column 0 falls below
+        // the 0.1 threshold against the grown off-diagonal, so the
+        // guard must reject rather than reuse the stale pivot order.
+        let mut t1 = Triplets::new(2, 2);
+        t1.push(0, 0, 4.0);
+        t1.push(1, 0, 1.0);
+        t1.push(0, 1, 1.0);
+        t1.push(1, 1, 4.0);
+        let a1 = t1.to_csc();
+        let plan = crate::klu::OrderingPlan::for_matrix(&a1).unwrap();
+        let mut lu = SparseLu::factor_ordered(&a1, &plan).unwrap();
+        let mut t2 = Triplets::new(2, 2);
+        t2.push(0, 0, 0.05);
+        t2.push(1, 0, 5.0); // dominates even after equilibration
+        t2.push(0, 1, 1.0);
+        t2.push(1, 1, 4.0);
+        let a2 = t2.to_csc();
+        assert!(matches!(
+            lu.refactor(&a2),
+            Err(SparseError::Singular { .. })
+        ));
+        // The fallback path (fresh ordered factor) still succeeds: the
+        // pivot search walks off the matched diagonal.
+        let fresh = SparseLu::factor_ordered(&a2, &plan).unwrap();
+        let b = vec![1.0; 2];
+        let x = fresh.solve(&b).unwrap();
+        assert!(residual_inf(&a2, &x, &b) < 1e-12);
     }
 
     #[test]

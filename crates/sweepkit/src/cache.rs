@@ -34,7 +34,10 @@ use std::path::{Path, PathBuf};
 /// changes in a way the spec fingerprints cannot see.
 // fmt2: the `newton_iterations` metric was renamed `newton_iters`, which
 // changes the serialised ScenarioResult bytes.
-pub const CACHE_SALT: &str = concat!("sweepkit-", env!("CARGO_PKG_VERSION"), "-fmt2");
+// fmt3: the KLU sparse kernel (BTF + AMD ordering + row equilibration)
+// and the block-circulant GMRES preconditioner change the floating-point
+// sequence of the sparse and quasiperiodic solve paths.
+pub const CACHE_SALT: &str = concat!("sweepkit-", env!("CARGO_PKG_VERSION"), "-fmt3");
 
 /// FNV-1a, 128-bit: tiny, dependency-free, and plenty for cache keys
 /// (collision odds are negligible below ~2^60 distinct jobs).

@@ -9,7 +9,8 @@
 
 use crate::error::WampdeError;
 pub use ::linsolve::{
-    FactoredJacobian, JacobianParts, LinSolveError, LinearSolverKind, NewtonMatrix,
+    BlockCirculantPrecond, CyclicShape, FactoredJacobian, JacobianParts, LinSolveError,
+    LinearSolverKind, NewtonMatrix,
 };
 use hb::Colloc;
 

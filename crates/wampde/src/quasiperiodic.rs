@@ -278,7 +278,9 @@ pub fn solve_quasiperiodic<D: Dae + ?Sized>(
     // global Newton solve — symbolic reuse spans its iterations.
     let kind = match opts.linear_solver {
         LinearSolverKind::Dense | LinearSolverKind::SparseLu => LinearSolverKind::SparseLu,
-        gm @ LinearSolverKind::GmresIlu0 { .. } => gm,
+        gm @ (LinearSolverKind::Klu
+        | LinearSolverKind::GmresIlu0 { .. }
+        | LinearSolverKind::GmresCirculant { .. }) => gm,
     };
     let policy = NewtonPolicy {
         linear_solver: kind,
@@ -351,6 +353,16 @@ impl<D: Dae + ?Sized> QpSystem<'_, D> {
 impl<D: Dae + ?Sized> NewtonSystem for QpSystem<'_, D> {
     fn dim(&self) -> usize {
         self.n1 * self.bw()
+    }
+
+    fn cyclic_shape(&self) -> Option<linsolve::CyclicShape> {
+        // n1 slices coupled cyclically by the t2 stencil, each carrying
+        // its collocation unknowns plus the local frequency — the shape
+        // the block-circulant GMRES preconditioner diagonalises.
+        Some(linsolve::CyclicShape {
+            blocks: self.n1,
+            block_dim: self.bw(),
+        })
     }
 
     fn residual(&self, z: &[f64], out: &mut [f64]) {
@@ -628,6 +640,38 @@ mod tests {
         let gm = solve_quasiperiodic(&dae, &init, 4.0e-5, &gm_opts).unwrap();
         for (a, b) in sparse.omegas.iter().zip(gm.omegas.iter()) {
             assert!((a - b).abs() / a < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    /// The KLU and circulant-preconditioned GMRES backends pass through
+    /// the quasiperiodic solver-promotion untouched and land on the
+    /// sparse-LU answer — the circulant path exercises the full
+    /// `QpSystem::cyclic_shape()` → `FactorCache` →
+    /// `BlockCirculantPrecond` wiring on a real cyclic Jacobian.
+    #[test]
+    fn klu_and_circulant_backends_match_sparse_lu() {
+        let cfg = MemsVcoConfig::constant(1.5);
+        let dae = circuits::mems_vco(cfg);
+        let orbit = oscillator_steady_state(&dae, &ShootingOptions::default()).unwrap();
+        let base = crate::WampdeOptions {
+            harmonics: 4,
+            ..Default::default()
+        };
+        let winit = WampdeInit::from_orbit(&orbit, &base);
+        let init = QpInit::from_constant(winit.stacked(), winit.freq_hz, 6);
+        let sparse = solve_quasiperiodic(&dae, &init, 4.0e-5, &base).unwrap();
+        for kind in [
+            crate::LinearSolverKind::Klu,
+            crate::LinearSolverKind::gmres_circulant_default(),
+        ] {
+            let opts = crate::WampdeOptions {
+                linear_solver: kind,
+                ..base
+            };
+            let got = solve_quasiperiodic(&dae, &init, 4.0e-5, &opts).unwrap();
+            for (a, b) in sparse.omegas.iter().zip(got.omegas.iter()) {
+                assert!((a - b).abs() / a < 1e-6, "{kind:?}: {a} vs {b}");
+            }
         }
     }
 

@@ -149,6 +149,149 @@ proptest! {
         }
     }
 
+    /// AMD returns a valid permutation of the columns for arbitrary
+    /// sparsity patterns (including empty and duplicate adjacency rows).
+    #[test]
+    fn amd_is_valid_permutation(
+        n in 1usize..40,
+        edges in prop::collection::vec((0usize..40, 0usize..40), 0..160),
+    ) {
+        let mut pattern = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            let (i, j) = (a % n, b % n);
+            pattern[i].push(j);
+            pattern[j].push(i);
+        }
+        let perm = sparsekit::amd(&pattern);
+        prop_assert_eq!(perm.len(), n);
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            prop_assert!(p < n && !seen[p], "not a permutation: {:?}", perm);
+            seen[p] = true;
+        }
+    }
+
+    /// BTF on a structurally nonsingular matrix yields a valid row
+    /// matching, a valid column permutation, and a monotone block
+    /// partition covering every column.
+    #[test]
+    fn btf_outputs_are_valid_permutations(
+        n in 1usize..30,
+        seed in prop::collection::vec(-1.0f64..1.0, 120),
+    ) {
+        let mut t = Triplets::new(n, n);
+        let mut k = 0;
+        for i in 0..n {
+            t.push(i, i, 2.0 + seed[k % seed.len()].abs()); // structural full rank
+            k += 1;
+            for _ in 0..2 {
+                let j = ((seed[k % seed.len()].abs() * n as f64) as usize) % n;
+                t.push(i, j, seed[(k + 5) % seed.len()]);
+                k += 2;
+            }
+        }
+        let form = sparsekit::btf(&t.to_csc()).unwrap();
+        let mut seen_r = vec![false; n];
+        let mut seen_c = vec![false; n];
+        for c in 0..n {
+            let r = form.match_row[c];
+            prop_assert!(r < n && !seen_r[r]);
+            seen_r[r] = true;
+            let p = form.col_order[c];
+            prop_assert!(p < n && !seen_c[p]);
+            seen_c[p] = true;
+        }
+        prop_assert_eq!(form.block_ptr[0], 0);
+        prop_assert_eq!(*form.block_ptr.last().unwrap(), n);
+        prop_assert!(form.block_ptr.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// The BTF+AMD-ordered, row-equilibrated LU solves random diagonally
+    /// dominant systems to dense-LU accuracy (1e-12 of the solution
+    /// scale).
+    #[test]
+    fn ordered_lu_matches_dense(
+        n in 3usize..25,
+        seed in prop::collection::vec(-1.0f64..1.0, 200),
+        rhs_seed in prop::collection::vec(-1.0f64..1.0, 25),
+    ) {
+        let mut t = Triplets::new(n, n);
+        let mut dense = DMat::zeros(n, n);
+        let mut k = 0;
+        for i in 0..n {
+            let d = 5.0 + seed[k % seed.len()].abs();
+            t.push(i, i, d);
+            dense[(i, i)] += d;
+            k += 1;
+            for _ in 0..3 {
+                let j = ((seed[k % seed.len()].abs() * n as f64) as usize) % n;
+                let v = seed[(k + 7) % seed.len()];
+                t.push(i, j, v);
+                dense[(i, j)] += v;
+                k += 3;
+            }
+        }
+        let csc = t.to_csc();
+        let plan = sparsekit::OrderingPlan::for_matrix(&csc).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| rhs_seed[i % rhs_seed.len()]).collect();
+        let xs = SparseLu::factor_ordered(&csc, &plan).unwrap().solve(&b).unwrap();
+        let xd = numkit::lu::solve_dense(&dense, &b).unwrap();
+        let scale = xd.iter().fold(1.0_f64, |m, v| m.max(v.abs()));
+        for (a, c) in xs.iter().zip(xd.iter()) {
+            prop_assert!((a - c).abs() < 1e-12 * scale, "{a} vs {c}");
+        }
+    }
+
+    /// Numeric-only refactorisation on the ordered kernel is bitwise
+    /// identical to a fresh ordered factorisation of the same values —
+    /// the cache-reuse contract `linsolve::FactorCache` relies on.
+    #[test]
+    fn ordered_refactor_bitwise_identical(
+        n in 3usize..20,
+        seed in prop::collection::vec(-1.0f64..1.0, 160),
+        bump in 0.5f64..2.0,
+    ) {
+        let build = |scale: f64| {
+            let mut t = Triplets::new(n, n);
+            let mut k = 0;
+            for i in 0..n {
+                t.push(i, i, (4.0 + seed[k % seed.len()].abs()) * scale);
+                k += 1;
+                for _ in 0..2 {
+                    let j = ((seed[k % seed.len()].abs() * n as f64) as usize) % n;
+                    t.push(i, j, seed[(k + 3) % seed.len()] * scale);
+                    k += 2;
+                }
+            }
+            t.to_csc()
+        };
+        let first = build(1.0);
+        let second = build(bump); // same pattern, different values
+        let plan = sparsekit::OrderingPlan::for_matrix(&first).unwrap();
+        let mut lu = SparseLu::factor_ordered(&first, &plan).unwrap();
+        lu.refactor(&second).unwrap();
+        let fresh = SparseLu::factor_ordered(&second, &plan).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.25).collect();
+        let xr = lu.solve(&b).unwrap();
+        let xf = fresh.solve(&b).unwrap();
+        for (a, c) in xr.iter().zip(xf.iter()) {
+            prop_assert_eq!(a.to_bits(), c.to_bits(), "refactor drifted: {} vs {}", a, c);
+        }
+    }
+
+    /// On real bordered ring_loaded_vco step Jacobians, the ordered KLU
+    /// backend lands on the dense solution to 1e-12 of its scale.
+    #[test]
+    fn klu_matches_dense_on_ring_jacobians(stages in 2usize..7, harmonics in 1usize..3) {
+        let jac = wampde_bench::StepJacobian::build(stages, harmonics);
+        let dense = jac.factor_solve(wampde::LinearSolverKind::Dense);
+        let klu = jac.factor_solve(wampde::LinearSolverKind::Klu);
+        let scale = dense.iter().fold(1.0_f64, |m, v| m.max(v.abs()));
+        for (a, c) in klu.iter().zip(dense.iter()) {
+            prop_assert!((a - c).abs() < 1e-12 * scale, "{a} vs {c}");
+        }
+    }
+
     /// Spectral differentiation of a random band-limited signal matches
     /// the analytic derivative at the grid points.
     #[test]

@@ -3,7 +3,7 @@
 //! backend via `.options solver=gmres`, and its results must agree with
 //! the same deck forced onto dense LU.
 
-use circuitdae::{parse_deck, LinearSolverKind};
+use circuitdae::{parse_deck, Dae, LinearSolverKind};
 use sweepkit::run_deck;
 
 const DECK_PATH: &str = concat!(
@@ -11,10 +11,19 @@ const DECK_PATH: &str = concat!(
     "/examples/decks/ring_scaling.ckt"
 );
 
+const DECK_1000_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/examples/decks/ring_scaling_1000.ckt"
+);
+
 #[test]
 fn ring_scaling_deck_gmres_matches_dense() {
     let text = std::fs::read_to_string(DECK_PATH).expect("committed deck exists");
     let deck = parse_deck(&text).unwrap();
+
+    // The committed ladder now spans 16 stages: the tank node, 16 ladder
+    // nodes, and the inductor branch current.
+    assert_eq!(deck.base_circuit().unwrap().dim(), 18);
 
     // The committed deck selects GMRES for every analysis.
     assert_eq!(deck.analyses.len(), 2);
@@ -77,6 +86,39 @@ fn ring_scaling_deck_gmres_matches_dense() {
             );
             // And both backends sit near the shooting frequency.
             assert!((a - 0.75e6).abs() / 0.75e6 < 0.05, "omega {a}");
+        }
+    }
+}
+
+/// The 1000-stage generated deck parses, selects the KLU backend for
+/// its transient, and runs end to end. At dim 1002, dense LU is
+/// infeasible and natural-order sparse LU fills badly — this deck only
+/// stays a quick smoke because the BTF+AMD-ordered kernel keeps the
+/// ladder's tridiagonal-plus-tank structure sparse.
+#[test]
+fn ring_scaling_1000_deck_runs_under_klu() {
+    let text = std::fs::read_to_string(DECK_1000_PATH).expect("committed deck exists");
+    let deck = parse_deck(&text).unwrap();
+
+    assert_eq!(deck.base_circuit().unwrap().dim(), 1002);
+    assert_eq!(deck.analyses.len(), 1);
+    assert_eq!(deck.analyses[0].solver(), LinearSolverKind::Klu);
+
+    let out = run_deck(&deck, 1).unwrap();
+    assert_eq!(out.runs.len(), 1);
+    let result = &out.runs[0].result;
+    assert_eq!(result.analysis, "tran");
+    // 0.5 µs span at dt=25 ns: the fixed-step grid plus the initial row.
+    assert!(
+        result.rows.len() >= 20,
+        "expected a full transient, got {} rows",
+        result.rows.len()
+    );
+    // Every Newton step factored the dim-1002 Jacobian through the
+    // ordered kernel; the trajectory must come back finite everywhere.
+    for row in &result.rows {
+        for v in row {
+            assert!(v.is_finite(), "non-finite sample in KLU transient");
         }
     }
 }
