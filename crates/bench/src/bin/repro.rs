@@ -57,7 +57,7 @@ const TABLES: &[(&str, &str)] = &[
     ),
     (
         "sweep",
-        "cold vs warm-cache sweep throughput on vco_sweep (BENCH_sweep.json)",
+        "warm-cache and batched-chain sweep throughput (BENCH_sweep.json)",
     ),
     (
         "obs",
@@ -640,9 +640,10 @@ fn table_newton() {
     println!("  -> {}", p.display());
 }
 
-/// Cold vs warm-cache sweep throughput on the committed `vco_sweep`
-/// deck (8 jobs: shooting + WaMPDE envelope at 4 control voltages) —
-/// the machine-readable record of the sweep-service cache layer:
+/// Sweep-service throughput: the cache layer and the batched executor.
+///
+/// Part 1 — cold vs warm-cache on the committed `vco_sweep` deck
+/// (8 jobs: shooting + WaMPDE envelope at 4 control voltages):
 ///
 /// * **cold** — empty cache directory, every job computed by a solver
 ///   and stored;
@@ -650,8 +651,16 @@ fn table_newton() {
 ///
 /// Asserts the two outcomes render to byte-identical CSV (the cache
 /// changes *when*, never *what*) and that the warm rerun is at least
-/// 5× faster than the cold run, then emits
-/// `target/repro/BENCH_sweep.json`.
+/// 5× faster than the cold run.
+///
+/// Part 2 — batched continuation chains vs independent cold jobs on a
+/// 32-point control-voltage grid of the RC-ladder-loaded VCO (KLU, so
+/// chains also share one sparse symbolic analysis). Both runs use one
+/// worker and no cache, so the ratio is pure solver work. Asserts the
+/// batched run is at least 1.5× faster, that the mean Newton iteration
+/// count per warm-started point is strictly below the cold-start mean,
+/// and that every point's oscillation frequency agrees to 1e-6.
+/// Emits `target/repro/BENCH_sweep.json`.
 fn table_sweep() {
     use sweepkit::{run_deck_with, ResultCache, SweepConfig};
     println!("=== table `sweep`: cold vs warm-cache sweep on vco_sweep ===");
@@ -712,18 +721,98 @@ fn table_sweep() {
          ({cold_ns} ns vs {warm_ns} ns = {speedup:.1}x)"
     );
 
+    // --- Part 2: batched chains vs independent cold jobs. The varactor
+    // card replaces the fixed tank capacitor so the ladder VCO gains a
+    // control voltage to sweep; KLU exercises the shared-symbolic path.
+    let chain_cards = ring_ladder_cards(16).replace(
+        "C1  tank 0 4.503n",
+        "M1  tank 0 5n 1 1e-12 3e-7 2.47 0.121 DC(1.5)",
+    );
+    let chain_deck = circuitdae::parse_deck(&format!(
+        "{chain_cards}.options solver=klu\n.shooting steps=64\n.sweep M1.control 1.2 1.8 32\n"
+    ))
+    .expect("chain bench deck parses");
+    let run_mode = |warm_start: bool| {
+        let config = SweepConfig {
+            jobs: 1,
+            warm_start,
+            ..SweepConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let run = run_deck_with(&chain_deck, &config, None).expect("chain bench converges");
+        (run, t0.elapsed().as_nanos())
+    };
+    let (indep, indep_ns) = run_mode(false);
+    let (batched, batched_ns) = run_mode(true);
+    let metric = |run: &sweepkit::SweepRun, name: &str| -> Vec<f64> {
+        run.outcome
+            .runs
+            .iter()
+            .map(|rec| {
+                rec.result
+                    .metrics
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or_else(|| panic!("{name} metric present"))
+            })
+            .collect()
+    };
+    for (cold_hz, warm_hz) in metric(&indep, "freq_hz")
+        .iter()
+        .zip(metric(&batched, "freq_hz"))
+    {
+        assert!(
+            (cold_hz - warm_hz).abs() <= 1e-6 * cold_hz.abs(),
+            "warm-started point drifted: {cold_hz} Hz vs {warm_hz} Hz"
+        );
+    }
+    // The chain anchor (point 0) is computed cold either way; the warm
+    // claim is about every continuation-seeded point after it.
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let cold_mean = mean(&metric(&indep, "newton_iters")[1..]);
+    let warm_mean = mean(&metric(&batched, "newton_iters")[1..]);
+    let batched_speedup = indep_ns as f64 / batched_ns as f64;
+    println!(
+        "  {} point(s) batched: independent {:.0} ms, chained {:.0} ms -> {batched_speedup:.1}x \
+         (newton iters/point {cold_mean:.0} -> {warm_mean:.0})",
+        indep.stats.jobs_total,
+        indep_ns as f64 / 1e6,
+        batched_ns as f64 / 1e6
+    );
+    assert!(
+        warm_mean < cold_mean,
+        "warm-started points must average fewer Newton iterations than cold starts \
+         ({warm_mean:.1} vs {cold_mean:.1})"
+    );
+    // The acceptance bar of the batched executor: skipping the DC +
+    // kick + settle pipeline on 31 of 32 points dwarfs 1.5x, which is a
+    // conservative floor even on loaded CI machines.
+    assert!(
+        batched_speedup >= 1.5,
+        "batched chains must be at least 1.5x faster than independent jobs \
+         ({indep_ns} ns vs {batched_ns} ns = {batched_speedup:.2}x)"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"sweep\",\n  \"workload\": \"vco_sweep.ckt ({} jobs: \
          shooting + wampde at 4 control voltages), cold vs warm content-hashed \
-         result cache\",\n  \"results\": [\n    {{\"mode\": \"cold\", \"wall_ns\": {cold_ns}, \
+         result cache; 32-point ladder-VCO control grid, independent vs batched \
+         continuation chains\",\n  \"results\": [\n    {{\"mode\": \"cold\", \"wall_ns\": {cold_ns}, \
          \"executed\": {}, \"cache_hits\": {}}},\n    {{\"mode\": \"warm\", \
-         \"wall_ns\": {warm_ns}, \"executed\": {}, \"cache_hits\": {}}}\n  ],\n  \
-         \"speedup\": {speedup:.3}\n}}\n",
+         \"wall_ns\": {warm_ns}, \"executed\": {}, \"cache_hits\": {}}},\n    \
+         {{\"mode\": \"independent\", \"wall_ns\": {indep_ns}, \"executed\": {}, \
+         \"mean_newton_iters\": {cold_mean:.3}}},\n    {{\"mode\": \"batched\", \
+         \"wall_ns\": {batched_ns}, \"executed\": {}, \
+         \"mean_newton_iters\": {warm_mean:.3}}}\n  ],\n  \
+         \"speedup\": {speedup:.3},\n  \"batched_speedup\": {batched_speedup:.3}\n}}\n",
         cold.stats.jobs_total,
         cold.stats.executed,
         cold.stats.cache_hits,
         warm.stats.executed,
         warm.stats.cache_hits,
+        indep.stats.executed,
+        batched.stats.executed,
     );
     let p = write_text_in(&repro_dir(), "BENCH_sweep.json", &json).expect("write json");
     println!("  -> {}", p.display());

@@ -4,8 +4,8 @@
 //! wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--solver KIND]
 //!            [--integrator SCHEME] [--rtol V] [--list]
 //!            [--shards M] [--shard-index K]
-//!            [--cache-dir DIR] [--no-cache]
-//!            [--trace DIR] [--metrics]
+//!            [--cache-dir DIR] [--no-cache] [--cache-max-bytes BYTES]
+//!            [--no-warm-start] [--trace DIR] [--metrics]
 //! wampde-cli merge <shard_manifest.json>... [--out DIR]
 //! ```
 //!
@@ -30,7 +30,13 @@
 //! (`target/sweep-cache` unless `--cache-dir`/`--no-cache` says
 //! otherwise), keyed by a content hash of the deck, grid point, and
 //! every solver option, so an interrupted or repeated sweep recomputes
-//! only missing jobs. `docs/SWEEP_SERVICE.md` is the operator guide.
+//! only missing jobs; `--cache-max-bytes` bounds the cache directory,
+//! evicting least-recently-written entries. Jobs run as continuation
+//! chains along the fastest-varying sweep axis — each grid point's
+//! Newton solves seeded from its neighbour's converged state, sharing
+//! one sparse symbolic analysis per chain — unless `--no-warm-start`
+//! reverts to independent cold jobs. `docs/SWEEP_SERVICE.md` is the
+//! operator guide.
 //!
 //! Determinism invariant: aggregate artifacts are byte-identical for
 //! any `--jobs` value, any shard layout (after `merge`), and cold vs.
@@ -65,7 +71,7 @@ fn usage() -> ! {
         "usage: wampde-cli <deck.ckt> [--jobs N] [--out DIR] [--solver KIND] \
          [--integrator SCHEME] [--rtol V] [--list] \
          [--shards M] [--shard-index K] [--cache-dir DIR] [--no-cache] \
-         [--trace DIR] [--metrics]"
+         [--cache-max-bytes BYTES] [--no-warm-start] [--trace DIR] [--metrics]"
     );
     eprintln!("       wampde-cli merge <shard_manifest.json>... [--out DIR]");
     eprintln!("  KIND: dense | sparselu | klu | gmres | gmres-circulant");
@@ -85,6 +91,8 @@ struct Args {
     shard_index: usize,
     cache_dir: Option<PathBuf>,
     no_cache: bool,
+    cache_max_bytes: Option<u64>,
+    warm_start: bool,
     trace_dir: Option<PathBuf>,
     metrics: bool,
 }
@@ -101,6 +109,8 @@ fn parse_args(argv: &[String]) -> Args {
     let mut shard_index = 0usize;
     let mut cache_dir: Option<PathBuf> = None;
     let mut no_cache = false;
+    let mut cache_max_bytes: Option<u64> = None;
+    let mut warm_start = true;
     let mut trace_dir: Option<PathBuf> = None;
     let mut metrics = false;
     let mut i = 0;
@@ -181,6 +191,19 @@ fn parse_args(argv: &[String]) -> Args {
                 }
             }
             "--no-cache" => no_cache = true,
+            "--cache-max-bytes" => {
+                i += 1;
+                cache_max_bytes = Some(
+                    argv.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--cache-max-bytes requires a positive byte count");
+                            std::process::exit(2);
+                        }),
+                );
+            }
+            "--no-warm-start" => warm_start = false,
             "--trace" => {
                 i += 1;
                 match argv.get(i) {
@@ -234,6 +257,8 @@ fn parse_args(argv: &[String]) -> Args {
         shard_index,
         cache_dir,
         no_cache,
+        cache_max_bytes,
+        warm_start,
         trace_dir,
         metrics,
     }
@@ -355,7 +380,9 @@ fn real_main(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             .cache_dir
             .clone()
             .unwrap_or_else(|| PathBuf::from("target/sweep-cache"));
-        Some(ResultCache::open(&dir)?)
+        let mut cache = ResultCache::open(&dir)?;
+        cache.set_max_bytes(args.cache_max_bytes);
+        Some(cache)
     };
     if let Some(cache) = &cache {
         println!("result cache: {}", cache.dir().display());
@@ -373,6 +400,7 @@ fn real_main(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         shards: args.shards,
         shard_index: args.shard_index,
         cache,
+        warm_start: args.warm_start,
     };
     // Instrumentation never touches results: the recorder only listens
     // to spans/counters the solvers already emit, and the determinism

@@ -205,6 +205,111 @@ fn one_shard_and_four_shard_merge_are_byte_identical() {
 }
 
 #[test]
+fn batched_runs_are_byte_identical_for_any_jobs_and_shards() {
+    // Batched execution (continuation chains, the default) must keep the
+    // determinism invariant: aggregates are byte-identical for any
+    // --jobs count and any shard layout after merge.
+    let dir = scratch("batched");
+    let deck = write_deck(&dir, DECK);
+    let outs: Vec<PathBuf> = ["j1", "j4", "j8"].iter().map(|t| dir.join(t)).collect();
+    for (out, jobs) in outs.iter().zip(["1", "4", "8"]) {
+        run_cli(&[&p(&deck), "--jobs", jobs, "--out", &p(out), "--no-cache"]);
+    }
+    assert_identical(&outs[0], &outs[1], AGGREGATES);
+    assert_identical(&outs[0], &outs[2], AGGREGATES);
+
+    // A 2-shard layout recomputes non-owned chain positions as warm-up
+    // but records owned jobs only; the merge must match bit-for-bit.
+    let shard_out = dir.join("shards");
+    let merged_out = dir.join("merged");
+    let mut args: Vec<String> = vec!["merge".into()];
+    for k in 0..2 {
+        run_cli(&[
+            &p(&deck),
+            "--jobs",
+            "4",
+            "--shards",
+            "2",
+            "--shard-index",
+            &k.to_string(),
+            "--out",
+            &p(&shard_out),
+            "--no-cache",
+        ]);
+        args.push(p(
+            &shard_out.join(format!("rc_sweep_shard{k}of2_manifest.json"))
+        ));
+    }
+    args.push("--out".into());
+    args.push(p(&merged_out));
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    run_cli(&arg_refs);
+    assert_identical(&outs[0], &merged_out, AGGREGATES);
+}
+
+#[test]
+fn warm_chains_agree_with_cold_jobs_within_solver_tolerance() {
+    // On the paper's VCO control sweep, continuation warm starts change
+    // the Newton iterate sequence but must converge to the same physics:
+    // every non-counter summary metric agrees with the cold-start run to
+    // solver tolerance.
+    let dir = scratch("chain_tol");
+    let deck = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/decks/vco_sweep.ckt");
+    let warm_out = dir.join("warm");
+    let cold_out = dir.join("cold");
+    run_cli(&[
+        &p(&deck),
+        "--jobs",
+        "4",
+        "--out",
+        &p(&warm_out),
+        "--no-cache",
+    ]);
+    run_cli(&[
+        &p(&deck),
+        "--jobs",
+        "4",
+        "--out",
+        &p(&cold_out),
+        "--no-cache",
+        "--no-warm-start",
+    ]);
+    // Counters legitimately differ (that is the point of warm starts).
+    let counters = [
+        "iterations",
+        "newton_iters",
+        "steps",
+        "rejected",
+        "factorisations",
+        "symbolic_reuses",
+    ];
+    for name in [
+        "vco_sweep_shooting0_summary.csv",
+        "vco_sweep_wampde1_summary.csv",
+    ] {
+        let warm = fs::read_to_string(warm_out.join(name)).expect("warm summary");
+        let cold = fs::read_to_string(cold_out.join(name)).expect("cold summary");
+        let header: Vec<&str> = warm.lines().next().expect("header").split(',').collect();
+        assert_eq!(
+            header,
+            cold.lines().next().unwrap().split(',').collect::<Vec<_>>()
+        );
+        for (wline, cline) in warm.lines().skip(1).zip(cold.lines().skip(1)) {
+            for ((col, w), c) in header.iter().zip(wline.split(',')).zip(cline.split(',')) {
+                if counters.contains(col) {
+                    continue;
+                }
+                let (w, c): (f64, f64) = (w.parse().unwrap(), c.parse().unwrap());
+                assert!(
+                    (w - c).abs() <= 1e-6 * w.abs().max(c.abs()) + 1e-9,
+                    "{name} {col}: warm {w} vs cold {c}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn merge_rejects_an_incomplete_shard_set() {
     let dir = scratch("incomplete");
     let deck = write_deck(&dir, DECK);

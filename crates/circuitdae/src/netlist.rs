@@ -345,6 +345,34 @@ fn parse_impl(text: &str, allow_directives: bool) -> Result<Deck, NetlistError> 
                 let w = parse_waveform(args).map_err(perr)?;
                 ckt.add(Device::voltage_source(n1, n2, w));
             }
+            'D' => {
+                // d<name> n+ n- is=<sat current> n=<emission coeff>,
+                // both optional (is=1e-14, n=1). The emission coefficient
+                // scales the room-temperature thermal voltage kT/q.
+                let mut isat = 1.0e-14;
+                let mut emission = 1.0;
+                for tok in args {
+                    let Some((key, value)) = tok.split_once('=') else {
+                        return Err(perr(format!(
+                            "diode card takes key=value options, got '{tok}' (use is=/n=)"
+                        )));
+                    };
+                    let v = parse_value(value).map_err(perr)?;
+                    match key.to_ascii_lowercase().as_str() {
+                        "is" => isat = v,
+                        "n" => emission = v,
+                        other => {
+                            return Err(perr(format!(
+                                "unknown diode option '{other}' (use is=/n=)"
+                            )))
+                        }
+                    }
+                }
+                if isat <= 0.0 || emission <= 0.0 {
+                    return Err(perr("diode is= and n= must be positive".into()));
+                }
+                ckt.add(Device::diode(n1, n2, isat, emission * 0.02585));
+            }
             'M' => {
                 if args.len() < 7 {
                     return Err(NetlistError::Parse {
@@ -925,6 +953,45 @@ mod tests {
         .unwrap();
         assert_eq!(dae.dim(), 4); // v, iL, y, u
         assert!(check_jacobians(&dae, &[0.5, 0.01, 0.1, 0.0]) < 1e-6);
+    }
+
+    #[test]
+    fn parses_diode_card() {
+        // Defaults, explicit values, and value suffixes all parse; the
+        // exponential stamps must agree with finite differences.
+        let dae = parse_netlist(
+            "V1 in 0 DC(0.6)\n\
+             R1 in a 100\n\
+             D1 a 0 is=1e-15 n=1.8\n\
+             D2 a 0\n",
+        )
+        .unwrap();
+        assert!(check_jacobians(&dae, &[0.55, 0.5, 0.0]) < 1e-6);
+        // A forward-biased diode conducts: di/dv at 0.5 V is far above
+        // the reverse-bias conductance floor.
+        let mut f0 = vec![0.0; dae.dim()];
+        let mut f1 = vec![0.0; dae.dim()];
+        dae.eval_f(&[0.6, 0.5, 0.0], &mut f0);
+        dae.eval_f(&[0.6, 0.5 + 1e-6, 0.0], &mut f1);
+        assert!((f1[1] - f0[1]) / 1e-6 > 1e-3);
+    }
+
+    #[test]
+    fn diode_card_errors_carry_line_numbers() {
+        for (deck, needle) in [
+            ("R1 a 0 1k\nD1 a 0 1e-14\n", "key=value"),
+            ("R1 a 0 1k\nD1 a 0 vj=0.7\n", "unknown diode option"),
+            ("R1 a 0 1k\nD1 a 0 is=0\n", "must be positive"),
+            ("R1 a 0 1k\nD1 a 0 n=-2\n", "must be positive"),
+        ] {
+            match parse_netlist(deck).unwrap_err() {
+                NetlistError::Parse { line, message } => {
+                    assert_eq!(line, 2, "{deck:?}");
+                    assert!(message.contains(needle), "{message:?} for {deck:?}");
+                }
+                other => panic!("unexpected error {other} for {deck:?}"),
+            }
+        }
     }
 
     #[test]

@@ -707,6 +707,124 @@ impl FactoredJacobian {
     }
 }
 
+/// A batch-shared pool of sparse symbolic analyses.
+///
+/// Sweep jobs over one circuit share a sparsity pattern, so the
+/// BTF + AMD ordering and Gilbert–Peierls symbolic structure computed by
+/// the first job can seed every later one: a [`FactorCache`] holding a
+/// `SharedSymbolic` clones a matching template and performs a
+/// numeric-only [`SparseLu::refactor`] instead of a fresh symbolic
+/// factorisation. `refactor` is bitwise-identical to factoring fresh
+/// (asserted by `repro --table newton`), so sharing never changes a
+/// result bit.
+///
+/// The pool keeps a handful of templates keyed by a cheap
+/// `(dim, nnz)` signature — enough to cover the distinct patterns one
+/// analysis produces (DC Jacobian vs. time-step Jacobian) without
+/// growing unboundedly. `refactor` itself re-validates the full pattern,
+/// so a signature collision merely falls through to a fresh
+/// factorisation.
+///
+/// Two ways to wire it in:
+///
+/// * explicitly, via [`FactorCache::set_shared_symbolic`] /
+///   `newtonkit::NewtonEngine::set_shared_symbolic`;
+/// * ambiently, via [`SharedSymbolic::install`]: every `FactorCache`
+///   created on the thread while the guard lives picks the handle up.
+///   Solver entry points build their engines internally (their options
+///   structs are `Copy` and cannot carry an `Arc`), so the ambient route
+///   is how the sweep executor threads one handle through a whole
+///   chain of jobs.
+#[derive(Debug, Clone, Default)]
+pub struct SharedSymbolic {
+    inner: std::sync::Arc<std::sync::Mutex<Vec<SymbolicTemplate>>>,
+}
+
+#[derive(Debug)]
+struct SymbolicTemplate {
+    dim: usize,
+    nnz: usize,
+    lu: SparseLu,
+}
+
+/// At most this many distinct `(dim, nnz)` patterns are retained per
+/// handle; later patterns simply factor fresh without being published.
+const SHARED_SYMBOLIC_CAP: usize = 4;
+
+std::thread_local! {
+    static AMBIENT_SYMBOLIC: std::cell::RefCell<Option<SharedSymbolic>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// RAII guard from [`SharedSymbolic::install`]; restores the previously
+/// installed handle (if any) on drop.
+#[derive(Debug)]
+pub struct SharedSymbolicGuard {
+    previous: Option<SharedSymbolic>,
+}
+
+impl Drop for SharedSymbolicGuard {
+    fn drop(&mut self) {
+        AMBIENT_SYMBOLIC.with(|slot| *slot.borrow_mut() = self.previous.take());
+    }
+}
+
+impl SharedSymbolic {
+    /// An empty pool.
+    pub fn new() -> Self {
+        SharedSymbolic::default()
+    }
+
+    /// Installs this handle as the thread's ambient pool until the guard
+    /// drops; [`FactorCache::new`] on this thread picks it up.
+    #[must_use = "the handle is only installed while the guard lives"]
+    pub fn install(&self) -> SharedSymbolicGuard {
+        let previous = AMBIENT_SYMBOLIC.with(|slot| slot.borrow_mut().replace(self.clone()));
+        SharedSymbolicGuard { previous }
+    }
+
+    /// The handle currently installed on this thread, if any.
+    pub fn ambient() -> Option<SharedSymbolic> {
+        AMBIENT_SYMBOLIC.with(|slot| slot.borrow().clone())
+    }
+
+    /// Number of templates currently held (tests/diagnostics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// Whether the pool holds no templates yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A clone of the template matching `csc`'s signature, if one exists.
+    fn checkout(&self, csc: &sparsekit::Csc) -> Option<SparseLu> {
+        let templates = self.inner.lock().ok()?;
+        templates
+            .iter()
+            .find(|t| t.dim == csc.ncols() && t.nnz == csc.nnz())
+            .map(|t| t.lu.clone())
+    }
+
+    /// Publishes a freshly factored `lu` for `csc`'s signature unless a
+    /// template with that signature (or the cap) is already in place.
+    fn publish(&self, csc: &sparsekit::Csc, lu: &SparseLu) {
+        if let Ok(mut templates) = self.inner.lock() {
+            let sig = (csc.ncols(), csc.nnz());
+            if templates.len() < SHARED_SYMBOLIC_CAP
+                && !templates.iter().any(|t| (t.dim, t.nnz) == sig)
+            {
+                templates.push(SymbolicTemplate {
+                    dim: sig.0,
+                    nnz: sig.1,
+                    lu: lu.clone(),
+                });
+            }
+        }
+    }
+}
+
 /// Counters accumulated by a [`FactorCache`] across factorisations.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FactorStats {
@@ -739,19 +857,30 @@ pub struct FactorCache {
     reuse: bool,
     factored: Option<FactoredJacobian>,
     cyclic: Option<CyclicShape>,
+    shared: Option<SharedSymbolic>,
     stats: FactorStats,
 }
 
 impl FactorCache {
     /// A cache factoring through `kind`, with symbolic reuse enabled.
+    ///
+    /// Adopts the thread's ambient [`SharedSymbolic`] pool when one is
+    /// installed (see [`SharedSymbolic::install`]).
     pub fn new(kind: LinearSolverKind) -> Self {
         FactorCache {
             kind,
             reuse: true,
             factored: None,
             cyclic: None,
+            shared: SharedSymbolic::ambient(),
             stats: FactorStats::default(),
         }
+    }
+
+    /// Attaches (or detaches) a batch-shared symbolic pool, overriding
+    /// whatever ambient handle [`FactorCache::new`] adopted.
+    pub fn set_shared_symbolic(&mut self, shared: Option<SharedSymbolic>) {
+        self.shared = shared;
     }
 
     /// Enables/disables symbolic reuse (ablation knob; on by default).
@@ -823,11 +952,34 @@ impl FactorCache {
                     self.stats.pattern_rebuilds += 1;
                     obskit::counter_add("factor.rebuilds", 1);
                 }
+                // First factorisation in this cache: a batch pool may
+                // already hold the symbolic analysis for this pattern.
+                // `refactor` re-validates the pattern and is bitwise-
+                // identical to a fresh factor, so this is a pure skip of
+                // the symbolic phase; a mismatch falls through to fresh.
+                if self.factored.is_none() {
+                    if let Some(shared) = &self.shared {
+                        if let Some(mut lu) = shared.checkout(&csc) {
+                            if lu.refactor(&csc).is_ok() {
+                                self.stats.symbolic_reuses += 1;
+                                self.factored = Some(FactoredJacobian::Sparse(lu));
+                                sp.attr("mode", "shared");
+                                obskit::counter_add("batch.symbolic_reuses", 1);
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
             }
             let lu = match self.kind {
                 LinearSolverKind::Klu => factor_klu(&csc)?,
                 _ => SparseLu::factor(&csc).map_err(LinSolveError::new)?,
             };
+            if self.reuse {
+                if let Some(shared) = &self.shared {
+                    shared.publish(&csc, &lu);
+                }
+            }
             self.factored = Some(FactoredJacobian::Sparse(lu));
             sp.attr("mode", "fresh");
             obskit::counter_add("factor.fresh", 1);
@@ -1158,6 +1310,93 @@ mod tests {
         assert_eq!(stats.factorisations, 2);
         assert_eq!(stats.symbolic_reuses, 0);
         assert_eq!(stats.pattern_rebuilds, 1);
+    }
+
+    #[test]
+    fn shared_symbolic_skips_symbolic_in_a_second_cache() {
+        // Two caches (two "sweep jobs") over the same pattern: the first
+        // factors fresh and publishes, the second's very first factor is
+        // a numeric-only refactor of the shared template — with a
+        // solution identical to factoring from scratch.
+        let shared = SharedSymbolic::new();
+        let mk = |shift: f64| {
+            let mut t = Triplets::new(3, 3);
+            t.push(0, 0, 4.0 + shift);
+            t.push(1, 1, 3.0 + shift);
+            t.push(2, 2, 5.0);
+            t.push(0, 1, 1.0);
+            t.push(2, 0, 0.5);
+            t
+        };
+        let t0 = mk(0.0);
+        let mut first = FactorCache::new(LinearSolverKind::Klu);
+        first.set_shared_symbolic(Some(shared.clone()));
+        first.factor_matrix(&NewtonMatrix::Triplets(&t0)).unwrap();
+        assert_eq!(first.stats().symbolic_reuses, 0);
+        assert_eq!(shared.len(), 1);
+
+        let t1 = mk(2.5);
+        let mut second = FactorCache::new(LinearSolverKind::Klu);
+        second.set_shared_symbolic(Some(shared.clone()));
+        second.factor_matrix(&NewtonMatrix::Triplets(&t1)).unwrap();
+        assert_eq!(second.stats().factorisations, 1);
+        assert_eq!(second.stats().symbolic_reuses, 1, "template not reused");
+        let mut x = vec![1.0, 2.0, 3.0];
+        second.solve_in_place(&mut x).unwrap();
+        let mut reference = vec![1.0, 2.0, 3.0];
+        FactoredJacobian::factor_matrix(&NewtonMatrix::Triplets(&t1), LinearSolverKind::Klu)
+            .unwrap()
+            .solve_in_place(&mut reference)
+            .unwrap();
+        assert_eq!(x, reference, "shared-symbolic solve differs from fresh");
+    }
+
+    #[test]
+    fn shared_symbolic_mismatch_falls_through_to_fresh() {
+        // A different pattern must not borrow the template; it factors
+        // fresh and is published as a second template.
+        let shared = SharedSymbolic::new();
+        let mut a = Triplets::new(2, 2);
+        a.push(0, 0, 2.0);
+        a.push(1, 1, 3.0);
+        let mut cache = FactorCache::new(LinearSolverKind::SparseLu);
+        cache.set_shared_symbolic(Some(shared.clone()));
+        cache.factor_matrix(&NewtonMatrix::Triplets(&a)).unwrap();
+
+        let mut b = Triplets::new(2, 2);
+        b.push(0, 0, 2.0);
+        b.push(1, 1, 3.0);
+        b.push(0, 1, 1.0);
+        let mut other = FactorCache::new(LinearSolverKind::SparseLu);
+        other.set_shared_symbolic(Some(shared.clone()));
+        other.factor_matrix(&NewtonMatrix::Triplets(&b)).unwrap();
+        assert_eq!(other.stats().symbolic_reuses, 0);
+        assert_eq!(shared.len(), 2);
+        let mut x = vec![3.0, 3.0];
+        other.solve_in_place(&mut x).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ambient_install_seeds_new_caches_until_guard_drops() {
+        let shared = SharedSymbolic::new();
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 3.0);
+        {
+            let _guard = shared.install();
+            let mut cache = FactorCache::new(LinearSolverKind::SparseLu);
+            cache.factor_matrix(&NewtonMatrix::Triplets(&t)).unwrap();
+            assert_eq!(shared.len(), 1, "ambient cache did not publish");
+            let mut warm = FactorCache::new(LinearSolverKind::SparseLu);
+            warm.factor_matrix(&NewtonMatrix::Triplets(&t)).unwrap();
+            assert_eq!(warm.stats().symbolic_reuses, 1);
+        }
+        // Guard dropped: new caches are unpooled again.
+        let mut cold = FactorCache::new(LinearSolverKind::SparseLu);
+        cold.factor_matrix(&NewtonMatrix::Triplets(&t)).unwrap();
+        assert_eq!(cold.stats().symbolic_reuses, 0);
+        assert_eq!(shared.len(), 1);
     }
 
     #[test]

@@ -273,6 +273,28 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
     t2_end: f64,
     opts: &MpdeOptions,
 ) -> Result<MpdeResult, MpdeError> {
+    solve_envelope_mpde_from(dae, forcing, f1_hz, t2_end, opts, None)
+}
+
+/// [`solve_envelope_mpde`] with a continuation warm start: `init` (a
+/// neighbouring grid point's converged `t2 = 0` collocation state,
+/// `states[0]` of its [`MpdeResult`]) seeds the inner steady-state
+/// Newton solve, skipping the DC operating point entirely. The steady
+/// solve still runs to the same tolerances, so the warm start changes
+/// the iteration count, not the fixed point. `init = None` reproduces
+/// [`solve_envelope_mpde`] exactly; a wrong-length `init` is rejected.
+///
+/// # Errors
+///
+/// See [`MpdeError`].
+pub fn solve_envelope_mpde_from<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
+    dae: &D,
+    forcing: &F,
+    f1_hz: f64,
+    t2_end: f64,
+    opts: &MpdeOptions,
+    init: Option<&[f64]>,
+) -> Result<MpdeResult, MpdeError> {
     // `partial_cmp` keeps the NaN-rejecting behavior of `!(v > 0.0)`.
     if f1_hz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(MpdeError::BadInput(
@@ -312,10 +334,25 @@ pub fn solve_envelope_mpde<D: Dae + ?Sized, F: BivariateForcing + ?Sized>(
 
     // Initial condition: periodic steady state at t2 = 0 (steady-envelope
     // solve: f1·D·q + f = b̂(·, 0) — the general step residual with
-    // a0h = 0 and θ = 1).
-    let dc = transim::dc_operating_point(dae, &opts.newton)
-        .map_err(|e| MpdeError::BadInput(format!("dc operating point failed: {e}")))?;
-    let mut x: Vec<f64> = (0..colloc.n0).flat_map(|_| dc.iter().copied()).collect();
+    // a0h = 0 and θ = 1), seeded from the neighbouring grid point's
+    // converged collocation state when one is in hand, from the DC
+    // operating point otherwise.
+    let mut x: Vec<f64> = match init {
+        Some(seed) => {
+            if seed.len() != len {
+                return Err(MpdeError::BadInput(format!(
+                    "warm-start state has {} entries, collocation grid needs {len}",
+                    seed.len()
+                )));
+            }
+            seed.to_vec()
+        }
+        None => {
+            let dc = transim::dc_operating_point(dae, &opts.newton)
+                .map_err(|e| MpdeError::BadInput(format!("dc operating point failed: {e}")))?;
+            (0..colloc.n0).flat_map(|_| dc.iter().copied()).collect()
+        }
+    };
     eval_forcing(0.0, &mut bgrid);
     let zeros = vec![0.0; len];
     newton_mpde(
@@ -635,6 +672,22 @@ pub fn run_mpde_spec<D: Dae + ?Sized>(
     dae: &D,
     spec: &circuitdae::MpdeSpec,
 ) -> Result<MpdeResult, MpdeError> {
+    run_mpde_spec_warm(dae, spec, None)
+}
+
+/// [`run_mpde_spec`] with a continuation warm start: `init` (the
+/// `states[0]` collocation slice of a neighbouring grid point's
+/// [`MpdeResult`]) seeds the `t2 = 0` steady solve, skipping the DC
+/// operating point. See [`solve_envelope_mpde_from`].
+///
+/// # Errors
+///
+/// As [`run_mpde_spec`].
+pub fn run_mpde_spec_warm<D: Dae + ?Sized>(
+    dae: &D,
+    spec: &circuitdae::MpdeSpec,
+    init: Option<&[f64]>,
+) -> Result<MpdeResult, MpdeError> {
     if spec.node >= dae.dim() {
         return Err(MpdeError::BadInput(format!(
             "forced node index {} out of range (dim = {})",
@@ -661,7 +714,7 @@ pub fn run_mpde_spec<D: Dae + ?Sized>(
     } else {
         None
     };
-    solve_envelope_mpde(
+    solve_envelope_mpde_from(
         dae,
         &forcing,
         spec.f1_hz,
@@ -673,6 +726,7 @@ pub fn run_mpde_spec<D: Dae + ?Sized>(
             step,
             ..Default::default()
         },
+        init,
     )
 }
 

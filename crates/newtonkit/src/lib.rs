@@ -294,6 +294,9 @@ impl std::error::Error for NewtonError {}
 #[derive(Debug, Default)]
 pub struct NewtonEngine {
     cache: Option<FactorCache>,
+    // `None` = inherit the thread-ambient pool (see
+    // [`linsolve::SharedSymbolic::install`]); `Some(ov)` = pin `ov`.
+    shared_override: Option<Option<linsolve::SharedSymbolic>>,
     stats: NewtonStats,
     // Scratch buffers reused across solves (resized on dimension change).
     r: Vec<f64>,
@@ -315,6 +318,16 @@ impl NewtonEngine {
     /// populated on the error paths too, unlike the success return value.
     pub fn stats(&self) -> NewtonStats {
         self.stats
+    }
+
+    /// Pins a batch-shared symbolic pool on this engine's factor cache
+    /// (overriding any thread-ambient [`linsolve::SharedSymbolic`]);
+    /// `Some(None)`-style detaching is expressed by passing `None`.
+    pub fn set_shared_symbolic(&mut self, shared: Option<linsolve::SharedSymbolic>) {
+        if let Some(cache) = &mut self.cache {
+            cache.set_shared_symbolic(shared.clone());
+        }
+        self.shared_override = Some(shared);
     }
 
     /// Cumulative factorisation counters across the engine's lifetime.
@@ -352,7 +365,13 @@ impl NewtonEngine {
                 c.set_kind(policy.linear_solver);
                 c
             }
-            slot => slot.insert(FactorCache::new(policy.linear_solver)),
+            slot => {
+                let c = slot.insert(FactorCache::new(policy.linear_solver));
+                if let Some(ov) = &self.shared_override {
+                    c.set_shared_symbolic(ov.clone());
+                }
+                c
+            }
         };
         cache.set_reuse(policy.reuse_symbolic);
         cache.set_cyclic_shape(sys.cyclic_shape());

@@ -603,10 +603,26 @@ pub fn oscillator_steady_state<D: Dae + ?Sized>(
     dae: &D,
     opts: &ShootingOptions,
 ) -> Result<PeriodicOrbit, ShootingError> {
+    oscillator_steady_state_with_stats(dae, opts).map(|(orbit, _)| orbit)
+}
+
+/// [`oscillator_steady_state`] additionally reporting the work done by
+/// the warm-up/settle transients plus the orbit Newton as one
+/// [`obskit::RunStats`] — the cost a continuation warm start avoids, so
+/// batched sweeps can meter what they saved.
+///
+/// # Errors
+///
+/// As [`oscillator_steady_state`].
+pub fn oscillator_steady_state_with_stats<D: Dae + ?Sized>(
+    dae: &D,
+    opts: &ShootingOptions,
+) -> Result<(PeriodicOrbit, obskit::RunStats), ShootingError> {
     let _sp = obskit::span_with(
         "shooting",
         &[("phase", obskit::AttrValue::Str("steady-state"))],
     );
+    let mut pipeline = obskit::RunStats::default();
     let dc = transim::dc_operating_point(dae, &NewtonOptions::default())?;
 
     // Kick the phase variable off the (typically unstable) equilibrium.
@@ -648,6 +664,7 @@ pub fn oscillator_steady_state<D: Dae + ?Sized>(
             horizon_guess * opts.warmup_periods / 10.0,
             &opts_tr,
         )?;
+        pipeline.merge(&warm.stats);
         if let Some((period, _t_cross)) = estimate_period_from_transient(&warm, opts.phase_var) {
             // Settle onto the limit cycle, then pick the state at the last
             // *peak* of the phase variable: there q̇_k ≈ 0 already, so the
@@ -660,13 +677,36 @@ pub fn oscillator_steady_state<D: Dae + ?Sized>(
                 period * opts.warmup_periods,
                 &opts_tr,
             )?;
+            pipeline.merge(&settle.stats);
             let x0_guess = state_at_last_peak(&settle, opts.phase_var)
                 .unwrap_or_else(|| settle.last().to_vec());
-            return find_periodic_orbit(dae, &x0_guess, period, opts);
+            let orbit = find_periodic_orbit(dae, &x0_guess, period, opts)?;
+            pipeline.newton_iters += orbit.iterations;
+            return Ok((orbit, pipeline));
         }
         horizon_guess *= 8.0;
     }
     Err(ShootingError::NoOscillation)
+}
+
+/// A converged neighbouring orbit used to seed the next grid point's
+/// shooting solve (continuation warm start).
+#[derive(Debug, Clone)]
+pub struct ShootingWarmStart {
+    /// Converged periodic state at the neighbouring parameter value.
+    pub x0: Vec<f64>,
+    /// Its period (the next point's period guess).
+    pub period: f64,
+}
+
+impl ShootingWarmStart {
+    /// The warm-start a converged orbit hands to the next grid point.
+    pub fn from_orbit(orbit: &PeriodicOrbit) -> Self {
+        ShootingWarmStart {
+            x0: orbit.x0.clone(),
+            period: orbit.period,
+        }
+    }
 }
 
 /// Deck adapter: runs a `.shooting` directive via
@@ -681,6 +721,30 @@ pub fn run_shooting_spec<D: Dae + ?Sized>(
     dae: &D,
     spec: &circuitdae::ShootingSpec,
 ) -> Result<PeriodicOrbit, ShootingError> {
+    run_shooting_spec_warm(dae, spec, None).map(|(orbit, _)| orbit)
+}
+
+/// [`run_shooting_spec`] with a continuation warm start: when `warm`
+/// holds a neighbouring grid point's converged orbit, shooting starts
+/// directly from it — skipping the DC solve, kicked warm-up transients,
+/// period detection and settle phase entirely. A warm solve that fails
+/// (the neighbour was too far away) transparently falls back to the
+/// full cold pipeline, so warm starting changes cost, never
+/// reachability.
+///
+/// Also returns the [`obskit::RunStats`] of the whole pipeline (cold
+/// path) or of just the orbit Newton (warm path): the per-point cost a
+/// sweep actually paid.
+///
+/// # Errors
+///
+/// [`ShootingError::BadInput`] when `phase_var` is out of range,
+/// otherwise see [`oscillator_steady_state`].
+pub fn run_shooting_spec_warm<D: Dae + ?Sized>(
+    dae: &D,
+    spec: &circuitdae::ShootingSpec,
+    warm: Option<&ShootingWarmStart>,
+) -> Result<(PeriodicOrbit, obskit::RunStats), ShootingError> {
     if spec.phase_var >= dae.dim() {
         return Err(ShootingError::BadInput(format!(
             "phase_var {} out of range (dim = {})",
@@ -688,15 +752,24 @@ pub fn run_shooting_spec<D: Dae + ?Sized>(
             dae.dim()
         )));
     }
-    oscillator_steady_state(
-        dae,
-        &ShootingOptions {
-            steps_per_period: spec.steps_per_period,
-            phase_var: spec.phase_var,
-            linear_solver: spec.solver,
-            ..Default::default()
-        },
-    )
+    let opts = ShootingOptions {
+        steps_per_period: spec.steps_per_period,
+        phase_var: spec.phase_var,
+        linear_solver: spec.solver,
+        ..Default::default()
+    };
+    if let Some(seed) = warm {
+        if seed.x0.len() == dae.dim() && seed.period > 0.0 {
+            if let Ok(orbit) = find_periodic_orbit(dae, &seed.x0, seed.period, &opts) {
+                let stats = obskit::RunStats {
+                    newton_iters: orbit.iterations,
+                    ..Default::default()
+                };
+                return Ok((orbit, stats));
+            }
+        }
+    }
+    oscillator_steady_state_with_stats(dae, &opts)
 }
 
 /// State at the last interior local maximum of variable `var`.

@@ -38,6 +38,21 @@ impl ScenarioResult {
     }
 }
 
+/// A converged solver state handed from one grid point to the next
+/// along a continuation chain (see `sweepkit::batch`).
+///
+/// Each analysis produces and consumes its own variant; a mismatched or
+/// absent state simply means a cold start, never an error.
+#[derive(Debug, Clone)]
+pub enum WarmState {
+    /// Converged DC operating point (`tran` chains).
+    DcOp(Vec<f64>),
+    /// Converged unforced periodic orbit (`shooting` / `wampde` chains).
+    Orbit(shooting::ShootingWarmStart),
+    /// Converged `t2 = 0` collocation state (`mpde` chains).
+    Colloc(Vec<f64>),
+}
+
 /// One deck analysis, uniformly runnable on any circuit instance.
 ///
 /// Implementations wrap the solver adapters (`transim::run_tran_spec`,
@@ -53,7 +68,23 @@ pub trait Analysis: Send + Sync {
     /// # Errors
     ///
     /// The wrapped solver's error, converted to [`SweepError`].
-    fn run(&self, dae: &CircuitDae) -> Result<ScenarioResult, SweepError>;
+    fn run(&self, dae: &CircuitDae) -> Result<ScenarioResult, SweepError> {
+        self.run_warm(dae, None).map(|(res, _)| res)
+    }
+
+    /// Runs the analysis with an optional continuation warm start from a
+    /// neighbouring grid point, returning this point's own converged
+    /// state for the next link of the chain. `warm = None` (or a
+    /// mismatched variant) is exactly [`Analysis::run`].
+    ///
+    /// # Errors
+    ///
+    /// The wrapped solver's error, converted to [`SweepError`].
+    fn run_warm(
+        &self,
+        dae: &CircuitDae,
+        warm: Option<&WarmState>,
+    ) -> Result<(ScenarioResult, Option<WarmState>), SweepError>;
 }
 
 /// Dispatches a parsed directive to its solver-backed [`Analysis`].
@@ -74,9 +105,17 @@ impl Analysis for TranAnalysis {
         "tran"
     }
 
-    fn run(&self, dae: &CircuitDae) -> Result<ScenarioResult, SweepError> {
+    fn run_warm(
+        &self,
+        dae: &CircuitDae,
+        warm: Option<&WarmState>,
+    ) -> Result<(ScenarioResult, Option<WarmState>), SweepError> {
         let _sp = obskit::span_with("analysis", &[("kind", obskit::AttrValue::Str("tran"))]);
-        let res = transim::run_tran_spec(dae, &self.0)?;
+        let seed = match warm {
+            Some(WarmState::DcOp(x)) if x.len() == dae.dim() => Some(x.as_slice()),
+            _ => None,
+        };
+        let (res, dcop) = transim::run_tran_spec_warm(dae, &self.0, seed)?;
         let mut columns = vec!["t".to_string()];
         columns.extend(dae.var_names());
         let rows = res
@@ -90,18 +129,21 @@ impl Analysis for TranAnalysis {
                 row
             })
             .collect();
-        Ok(ScenarioResult {
-            analysis: self.name(),
-            columns,
-            rows,
-            metrics: vec![
-                ("steps".into(), res.stats.steps as f64),
-                ("rejected".into(), res.stats.rejected as f64),
-                ("newton_iters".into(), res.stats.newton_iters as f64),
-                ("factorisations".into(), res.stats.factorisations as f64),
-                ("symbolic_reuses".into(), res.stats.symbolic_reuses as f64),
-            ],
-        })
+        Ok((
+            ScenarioResult {
+                analysis: self.name(),
+                columns,
+                rows,
+                metrics: vec![
+                    ("steps".into(), res.stats.steps as f64),
+                    ("rejected".into(), res.stats.rejected as f64),
+                    ("newton_iters".into(), res.stats.newton_iters as f64),
+                    ("factorisations".into(), res.stats.factorisations as f64),
+                    ("symbolic_reuses".into(), res.stats.symbolic_reuses as f64),
+                ],
+            },
+            Some(WarmState::DcOp(dcop)),
+        ))
     }
 }
 
@@ -113,9 +155,17 @@ impl Analysis for ShootingAnalysis {
         "shooting"
     }
 
-    fn run(&self, dae: &CircuitDae) -> Result<ScenarioResult, SweepError> {
+    fn run_warm(
+        &self,
+        dae: &CircuitDae,
+        warm: Option<&WarmState>,
+    ) -> Result<(ScenarioResult, Option<WarmState>), SweepError> {
         let _sp = obskit::span_with("analysis", &[("kind", obskit::AttrValue::Str("shooting"))]);
-        let orbit = shooting::run_shooting_spec(dae, &self.0)?;
+        let seed = match warm {
+            Some(WarmState::Orbit(w)) => Some(w),
+            _ => None,
+        };
+        let (orbit, stats) = shooting::run_shooting_spec_warm(dae, &self.0, seed)?;
         let mut columns = vec!["t1".to_string()];
         columns.extend(dae.var_names());
         // Samples span one closed period (endpoint included), so the
@@ -132,16 +182,25 @@ impl Analysis for ShootingAnalysis {
                 row
             })
             .collect();
-        Ok(ScenarioResult {
-            analysis: self.name(),
-            columns,
-            rows,
-            metrics: vec![
-                ("period_s".into(), orbit.period),
-                ("freq_hz".into(), orbit.frequency()),
-                ("iterations".into(), orbit.iterations as f64),
-            ],
-        })
+        // `newton_iters` covers the whole pipeline this point actually
+        // paid for (warm-up/settle transients + orbit Newton on a cold
+        // start; the orbit Newton alone on a warm one), so chained and
+        // cold costs are directly comparable.
+        let warm_state = WarmState::Orbit(shooting::ShootingWarmStart::from_orbit(&orbit));
+        Ok((
+            ScenarioResult {
+                analysis: self.name(),
+                columns,
+                rows,
+                metrics: vec![
+                    ("period_s".into(), orbit.period),
+                    ("freq_hz".into(), orbit.frequency()),
+                    ("iterations".into(), orbit.iterations as f64),
+                    ("newton_iters".into(), stats.newton_iters as f64),
+                ],
+            },
+            Some(warm_state),
+        ))
     }
 }
 
@@ -153,9 +212,17 @@ impl Analysis for MpdeAnalysis {
         "mpde"
     }
 
-    fn run(&self, dae: &CircuitDae) -> Result<ScenarioResult, SweepError> {
+    fn run_warm(
+        &self,
+        dae: &CircuitDae,
+        warm: Option<&WarmState>,
+    ) -> Result<(ScenarioResult, Option<WarmState>), SweepError> {
         let _sp = obskit::span_with("analysis", &[("kind", obskit::AttrValue::Str("mpde"))]);
-        let res = mpde::run_mpde_spec(dae, &self.0)?;
+        let seed = match warm {
+            Some(WarmState::Colloc(x)) => Some(x.as_slice()),
+            _ => None,
+        };
+        let res = mpde::run_mpde_spec_warm(dae, &self.0, seed)?;
         let names = dae.var_names();
         let mut columns = vec!["t2".to_string()];
         columns.extend(names.iter().map(|n| format!("amp({n})")));
@@ -171,20 +238,24 @@ impl Analysis for MpdeAnalysis {
                 row
             })
             .collect();
-        Ok(ScenarioResult {
-            analysis: self.name(),
-            columns,
-            rows,
-            metrics: vec![
-                ("f1_hz".into(), res.f1_hz),
-                ("points".into(), res.t2.len() as f64),
-                ("steps".into(), res.stats.steps as f64),
-                ("rejected".into(), res.stats.rejected as f64),
-                ("newton_iters".into(), res.stats.newton_iters as f64),
-                ("factorisations".into(), res.stats.factorisations as f64),
-                ("symbolic_reuses".into(), res.stats.symbolic_reuses as f64),
-            ],
-        })
+        let warm_state = res.states.first().cloned().map(WarmState::Colloc);
+        Ok((
+            ScenarioResult {
+                analysis: self.name(),
+                columns,
+                rows,
+                metrics: vec![
+                    ("f1_hz".into(), res.f1_hz),
+                    ("points".into(), res.t2.len() as f64),
+                    ("steps".into(), res.stats.steps as f64),
+                    ("rejected".into(), res.stats.rejected as f64),
+                    ("newton_iters".into(), res.stats.newton_iters as f64),
+                    ("factorisations".into(), res.stats.factorisations as f64),
+                    ("symbolic_reuses".into(), res.stats.symbolic_reuses as f64),
+                ],
+            },
+            warm_state,
+        ))
     }
 }
 
@@ -196,9 +267,17 @@ impl Analysis for WampdeAnalysis {
         "wampde"
     }
 
-    fn run(&self, dae: &CircuitDae) -> Result<ScenarioResult, SweepError> {
+    fn run_warm(
+        &self,
+        dae: &CircuitDae,
+        warm: Option<&WarmState>,
+    ) -> Result<(ScenarioResult, Option<WarmState>), SweepError> {
         let _sp = obskit::span_with("analysis", &[("kind", obskit::AttrValue::Str("wampde"))]);
-        let env = wampde::run_wampde_spec(dae, &self.0)?;
+        let seed = match warm {
+            Some(WarmState::Orbit(w)) => Some(w),
+            _ => None,
+        };
+        let (env, orbit) = wampde::run_wampde_spec_warm(dae, &self.0, seed)?;
         let names = dae.var_names();
         let mut columns = vec![
             "t2".to_string(),
@@ -222,20 +301,24 @@ impl Analysis for WampdeAnalysis {
             })
             .collect();
         let (lo, hi) = env.frequency_range();
-        Ok(ScenarioResult {
-            analysis: self.name(),
-            columns,
-            rows,
-            metrics: vec![
-                ("omega_min_hz".into(), lo),
-                ("omega_max_hz".into(), hi),
-                ("steps".into(), env.stats.steps as f64),
-                ("rejected".into(), env.stats.rejected as f64),
-                ("newton_iters".into(), env.stats.newton_iters as f64),
-                ("factorisations".into(), env.stats.factorisations as f64),
-                ("symbolic_reuses".into(), env.stats.symbolic_reuses as f64),
-            ],
-        })
+        let warm_state = WarmState::Orbit(shooting::ShootingWarmStart::from_orbit(&orbit));
+        Ok((
+            ScenarioResult {
+                analysis: self.name(),
+                columns,
+                rows,
+                metrics: vec![
+                    ("omega_min_hz".into(), lo),
+                    ("omega_max_hz".into(), hi),
+                    ("steps".into(), env.stats.steps as f64),
+                    ("rejected".into(), env.stats.rejected as f64),
+                    ("newton_iters".into(), env.stats.newton_iters as f64),
+                    ("factorisations".into(), env.stats.factorisations as f64),
+                    ("symbolic_reuses".into(), env.stats.symbolic_reuses as f64),
+                ],
+            },
+            Some(warm_state),
+        ))
     }
 }
 

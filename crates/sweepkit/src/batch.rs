@@ -1,0 +1,161 @@
+//! Continuation-chain planning for batched sweeps.
+//!
+//! Neighbouring grid points differ by one small parameter step, so their
+//! converged solutions are near-identical — the classic continuation
+//! setup. The planner groups each analysis's jobs into **chains**:
+//! maximal runs of consecutive grid points along the deck's
+//! fastest-varying (last) sweep axis. The executor then dispatches whole
+//! chains to workers; inside a chain, point *i + 1*'s solve is seeded
+//! from point *i*'s converged state
+//! ([`crate::analysis::Analysis::run_warm`]) and every point shares one
+//! sparse symbolic analysis (`linsolve::SharedSymbolic`).
+//!
+//! The chain layout is a pure function of the grid — independent of the
+//! worker count and the shard layout — which is what keeps batched
+//! aggregate artifacts byte-identical for any `--jobs` × `--shards`
+//! combination: a shard executes every chain containing at least one job
+//! it owns (recomputing the non-owned positions as warm-up), and chain
+//! execution itself is single-threaded and deterministic.
+//!
+//! With warm starts disabled every chain has length one, which is
+//! exactly the independent-jobs executor of earlier releases.
+
+/// The chain layout plus a contiguous per-batch arena of the grid's
+/// parameter values (one flat `f64` slab instead of per-point `Vec`s, so
+/// chain execution walks a dense, cache/SIMD-friendly layout).
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    chains: Vec<Vec<usize>>,
+    values: Vec<f64>,
+    stride: usize,
+    n_analyses: usize,
+}
+
+impl BatchPlan {
+    /// Plans chains over `grid` (row-major, last axis fastest — see
+    /// [`crate::expand_grid`]) for a deck with `n_analyses` analysis
+    /// directives. `run_len` is the fastest axis's point count; with
+    /// `warm_start = false` (or `run_len = 1`) every chain is a single
+    /// job.
+    ///
+    /// Job ids follow the executor's convention
+    /// `id = point * n_analyses + analysis`.
+    pub fn new(grid: &[Vec<f64>], run_len: usize, n_analyses: usize, warm_start: bool) -> Self {
+        let n_points = grid.len().max(1);
+        let stride = grid.first().map(Vec::len).unwrap_or(0);
+        let mut values = Vec::with_capacity(n_points * stride);
+        for point in grid {
+            values.extend_from_slice(point);
+        }
+        let run = if warm_start {
+            run_len.clamp(1, n_points)
+        } else {
+            1
+        };
+        // Rows outer, analyses inner: chains come out ordered by their
+        // first job id, so singleton chains replay the classic id-ordered
+        // dispatch exactly.
+        let mut chains = Vec::new();
+        let mut start = 0;
+        while start < n_points {
+            let len = run.min(n_points - start);
+            for a in 0..n_analyses.max(1) {
+                chains.push(
+                    (start..start + len)
+                        .map(|p| p * n_analyses.max(1) + a)
+                        .collect(),
+                );
+            }
+            start += len;
+        }
+        BatchPlan {
+            chains,
+            values,
+            stride,
+            n_analyses: n_analyses.max(1),
+        }
+    }
+
+    /// The planned chains: each a list of job ids executed in order on
+    /// one worker, later positions warm-started from earlier ones.
+    pub fn chains(&self) -> &[Vec<usize>] {
+        &self.chains
+    }
+
+    /// The swept parameter values of one grid point, read out of the
+    /// contiguous arena.
+    pub fn point_values(&self, point: usize) -> &[f64] {
+        &self.values[point * self.stride..(point + 1) * self.stride]
+    }
+
+    /// The grid point of a job id.
+    pub fn point_of(&self, id: usize) -> usize {
+        id / self.n_analyses
+    }
+
+    /// The analysis index of a job id.
+    pub fn analysis_of(&self, id: usize) -> usize {
+        id % self.n_analyses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_2x3() -> Vec<Vec<f64>> {
+        // Two slow-axis values × three fast-axis values.
+        let mut g = Vec::new();
+        for &a in &[1.0, 2.0] {
+            for &b in &[10.0, 20.0, 30.0] {
+                g.push(vec![a, b]);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn chains_follow_the_fast_axis_per_analysis() {
+        let plan = BatchPlan::new(&grid_2x3(), 3, 2, true);
+        // Two rows × two analyses = four chains, ordered by first id.
+        let chains = plan.chains();
+        assert_eq!(chains.len(), 4);
+        assert_eq!(chains[0], vec![0, 2, 4]); // row 0, analysis 0
+        assert_eq!(chains[1], vec![1, 3, 5]); // row 0, analysis 1
+        assert_eq!(chains[2], vec![6, 8, 10]); // row 1, analysis 0
+        assert_eq!(chains[3], vec![7, 9, 11]);
+        // Every job appears exactly once.
+        let mut all: Vec<usize> = chains.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cold_plan_is_singleton_chains_in_id_order() {
+        let plan = BatchPlan::new(&grid_2x3(), 3, 2, false);
+        let chains = plan.chains();
+        assert_eq!(chains.len(), 12);
+        for (i, c) in chains.iter().enumerate() {
+            assert_eq!(c, &vec![i]);
+        }
+    }
+
+    #[test]
+    fn arena_matches_grid_values() {
+        let grid = grid_2x3();
+        let plan = BatchPlan::new(&grid, 3, 2, true);
+        for (p, want) in grid.iter().enumerate() {
+            assert_eq!(plan.point_values(p), want.as_slice());
+        }
+        assert_eq!(plan.point_of(7), 3);
+        assert_eq!(plan.analysis_of(7), 1);
+    }
+
+    #[test]
+    fn empty_grid_plans_one_point() {
+        // A sweep-less deck has one implicit grid point.
+        let plan = BatchPlan::new(&[vec![]], 1, 1, true);
+        assert_eq!(plan.chains(), &[vec![0]]);
+        assert_eq!(plan.point_values(0), &[] as &[f64]);
+    }
+}

@@ -37,7 +37,11 @@ use std::path::{Path, PathBuf};
 // fmt3: the KLU sparse kernel (BTF + AMD ordering + row equilibration)
 // and the block-circulant GMRES preconditioner change the floating-point
 // sequence of the sparse and quasiperiodic solve paths.
-pub const CACHE_SALT: &str = concat!("sweepkit-", env!("CARGO_PKG_VERSION"), "-fmt3");
+// fmt4: batched execution. Warm-started chain positions are keyed under
+// [`job_hash_mode`] (the plain [`job_hash`] key now *means* "computed
+// cold"), and continuation seeding changes the Newton iterate sequence,
+// so fmt3 entries must not satisfy fmt4 lookups in either direction.
+pub const CACHE_SALT: &str = concat!("sweepkit-", env!("CARGO_PKG_VERSION"), "-fmt4");
 
 /// FNV-1a, 128-bit: tiny, dependency-free, and plenty for cache keys
 /// (collision odds are negligible below ~2^60 distinct jobs).
@@ -64,6 +68,22 @@ fn fnv1a128(chunks: &[&[u8]]) -> u128 {
 /// swept parameter values (hashed as raw bits, so `0.1 + 0.2` and
 /// `0.3` are — correctly — different jobs).
 pub fn job_hash(deck_fingerprint: &str, values: &[f64], spec_fingerprint: &str) -> String {
+    job_hash_mode(deck_fingerprint, values, spec_fingerprint, "")
+}
+
+/// [`job_hash`] with an execution-`mode` discriminator mixed in.
+///
+/// The batched executor stores a warm-started chain position under a
+/// mode string encoding its predecessors' grid values (see
+/// `executor`), so a warm result can never satisfy a cold lookup — or a
+/// lookup from a chain with a different upstream — and vice versa. The
+/// empty mode is identical to the plain [`job_hash`].
+pub fn job_hash_mode(
+    deck_fingerprint: &str,
+    values: &[f64],
+    spec_fingerprint: &str,
+    mode: &str,
+) -> String {
     let mut value_bits = Vec::with_capacity(values.len() * 8);
     for v in values {
         value_bits.extend_from_slice(&v.to_bits().to_le_bytes());
@@ -73,14 +93,17 @@ pub fn job_hash(deck_fingerprint: &str, values: &[f64], spec_fingerprint: &str) 
         deck_fingerprint.as_bytes(),
         &value_bits,
         spec_fingerprint.as_bytes(),
+        mode.as_bytes(),
     ]);
     format!("{h:032x}")
 }
 
-/// A flat-directory result cache, one file per job hash.
+/// A flat-directory result cache, one file per job hash, optionally
+/// size-bounded (see [`ResultCache::set_max_bytes`]).
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    max_bytes: Option<u64>,
 }
 
 impl ResultCache {
@@ -92,7 +115,18 @@ impl ResultCache {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(ResultCache { dir })
+        Ok(ResultCache {
+            dir,
+            max_bytes: None,
+        })
+    }
+
+    /// Bounds the total size of `.sweepres` entries. After every
+    /// [`store`](ResultCache::store), least-recently-written entries
+    /// (oldest mtime first) are evicted until the directory fits the
+    /// budget again. `None` (the default) disables eviction.
+    pub fn set_max_bytes(&mut self, max_bytes: Option<u64>) {
+        self.max_bytes = max_bytes;
     }
 
     /// The cache directory.
@@ -126,12 +160,66 @@ impl ResultCache {
         let tmp_path = self.dir.join(format!("{hash}.tmp.{}", std::process::id()));
         fs::write(&tmp_path, render_result(result))?;
         match fs::rename(&tmp_path, &final_path) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                if self.max_bytes.is_some() {
+                    // Best effort: an eviction hiccup (e.g. a concurrent
+                    // shard deleting the same entry) must not fail the
+                    // store — the budget is advisory, correctness is not.
+                    let _ = self.evict_to_limit();
+                }
+                Ok(())
+            }
             Err(e) => {
                 let _ = fs::remove_file(&tmp_path);
                 Err(e)
             }
         }
+    }
+
+    /// Deletes oldest-mtime `.sweepres` entries until the directory's
+    /// entry bytes fit `max_bytes`; a no-op without a budget. Deletion
+    /// uses `remove_file` on final entry names only, so it composes with
+    /// the write-then-rename protocol: a concurrent writer either fully
+    /// re-creates an entry or leaves a plain miss, never a torn file.
+    /// Returns the number of entries evicted.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure listing the directory (individual stat/delete
+    /// failures are skipped — another process may race us).
+    pub fn evict_to_limit(&self) -> io::Result<usize> {
+        let Some(budget) = self.max_bytes else {
+            return Ok(0);
+        };
+        let mut entries: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "sweepres") {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            entries.push((mtime, meta.len(), path));
+        }
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        if total <= budget {
+            return Ok(0);
+        }
+        // Oldest first; tie-break on the path name so eviction order is
+        // deterministic on coarse-mtime filesystems.
+        entries.sort_by(|a, b| (a.0, &a.2).cmp(&(b.0, &b.2)));
+        let mut evicted = 0;
+        for (_, len, path) in entries {
+            if total <= budget {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                evicted += 1;
+            }
+        }
+        Ok(evicted)
     }
 }
 
@@ -285,6 +373,43 @@ mod tests {
         // A torn (garbage) entry reads as a miss, not an error.
         fs::write(cache.entry_path(&h), "sweepres 1\nanalysis wam").unwrap();
         assert!(cache.load(&h).is_none());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn job_hash_mode_discriminates() {
+        let cold = job_hash("deck", &[1.5], "spec");
+        assert_eq!(cold, job_hash_mode("deck", &[1.5], "spec", ""));
+        let warm = job_hash_mode("deck", &[1.5], "spec", "warm:3ff8000000000000");
+        assert_ne!(cold, warm);
+        assert_ne!(
+            warm,
+            job_hash_mode("deck", &[1.5], "spec", "warm:4000000000000000")
+        );
+    }
+
+    #[test]
+    fn eviction_drops_oldest_entries_to_fit_budget() {
+        let dir = unique_dir("evict");
+        let mut cache = ResultCache::open(&dir).unwrap();
+        let r = sample_result();
+        let hashes: Vec<String> = (0..3)
+            .map(|i| job_hash("deck", &[i as f64], "spec"))
+            .collect();
+        cache.store(&hashes[0], &r).unwrap();
+        let entry_len = fs::metadata(cache.entry_path(&hashes[0])).unwrap().len();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.store(&hashes[1], &r).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Room for two entries: storing the third must evict the oldest.
+        cache.set_max_bytes(Some(2 * entry_len + entry_len / 2));
+        cache.store(&hashes[2], &r).unwrap();
+        assert!(cache.load(&hashes[0]).is_none(), "oldest entry survives");
+        assert!(cache.load(&hashes[1]).is_some());
+        assert!(cache.load(&hashes[2]).is_some());
+        // Without a budget nothing is ever pruned.
+        cache.set_max_bytes(None);
+        assert_eq!(cache.evict_to_limit().unwrap(), 0);
         fs::remove_dir_all(dir).ok();
     }
 

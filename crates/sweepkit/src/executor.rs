@@ -8,20 +8,39 @@
 //! output is **identical for any worker count** — `--jobs 1` and
 //! `--jobs 8` produce byte-identical artifacts.
 //!
+//! With [`SweepConfig::warm_start`], jobs are dispatched as continuation
+//! **chains** ([`crate::batch::BatchPlan`]) instead of one at a time:
+//! each chain walks consecutive points of the fastest-varying sweep
+//! axis, seeding every Newton solve from the previous point's converged
+//! state ([`Analysis::run_warm`]) and sharing one sparse symbolic
+//! analysis (`linsolve::SharedSymbolic`) across the whole chain. The
+//! chain layout is a pure function of the grid, and each chain runs on a
+//! single worker in a fixed order, so batched aggregates stay
+//! byte-identical for any `--jobs` × `--shards` combination.
+//!
 //! [`run_deck_with`] adds the sweep-service layers on top of the pool —
 //! all three preserve that byte-identity:
 //!
 //! * an optional content-hashed [`ResultCache`], so repeated or
 //!   interrupted sweeps recompute only missing jobs (cold and warm runs
-//!   produce the same bytes, warm runs just produce them faster);
+//!   produce the same bytes, warm runs just produce them faster). A
+//!   warm-started chain position is keyed under [`job_hash_mode`] with
+//!   its predecessors' grid values mixed in; a chain is served from the
+//!   cache only when *every* owned position hits, and recomputed from
+//!   position 0 otherwise, so cached and computed chains carry the same
+//!   bytes;
 //! * deterministic sharding (`job % shards == shard_index`), so a grid
-//!   splits over independent processes with no coordination;
+//!   splits over independent processes with no coordination. A shard
+//!   executes every chain containing at least one job it owns,
+//!   recomputing non-owned positions as warm-up — computed and cached,
+//!   but never recorded, streamed, or counted;
 //! * an optional JSON-lines sink receiving one [`JobRecord`] per
 //!   completed job in completion order, making long sweeps observable
 //!   in flight without perturbing the index-ordered aggregate.
 
-use crate::analysis::{analysis_for, Analysis, ScenarioResult};
-use crate::cache::{job_hash, ResultCache};
+use crate::analysis::{analysis_for, Analysis, ScenarioResult, WarmState};
+use crate::batch::BatchPlan;
+use crate::cache::{job_hash_mode, ResultCache};
 use crate::error::SweepError;
 use crate::grid::expand_grid;
 use crate::shard::shard_owns;
@@ -116,8 +135,8 @@ impl SweepOutcome {
     }
 }
 
-/// Configuration for [`run_deck_with`]: worker count, shard layout, and
-/// the optional on-disk result cache.
+/// Configuration for [`run_deck_with`]: worker count, shard layout,
+/// batched execution, and the optional on-disk result cache.
 #[derive(Debug, Default)]
 pub struct SweepConfig {
     /// Worker thread count (clamped to `[1, job count]`; 0 means 1).
@@ -128,6 +147,11 @@ pub struct SweepConfig {
     pub shard_index: usize,
     /// Content-hashed result cache; `None` recomputes everything.
     pub cache: Option<ResultCache>,
+    /// Batched execution: dispatch continuation chains along the
+    /// fastest-varying sweep axis, warm-starting each point from its
+    /// predecessor and sharing sparse symbolic analysis per chain.
+    /// `false` (the default) runs every job independently and cold.
+    pub warm_start: bool,
 }
 
 /// Observability counters for one sweep run. Cache hits change these,
@@ -234,17 +258,30 @@ pub fn run_deck_with(
     let owned: Vec<usize> = (0..n_jobs)
         .filter(|&id| shard_owns(id, shards, config.shard_index))
         .collect();
-    let workers = config.jobs.max(1).min(owned.len().max(1));
+    // Chain layout: continuation runs along the fastest-varying (last)
+    // sweep axis when warm starts are on, singleton chains otherwise.
+    let run_len = deck.sweeps.last().map_or(1, |s| s.points.max(1));
+    let plan = BatchPlan::new(&grid, run_len, analyses.len(), config.warm_start);
+    let shard_index = config.shard_index;
+    // A shard executes every chain containing at least one owned job.
+    let dispatch: Vec<usize> = (0..plan.chains().len())
+        .filter(|&ci| {
+            plan.chains()[ci]
+                .iter()
+                .any(|&id| shard_owns(id, shards, shard_index))
+        })
+        .collect();
+    let workers = config.jobs.max(1).min(dispatch.len().max(1));
 
     // The hash inputs are computed once; workers only concatenate.
     let deck_fp = deck.fingerprint();
     let spec_fps: Vec<String> = deck.analyses.iter().map(|a| a.fingerprint()).collect();
 
-    // Job dispatch and result return both ride std channels; the single
+    // Chain dispatch and result return both ride std channels; the single
     // consumed receiver is shared behind a mutex (std-only work queue).
     let (job_tx, job_rx) = mpsc::channel::<usize>();
-    for &id in &owned {
-        job_tx.send(id).expect("queue jobs");
+    for &ci in &dispatch {
+        job_tx.send(ci).expect("queue chains");
     }
     drop(job_tx);
     let job_rx = Mutex::new(job_rx);
@@ -275,13 +312,14 @@ pub fn run_deck_with(
     sweep_span.attr("jobs_here", owned.len());
     sweep_span.attr("workers", workers);
     sweep_span.attr("shards", shards);
+    sweep_span.attr("chains", dispatch.len());
     let obs_handle = obskit::current();
 
     thread::scope(|scope| {
         for _ in 0..workers {
             let job_rx = &job_rx;
             let res_tx = res_tx.clone();
-            let grid = &grid;
+            let plan = &plan;
             let analyses = &analyses;
             let cancel_above = &cancel_above;
             let cache = config.cache.as_ref();
@@ -290,42 +328,149 @@ pub fn run_deck_with(
             let obs_handle = obs_handle.clone();
             scope.spawn(move || {
                 let _obs = obs_handle.map(obskit::install_handle);
-                loop {
-                    let id = match job_rx.lock().expect("job queue lock").recv() {
-                        Ok(id) => id,
+                let is_owned = |id: usize| shard_owns(id, shards, shard_index);
+                'chains: loop {
+                    let ci = match job_rx.lock().expect("job queue lock").recv() {
+                        Ok(ci) => ci,
                         Err(_) => break, // queue drained
                     };
-                    if id > cancel_above.load(Ordering::Relaxed) {
+                    let chain = &plan.chains()[ci];
+                    let still_wanted = |from: usize| {
+                        let limit = cancel_above.load(Ordering::Relaxed);
+                        chain[from..].iter().any(|&id| is_owned(id) && id <= limit)
+                    };
+                    if !still_wanted(0) {
                         continue; // a lower-indexed job already failed
                     }
-                    let point = id / analyses.len();
-                    let a = id % analyses.len();
-                    let run_one = || -> JobOutcome {
+
+                    // Per-position cache keys. Position 0 is computed
+                    // cold, so its key is the plain job hash (byte-shared
+                    // with unbatched runs); a later position's key mixes
+                    // in the grid values of every predecessor it was
+                    // warm-started through.
+                    let hashes: Option<Vec<String>> = cache.map(|_| {
+                        let mut upstream = String::from("warm:");
+                        chain
+                            .iter()
+                            .enumerate()
+                            .map(|(k, &id)| {
+                                let point = plan.point_of(id);
+                                let values = plan.point_values(point);
+                                let mode = if k == 0 { "" } else { upstream.as_str() };
+                                let h = job_hash_mode(
+                                    deck_fp,
+                                    values,
+                                    &spec_fps[plan.analysis_of(id)],
+                                    mode,
+                                );
+                                for v in values {
+                                    upstream.push_str(&format!("{:016x}", v.to_bits()));
+                                }
+                                h
+                            })
+                            .collect()
+                    });
+
+                    // Serve the chain from the cache only when every owned
+                    // position hits; any miss recomputes the whole chain
+                    // from position 0 so warm seeds are always available.
+                    if let (Some(cache), Some(hashes)) = (cache, hashes.as_ref()) {
+                        let mut served: Vec<(usize, ScenarioResult)> = Vec::new();
+                        let all_hit = chain.iter().enumerate().all(|(k, &id)| {
+                            if !is_owned(id) {
+                                return true;
+                            }
+                            match cache.load(&hashes[k]) {
+                                Some(result) => {
+                                    served.push((id, result));
+                                    true
+                                }
+                                None => false,
+                            }
+                        });
+                        if all_hit {
+                            for (id, result) in served {
+                                let job_span = obskit::span("job");
+                                job_span.attr("job", id);
+                                job_span.attr("point", plan.point_of(id));
+                                job_span.attr("served", "cache");
+                                obskit::counter_add("sweep.cache_hits", 1);
+                                if res_tx.send((id, Ok((result, true)))).is_err() {
+                                    break 'chains; // main thread gave up
+                                }
+                            }
+                            continue;
+                        }
+                    }
+
+                    // Recompute front to back: one shared symbolic pool
+                    // and a rolling warm state for the whole chain.
+                    let shared = linsolve::SharedSymbolic::new();
+                    let _symbolic = shared.install();
+                    let mut warm: Option<WarmState> = None;
+                    let mut anchor_iters: Option<f64> = None;
+                    for (k, &id) in chain.iter().enumerate() {
+                        if !still_wanted(k) {
+                            break; // nothing left downstream is wanted
+                        }
+                        let point = plan.point_of(id);
+                        let a = plan.analysis_of(id);
                         let job_span = obskit::span("job");
                         job_span.attr("job", id);
                         job_span.attr("point", point);
-                        let hash = cache.map(|_| job_hash(deck_fp, &grid[point], &spec_fps[a]));
-                        if let (Some(cache), Some(hash)) = (cache, hash.as_ref()) {
-                            if let Some(result) = cache.load(hash) {
-                                job_span.attr("served", "cache");
-                                obskit::counter_add("sweep.cache_hits", 1);
-                                return Ok((result, true));
+                        let run_pos =
+                            || -> Result<(ScenarioResult, Option<WarmState>), SweepError> {
+                                let dae = deck.instantiate(plan.point_values(point))?;
+                                analyses[a].run_warm(&dae, warm.as_ref())
+                            };
+                        match run_pos() {
+                            Ok((result, next_warm)) => {
+                                if let (Some(cache), Some(hashes)) = (cache, hashes.as_ref()) {
+                                    // Best-effort: a read-only or full cache
+                                    // directory slows future runs, it must
+                                    // not fail this one.
+                                    let _ = cache.store(&hashes[k], &result);
+                                }
+                                // The chain's cold anchor calibrates how many
+                                // Newton iterations each warm start saves.
+                                let iters = newton_iters_of(&result);
+                                match (k, anchor_iters, iters) {
+                                    (0, _, _) => anchor_iters = iters,
+                                    (_, Some(anchor), Some(this)) if anchor > this => {
+                                        obskit::counter_add(
+                                            "newton.warm_start_iters_saved",
+                                            (anchor - this) as u64,
+                                        );
+                                    }
+                                    _ => {}
+                                }
+                                warm = next_warm;
+                                job_span.attr("served", "solver");
+                                if is_owned(id) {
+                                    obskit::counter_add("sweep.executed", 1);
+                                    if res_tx.send((id, Ok((result, false)))).is_err() {
+                                        break 'chains; // main thread gave up
+                                    }
+                                }
+                                // Non-owned positions are warm-up only:
+                                // cached for the owning shard, never
+                                // recorded or counted here.
+                            }
+                            Err(e) => {
+                                // No converged state to continue from, so the
+                                // chain remainder is unreachable. Surface the
+                                // failure at the first still-pending owned
+                                // position (the owning shard of a non-owned
+                                // failing warm-up hits the same error there).
+                                if let Some(fid) = chain[k..].iter().copied().find(|&j| is_owned(j))
+                                {
+                                    if res_tx.send((fid, Err(e))).is_err() {
+                                        break 'chains;
+                                    }
+                                }
+                                break;
                             }
                         }
-                        let dae = deck.instantiate(&grid[point])?;
-                        let result = analyses[a].run(&dae)?;
-                        if let (Some(cache), Some(hash)) = (cache, hash.as_ref()) {
-                            // Best-effort: a read-only or full cache
-                            // directory slows future runs, it must not fail
-                            // this one.
-                            let _ = cache.store(hash, &result);
-                        }
-                        job_span.attr("served", "solver");
-                        obskit::counter_add("sweep.executed", 1);
-                        Ok((result, false))
-                    };
-                    if res_tx.send((id, run_one())).is_err() {
-                        break; // main thread gave up
                     }
                 }
             });
@@ -405,6 +550,20 @@ pub fn run_deck_with(
             runs,
         },
         stats,
+    })
+}
+
+/// Newton iteration count reported by an analysis, for the
+/// `newton.warm_start_iters_saved` counter. Prefers the uniform
+/// `newton_iters` metric, falling back to shooting's historical
+/// `iterations`.
+fn newton_iters_of(result: &ScenarioResult) -> Option<f64> {
+    ["newton_iters", "iterations"].iter().find_map(|key| {
+        result
+            .metrics
+            .iter()
+            .find(|(name, _)| name == key)
+            .map(|(_, v)| *v)
     })
 }
 
@@ -548,7 +707,7 @@ mod tests {
                 jobs: 2,
                 shards: 2,
                 shard_index: k,
-                cache: None,
+                ..SweepConfig::default()
             };
             let run = run_deck_with(&deck, &config, None).unwrap();
             assert_eq!(run.stats.jobs_total, 3);
@@ -601,12 +760,104 @@ mod tests {
             jobs: 1,
             shards: 2,
             shard_index: 2,
-            cache: None,
+            ..SweepConfig::default()
         };
         assert!(matches!(
             run_deck_with(&deck, &config, None),
             Err(SweepError::BadInput(_))
         ));
+    }
+
+    #[test]
+    fn batched_outcome_is_independent_of_workers_and_shards() {
+        let deck = parse_deck(RC_DECK).unwrap();
+        let warm = |jobs| SweepConfig {
+            jobs,
+            warm_start: true,
+            ..SweepConfig::default()
+        };
+        let one = run_deck_with(&deck, &warm(1), None).unwrap();
+        let four = run_deck_with(&deck, &warm(4), None).unwrap();
+        assert_eq!(one.outcome, four.outcome);
+        assert_eq!(one.stats.executed, 3);
+        // Sharded batched runs recompute non-owned warm-up positions but
+        // record (and count) owned jobs only, merging back bit-for-bit.
+        let mut merged: Vec<RunRecord> = Vec::new();
+        for k in 0..2 {
+            let run = run_deck_with(
+                &deck,
+                &SweepConfig {
+                    jobs: 2,
+                    shards: 2,
+                    shard_index: k,
+                    warm_start: true,
+                    ..SweepConfig::default()
+                },
+                None,
+            )
+            .unwrap();
+            assert_eq!(run.stats.jobs_here, run.outcome.runs.len());
+            assert_eq!(run.stats.executed, run.outcome.runs.len());
+            merged.extend(run.outcome.runs);
+        }
+        merged.sort_by_key(|r| r.point);
+        assert_eq!(merged, one.outcome.runs);
+    }
+
+    #[test]
+    fn warm_start_agrees_with_cold_within_solver_tolerance() {
+        let deck = parse_deck(RC_DECK).unwrap();
+        let cold = run_deck(&deck, 1).unwrap();
+        let warm = run_deck_with(
+            &deck,
+            &SweepConfig {
+                jobs: 1,
+                warm_start: true,
+                ..SweepConfig::default()
+            },
+            None,
+        )
+        .unwrap();
+        let (_, cold_rows) = cold.waveform_table(0);
+        let (_, warm_rows) = warm.outcome.waveform_table(0);
+        assert_eq!(cold_rows.len(), warm_rows.len());
+        for (a, b) in cold_rows.iter().zip(warm_rows.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() <= 1e-9 * x.abs().max(1.0), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_cache_serves_whole_chains_on_rerun() {
+        let deck = parse_deck(RC_DECK).unwrap();
+        let dir = std::env::temp_dir().join(format!("sweepkit-exec-chain-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = SweepConfig {
+            jobs: 2,
+            cache: Some(ResultCache::open(&dir).unwrap()),
+            warm_start: true,
+            ..SweepConfig::default()
+        };
+        let cold = run_deck_with(&deck, &config, None).unwrap();
+        assert_eq!(cold.stats.executed, 3);
+        let rerun = run_deck_with(&deck, &config, None).unwrap();
+        assert_eq!(rerun.stats.executed, 0);
+        assert_eq!(rerun.stats.cache_hits, 3);
+        assert_eq!(cold.outcome, rerun.outcome);
+        // Dropping any one entry forces the whole chain to recompute
+        // (warm positions need their predecessors), reproducing the same
+        // bytes.
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.path().extension().is_some_and(|x| x == "sweepres"))
+            .unwrap();
+        std::fs::remove_file(entry.path()).unwrap();
+        let partial = run_deck_with(&deck, &config, None).unwrap();
+        assert_eq!(partial.stats.executed, 3);
+        assert_eq!(partial.outcome, cold.outcome);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

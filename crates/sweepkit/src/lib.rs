@@ -48,6 +48,7 @@
 //! ```
 
 pub mod analysis;
+pub mod batch;
 pub mod cache;
 pub mod error;
 pub mod executor;
@@ -55,8 +56,9 @@ pub mod grid;
 pub mod shard;
 pub mod stream;
 
-pub use analysis::{analysis_for, Analysis, ScenarioResult};
-pub use cache::{job_hash, ResultCache, CACHE_SALT};
+pub use analysis::{analysis_for, Analysis, ScenarioResult, WarmState};
+pub use batch::BatchPlan;
+pub use cache::{job_hash, job_hash_mode, ResultCache, CACHE_SALT};
 pub use error::SweepError;
 pub use executor::{
     run_deck, run_deck_with, RunRecord, SweepConfig, SweepOutcome, SweepRun, SweepStats,

@@ -56,10 +56,34 @@ pub fn dc_operating_point<D: Dae + ?Sized>(
     dae: &D,
     opts: &NewtonOptions,
 ) -> Result<Vec<f64>, TransimError> {
+    dc_operating_point_from(dae, &vec![0.0; dae.dim()], opts)
+}
+
+/// [`dc_operating_point`] seeded from `guess` instead of the zero
+/// vector — the continuation warm start used by batched sweeps, where a
+/// neighbouring grid point's operating point is already in hand. The
+/// same full gmin ladder still runs, so a bad guess degrades gracefully
+/// rather than diverging.
+///
+/// # Errors
+///
+/// Propagates the final stage's Newton failure, or
+/// [`TransimError::BadInput`] when `guess.len() != dae.dim()`.
+pub fn dc_operating_point_from<D: Dae + ?Sized>(
+    dae: &D,
+    guess: &[f64],
+    opts: &NewtonOptions,
+) -> Result<Vec<f64>, TransimError> {
     let n = dae.dim();
+    if guess.len() != n {
+        return Err(TransimError::BadInput(format!(
+            "DC warm-start guess has {} entries, dae has dim {n}",
+            guess.len()
+        )));
+    }
     let mut b0 = vec![0.0; n];
     dae.eval_b(0.0, &mut b0);
-    let mut x = vec![0.0; n];
+    let mut x = guess.to_vec();
 
     // Continuation ladder: each gmin stage may fail without aborting; only
     // the last (gmin = 0, or smallest working gmin) must succeed. One

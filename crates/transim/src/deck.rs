@@ -1,6 +1,6 @@
 //! Deck adapter: runs a [`circuitdae::TranSpec`] directive.
 
-use crate::dcop::dc_operating_point;
+use crate::dcop::{dc_operating_point, dc_operating_point_from};
 use crate::error::TransimError;
 use crate::integrate::{run_transient, StepControl, TransientOptions, TransientResult};
 use crate::newton::NewtonOptions;
@@ -18,13 +18,36 @@ pub fn run_tran_spec<D: Dae + ?Sized>(
     dae: &D,
     spec: &TranSpec,
 ) -> Result<TransientResult, TransimError> {
+    run_tran_spec_warm(dae, spec, None).map(|(res, _)| res)
+}
+
+/// [`run_tran_spec`] with a continuation warm start: `warm` (a
+/// neighbouring grid point's converged DC operating point) seeds the
+/// gmin ladder instead of the zero vector. Also returns this run's DC
+/// operating point so the caller can chain it into the next point.
+///
+/// The gmin continuation runs in full either way, so a warm start can
+/// only change where the *same* ladder starts — `warm = None`
+/// reproduces [`run_tran_spec`] exactly.
+///
+/// # Errors
+///
+/// [`TransimError`] from the DC solve or the integration.
+pub fn run_tran_spec_warm<D: Dae + ?Sized>(
+    dae: &D,
+    spec: &TranSpec,
+    warm: Option<&[f64]>,
+) -> Result<(TransientResult, Vec<f64>), TransimError> {
     // The deck's `.options solver=` choice rides on the spec and is
     // honored by both the DC solve and every step's Newton iteration.
     let newton = NewtonOptions {
         linear_solver: spec.solver,
         ..Default::default()
     };
-    let x0 = dc_operating_point(dae, &newton)?;
+    let x0 = match warm {
+        Some(guess) => dc_operating_point_from(dae, guess, &newton)?,
+        None => dc_operating_point(dae, &newton)?,
+    };
     let step = if spec.dt > 0.0 {
         StepControl::Fixed(spec.dt)
     } else {
@@ -36,7 +59,7 @@ pub fn run_tran_spec<D: Dae + ?Sized>(
             dt_max: spec.dt_max,
         }
     };
-    run_transient(
+    let res = run_transient(
         dae,
         &x0,
         0.0,
@@ -46,7 +69,8 @@ pub fn run_tran_spec<D: Dae + ?Sized>(
             step,
             newton,
         },
-    )
+    )?;
+    Ok((res, x0))
 }
 
 #[cfg(test)]

@@ -36,8 +36,8 @@ pub mod error;
 pub mod integrate;
 pub mod newton;
 
-pub use dcop::dc_operating_point;
-pub use deck::run_tran_spec;
+pub use dcop::{dc_operating_point, dc_operating_point_from};
+pub use deck::{run_tran_spec, run_tran_spec_warm};
 pub use error::TransimError;
 pub use integrate::{
     run_fixed_per_cycle, run_transient, Integrator, StepControl, TransientOptions, TransientResult,

@@ -6,7 +6,9 @@ use crate::init::WampdeInit;
 use crate::options::{T2StepControl, WampdeOptions};
 use crate::result::EnvelopeResult;
 use circuitdae::{CircuitDae, Dae, WampdeSpec};
-use shooting::{oscillator_steady_state, ShootingOptions};
+use shooting::{
+    find_periodic_orbit, oscillator_steady_state, PeriodicOrbit, ShootingOptions, ShootingWarmStart,
+};
 
 /// Runs a `.wampde` directive end to end: freezes the circuit's waveforms
 /// at `t = 0`, shoots for the unforced periodic orbit (the paper's
@@ -23,6 +25,25 @@ use shooting::{oscillator_steady_state, ShootingOptions};
 /// shooting initialisation fails (reporting the underlying cause),
 /// otherwise see [`solve_envelope`].
 pub fn run_wampde_spec(dae: &CircuitDae, spec: &WampdeSpec) -> Result<EnvelopeResult, WampdeError> {
+    run_wampde_spec_warm(dae, spec, None).map(|(env, _)| env)
+}
+
+/// [`run_wampde_spec`] with a continuation warm start: when `warm`
+/// holds the unforced orbit of a neighbouring grid point, the shooting
+/// initialisation starts directly from it instead of running the full
+/// DC → kick → warm-up → settle pipeline, falling back to the cold
+/// pipeline if the neighbour is too far away to converge. Also returns
+/// this point's converged unforced orbit so the caller can chain it
+/// into the next point.
+///
+/// # Errors
+///
+/// As [`run_wampde_spec`].
+pub fn run_wampde_spec_warm(
+    dae: &CircuitDae,
+    spec: &WampdeSpec,
+    warm: Option<&ShootingWarmStart>,
+) -> Result<(EnvelopeResult, PeriodicOrbit), WampdeError> {
     if spec.phase_var >= dae.dim() {
         return Err(WampdeError::BadInput(format!(
             "phase_var {} out of range (dim = {})",
@@ -31,16 +52,20 @@ pub fn run_wampde_spec(dae: &CircuitDae, spec: &WampdeSpec) -> Result<EnvelopeRe
         )));
     }
     let unforced = dae.frozen_at(0.0);
-    let orbit = oscillator_steady_state(
-        &unforced,
-        &ShootingOptions {
-            steps_per_period: spec.shooting_steps,
-            phase_var: spec.phase_var,
-            linear_solver: spec.solver,
-            ..Default::default()
-        },
-    )
-    .map_err(|e| WampdeError::BadInput(format!("shooting initialisation failed: {e}")))?;
+    let shoot_opts = ShootingOptions {
+        steps_per_period: spec.shooting_steps,
+        phase_var: spec.phase_var,
+        linear_solver: spec.solver,
+        ..Default::default()
+    };
+    let warm_orbit = warm
+        .filter(|seed| seed.x0.len() == dae.dim() && seed.period > 0.0)
+        .and_then(|seed| find_periodic_orbit(&unforced, &seed.x0, seed.period, &shoot_opts).ok());
+    let orbit = match warm_orbit {
+        Some(orbit) => orbit,
+        None => oscillator_steady_state(&unforced, &shoot_opts)
+            .map_err(|e| WampdeError::BadInput(format!("shooting initialisation failed: {e}")))?,
+    };
     // The spec's step keys select fixed (`dt=`) or LTE-adaptive `t2`
     // stepping; the scheme rides along from `integrator=`.
     let step = if spec.dt > 0.0 {
@@ -63,7 +88,8 @@ pub fn run_wampde_spec(dae: &CircuitDae, spec: &WampdeSpec) -> Result<EnvelopeRe
         ..Default::default()
     };
     let init = WampdeInit::from_orbit(&orbit, &opts);
-    solve_envelope(dae, &init, spec.t_stop, &opts)
+    let env = solve_envelope(dae, &init, spec.t_stop, &opts)?;
+    Ok((env, orbit))
 }
 
 #[cfg(test)]

@@ -62,7 +62,7 @@ pub mod options;
 pub mod quasiperiodic;
 pub mod result;
 
-pub use deck::run_wampde_spec;
+pub use deck::{run_wampde_spec, run_wampde_spec_warm};
 pub use envelope::solve_envelope;
 pub use error::WampdeError;
 pub use init::WampdeInit;
