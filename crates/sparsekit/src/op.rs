@@ -67,12 +67,20 @@ impl Precond for JacobiPrecond {
 #[derive(Debug, Clone)]
 pub struct CsrOp<'a> {
     a: &'a Csr,
+    threads: usize,
 }
 
 impl<'a> CsrOp<'a> {
-    /// Wraps a borrowed CSR matrix.
+    /// Wraps a borrowed CSR matrix (serial matvec).
     pub fn new(a: &'a Csr) -> Self {
-        CsrOp { a }
+        CsrOp { a, threads: 1 }
+    }
+
+    /// Wraps a borrowed CSR matrix whose products are row-partitioned
+    /// across up to `threads` threads
+    /// ([`Csr::matvec_into_threads`] — bitwise identical to serial).
+    pub fn with_threads(a: &'a Csr, threads: usize) -> Self {
+        CsrOp { a, threads }
     }
 }
 
@@ -82,7 +90,11 @@ impl LinOp for CsrOp<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.a.matvec_into(x, y);
+        if self.threads > 1 {
+            self.a.matvec_into_threads(x, y, self.threads);
+        } else {
+            self.a.matvec_into(x, y);
+        }
     }
 }
 

@@ -60,6 +60,88 @@ fn traced_sweep_artifacts_are_byte_identical_to_untraced() {
 }
 
 #[test]
+fn parallel_factor_traces_cross_threads_and_change_no_bytes() {
+    // A two-block BTF-rich matrix, so the parallel kernel actually fans
+    // the diagonal blocks out to scoped worker threads.
+    let mut t = sparsekit::Triplets::new(6, 6);
+    for b in 0..2usize {
+        for r in 0..3usize {
+            let i = 3 * b + r;
+            t.push(i, i, 4.0 + i as f64);
+            t.push(i, 3 * b + (r + 1) % 3, 0.5 - 0.1 * i as f64);
+        }
+    }
+    t.push(0, 4, 0.25); // upper off-block coupling keeps two blocks
+    let csc = t.to_csc();
+    let plan = sparsekit::OrderingPlan::for_matrix(&csc).unwrap();
+    let serial = sparsekit::SparseLu::factor_ordered(&csc, &plan).unwrap();
+    let untraced = sparsekit::SparseLu::factor_ordered_threads(&csc, &plan, 7).unwrap();
+
+    let rec = Arc::new(obskit::CollectingRecorder::new());
+    let traced = {
+        let _g = obskit::install(rec.clone() as Arc<dyn obskit::Recorder>);
+        let _sp = obskit::span("factor");
+        sparsekit::SparseLu::factor_ordered_threads(&csc, &plan, 7).unwrap()
+    };
+    // Observation only: the traced and untraced parallel factors are
+    // byte-identical to the serial one.
+    assert_eq!(format!("{untraced:?}"), format!("{serial:?}"));
+    assert_eq!(format!("{traced:?}"), format!("{serial:?}"));
+
+    // The recorder handle crossed into the scoped workers: every BTF
+    // block factored on a worker thread shows up as a `factor.block`
+    // span with a valid id in the exported trace.
+    let doc = parse_json(&rec.to_chrome_trace()).expect("trace must be valid JSON");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let blocks = events
+        .iter()
+        .filter(|ev| {
+            ev.get("ph").and_then(Json::as_str) == Some("X")
+                && ev.get("name").and_then(Json::as_str) == Some("factor.block")
+        })
+        .count();
+    assert_eq!(
+        blocks,
+        plan.nblocks(),
+        "expected one factor.block span per BTF block"
+    );
+
+    // The same contract end to end: a bordered step Jacobian solved via
+    // KLU under a 4-thread core budget (parallel stamping + assembly)
+    // returns bit-identical solutions traced or not, and the parallel
+    // counters land in the installed recorder.
+    let jac = wampde_bench::StepJacobian::build(8, 2);
+    let reference = jac.factor_solve(wampde::LinearSolverKind::Klu);
+    let budget = linsolve::CoreBudget::new(4, 4);
+    let plain = {
+        let _b = budget.install();
+        jac.factor_solve(wampde::LinearSolverKind::Klu)
+    };
+    let rec2 = Arc::new(obskit::CollectingRecorder::new());
+    let traced = {
+        let _g = obskit::install(rec2.clone() as Arc<dyn obskit::Recorder>);
+        let _b = budget.install();
+        jac.factor_solve(wampde::LinearSolverKind::Klu)
+    };
+    for (label, x) in [("untraced", &plain), ("traced", &traced)] {
+        assert!(
+            x.iter()
+                .zip(reference.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "{label} parallel klu solve differs from serial"
+        );
+    }
+    assert!(
+        rec2.counter("factor.parallel_blocks") > 0,
+        "parallel factorisation must report its block count"
+    );
+    assert!(
+        rec2.counter("stamp.parallel_partitions") > 0,
+        "parallel stamping must report its partition count"
+    );
+}
+
+#[test]
 fn uninstalled_threads_see_tracing_disabled() {
     // This test thread never installs a recorder, so the whole fast
     // path must stay off and free functions must be inert no-ops.
